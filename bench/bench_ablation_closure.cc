@@ -1,0 +1,98 @@
+// Ablation A (paper Section 6.1): why the declarative transitive closure
+// explodes while the embedded traversal stays sub-second. Sweeps graph
+// size (layered DAGs with fanout) and compares:
+//   - FQL `MATCH n -[:calls*]-> m RETURN distinct m` (path enumeration
+//     with relationship-uniqueness, Cypher semantics)
+//   - graph::TransitiveClosure (visited-set BFS)
+// The number of edge-distinct paths grows exponentially with depth, so the
+// declarative engine hits its step budget while BFS visits each node once.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/kernel_common.h"
+#include "common/rng.h"
+#include "graph/traversal.h"
+#include "query/parser.h"
+
+using namespace frappe;
+
+namespace {
+
+// Layered DAG: `layers` layers of `width` functions; every function calls
+// `fanout` functions of the next layer. Paths from layer 0 to the bottom:
+// fanout^layers.
+model::CodeGraph BuildLayeredDag(int layers, int width, int fanout) {
+  model::CodeGraph graph(model::CodeGraph::Validation::kOff);
+  std::vector<std::vector<graph::NodeId>> nodes(layers);
+  for (int l = 0; l < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      nodes[l].push_back(graph.AddNode(
+          model::NodeKind::kFunction,
+          "fn_l" + std::to_string(l) + "_" + std::to_string(w)));
+    }
+  }
+  frappe::Rng rng(1);
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      for (int f = 0; f < fanout; ++f) {
+        graph.AddEdgeUnchecked(model::EdgeKind::kCalls, nodes[l][w],
+                               nodes[l + 1][rng.Uniform(width)]);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation A: declarative closure vs embedded traversal (Section 6.1)");
+  std::printf("%-28s %14s %16s %12s\n", "graph (layers x width x fanout)",
+              "FQL closure", "direct closure", "reached");
+  const uint64_t kStepBudget = 20'000'000;
+
+  for (int layers : {4, 8, 12, 16, 24}) {
+    int width = 16, fanout = 3;
+    model::CodeGraph graph = BuildLayeredDag(layers, width, fanout);
+    query::Session session(graph);
+
+    // Direct traversal first (a giant aborted declarative run perturbs the
+    // allocator enough to contaminate a measurement taken right after it).
+    graph::EdgeFilter filter = graph::EdgeFilter::Of(
+        {graph.type_id(model::EdgeKind::kCalls)});
+    auto t1 = bench::Clock::now();
+    auto closure = graph::TransitiveClosure(graph.view(), 0, filter);
+    double direct_ms = bench::MsSince(t1);
+
+    std::string text =
+        "START n=node:node_auto_index('short_name: fn_l0_0') "
+        "MATCH n -[:calls*]-> m RETURN distinct m";
+    query::ExecOptions options;
+    options.max_steps = kStepBudget;
+
+    auto t0 = bench::Clock::now();
+    auto fql = session.Run(text, options);
+    double fql_ms = bench::MsSince(t0);
+    std::string fql_cell;
+    if (fql.ok()) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%9.1f ms", fql_ms);
+      fql_cell = buf;
+    } else {
+      fql_cell = "ABORTED@" + std::to_string(kStepBudget / 1000000) + "M";
+    }
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d x %d x %d", layers, width,
+                  fanout);
+    std::printf("%-28s %14s %13.2f ms %12zu\n", label, fql_cell.c_str(),
+                direct_ms, closure.size());
+  }
+  std::printf("\nTakeaway: path enumeration cost grows with the number of"
+              " paths (exponential in\ndepth); the visited-set traversal"
+              " grows with nodes+edges. This is the paper's\n'> 15 min"
+              " aborted' vs '~20 ms via the embedded API'.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation D: adjacency-list store vs compressed-sparse-row view for
+// traversal-heavy analytics (the paper's Section 7 pointers — PGX, LLAMA —
+// exist precisely because of this gap). Measures whole-graph BFS layers
+// and repeated transitive closures on the kernel-scale graph through both
+// representations.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/kernel_common.h"
+#include "graph/csr_view.h"
+#include "graph/traversal.h"
+
+using namespace frappe;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation D: adjacency-list store vs CSR view (traversal analytics)");
+  double factor = std::min(bench::ScaleFromEnv(), 0.5);
+  std::printf("scale factor: %g\n\n", factor);
+
+  auto graph = bench::GenerateKernel(factor);
+  const graph::GraphStore& store = graph->store();
+  graph::TypeId calls = graph->type_id(model::EdgeKind::kCalls);
+
+  auto t0 = bench::Clock::now();
+  graph::CsrView csr = graph::CsrView::Build(store);
+  double build_ms = bench::MsSince(t0);
+  std::printf("CSR build: %.0f ms, packed arrays %.1f MB (store adjacency"
+              " + records: %.1f MB)\n\n",
+              build_ms, csr.ByteSize() / 1048576.0,
+              (store.EstimateMemory().nodes +
+               store.EstimateMemory().relationships) / 1048576.0);
+
+  // Seeds: functions with decent out-degree.
+  std::vector<graph::NodeId> seeds;
+  store.ForEachNode([&](graph::NodeId id) {
+    if (seeds.size() >= 50 ||
+        graph->KindOf(id) != model::NodeKind::kFunction) {
+      return;
+    }
+    size_t out_calls = 0;
+    store.ForEachEdge(id, graph::Direction::kOut,
+                      [&](graph::EdgeId e, graph::NodeId) {
+                        if (store.GetEdge(e).type == calls) ++out_calls;
+                        return true;
+                      });
+    if (out_calls >= 5) seeds.push_back(id);
+  });
+
+  graph::EdgeFilter filter = graph::EdgeFilter::Of({calls});
+  auto run = [&](const graph::GraphView& view) {
+    size_t total = 0;
+    auto start = bench::Clock::now();
+    for (graph::NodeId seed : seeds) {
+      total += graph::TransitiveClosure(view, seed, filter).size();
+    }
+    return std::make_pair(bench::MsSince(start), total);
+  };
+
+  auto [store_ms, store_total] = run(store);
+  auto [csr_ms, csr_total] = run(csr);
+  std::printf("%-34s %10s %14s\n", "50 call-graph closures", "time",
+              "nodes reached");
+  std::printf("%-34s %7.0f ms %14zu\n", "GraphStore (adjacency lists)",
+              store_ms, store_total);
+  std::printf("%-34s %7.0f ms %14zu\n", "CsrView (packed arrays)", csr_ms,
+              csr_total);
+  std::printf("agreement: %s, speedup %.2fx\n",
+              store_total == csr_total ? "identical results" : "MISMATCH!",
+              store_ms / std::max(csr_ms, 0.001));
+
+  // Full-graph BFS from the hub in both directions.
+  auto bfs_all = [&](const graph::GraphView& view) {
+    size_t visited = 0;
+    auto start = bench::Clock::now();
+    graph::Bfs(view, {0}, graph::EdgeFilter::Any(graph::Direction::kBoth),
+               [&](graph::NodeId, size_t) {
+                 ++visited;
+                 return true;
+               });
+    return std::make_pair(bench::MsSince(start), visited);
+  };
+  auto [s_ms, s_n] = bfs_all(store);
+  auto [c_ms, c_n] = bfs_all(csr);
+  std::printf("\nundirected whole-graph BFS: store %.0f ms (%zu nodes),"
+              " CSR %.0f ms (%zu nodes)\n", s_ms, s_n, c_ms, c_n);
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Micro benchmarks (google-benchmark): the primitive operations the
+// use-case latencies decompose into — index lookups, adjacency expansion,
+// BFS, property access, snapshot round-trip, and extraction throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "extractor/build_model.h"
+#include "extractor/synthetic.h"
+#include "graph/indexes.h"
+#include "graph/snapshot.h"
+#include "graph/traversal.h"
+#include "model/code_graph.h"
+#include "query/session.h"
+
+namespace {
+
+using namespace frappe;
+
+// Shared mid-size kernel graph (~25 K nodes), built once.
+model::CodeGraph& SharedKernel() {
+  static model::CodeGraph* graph = [] {
+    auto* g = new model::CodeGraph(model::CodeGraph::Validation::kOff);
+    extractor::GraphScale scale;
+    scale.factor = 0.05;
+    extractor::GenerateKernelGraph(scale, g);
+    return g;
+  }();
+  return *graph;
+}
+
+graph::NameIndex& SharedIndex() {
+  static graph::NameIndex* index =
+      new graph::NameIndex(SharedKernel().BuildNameIndex());
+  return *index;
+}
+
+void BM_NameIndexExactLookup(benchmark::State& state) {
+  auto& index = SharedIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Lookup("short_name", "int"));
+  }
+}
+BENCHMARK(BM_NameIndexExactLookup);
+
+void BM_NameIndexWildcard(benchmark::State& state) {
+  auto& index = SharedIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.LookupWildcard("short_name", "fn_init_*"));
+  }
+}
+BENCHMARK(BM_NameIndexWildcard);
+
+void BM_NameIndexFuzzy(benchmark::State& state) {
+  auto& index = SharedIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.LookupFuzzy("short_name", "fn_init_probe_10", 2));
+  }
+}
+BENCHMARK(BM_NameIndexFuzzy);
+
+void BM_LuceneQuery(benchmark::State& state) {
+  auto& index = SharedIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Query(
+        "(type: struct OR type: union) AND short_name: st_*"));
+  }
+}
+BENCHMARK(BM_LuceneQuery);
+
+void BM_AdjacencyExpansion(benchmark::State& state) {
+  auto& graph = SharedKernel();
+  graph::NodeId hub = graph.Primitive("int");
+  for (auto _ : state) {
+    size_t count = 0;
+    graph.view().ForEachEdge(hub, graph::Direction::kBoth,
+                             [&](graph::EdgeId, graph::NodeId) {
+                               ++count;
+                               return true;
+                             });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_AdjacencyExpansion);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  auto& graph = SharedKernel();
+  graph::EdgeFilter filter = graph::EdgeFilter::Of(
+      {graph.type_id(model::EdgeKind::kCalls)});
+  // A function with outgoing calls.
+  graph::NodeId seed = graph::kInvalidNode;
+  graph.view().ForEachNode([&](graph::NodeId id) {
+    if (seed == graph::kInvalidNode &&
+        graph.KindOf(id) == model::NodeKind::kFunction &&
+        graph.view().OutDegree(id) > 3) {
+      seed = id;
+    }
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::TransitiveClosure(graph.view(), seed, filter));
+  }
+}
+BENCHMARK(BM_TransitiveClosure);
+
+void BM_ShortestPath(benchmark::State& state) {
+  auto& graph = SharedKernel();
+  graph::EdgeFilter filter = graph::EdgeFilter::Of(
+      {graph.type_id(model::EdgeKind::kCalls)}, graph::Direction::kBoth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::ShortestPath(graph.view(), 2000, 9000, filter));
+  }
+}
+BENCHMARK(BM_ShortestPath);
+
+void BM_PropertyAccess(benchmark::State& state) {
+  auto& graph = SharedKernel();
+  graph::KeyId key = graph.key_id(model::PropKey::kUseStartLine);
+  graph::EdgeId edge = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.store().GetEdgeProperty(edge, key));
+  }
+}
+BENCHMARK(BM_PropertyAccess);
+
+void BM_FqlIndexedQuery(benchmark::State& state) {
+  static query::Session* session = new query::Session(SharedKernel());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        session->Run("START n=node:node_auto_index('short_name: int') "
+                     "RETURN n"));
+  }
+}
+BENCHMARK(BM_FqlIndexedQuery);
+
+void BM_SnapshotRoundTrip(benchmark::State& state) {
+  // Small graph: serialize + deserialize.
+  model::CodeGraph graph(model::CodeGraph::Validation::kOff);
+  extractor::GraphScale scale;
+  scale.factor = 0.002;
+  extractor::GenerateKernelGraph(scale, &graph);
+  for (auto _ : state) {
+    std::string blob;
+    auto sizes = graph::SerializeSnapshot(graph.view(), &blob);
+    auto loaded = graph::DeserializeSnapshot(blob);
+    benchmark::DoNotOptimize(loaded->store->NodeCount());
+  }
+}
+BENCHMARK(BM_SnapshotRoundTrip);
+
+void BM_ExtractionThroughput(benchmark::State& state) {
+  // Full pipeline: preprocess + parse + extract + link a generated tree.
+  extractor::Vfs vfs;
+  extractor::SourceScale scale;
+  scale.subsystems = 2;
+  scale.files_per_subsystem = 4;
+  scale.functions_per_file = 6;
+  extractor::SourceKernel kernel = extractor::GenerateKernelSource(scale,
+                                                                   &vfs);
+  uint64_t lines = 0;
+  for (auto _ : state) {
+    model::CodeGraph graph;
+    extractor::BuildDriver driver(&vfs, &graph);
+    for (const std::string& command : kernel.build_commands) {
+      Status status = driver.Run(command);
+      if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+    }
+    lines += kernel.total_lines;
+  }
+  state.counters["lines_per_sec"] = benchmark::Counter(
+      static_cast<double>(lines), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExtractionThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Reproduces paper Table 4 ("Database size (MB)"): the storage breakdown
+// of the persisted graph — Properties / Nodes / Relationships / Indexes /
+// Total. The paper's Neo4j store was ~800 MB for the UEK graph; our
+// single-file snapshot format is denser, so absolute numbers are smaller,
+// but the *shape* (properties dominate, then relationships, then indexes,
+// nodes smallest) should reproduce.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench/kernel_common.h"
+
+int main() {
+  using namespace frappe;
+  double factor = bench::ScaleFromEnv();
+  bench::PrintHeader("Table 4: Database size (paper vs measured)");
+  std::printf("scale factor: %g\n\n", factor);
+
+  auto graph = bench::GenerateKernel(factor);
+  graph::NameIndex index = graph->BuildNameIndex();
+  std::string path = bench::CacheDir() + "/frappe_table4_probe.db";
+  auto start = bench::Clock::now();
+  auto sizes = graph::SaveSnapshot(graph->view(), path, &index);
+  double save_ms = bench::MsSince(start);
+  if (!sizes.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", sizes.status().ToString().c_str());
+    return 1;
+  }
+
+  auto mb = [](uint64_t bytes) {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+  };
+  // Paper Table 4 (Neo4j store, MB). The per-section numbers are garbled
+  // in the available text; the prose anchors the Total at ~800 MB, and the
+  // section order implies properties dominate. We report our sections and
+  // compare only what the paper states reliably.
+  std::printf("%-15s %12s %12s\n", "section", "paper (MB)", "measured (MB)");
+  std::printf("%-15s %12s %12.1f\n", "Properties", "(garbled)",
+              mb(sizes->properties()));
+  std::printf("%-15s %12s %12.1f\n", "Nodes", "(garbled)", mb(sizes->nodes));
+  std::printf("%-15s %12s %12.1f\n", "Relationships", "(garbled)",
+              mb(sizes->relationships));
+  std::printf("%-15s %12s %12.1f\n", "Indexes", "(garbled)",
+              mb(sizes->indexes));
+  std::printf("%-15s %12s %12.1f\n", "Total", "~800", mb(sizes->total()));
+  std::printf("\n(schema section: %.2f MB, header: %" PRIu64 " B; "
+              "serialization took %.0f ms)\n",
+              mb(sizes->schema), sizes->header, save_ms);
+  std::printf("\nShape check: properties > relationships > indexes > nodes"
+              " : %s\n",
+              (sizes->properties() > sizes->relationships &&
+               sizes->relationships > sizes->indexes &&
+               sizes->indexes > sizes->nodes)
+                  ? "HOLDS (as in the paper)"
+                  : "differs — see EXPERIMENTS.md");
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Interactive FQL shell: open a Frappé snapshot (or generate a synthetic
+// kernel) and query it from stdin.
+//
+//   fql_shell <snapshot.db>        open an existing database
+//   fql_shell --generate [factor]  generate a synthetic kernel (default 0.05)
+//
+// Meta commands: \stats  \hubs  \schema  \save <path>  \quit
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "extractor/synthetic.h"
+#include "graph/snapshot.h"
+#include "graph/stats.h"
+#include "model/code_graph.h"
+#include "query/explain.h"
+#include "query/parser.h"
+#include "query/session.h"
+
+namespace {
+
+using namespace frappe;
+
+struct Shell {
+  std::unique_ptr<graph::GraphStore> store;
+  std::unique_ptr<model::CodeGraph> owned_graph;  // --generate mode
+  graph::NameIndex name_index;
+  graph::LabelIndex label_index;
+  model::Schema schema;
+  query::Database db;
+
+  const graph::GraphView& view() const {
+    return owned_graph ? owned_graph->view()
+                       : static_cast<const graph::GraphView&>(*store);
+  }
+};
+
+bool OpenSnapshot(const std::string& path, Shell* shell) {
+  auto loaded = graph::LoadSnapshot(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    return false;
+  }
+  shell->store = std::move(loaded->store);
+  if (loaded->index.has_value()) {
+    shell->name_index = std::move(*loaded->index);
+  } else {
+    model::CodeGraph scratch;
+    shell->name_index =
+        graph::NameIndex::Build(*shell->store, scratch.IndexFields());
+  }
+  shell->label_index = graph::LabelIndex::Build(*shell->store);
+  shell->schema = model::Schema::Install(shell->store.get());
+  shell->db = query::MakeFrappeDatabase(*shell->store, shell->schema,
+                                        &shell->name_index,
+                                        &shell->label_index);
+  return true;
+}
+
+void Generate(double factor, Shell* shell) {
+  shell->owned_graph = std::make_unique<model::CodeGraph>(
+      model::CodeGraph::Validation::kOff);
+  extractor::GraphScale scale;
+  scale.factor = factor;
+  extractor::GenerateKernelGraph(scale, shell->owned_graph.get());
+  shell->name_index = shell->owned_graph->BuildNameIndex();
+  shell->label_index = graph::LabelIndex::Build(shell->owned_graph->view());
+  shell->schema = shell->owned_graph->schema();
+  shell->db = query::MakeFrappeDatabase(shell->owned_graph->view(),
+                                        shell->schema, &shell->name_index,
+                                        &shell->label_index);
+}
+
+void PrintStats(const Shell& shell) {
+  auto metrics = graph::ComputeMetrics(shell.view());
+  std::printf("nodes %llu, edges %llu, ratio 1:%.2f, density %.3e\n",
+              static_cast<unsigned long long>(metrics.node_count),
+              static_cast<unsigned long long>(metrics.edge_count),
+              metrics.edge_node_ratio, metrics.density);
+}
+
+void PrintHubs(const Shell& shell) {
+  for (const auto& hub : graph::TopDegreeNodes(
+           shell.view(), 10,
+           shell.schema.key(model::PropKey::kShortName))) {
+    std::printf("  %-30s %-14s degree %llu\n", hub.short_name.c_str(),
+                hub.type_name.c_str(),
+                static_cast<unsigned long long>(hub.degree));
+  }
+}
+
+void PrintSchema() {
+  std::printf("node types:");
+  for (size_t i = 0; i < static_cast<size_t>(model::NodeKind::kCount); ++i) {
+    std::printf(" %s",
+                std::string(model::NodeKindName(
+                                static_cast<model::NodeKind>(i)))
+                    .c_str());
+  }
+  std::printf("\nedge types:");
+  for (size_t i = 0; i < static_cast<size_t>(model::EdgeKind::kCount); ++i) {
+    std::printf(" %s",
+                std::string(model::EdgeKindName(
+                                static_cast<model::EdgeKind>(i)))
+                    .c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc >= 2 && std::strcmp(argv[1], "--generate") == 0) {
+    double factor = argc >= 3 ? std::atof(argv[2]) : 0.05;
+    std::printf("generating synthetic kernel at scale %g...\n", factor);
+    Generate(factor, &shell);
+  } else if (argc >= 2) {
+    if (!OpenSnapshot(argv[1], &shell)) return 1;
+  } else {
+    std::printf("no snapshot given; generating a small kernel (0.02)...\n");
+    Generate(0.02, &shell);
+  }
+  PrintStats(shell);
+  std::printf("type FQL queries, or \\stats \\hubs \\schema"
+              " \\explain <query> \\save <path> \\quit\n");
+
+  std::string line;
+  while (true) {
+    std::printf("fql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\stats") {
+      PrintStats(shell);
+      continue;
+    }
+    if (line == "\\hubs") {
+      PrintHubs(shell);
+      continue;
+    }
+    if (line == "\\schema") {
+      PrintSchema();
+      continue;
+    }
+    if (line.rfind("\\explain ", 0) == 0) {
+      auto plan = query::ExplainText(shell.db, line.substr(9));
+      std::printf("%s", plan.ok() ? plan->c_str()
+                                  : (plan.status().ToString() + "\n").c_str());
+      continue;
+    }
+    if (line.rfind("\\save ", 0) == 0) {
+      std::string path = line.substr(6);
+      auto sizes = graph::SaveSnapshot(shell.view(), path,
+                                       &shell.name_index);
+      if (sizes.ok()) {
+        std::printf("wrote %s (%.1f MB)\n", path.c_str(),
+                    sizes->total() / 1048576.0);
+      } else {
+        std::printf("error: %s\n", sizes.status().ToString().c_str());
+      }
+      continue;
+    }
+
+    auto parsed = query::Parse(line);
+    if (!parsed.ok()) {
+      std::printf("parse error: %s\n", parsed.status().message().c_str());
+      continue;
+    }
+    query::ExecOptions options;
+    options.max_steps = 50'000'000;
+    options.deadline_ms = 30'000;
+    auto start = std::chrono::steady_clock::now();
+    auto result = query::Execute(shell.db, *parsed, options);
+    double ms = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count() /
+                1000.0;
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    // Header.
+    for (const std::string& column : result->columns) {
+      std::printf("%-28s", column.c_str());
+    }
+    std::printf("\n");
+    size_t shown = 0;
+    for (const auto& row : result->rows) {
+      if (++shown > 25) {
+        std::printf("... (%zu more rows)\n", result->rows.size() - 25);
+        break;
+      }
+      for (const auto& value : row) {
+        std::printf("%-28s", value.ToString(shell.db).c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("%zu row(s) in %.1f ms (%llu engine steps)\n",
+                result->rows.size(), ms,
+                static_cast<unsigned long long>(result->steps));
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Evolving-codebase support (paper Section 6.3): keep several versions of
+// a codebase's graph in one delta-encoded store, query any version
+// point-in-time, diff versions, and compute change impact — the workflow
+// the paper says per-version isolated stores cannot support.
+
+#include <cstdio>
+
+#include "graph/traversal.h"
+#include "temporal/impact.h"
+#include "temporal/version_store.h"
+
+int main() {
+  using namespace frappe;
+  temporal::VersionStore store;
+  model::Schema schema = model::Schema::Install(&store.raw_store());
+  graph::TypeId fn = schema.node_type(model::NodeKind::kFunction);
+  graph::TypeId calls = schema.edge_type(model::EdgeKind::kCalls);
+  graph::KeyId name = schema.key(model::PropKey::kShortName);
+
+  auto add_fn = [&](const char* n) {
+    graph::NodeId id = store.AddNode(fn);
+    store.SetNodeProperty(id, name, store.raw_store().StringValue(n));
+    return id;
+  };
+
+  // v0 — the 3.8.13 state: main -> vfs_read -> ext3_read.
+  graph::NodeId main_fn = add_fn("main");
+  graph::NodeId vfs_read = add_fn("vfs_read");
+  graph::NodeId ext3_read = add_fn("ext3_read");
+  store.AddEdge(main_fn, vfs_read, calls);
+  graph::EdgeId old_call = store.AddEdge(vfs_read, ext3_read, calls);
+  temporal::Version v0 = store.CommitVersion();
+
+  // v1 — a backport lands: ext4 replaces ext3 behind vfs_read.
+  graph::NodeId ext4_read = add_fn("ext4_read");
+  store.AddEdge(vfs_read, ext4_read, calls);
+  store.RemoveEdge(old_call);
+  store.RemoveNode(ext3_read);
+  temporal::Version v1 = store.CommitVersion();
+
+  // v2 — vfs_read's body is touched again.
+  store.SetNodeProperty(vfs_read, store.raw_store().InternKey("body_hash"),
+                        graph::Value::Int(0xbeef));
+  temporal::Version v2 = store.CommitVersion();
+
+  std::printf("committed %zu versions; store holds every one of them\n\n",
+              store.VersionCount());
+
+  // Query each version point-in-time: what does vfs_read call?
+  for (temporal::Version v : {v0, v1, v2}) {
+    auto view = *store.ViewAt(v);
+    std::printf("v%u: vfs_read calls:", v);
+    view->ForEachEdge(vfs_read, graph::Direction::kOut,
+                      [&](graph::EdgeId, graph::NodeId callee) {
+                        std::printf(" %s",
+                                    std::string(view->GetNodeString(
+                                                    callee, name))
+                                        .c_str());
+                        return true;
+                      });
+    std::printf("\n");
+  }
+
+  // Diff across the backport.
+  auto diff = store.ComputeDiff(v0, v1);
+  if (diff.ok()) {
+    std::printf("\ndiff v0 -> v1: +%zu nodes, -%zu nodes, +%zu edges,"
+                " -%zu edges\n", diff->added_nodes.size(),
+                diff->removed_nodes.size(), diff->added_edges.size(),
+                diff->removed_edges.size());
+  }
+
+  // Change impact: who is affected by what changed between v0 and v1?
+  auto impact = temporal::ChangeImpact(store, schema, v0, v1);
+  if (impact.ok()) {
+    std::printf("impact v0 -> v1: %zu changed function(s),"
+                " %zu transitively affected:\n",
+                impact->changed_functions.size(),
+                impact->impacted_functions.size());
+    auto view = *store.ViewAt(v1);
+    for (graph::NodeId id : impact->impacted_functions) {
+      std::printf("  %s\n",
+                  std::string(view->GetNodeString(id, name)).c_str());
+    }
+  }
+
+  std::printf("\ndelta store footprint: %.1f KB for all %zu versions\n",
+              store.DeltaBytes() / 1024.0, store.VersionCount());
+  return 0;
+}

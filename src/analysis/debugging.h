@@ -1,0 +1,35 @@
+#ifndef FRAPPE_ANALYSIS_DEBUGGING_H_
+#define FRAPPE_ANALYSIS_DEBUGGING_H_
+
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "model/code_graph.h"
+
+namespace frappe::analysis {
+
+// The debugging use case (paper Section 4.3 / Figure 5) as a direct API:
+// a field is known to hold a correct value at the start of `known_good_fn`
+// and a bad one on entry to `known_bad_fn`; find the writes that can
+// execute in between. Control-flow order is approximated by comparing
+// USE_START_LINE values, exactly as the paper's query does.
+struct SuspectWrite {
+  graph::NodeId writer;       // function performing the write
+  graph::EdgeId write_edge;   // the writes_member edge
+  int64_t write_line;         // USE_START_LINE of the write
+};
+
+// `bounding_call_line` is the line of the call from known_good_fn to
+// known_bad_fn (Figure 5 hard-codes 236); call sites in known_good_fn at
+// or before that line are considered, and any writer of `field` reachable
+// from them through the call graph is a suspect.
+std::vector<SuspectWrite> FindSuspectWrites(const graph::GraphView& view,
+                                            const model::Schema& schema,
+                                            graph::NodeId known_good_fn,
+                                            graph::NodeId known_bad_fn,
+                                            graph::NodeId field,
+                                            int64_t bounding_call_line);
+
+}  // namespace frappe::analysis
+
+#endif  // FRAPPE_ANALYSIS_DEBUGGING_H_

@@ -1,0 +1,74 @@
+#include "analysis/navigation.h"
+
+namespace frappe::analysis {
+
+using graph::EdgeId;
+using graph::NodeId;
+using model::EdgeKind;
+using model::PropKey;
+
+std::vector<NodeId> GoToDefinition(const graph::GraphView& view,
+                                   const model::Schema& schema,
+                                   const graph::NameIndex& index,
+                                   const std::string& name,
+                                   const CursorPosition& cursor) {
+  graph::KeyId file_key = schema.key(PropKey::kNameFileId);
+  graph::KeyId line_key = schema.key(PropKey::kNameStartLine);
+  graph::KeyId col_key = schema.key(PropKey::kNameStartCol);
+  std::vector<NodeId> out;
+  for (NodeId candidate : index.Lookup("short_name", name)) {
+    bool matches = false;
+    view.ForEachEdge(candidate, graph::Direction::kIn,
+                     [&](EdgeId e, NodeId) {
+                       graph::Value file = view.GetEdgeProperty(e, file_key);
+                       if (file.is_null() ||
+                           file.AsInt() != cursor.file_id) {
+                         return true;
+                       }
+                       if (view.GetEdgeProperty(e, line_key).AsInt() ==
+                               cursor.line &&
+                           view.GetEdgeProperty(e, col_key).AsInt() ==
+                               cursor.col) {
+                         matches = true;
+                         return false;
+                       }
+                       return true;
+                     });
+    if (matches) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<Reference> FindReferences(const graph::GraphView& view,
+                                      const model::Schema& schema,
+                                      NodeId definition) {
+  graph::KeyId use_file = schema.key(PropKey::kUseFileId);
+  graph::KeyId use_sl = schema.key(PropKey::kUseStartLine);
+  graph::KeyId use_sc = schema.key(PropKey::kUseStartCol);
+  graph::KeyId use_el = schema.key(PropKey::kUseEndLine);
+  graph::KeyId use_ec = schema.key(PropKey::kUseEndCol);
+  std::vector<Reference> out;
+  view.ForEachEdge(
+      definition, graph::Direction::kIn, [&](EdgeId e, NodeId from) {
+        EdgeKind kind = schema.edge_kind(view.GetEdge(e).type);
+        if (kind == EdgeKind::kCount ||
+            !model::InGroup(kind, model::EdgeGroup::kReference)) {
+          return true;  // structural edges are not references
+        }
+        Reference ref;
+        ref.edge = e;
+        ref.from = from;
+        ref.kind = kind;
+        graph::Value file = view.GetEdgeProperty(e, use_file);
+        ref.use.file_id = file.is_null() ? -1 : file.AsInt();
+        ref.use.start_line = view.GetEdgeProperty(e, use_sl).AsInt();
+        ref.use.start_col = view.GetEdgeProperty(e, use_sc).AsInt();
+        ref.use.end_line = view.GetEdgeProperty(e, use_el).AsInt();
+        ref.use.end_col = view.GetEdgeProperty(e, use_ec).AsInt();
+        out.push_back(ref);
+        return true;
+      });
+  return out;
+}
+
+}  // namespace frappe::analysis

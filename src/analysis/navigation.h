@@ -1,0 +1,45 @@
+#ifndef FRAPPE_ANALYSIS_NAVIGATION_H_
+#define FRAPPE_ANALYSIS_NAVIGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/indexes.h"
+#include "model/code_graph.h"
+#include "model/schema.h"
+
+namespace frappe::analysis {
+
+// Cross-referencing and code navigation (paper Section 4.2).
+
+// A position in a source file (file node id + 1-based line/column).
+struct CursorPosition {
+  int64_t file_id = -1;
+  int64_t line = 0;
+  int64_t col = 0;
+};
+
+// go-to-definition: the symbol named `name` whose *reference* has a name
+// token starting at the cursor (Figure 4 semantics: results constrained by
+// the location of their references, not their definitions).
+std::vector<graph::NodeId> GoToDefinition(const graph::GraphView& view,
+                                          const model::Schema& schema,
+                                          const graph::NameIndex& index,
+                                          const std::string& name,
+                                          const CursorPosition& cursor);
+
+// find-references: all incoming reference edges of a definition, with the
+// location each reference occurs at.
+struct Reference {
+  graph::EdgeId edge;
+  graph::NodeId from;
+  model::EdgeKind kind;
+  model::SourceRange use;
+};
+std::vector<Reference> FindReferences(const graph::GraphView& view,
+                                      const model::Schema& schema,
+                                      graph::NodeId definition);
+
+}  // namespace frappe::analysis
+
+#endif  // FRAPPE_ANALYSIS_NAVIGATION_H_

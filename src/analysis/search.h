@@ -1,0 +1,55 @@
+#ifndef FRAPPE_ANALYSIS_SEARCH_H_
+#define FRAPPE_ANALYSIS_SEARCH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/indexes.h"
+#include "model/schema.h"
+
+namespace frappe::analysis {
+
+// Code search (paper Section 4.1): find symbols by name, entity type, and
+// location (directory or module scope). The direct-API counterpart of the
+// Figure 3 FQL query.
+struct SearchQuery {
+  // Name pattern against SHORT_NAME; '*'/'?' wildcards allowed; a trailing
+  // '~' requests fuzzy matching (edit distance <= 2).
+  std::string name;
+  // Restrict to one node kind (kCount = any) or to a label group.
+  model::NodeKind kind = model::NodeKind::kCount;
+  std::optional<model::NodeGroup> group;
+  // Scope: only results reachable from this module via
+  // compiled_from/linked_from then file_contains, or under this directory.
+  graph::NodeId module = graph::kInvalidNode;
+  graph::NodeId directory = graph::kInvalidNode;
+  size_t limit = 1000;
+};
+
+struct SearchResult {
+  graph::NodeId node;
+  std::string short_name;
+  model::NodeKind kind;
+};
+
+std::vector<SearchResult> CodeSearch(const graph::GraphView& view,
+                                     const model::Schema& schema,
+                                     const graph::NameIndex& index,
+                                     const SearchQuery& query);
+
+// The set of files belonging to a module: transitive closure over
+// compiled_from/linked_from/linked_from_lib, keeping file nodes.
+std::vector<graph::NodeId> ModuleFiles(const graph::GraphView& view,
+                                       const model::Schema& schema,
+                                       graph::NodeId module);
+
+// All files under a directory (transitively).
+std::vector<graph::NodeId> DirectoryFiles(const graph::GraphView& view,
+                                          const model::Schema& schema,
+                                          graph::NodeId directory);
+
+}  // namespace frappe::analysis
+
+#endif  // FRAPPE_ANALYSIS_SEARCH_H_

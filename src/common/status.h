@@ -1,0 +1,160 @@
+#ifndef FRAPPE_COMMON_STATUS_H_
+#define FRAPPE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace frappe {
+
+// Error categories used across the library. Mirrors the usual embedded-DB
+// status vocabulary (OK / NotFound / InvalidArgument / ...).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,  // step budget or deadline exceeded
+  kDeadlineExceeded,
+  kCorruption,  // malformed snapshot / serialized data
+  kUnimplemented,
+  kInternal,
+  kParseError,  // FQL or C-source syntax error
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// Value-type status carrying a code and a message. Cheap to copy when OK
+// (no allocation); follows the Arrow/RocksDB convention of returning Status
+// from every fallible operation instead of throwing.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Result<T>: either a value or an error Status. Lightweight analogue of
+// absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*value_); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status from an expression, RocksDB/Arrow style.
+#define FRAPPE_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::frappe::Status _frappe_status = (expr);   \
+    if (!_frappe_status.ok()) return _frappe_status; \
+  } while (false)
+
+// Evaluates a Result<T> expression; on error returns its Status, otherwise
+// assigns the value to `lhs` (which must be a declaration or lvalue).
+#define FRAPPE_ASSIGN_OR_RETURN(lhs, expr)              \
+  FRAPPE_ASSIGN_OR_RETURN_IMPL(                         \
+      FRAPPE_CONCAT_(_frappe_result_, __LINE__), lhs, expr)
+
+#define FRAPPE_CONCAT_INNER_(a, b) a##b
+#define FRAPPE_CONCAT_(a, b) FRAPPE_CONCAT_INNER_(a, b)
+
+#define FRAPPE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace frappe
+
+#endif  // FRAPPE_COMMON_STATUS_H_

@@ -1,0 +1,218 @@
+#ifndef FRAPPE_EXTRACTOR_C_AST_H_
+#define FRAPPE_EXTRACTOR_C_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "extractor/c_token.h"
+
+namespace frappe::extractor {
+
+// AST for the C subset the extractor understands. The goal is dependency
+// extraction, not compilation: the trees carry names, types and source
+// ranges — constant values and full expression typing are out of scope
+// except where a use case needs them (enumerator values, member bases).
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+struct TypeName {
+  enum class Base {
+    kVoid,
+    kPrimitive,  // int, unsigned long, double, ...
+    kStruct,
+    kUnion,
+    kEnum,
+    kTypedefName,
+    kUnknown,
+  };
+  Base base = Base::kUnknown;
+  std::string name;          // normalized primitive spelling or tag/typedef
+  int pointer_depth = 0;
+  bool is_const = false;
+  bool is_volatile = false;
+  bool is_restrict = false;
+  std::vector<int64_t> array_dims;  // -1 for unsized []
+  bool function_pointer = false;    // simplified: (*name)(...) declarator
+
+  bool IsPointer() const { return pointer_depth > 0 || function_pointer; }
+
+  // Coded qualifier string per paper Table 2: ']' per array dimension,
+  // '*' per pointer level, then c/v/r flags, in spoken order.
+  std::string QualifierCode() const {
+    std::string code;
+    for (size_t i = 0; i < array_dims.size(); ++i) code += ']';
+    for (int i = 0; i < pointer_depth; ++i) code += '*';
+    if (is_const) code += 'c';
+    if (is_volatile) code += 'v';
+    if (is_restrict) code += 'r';
+    return code;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kIdent,        // name
+  kNumber,       // literal (text kept)
+  kString,
+  kCharLit,
+  kCall,         // callee(args...)  — callee usually kIdent
+  kMember,       // base.field / base->field (arrow flag)
+  kIndex,        // base[index]
+  kUnary,        // op operand (incl. * & ! ~ - + ++ -- prefix)
+  kPostfix,      // operand++ / operand--
+  kBinary,       // left op right (incl. assignments and comma)
+  kTernary,      // cond ? then : else
+  kCast,         // (type)operand
+  kSizeof,       // sizeof(type) or sizeof expr
+  kAlignof,      // _Alignof(type)
+  kInitList,     // { ... } initializer
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;       // start of the expression
+  SourceLoc end_loc;   // location of its last token
+  int end_len = 0;
+  bool in_macro = false;
+
+  std::string text;    // identifier name / literal text / operator / field
+  bool arrow = false;  // kMember: -> vs .
+  TypeName type;       // kCast/kSizeof/kAlignof target type (if a type)
+  ExprPtr lhs;         // base / left / operand / callee / cond
+  ExprPtr rhs;         // right / index / else-branch
+  ExprPtr third;       // ternary else
+  std::vector<ExprPtr> args;  // call args / init list items
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct VarDeclarator {
+  std::string name;
+  TypeName type;
+  SourceLoc loc;       // of the name token
+  int name_len = 0;
+  ExprPtr init;
+  int64_t bit_width = -1;  // fields only
+  bool in_macro = false;
+};
+
+enum class StmtKind {
+  kCompound,
+  kExpr,
+  kDecl,     // local variable declaration(s)
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+  kSwitch,
+  kCase,     // case expr: / default:
+  kGoto,
+  kLabel,
+  kEmpty,
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kEmpty;
+  SourceLoc loc;
+  ExprPtr expr;                 // condition / return value / expression
+  ExprPtr expr2;                // for-increment
+  std::vector<VarDeclarator> decls;  // kDecl / for-init declarations
+  bool decls_static = false;
+  std::vector<StmtPtr> children;     // body / branches (then, else)
+  std::string label;
+};
+
+// ---------------------------------------------------------------------------
+// Top-level declarations
+// ---------------------------------------------------------------------------
+
+struct FieldDecl {
+  VarDeclarator decl;
+};
+
+struct RecordDecl {
+  bool is_union = false;
+  std::string tag;   // empty for anonymous
+  bool is_definition = false;
+  std::vector<VarDeclarator> fields;
+  SourceLoc loc;
+  bool in_macro = false;
+};
+
+struct EnumeratorDecl {
+  std::string name;
+  bool has_value = false;
+  int64_t value = 0;
+  SourceLoc loc;
+  int name_len = 0;
+};
+
+struct EnumDecl {
+  std::string tag;
+  bool is_definition = false;
+  std::vector<EnumeratorDecl> enumerators;
+  SourceLoc loc;
+};
+
+struct TypedefDecl {
+  std::string name;
+  TypeName underlying;
+  SourceLoc loc;
+};
+
+struct ParamDecl {
+  std::string name;  // may be empty in prototypes
+  TypeName type;
+  SourceLoc loc;
+};
+
+struct FunctionDecl {
+  std::string name;
+  TypeName return_type;
+  std::vector<ParamDecl> params;
+  bool variadic = false;
+  bool is_definition = false;
+  bool is_static = false;
+  StmtPtr body;
+  SourceLoc loc;       // of the name token
+  int name_len = 0;
+  bool in_macro = false;
+};
+
+struct GlobalDecl {
+  VarDeclarator decl;
+  bool is_static = false;
+  bool is_extern = false;
+};
+
+// A parsed translation unit: ordered top-level declarations plus the
+// record/enum/typedef definitions encountered anywhere in it.
+struct TranslationUnit {
+  std::vector<FunctionDecl> functions;
+  std::vector<GlobalDecl> globals;
+  std::vector<RecordDecl> records;
+  std::vector<EnumDecl> enums;
+  std::vector<TypedefDecl> typedefs;
+};
+
+}  // namespace frappe::extractor
+
+#endif  // FRAPPE_EXTRACTOR_C_AST_H_

@@ -1,0 +1,208 @@
+#include <cctype>
+#include <cstring>
+
+#include "extractor/c_token.h"
+
+namespace frappe::extractor {
+
+namespace {
+
+// Multi-character punctuators, longest first so maximal munch works.
+constexpr const char* kPunctuators[] = {
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+    "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+    "##",  "[",   "]",   "(",  ")",  "{",  "}",  ".",  "&",  "*",  "+",
+    "-",   "~",   "!",   "/",  "%",  "<",  ">",  "^",  "|",  "?",  ":",
+    ";",   "=",   ",",   "#",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view content, int file_index)
+      : content_(content), file_(file_index) {}
+
+  Result<std::vector<TokenLine>> Run() {
+    std::vector<TokenLine> lines;
+    TokenLine current;
+    bool line_started = false;
+    bool directive_possible = true;  // only whitespace so far on this line
+
+    while (pos_ < content_.size()) {
+      char c = content_[pos_];
+      // Line continuation: splice.
+      if (c == '\\' && pos_ + 1 < content_.size() &&
+          (content_[pos_ + 1] == '\n' ||
+           (content_[pos_ + 1] == '\r' && pos_ + 2 < content_.size() &&
+            content_[pos_ + 2] == '\n'))) {
+        pos_ += content_[pos_ + 1] == '\n' ? 2 : 3;
+        ++line_;
+        col_ = 1;
+        continue;
+      }
+      if (c == '\n') {
+        ++pos_;
+        ++line_;
+        col_ = 1;
+        if (line_started) {
+          lines.push_back(std::move(current));
+          current = TokenLine();
+          line_started = false;
+        }
+        directive_possible = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        ++col_;
+        continue;
+      }
+      // Comments.
+      if (c == '/' && pos_ + 1 < content_.size()) {
+        if (content_[pos_ + 1] == '/') {
+          while (pos_ < content_.size() && content_[pos_] != '\n') {
+            ++pos_;
+            ++col_;
+          }
+          continue;
+        }
+        if (content_[pos_ + 1] == '*') {
+          pos_ += 2;
+          col_ += 2;
+          while (pos_ + 1 < content_.size() &&
+                 !(content_[pos_] == '*' && content_[pos_ + 1] == '/')) {
+            if (content_[pos_] == '\n') {
+              ++line_;
+              col_ = 1;
+            } else {
+              ++col_;
+            }
+            ++pos_;
+          }
+          if (pos_ + 1 >= content_.size()) {
+            return Status::ParseError("unterminated block comment");
+          }
+          pos_ += 2;
+          col_ += 2;
+          continue;
+        }
+      }
+      // Directive marker.
+      if (c == '#' && directive_possible) {
+        current.is_directive = true;
+        line_started = true;
+        directive_possible = false;
+        ++pos_;
+        ++col_;
+        continue;
+      }
+      directive_possible = false;
+      line_started = true;
+
+      CToken token;
+      token.loc = SourceLoc{file_, line_, col_};
+      if (IsIdentStart(c)) {
+        size_t start = pos_;
+        while (pos_ < content_.size() && IsIdentChar(content_[pos_])) {
+          ++pos_;
+          ++col_;
+        }
+        token.kind = CToken::Kind::kIdent;
+        token.text = std::string(content_.substr(start, pos_ - start));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && pos_ + 1 < content_.size() &&
+                  std::isdigit(
+                      static_cast<unsigned char>(content_[pos_ + 1])))) {
+        size_t start = pos_;
+        // pp-number: digits, letters, dots, and exponent signs.
+        while (pos_ < content_.size()) {
+          char n = content_[pos_];
+          if (IsIdentChar(n) || n == '.') {
+            ++pos_;
+            ++col_;
+          } else if ((n == '+' || n == '-') && pos_ > start &&
+                     (content_[pos_ - 1] == 'e' || content_[pos_ - 1] == 'E' ||
+                      content_[pos_ - 1] == 'p' ||
+                      content_[pos_ - 1] == 'P')) {
+            ++pos_;
+            ++col_;
+          } else {
+            break;
+          }
+        }
+        token.kind = CToken::Kind::kNumber;
+        token.text = std::string(content_.substr(start, pos_ - start));
+      } else if (c == '"' || c == '\'') {
+        char quote = c;
+        size_t start = pos_;
+        ++pos_;
+        ++col_;
+        while (pos_ < content_.size() && content_[pos_] != quote) {
+          if (content_[pos_] == '\\' && pos_ + 1 < content_.size()) {
+            ++pos_;
+            ++col_;
+          }
+          if (content_[pos_] == '\n') {
+            return Status::ParseError("newline in literal at line " +
+                                      std::to_string(line_));
+          }
+          ++pos_;
+          ++col_;
+        }
+        if (pos_ >= content_.size()) {
+          return Status::ParseError("unterminated literal at line " +
+                                    std::to_string(line_));
+        }
+        ++pos_;
+        ++col_;
+        token.kind = quote == '"' ? CToken::Kind::kString
+                                  : CToken::Kind::kCharLit;
+        token.text = std::string(content_.substr(start, pos_ - start));
+      } else {
+        bool matched = false;
+        for (const char* p : kPunctuators) {
+          size_t len = std::strlen(p);
+          if (content_.substr(pos_, len) == p) {
+            token.kind = CToken::Kind::kPunct;
+            token.text = p;
+            pos_ += len;
+            col_ += static_cast<int>(len);
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          return Status::ParseError(std::string("stray character '") + c +
+                                    "' at line " + std::to_string(line_));
+        }
+      }
+      token.length = static_cast<int>(token.text.size());
+      current.tokens.push_back(std::move(token));
+    }
+    if (line_started) lines.push_back(std::move(current));
+    return lines;
+  }
+
+ private:
+  std::string_view content_;
+  int file_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<TokenLine>> LexCFile(std::string_view content,
+                                        int file_index) {
+  Lexer lexer(content, file_index);
+  return lexer.Run();
+}
+
+}  // namespace frappe::extractor

@@ -1,0 +1,23 @@
+#ifndef FRAPPE_EXTRACTOR_C_PARSER_H_
+#define FRAPPE_EXTRACTOR_C_PARSER_H_
+
+#include "common/status.h"
+#include "extractor/c_ast.h"
+#include "extractor/preprocessor.h"
+
+namespace frappe::extractor {
+
+// Parses a preprocessed token stream into a TranslationUnit.
+//
+// Supported C subset (documented in DESIGN.md): functions (definitions,
+// prototypes, static, variadic), globals (with static/extern), struct/
+// union/enum definitions (incl. bitfields and nested records), typedefs,
+// pointer/array/function-pointer declarators, the full statement set of
+// C89 plus the expression grammar including casts, sizeof/_Alignof,
+// member access, and assignment operators. GNU attribute syntax is
+// skipped; K&R-style definitions are not supported.
+Result<TranslationUnit> ParseUnit(const PreprocessedUnit& unit);
+
+}  // namespace frappe::extractor
+
+#endif  // FRAPPE_EXTRACTOR_C_PARSER_H_

@@ -1,0 +1,72 @@
+#ifndef FRAPPE_EXTRACTOR_C_TOKEN_H_
+#define FRAPPE_EXTRACTOR_C_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace frappe::extractor {
+
+// Location of a token in the (virtual) source tree. `file` indexes the
+// preprocessing unit's file table; line/col are 1-based.
+struct SourceLoc {
+  int file = -1;
+  int line = 0;
+  int col = 0;
+
+  bool valid() const { return file >= 0; }
+  bool operator==(const SourceLoc&) const = default;
+};
+
+struct CToken {
+  enum class Kind {
+    kIdent,
+    kNumber,
+    kString,
+    kCharLit,
+    kPunct,
+    kEof,
+  };
+
+  Kind kind = Kind::kEof;
+  std::string text;
+  SourceLoc loc;
+  int length = 0;  // spelled length, for end-column computation
+
+  // Macro provenance: set when the token came out of a macro expansion.
+  // `macro` names the outermost macro; `loc` then points at the expansion
+  // site, which is what the paper's IN_MACRO/USE_* properties record.
+  bool in_macro = false;
+  std::string macro;
+
+  bool Is(std::string_view s) const { return text == s; }
+  bool IsIdent(std::string_view s) const {
+    return kind == Kind::kIdent && text == s;
+  }
+  bool IsPunct(std::string_view s) const {
+    return kind == Kind::kPunct && text == s;
+  }
+  bool IsEof() const { return kind == Kind::kEof; }
+
+  int end_col() const { return col_end(); }
+  int col_end() const { return loc.col + (length > 0 ? length - 1 : 0); }
+};
+
+// One physical line of tokens (the preprocessor is line-oriented so
+// directives can be recognized).
+struct TokenLine {
+  bool is_directive = false;
+  std::vector<CToken> tokens;
+};
+
+// Tokenizes one file into lines. Handles line continuations (backslash
+// newline), // and /* */ comments, string/char literals with escapes,
+// numbers (including hex/suffixes, lexed as opaque text) and multi-char
+// punctuators longest-first.
+Result<std::vector<TokenLine>> LexCFile(std::string_view content,
+                                        int file_index);
+
+}  // namespace frappe::extractor
+
+#endif  // FRAPPE_EXTRACTOR_C_TOKEN_H_

@@ -1,0 +1,857 @@
+#include "extractor/extract.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "extractor/vfs.h"
+
+namespace frappe::extractor {
+
+using graph::EdgeId;
+using graph::NodeId;
+using model::EdgeKind;
+using model::NodeKind;
+using model::PropKey;
+
+// ---------------------------------------------------------------------------
+// Files and directories
+// ---------------------------------------------------------------------------
+
+NodeId Extractor::DirectoryNode(const std::string& path) {
+  auto it = dirs_.find(path);
+  if (it != dirs_.end()) return it->second;
+  NodeId node = graph_.AddNode(NodeKind::kDirectory, BaseName(path));
+  graph_.SetLongName(node, path);
+  dirs_.emplace(path, node);
+  std::string parent = DirName(path);
+  if (!parent.empty()) {
+    NodeId parent_node = DirectoryNode(parent);
+    EmitOnce(EdgeKind::kDirContains, parent_node, node);
+  }
+  return node;
+}
+
+NodeId Extractor::FileNode(const std::string& path) {
+  std::string normalized = NormalizePath(path);
+  auto it = files_.find(normalized);
+  if (it != files_.end()) return it->second;
+  NodeId node = graph_.AddNode(NodeKind::kFile, BaseName(normalized));
+  graph_.SetLongName(node, normalized);
+  files_.emplace(normalized, node);
+  std::string dir = DirName(normalized);
+  if (!dir.empty()) {
+    EmitOnce(EdgeKind::kDirContains, DirectoryNode(dir), node);
+  }
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Node acquisition
+// ---------------------------------------------------------------------------
+
+NodeId Extractor::EntityNode(NodeKind kind, const std::string& name,
+                             NodeId file, int line, bool* created) {
+  EntityKey key{file, name, kind, line};
+  auto it = entities_.find(key);
+  if (it != entities_.end()) {
+    if (created != nullptr) *created = false;
+    return it->second;
+  }
+  NodeId node = graph_.AddNode(kind, name);
+  entities_.emplace(key, node);
+  if (file != graph::kInvalidNode) {
+    EmitOnce(EdgeKind::kFileContains, file, node);
+  }
+  if (created != nullptr) *created = true;
+  return node;
+}
+
+NodeId Extractor::TypeNode(UnitContext* ctx, const TypeName& type) {
+  switch (type.base) {
+    case TypeName::Base::kVoid:
+      return graph_.Primitive("void");
+    case TypeName::Base::kPrimitive:
+      return graph_.Primitive(type.name.empty() ? "int" : type.name);
+    case TypeName::Base::kStruct:
+    case TypeName::Base::kUnion: {
+      auto it = ctx->records.find(type.name);
+      if (it != ctx->records.end()) return it->second;
+      // Forward reference: a *_decl node stands in for the unseen record.
+      NodeKind kind = type.base == TypeName::Base::kStruct
+                          ? NodeKind::kStructDecl
+                          : NodeKind::kUnionDecl;
+      NodeId node = EntityNode(kind, type.name, graph::kInvalidNode, 0,
+                               nullptr);
+      ctx->records.emplace(type.name, node);
+      return node;
+    }
+    case TypeName::Base::kEnum: {
+      auto it = ctx->enums.find(type.name);
+      if (it != ctx->enums.end()) return it->second;
+      NodeId node = EntityNode(NodeKind::kEnumDef, type.name,
+                               graph::kInvalidNode, 0, nullptr);
+      ctx->enums.emplace(type.name, node);
+      return node;
+    }
+    case TypeName::Base::kTypedefName: {
+      auto it = ctx->typedef_nodes.find(type.name);
+      if (it != ctx->typedef_nodes.end()) return it->second;
+      // Typedef from a header outside the VFS (e.g. size_t).
+      NodeId node = EntityNode(NodeKind::kTypedef, type.name,
+                               graph::kInvalidNode, 0, nullptr);
+      ctx->typedef_nodes.emplace(type.name, node);
+      return node;
+    }
+    case TypeName::Base::kUnknown:
+      return graph_.Primitive("int");
+  }
+  return graph_.Primitive("int");
+}
+
+NodeId Extractor::MacroNode(UnitContext* ctx, const std::string& name,
+                            SourceLoc def_loc) {
+  NodeId file = def_loc.file >= 0 &&
+                        static_cast<size_t>(def_loc.file) <
+                            ctx->file_nodes.size()
+                    ? ctx->file_nodes[def_loc.file]
+                    : graph::kInvalidNode;
+  NodeId node = EntityNode(NodeKind::kMacro, name, file, def_loc.line,
+                           nullptr);
+  ctx->macro_nodes[name] = node;
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Edge helpers
+// ---------------------------------------------------------------------------
+
+EdgeId Extractor::Emit(EdgeKind kind, NodeId src, NodeId dst) {
+  return graph_.AddEdgeUnchecked(kind, src, dst);
+}
+
+EdgeId Extractor::EmitOnce(EdgeKind kind, NodeId src, NodeId dst) {
+  auto key = std::make_tuple(static_cast<uint16_t>(kind), src, dst);
+  if (!unique_edges_.insert(key).second) return graph::kInvalidEdge;
+  return Emit(kind, src, dst);
+}
+
+model::SourceRange Extractor::TokenRange(const UnitContext& ctx,
+                                         SourceLoc loc, int length) const {
+  model::SourceRange range;
+  if (loc.file >= 0 &&
+      static_cast<size_t>(loc.file) < ctx.file_nodes.size()) {
+    range.file_id = static_cast<int64_t>(ctx.file_nodes[loc.file]);
+  }
+  range.start_line = loc.line;
+  range.start_col = loc.col;
+  range.end_line = loc.line;
+  range.end_col = loc.col + (length > 0 ? length - 1 : 0);
+  return range;
+}
+
+model::SourceRange Extractor::RangeOf(const UnitContext& ctx,
+                                      const Expr& expr) const {
+  model::SourceRange range = TokenRange(ctx, expr.loc, 1);
+  if (expr.end_loc.valid()) {
+    range.end_line = expr.end_loc.line;
+    range.end_col = expr.end_loc.col + std::max(expr.end_len - 1, 0);
+  }
+  return range;
+}
+
+void Extractor::EmitIsaType(UnitContext* ctx, NodeId var,
+                            const TypeName& type) {
+  NodeId type_node = TypeNode(ctx, type);
+  EdgeId edge = EmitOnce(EdgeKind::kIsaType, var, type_node);
+  if (edge == graph::kInvalidEdge) return;
+  std::string quals = type.QualifierCode();
+  if (!quals.empty()) graph_.SetQualifiers(edge, quals);
+  if (!type.array_dims.empty()) {
+    std::string dims;
+    for (int64_t d : type.array_dims) {
+      if (!dims.empty()) dims += ",";
+      dims += d >= 0 ? std::to_string(d) : "?";
+    }
+    graph_.SetArrayLengths(edge, dims);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unit extraction
+// ---------------------------------------------------------------------------
+
+Status Extractor::ExtractUnit(const PreprocessedUnit& pp,
+                              const TranslationUnit& ast,
+                              UnitSymbols* symbols) {
+  UnitContext ctx;
+  ctx.pp = &pp;
+  ctx.symbols = symbols;
+  for (const std::string& path : pp.files) {
+    ctx.file_nodes.push_back(FileNode(path));
+  }
+  if (!ctx.file_nodes.empty()) symbols->main_file = ctx.file_nodes[0];
+
+  for (const IncludeEvent& inc : pp.includes) {
+    EmitOnce(EdgeKind::kIncludes, ctx.file_nodes[inc.from_file],
+             ctx.file_nodes[inc.to_file]);
+  }
+
+  FRAPPE_RETURN_IF_ERROR(ExtractTypes(&ctx, ast));
+  FRAPPE_RETURN_IF_ERROR(ExtractGlobals(&ctx, ast));
+  FRAPPE_RETURN_IF_ERROR(ExtractFunctions(&ctx, ast));
+  FRAPPE_RETURN_IF_ERROR(ExtractMacros(&ctx, ast));
+  return Status::OK();
+}
+
+Status Extractor::ExtractTypes(UnitContext* ctx, const TranslationUnit& ast) {
+  // Records first (typedefs may reference them).
+  for (const RecordDecl& record : ast.records) {
+    NodeId file = record.loc.file >= 0
+                      ? ctx->file_nodes[record.loc.file]
+                      : graph::kInvalidNode;
+    NodeKind kind =
+        record.is_union ? NodeKind::kUnion : NodeKind::kStruct;
+    bool created = false;
+    NodeId node = EntityNode(kind, record.tag, file, record.loc.line,
+                             &created);
+    if (created) {
+      graph_.SetName(node, record.tag);
+      graph_.SetLongName(node,
+                         (record.is_union ? "union " : "struct ") +
+                             record.tag);
+      if (record.in_macro) graph_.MarkInMacro(node);
+    }
+    ctx->records[record.tag] = node;
+    for (const VarDeclarator& field : record.fields) {
+      NodeId field_file = field.loc.file >= 0
+                              ? ctx->file_nodes[field.loc.file]
+                              : file;
+      bool field_created = false;
+      NodeId field_node = EntityNode(NodeKind::kField, field.name,
+                                     field_file, field.loc.line,
+                                     &field_created);
+      if (field_created) {
+        graph_.SetName(field_node, record.tag + "::" + field.name);
+        EdgeId contains = EmitOnce(EdgeKind::kContains, node, field_node);
+        if (contains != graph::kInvalidEdge && field.bit_width >= 0) {
+          graph_.SetBitWidth(contains, field.bit_width);
+        }
+        EmitIsaType(ctx, field_node, field.type);
+      }
+      ctx->fields[record.tag][field.name] =
+          VarInfo{field_node, field.type};
+      auto [it, inserted] = ctx->unique_fields.emplace(
+          field.name, VarInfo{field_node, field.type});
+      if (!inserted && it->second.node != field_node) {
+        ctx->ambiguous_fields.insert(field.name);
+      }
+    }
+  }
+  for (const EnumDecl& decl : ast.enums) {
+    NodeId file = decl.loc.file >= 0 ? ctx->file_nodes[decl.loc.file]
+                                     : graph::kInvalidNode;
+    bool created = false;
+    NodeId node = EntityNode(NodeKind::kEnumDef, decl.tag, file,
+                             decl.loc.line, &created);
+    ctx->enums[decl.tag] = node;
+    for (const EnumeratorDecl& enumerator : decl.enumerators) {
+      NodeId e_file = enumerator.loc.file >= 0
+                          ? ctx->file_nodes[enumerator.loc.file]
+                          : file;
+      bool e_created = false;
+      NodeId e_node = EntityNode(NodeKind::kEnumerator, enumerator.name,
+                                 e_file, enumerator.loc.line, &e_created);
+      if (e_created) {
+        graph_.SetEnumValue(e_node, enumerator.value);
+        graph_.SetName(e_node, decl.tag + "::" + enumerator.name);
+        EmitOnce(EdgeKind::kContains, node, e_node);
+      }
+      ctx->enumerators[enumerator.name] = e_node;
+    }
+  }
+  for (const TypedefDecl& td : ast.typedefs) {
+    NodeId file = td.loc.file >= 0 ? ctx->file_nodes[td.loc.file]
+                                   : graph::kInvalidNode;
+    bool created = false;
+    NodeId node = EntityNode(NodeKind::kTypedef, td.name, file, td.loc.line,
+                             &created);
+    ctx->typedef_nodes[td.name] = node;
+    ctx->typedef_types[td.name] = td.underlying;
+    if (created) EmitIsaType(ctx, node, td.underlying);
+  }
+  return Status::OK();
+}
+
+Status Extractor::ExtractGlobals(UnitContext* ctx,
+                                 const TranslationUnit& ast) {
+  for (const GlobalDecl& global : ast.globals) {
+    const VarDeclarator& decl = global.decl;
+    NodeId file = decl.loc.file >= 0 ? ctx->file_nodes[decl.loc.file]
+                                     : graph::kInvalidNode;
+    bool is_decl_only = global.is_extern && decl.init == nullptr;
+    NodeKind kind = is_decl_only ? NodeKind::kGlobalDecl : NodeKind::kGlobal;
+    bool created = false;
+    NodeId node = EntityNode(kind, decl.name, file, decl.loc.line, &created);
+    if (created) {
+      graph_.SetName(node, decl.name);
+      if (decl.in_macro) graph_.MarkInMacro(node);
+      EmitIsaType(ctx, node, decl.type);
+    }
+    ctx->globals[decl.name] = VarInfo{node, decl.type};
+    if (ctx->symbols != nullptr) {
+      if (is_decl_only) {
+        ctx->symbols->undefined_globals[decl.name] = node;
+      } else if (!global.is_static) {
+        ctx->symbols->defined_globals[decl.name] = node;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Extractor::ExtractFunctions(UnitContext* ctx,
+                                   const TranslationUnit& ast) {
+  // Pass A: register every function so forward and mutual calls resolve.
+  for (const FunctionDecl& fn : ast.functions) {
+    NodeId file = fn.loc.file >= 0 ? ctx->file_nodes[fn.loc.file]
+                                   : graph::kInvalidNode;
+    NodeKind kind =
+        fn.is_definition ? NodeKind::kFunction : NodeKind::kFunctionDecl;
+    bool created = false;
+    NodeId node = EntityNode(kind, fn.name, file, fn.loc.line, &created);
+    if (created) {
+      graph_.SetName(node, fn.name);
+      std::string signature = fn.name + "(";
+      for (size_t i = 0; i < fn.params.size(); ++i) {
+        if (i > 0) signature += ", ";
+        signature += fn.params[i].type.name;
+        signature += std::string(fn.params[i].type.pointer_depth, '*');
+      }
+      if (fn.variadic) signature += ", ...";
+      signature += ")";
+      graph_.SetLongName(node, signature);
+      if (fn.variadic) graph_.MarkVariadic(node);
+      if (fn.in_macro) graph_.MarkInMacro(node);
+      EmitOnce(EdgeKind::kHasRetType, node, TypeNode(ctx, fn.return_type));
+      if (fn.is_definition) {
+        for (size_t i = 0; i < fn.params.size(); ++i) {
+          const ParamDecl& param = fn.params[i];
+          if (param.name.empty()) continue;
+          NodeId param_node = graph_.AddNode(NodeKind::kParameter,
+                                             param.name);
+          graph_.SetName(param_node, fn.name + "::" + param.name);
+          EdgeId has_param = Emit(EdgeKind::kHasParam, node, param_node);
+          graph_.SetParamIndex(has_param, static_cast<int64_t>(i));
+          EmitIsaType(ctx, param_node, param.type);
+        }
+      } else {
+        for (size_t i = 0; i < fn.params.size(); ++i) {
+          EdgeId e = Emit(EdgeKind::kHasParamType, node,
+                          TypeNode(ctx, fn.params[i].type));
+          graph_.SetParamIndex(e, static_cast<int64_t>(i));
+        }
+      }
+    }
+    if (fn.is_definition) {
+      ctx->functions[fn.name] = node;
+      if (!fn.is_static && ctx->symbols != nullptr) {
+        ctx->symbols->defined_functions[fn.name] = node;
+      }
+    } else {
+      ctx->function_decls[fn.name] = node;
+    }
+  }
+  // declares: decl -> def when both are visible in the unit.
+  for (const auto& [name, decl_node] : ctx->function_decls) {
+    auto def = ctx->functions.find(name);
+    if (def != ctx->functions.end()) {
+      EmitOnce(EdgeKind::kDeclares, decl_node, def->second);
+    }
+  }
+
+  // Pass B: walk bodies.
+  for (const FunctionDecl& fn : ast.functions) {
+    if (!fn.is_definition || fn.body == nullptr) continue;
+    NodeId file = fn.loc.file >= 0 ? ctx->file_nodes[fn.loc.file]
+                                   : graph::kInvalidNode;
+    NodeId node = ctx->functions[fn.name];
+    FunctionContext fctx;
+    fctx.node = node;
+    fctx.max_line = fn.loc.line;
+    fctx.scopes.emplace_back();
+    // Parameters: find their nodes back via has_param edges.
+    {
+      size_t param_idx = 0;
+      graph_.store().ForEachEdge(
+          node, graph::Direction::kOut,
+          [&](EdgeId e, NodeId target) {
+            if (graph_.EdgeKindOf(e) == EdgeKind::kHasParam &&
+                param_idx < fn.params.size()) {
+              const ParamDecl& param = fn.params[param_idx];
+              // has_param edges were emitted in order.
+              fctx.scopes.back().vars[std::string(
+                  graph_.ShortName(target))] = VarInfo{target, param.type};
+              ++param_idx;
+            }
+            return true;
+          });
+    }
+    FRAPPE_RETURN_IF_ERROR(WalkStmt(ctx, &fctx, *fn.body));
+    ctx->fn_spans.push_back(UnitContext::FnSpan{
+        fn.loc.file, fn.loc.line, fctx.max_line, node});
+    (void)file;
+  }
+  return Status::OK();
+}
+
+Status Extractor::ExtractMacros(UnitContext* ctx,
+                                const TranslationUnit& ast) {
+  (void)ast;
+  const PreprocessedUnit& pp = *ctx->pp;
+  for (const MacroDef& def : pp.macros) {
+    bool existed = ctx->macro_nodes.count(def.name) != 0;
+    NodeId node = MacroNode(ctx, def.name, def.loc);
+    if (!existed) graph_.SetName(node, def.name);
+  }
+  auto covering_entity = [&](SourceLoc use) -> NodeId {
+    for (const UnitContext::FnSpan& span : ctx->fn_spans) {
+      if (span.file == use.file && use.line >= span.start_line &&
+          use.line <= span.end_line) {
+        return span.node;
+      }
+    }
+    if (use.file >= 0 &&
+        static_cast<size_t>(use.file) < ctx->file_nodes.size()) {
+      return ctx->file_nodes[use.file];
+    }
+    return graph::kInvalidNode;
+  };
+  for (const MacroEvent& event : pp.events) {
+    auto it = ctx->macro_nodes.find(event.name);
+    NodeId macro;
+    if (it != ctx->macro_nodes.end()) {
+      macro = it->second;
+    } else {
+      // Interrogation of an undefined macro (#ifdef CONFIG_X): still a
+      // dependency — model the macro without a defining file.
+      macro = EntityNode(NodeKind::kMacro, event.name, graph::kInvalidNode,
+                         0, nullptr);
+      ctx->macro_nodes[event.name] = macro;
+    }
+    NodeId src = covering_entity(event.use);
+    if (src == graph::kInvalidNode) continue;
+    EdgeKind kind = event.kind == MacroEvent::Kind::kExpansion
+                        ? EdgeKind::kExpandsMacro
+                        : EdgeKind::kInterrogatesMacro;
+    EdgeId edge = Emit(kind, src, macro);
+    graph_.SetUseRange(edge,
+                       TokenRange(*ctx, event.use,
+                                  static_cast<int>(event.name.size())));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Body walking
+// ---------------------------------------------------------------------------
+
+Status Extractor::DeclareLocal(UnitContext* ctx, FunctionContext* fn,
+                               const VarDeclarator& decl, bool is_static) {
+  NodeKind kind = is_static ? NodeKind::kStaticLocal : NodeKind::kLocal;
+  NodeId node = graph_.AddNode(kind, decl.name);
+  graph_.SetName(node,
+                 std::string(graph_.ShortName(fn->node)) + "::" + decl.name);
+  if (decl.in_macro) graph_.MarkInMacro(node);
+  Emit(EdgeKind::kHasLocal, fn->node, node);
+  EmitIsaType(ctx, node, decl.type);
+  fn->scopes.back().vars[decl.name] = VarInfo{node, decl.type};
+  if (decl.init != nullptr) {
+    // Initialization is the local's first write.
+    EdgeId write = Emit(EdgeKind::kWrites, fn->node, node);
+    graph_.SetUseRange(write, TokenRange(*ctx, decl.loc, decl.name_len));
+    graph_.SetNameRange(write, TokenRange(*ctx, decl.loc, decl.name_len));
+    FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *decl.init));
+  }
+  return Status::OK();
+}
+
+Status Extractor::WalkStmt(UnitContext* ctx, FunctionContext* fn,
+                           const Stmt& stmt) {
+  if (stmt.loc.line > fn->max_line) fn->max_line = stmt.loc.line;
+  switch (stmt.kind) {
+    case StmtKind::kCompound: {
+      fn->scopes.emplace_back();
+      for (const StmtPtr& child : stmt.children) {
+        FRAPPE_RETURN_IF_ERROR(WalkStmt(ctx, fn, *child));
+      }
+      fn->scopes.pop_back();
+      return Status::OK();
+    }
+    case StmtKind::kDecl: {
+      for (const VarDeclarator& decl : stmt.decls) {
+        FRAPPE_RETURN_IF_ERROR(
+            DeclareLocal(ctx, fn, decl, stmt.decls_static));
+      }
+      return Status::OK();
+    }
+    case StmtKind::kFor: {
+      fn->scopes.emplace_back();
+      for (const VarDeclarator& decl : stmt.decls) {
+        FRAPPE_RETURN_IF_ERROR(DeclareLocal(ctx, fn, decl, false));
+      }
+      if (stmt.expr != nullptr) {
+        FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *stmt.expr));
+      }
+      if (stmt.expr2 != nullptr) {
+        FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *stmt.expr2));
+      }
+      for (const StmtPtr& child : stmt.children) {
+        FRAPPE_RETURN_IF_ERROR(WalkStmt(ctx, fn, *child));
+      }
+      fn->scopes.pop_back();
+      return Status::OK();
+    }
+    default: {
+      if (stmt.expr != nullptr) {
+        FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *stmt.expr));
+      }
+      if (stmt.expr2 != nullptr) {
+        FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *stmt.expr2));
+      }
+      for (const StmtPtr& child : stmt.children) {
+        FRAPPE_RETURN_IF_ERROR(WalkStmt(ctx, fn, *child));
+      }
+      return Status::OK();
+    }
+  }
+}
+
+const TypeName* Extractor::TypeOfExpr(UnitContext* ctx, FunctionContext* fn,
+                                      const Expr& expr, TypeName* storage) {
+  switch (expr.kind) {
+    case ExprKind::kIdent: {
+      const VarInfo* var = fn->Lookup(expr.text);
+      if (var == nullptr) {
+        auto it = ctx->globals.find(expr.text);
+        if (it == ctx->globals.end()) return nullptr;
+        var = &it->second;
+      }
+      return &var->type;
+    }
+    case ExprKind::kMember: {
+      const TypeName* base =
+          TypeOfExpr(ctx, fn, *expr.lhs, storage);
+      if (base == nullptr) return nullptr;
+      // Resolve the record and look the field's type up.
+      std::string tag = base->name;
+      TypeName::Base base_kind = base->base;
+      int guard = 0;
+      while (base_kind == TypeName::Base::kTypedefName && guard++ < 8) {
+        auto it = ctx->typedef_types.find(tag);
+        if (it == ctx->typedef_types.end()) return nullptr;
+        tag = it->second.name;
+        base_kind = it->second.base;
+      }
+      auto rec = ctx->fields.find(tag);
+      if (rec == ctx->fields.end()) return nullptr;
+      auto field = rec->second.find(expr.text);
+      if (field == rec->second.end()) return nullptr;
+      *storage = field->second.type;
+      return storage;
+    }
+    case ExprKind::kIndex:
+    case ExprKind::kUnary: {
+      if (expr.kind == ExprKind::kUnary && expr.text != "*") {
+        return expr.lhs ? TypeOfExpr(ctx, fn, *expr.lhs, storage) : nullptr;
+      }
+      const TypeName* base = TypeOfExpr(ctx, fn, *expr.lhs, storage);
+      if (base == nullptr) return nullptr;
+      *storage = *base;
+      if (!storage->array_dims.empty()) {
+        storage->array_dims.pop_back();
+      } else if (storage->pointer_depth > 0) {
+        --storage->pointer_depth;
+      }
+      return storage;
+    }
+    case ExprKind::kCast: {
+      *storage = expr.type;
+      return storage;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+NodeId Extractor::ResolveMemberField(UnitContext* ctx, FunctionContext* fn,
+                                     const Expr& member) {
+  TypeName storage;
+  const TypeName* base = TypeOfExpr(ctx, fn, *member.lhs, &storage);
+  if (base != nullptr) {
+    std::string tag = base->name;
+    TypeName::Base kind = base->base;
+    int guard = 0;
+    while (kind == TypeName::Base::kTypedefName && guard++ < 8) {
+      auto it = ctx->typedef_types.find(tag);
+      if (it == ctx->typedef_types.end()) break;
+      tag = it->second.name;
+      kind = it->second.base;
+    }
+    auto rec = ctx->fields.find(tag);
+    if (rec != ctx->fields.end()) {
+      auto field = rec->second.find(member.text);
+      if (field != rec->second.end()) return field->second.node;
+    }
+  }
+  // Heuristic fallback: unique field name in the unit.
+  if (ctx->ambiguous_fields.count(member.text) == 0) {
+    auto it = ctx->unique_fields.find(member.text);
+    if (it != ctx->unique_fields.end()) return it->second.node;
+  }
+  return graph::kInvalidNode;
+}
+
+Status Extractor::WalkExpr(UnitContext* ctx, FunctionContext* fn,
+                           const Expr& expr, bool write, bool address_of) {
+  if (expr.loc.line > fn->max_line) fn->max_line = expr.loc.line;
+  if (expr.end_loc.line > fn->max_line) fn->max_line = expr.end_loc.line;
+
+  auto annotate = [&](EdgeId edge, const Expr& use_expr,
+                      SourceLoc name_loc, int name_len) {
+    if (edge == graph::kInvalidEdge) return;
+    graph_.SetUseRange(edge, RangeOf(*ctx, use_expr));
+    graph_.SetNameRange(edge, TokenRange(*ctx, name_loc, name_len));
+  };
+
+  switch (expr.kind) {
+    case ExprKind::kIdent: {
+      const VarInfo* var = fn->Lookup(expr.text);
+      if (var == nullptr) {
+        auto it = ctx->globals.find(expr.text);
+        if (it != ctx->globals.end()) var = &it->second;
+      }
+      if (var != nullptr) {
+        EdgeKind kind = address_of ? EdgeKind::kTakesAddressOf
+                                   : (write ? EdgeKind::kWrites
+                                            : EdgeKind::kReads);
+        EdgeId edge = Emit(kind, fn->node, var->node);
+        annotate(edge, expr, expr.loc,
+                 static_cast<int>(expr.text.size()));
+        return Status::OK();
+      }
+      auto enumerator = ctx->enumerators.find(expr.text);
+      if (enumerator != ctx->enumerators.end()) {
+        EdgeId edge = Emit(EdgeKind::kUsesEnumerator, fn->node,
+                           enumerator->second);
+        annotate(edge, expr, expr.loc,
+                 static_cast<int>(expr.text.size()));
+        return Status::OK();
+      }
+      // A function referenced as a value (callback): implicit address-of.
+      auto def = ctx->functions.find(expr.text);
+      NodeId fn_node = graph::kInvalidNode;
+      if (def != ctx->functions.end()) {
+        fn_node = def->second;
+      } else {
+        auto decl = ctx->function_decls.find(expr.text);
+        if (decl != ctx->function_decls.end()) fn_node = decl->second;
+      }
+      if (fn_node != graph::kInvalidNode) {
+        EdgeId edge = Emit(EdgeKind::kTakesAddressOf, fn->node, fn_node);
+        annotate(edge, expr, expr.loc,
+                 static_cast<int>(expr.text.size()));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kCall: {
+      const Expr& callee = *expr.lhs;
+      if (callee.kind == ExprKind::kIdent) {
+        const VarInfo* var = fn->Lookup(callee.text);
+        if (var == nullptr) {
+          auto g = ctx->globals.find(callee.text);
+          if (g != ctx->globals.end()) var = &g->second;
+        }
+        if (var != nullptr) {
+          // Call through a function pointer variable.
+          EdgeId read = Emit(EdgeKind::kReads, fn->node, var->node);
+          annotate(read, callee, callee.loc,
+                   static_cast<int>(callee.text.size()));
+          EdgeId deref = Emit(EdgeKind::kDereferences, fn->node, var->node);
+          annotate(deref, expr, callee.loc,
+                   static_cast<int>(callee.text.size()));
+        } else {
+          NodeId target = graph::kInvalidNode;
+          auto def = ctx->functions.find(callee.text);
+          if (def != ctx->functions.end()) {
+            target = def->second;
+          } else {
+            auto decl = ctx->function_decls.find(callee.text);
+            if (decl != ctx->function_decls.end()) {
+              target = decl->second;
+            }
+          }
+          if (target == graph::kInvalidNode) {
+            // Implicit declaration: one node per unknown symbol name.
+            auto [it, created] = implicit_function_decls_.emplace(
+                callee.text, graph::kInvalidNode);
+            if (created) {
+              it->second = graph_.AddNode(NodeKind::kFunctionDecl,
+                                          callee.text);
+              graph_.SetName(it->second, callee.text);
+            }
+            target = it->second;
+            ctx->function_decls[callee.text] = target;
+          }
+          if (ctx->symbols != nullptr &&
+              ctx->functions.find(callee.text) == ctx->functions.end()) {
+            ctx->symbols->undefined_functions[callee.text] = target;
+          }
+          EdgeId call = Emit(EdgeKind::kCalls, fn->node, target);
+          annotate(call, expr, callee.loc,
+                   static_cast<int>(callee.text.size()));
+        }
+      } else if (callee.kind == ExprKind::kMember) {
+        // Call through a member function pointer: ops->open(...).
+        NodeId field = ResolveMemberField(ctx, fn, callee);
+        if (field != graph::kInvalidNode) {
+          EdgeId read = Emit(EdgeKind::kReadsMember, fn->node, field);
+          annotate(read, callee, callee.end_loc, callee.end_len);
+          EdgeId deref =
+              Emit(EdgeKind::kDereferencesMember, fn->node, field);
+          annotate(deref, expr, callee.end_loc, callee.end_len);
+        }
+        FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *callee.lhs));
+      } else {
+        FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, callee));
+      }
+      for (const ExprPtr& arg : expr.args) {
+        FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *arg));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kMember: {
+      NodeId field = ResolveMemberField(ctx, fn, expr);
+      if (field != graph::kInvalidNode) {
+        EdgeKind kind = address_of
+                            ? EdgeKind::kTakesAddressOfMember
+                            : (write ? EdgeKind::kWritesMember
+                                     : EdgeKind::kReadsMember);
+        EdgeId edge = Emit(kind, fn->node, field);
+        annotate(edge, expr, expr.end_loc, expr.end_len);
+      }
+      // `p->f` also reads and dereferences the pointer p.
+      if (expr.arrow && expr.lhs->kind == ExprKind::kIdent) {
+        const VarInfo* var = fn->Lookup(expr.lhs->text);
+        if (var == nullptr) {
+          auto it = ctx->globals.find(expr.lhs->text);
+          if (it != ctx->globals.end()) var = &it->second;
+        }
+        if (var != nullptr) {
+          EdgeId read = Emit(EdgeKind::kReads, fn->node, var->node);
+          annotate(read, *expr.lhs, expr.lhs->loc,
+                   static_cast<int>(expr.lhs->text.size()));
+          EdgeId deref = Emit(EdgeKind::kDereferences, fn->node, var->node);
+          annotate(deref, expr, expr.lhs->loc,
+                   static_cast<int>(expr.lhs->text.size()));
+        }
+      } else if (expr.lhs->kind != ExprKind::kIdent) {
+        FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *expr.lhs));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kIndex: {
+      FRAPPE_RETURN_IF_ERROR(
+          WalkExpr(ctx, fn, *expr.lhs, write, address_of));
+      FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *expr.rhs));
+      return Status::OK();
+    }
+    case ExprKind::kUnary: {
+      if (expr.text == "&") {
+        return WalkExpr(ctx, fn, *expr.lhs, false, /*address_of=*/true);
+      }
+      if (expr.text == "*") {
+        if (expr.lhs->kind == ExprKind::kIdent) {
+          const VarInfo* var = fn->Lookup(expr.lhs->text);
+          if (var == nullptr) {
+            auto it = ctx->globals.find(expr.lhs->text);
+            if (it != ctx->globals.end()) var = &it->second;
+          }
+          if (var != nullptr) {
+            EdgeId deref =
+                Emit(EdgeKind::kDereferences, fn->node, var->node);
+            annotate(deref, expr, expr.lhs->loc,
+                     static_cast<int>(expr.lhs->text.size()));
+          }
+        } else if (expr.lhs->kind == ExprKind::kMember) {
+          NodeId field = ResolveMemberField(ctx, fn, *expr.lhs);
+          if (field != graph::kInvalidNode) {
+            EdgeId deref =
+                Emit(EdgeKind::kDereferencesMember, fn->node, field);
+            annotate(deref, expr, expr.lhs->end_loc, expr.lhs->end_len);
+          }
+        }
+        // Reading through the pointer still reads the pointer variable.
+        return WalkExpr(ctx, fn, *expr.lhs, /*write=*/false, false);
+      }
+      if (expr.text == "++" || expr.text == "--") {
+        FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *expr.lhs, false, false));
+        return WalkExpr(ctx, fn, *expr.lhs, /*write=*/true, false);
+      }
+      return WalkExpr(ctx, fn, *expr.lhs);
+    }
+    case ExprKind::kPostfix: {
+      FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *expr.lhs, false, false));
+      return WalkExpr(ctx, fn, *expr.lhs, /*write=*/true, false);
+    }
+    case ExprKind::kBinary: {
+      bool is_assign = !expr.text.empty() && expr.text.back() == '=' &&
+                       expr.text != "==" && expr.text != "!=" &&
+                       expr.text != "<=" && expr.text != ">=";
+      if (is_assign) {
+        bool compound = expr.text != "=";
+        if (compound) {
+          FRAPPE_RETURN_IF_ERROR(
+              WalkExpr(ctx, fn, *expr.lhs, false, false));
+        }
+        FRAPPE_RETURN_IF_ERROR(
+            WalkExpr(ctx, fn, *expr.lhs, /*write=*/true, false));
+        return WalkExpr(ctx, fn, *expr.rhs);
+      }
+      FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *expr.lhs));
+      return WalkExpr(ctx, fn, *expr.rhs);
+    }
+    case ExprKind::kTernary: {
+      FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *expr.lhs));
+      FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *expr.rhs));
+      return WalkExpr(ctx, fn, *expr.third);
+    }
+    case ExprKind::kCast: {
+      EdgeId edge = Emit(EdgeKind::kCastsTo, fn->node,
+                         TypeNode(ctx, expr.type));
+      annotate(edge, expr, expr.loc, 1);
+      return WalkExpr(ctx, fn, *expr.lhs);
+    }
+    case ExprKind::kSizeof:
+    case ExprKind::kAlignof: {
+      if (expr.lhs != nullptr) {
+        return WalkExpr(ctx, fn, *expr.lhs);
+      }
+      EdgeKind kind = expr.kind == ExprKind::kSizeof
+                          ? EdgeKind::kGetsSizeOf
+                          : EdgeKind::kGetsAlignOf;
+      EdgeId edge = Emit(kind, fn->node, TypeNode(ctx, expr.type));
+      annotate(edge, expr, expr.loc, 6);
+      return Status::OK();
+    }
+    case ExprKind::kInitList: {
+      for (const ExprPtr& item : expr.args) {
+        FRAPPE_RETURN_IF_ERROR(WalkExpr(ctx, fn, *item));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace frappe::extractor

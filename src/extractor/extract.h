@@ -1,0 +1,156 @@
+#ifndef FRAPPE_EXTRACTOR_EXTRACT_H_
+#define FRAPPE_EXTRACTOR_EXTRACT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "extractor/c_ast.h"
+#include "extractor/preprocessor.h"
+#include "model/code_graph.h"
+
+namespace frappe::extractor {
+
+// Link-time view of one compiled unit: which externally visible symbols it
+// defines and which declarations it left unresolved.
+struct UnitSymbols {
+  graph::NodeId main_file = graph::kInvalidNode;
+  std::map<std::string, graph::NodeId> defined_functions;  // extern defs
+  std::map<std::string, graph::NodeId> defined_globals;
+  std::map<std::string, graph::NodeId> undefined_functions;  // decl nodes
+  std::map<std::string, graph::NodeId> undefined_globals;
+};
+
+// Emits the Frappé dependency graph (paper Table 1/2) from parsed
+// translation units. One Extractor instance spans a whole build so that
+// entities declared in shared headers map to a single node regardless of
+// how many units include them.
+class Extractor {
+ public:
+  explicit Extractor(model::CodeGraph* graph) : graph_(*graph) {}
+
+  // Returns (creating if needed) the file node for `path`, wiring the
+  // directory chain with dir_contains edges.
+  graph::NodeId FileNode(const std::string& path);
+  graph::NodeId DirectoryNode(const std::string& path);
+
+  // Extracts one unit. `pp` supplies macro/include events, `ast` the
+  // parsed declarations. Populates `symbols` for the linker.
+  Status ExtractUnit(const PreprocessedUnit& pp, const TranslationUnit& ast,
+                     UnitSymbols* symbols);
+
+  model::CodeGraph& graph() { return graph_; }
+
+ private:
+  struct EntityKey {
+    graph::NodeId file;
+    std::string name;
+    model::NodeKind kind;
+    int line;
+    auto operator<=>(const EntityKey&) const = default;
+  };
+
+  struct VarInfo {
+    graph::NodeId node = graph::kInvalidNode;
+    TypeName type;
+  };
+
+  struct UnitContext {
+    const PreprocessedUnit* pp = nullptr;
+    std::vector<graph::NodeId> file_nodes;  // parallel to pp->files
+    // Unit-visible symbols.
+    std::map<std::string, VarInfo> globals;
+    std::map<std::string, graph::NodeId> functions;       // defs
+    std::map<std::string, graph::NodeId> function_decls;  // decls
+    std::map<std::string, graph::NodeId> enumerators;
+    std::map<std::string, graph::NodeId> records;  // by tag
+    std::map<std::string, graph::NodeId> enums;    // by tag
+    std::map<std::string, TypeName> typedef_types;
+    std::map<std::string, graph::NodeId> typedef_nodes;
+    // Field lookup: record tag -> (field name -> info).
+    std::map<std::string, std::map<std::string, VarInfo>> fields;
+    // Fallback: field name -> info when unique unit-wide.
+    std::map<std::string, VarInfo> unique_fields;
+    std::set<std::string> ambiguous_fields;
+    // Macro name -> node (latest definition wins, C semantics).
+    std::map<std::string, graph::NodeId> macro_nodes;
+    // Line spans of function definitions, for attributing macro events.
+    struct FnSpan {
+      int file;
+      int start_line;
+      int end_line;
+      graph::NodeId node;
+    };
+    std::vector<FnSpan> fn_spans;
+    UnitSymbols* symbols = nullptr;
+  };
+
+  // Scope stack used while walking a function body.
+  struct Scope {
+    std::map<std::string, VarInfo> vars;
+  };
+
+  struct FunctionContext {
+    graph::NodeId node = graph::kInvalidNode;
+    std::vector<Scope> scopes;
+    int max_line = 0;  // furthest source line seen, for the macro pass
+    const VarInfo* Lookup(const std::string& name) const {
+      for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+        auto found = it->vars.find(name);
+        if (found != it->vars.end()) return &found->second;
+      }
+      return nullptr;
+    }
+  };
+
+  // --- node acquisition (deduplicating) ---
+  graph::NodeId EntityNode(model::NodeKind kind, const std::string& name,
+                           graph::NodeId file, int line, bool* created);
+  graph::NodeId TypeNode(UnitContext* ctx, const TypeName& type);
+  graph::NodeId MacroNode(UnitContext* ctx, const std::string& name,
+                          SourceLoc def_loc);
+
+  // --- extraction passes ---
+  Status ExtractTypes(UnitContext* ctx, const TranslationUnit& ast);
+  Status ExtractGlobals(UnitContext* ctx, const TranslationUnit& ast);
+  Status ExtractFunctions(UnitContext* ctx, const TranslationUnit& ast);
+  Status ExtractMacros(UnitContext* ctx, const TranslationUnit& ast);
+
+  Status WalkStmt(UnitContext* ctx, FunctionContext* fn, const Stmt& stmt);
+  // `write` marks lvalue position of an assignment; `address_of` marks the
+  // operand of unary '&'.
+  Status WalkExpr(UnitContext* ctx, FunctionContext* fn, const Expr& expr,
+                  bool write = false, bool address_of = false);
+
+  Status DeclareLocal(UnitContext* ctx, FunctionContext* fn,
+                      const VarDeclarator& decl, bool is_static);
+
+  // --- edge helpers ---
+  model::SourceRange RangeOf(const UnitContext& ctx, const Expr& expr) const;
+  model::SourceRange TokenRange(const UnitContext& ctx, SourceLoc loc,
+                                int length) const;
+  graph::EdgeId Emit(model::EdgeKind kind, graph::NodeId src,
+                     graph::NodeId dst);
+  // Structural edges (contains, includes, isa_type, ...) are deduplicated.
+  graph::EdgeId EmitOnce(model::EdgeKind kind, graph::NodeId src,
+                         graph::NodeId dst);
+  void EmitIsaType(UnitContext* ctx, graph::NodeId var, const TypeName& type);
+
+  graph::NodeId ResolveMemberField(UnitContext* ctx, FunctionContext* fn,
+                                   const Expr& member);
+  const TypeName* TypeOfExpr(UnitContext* ctx, FunctionContext* fn,
+                             const Expr& expr, TypeName* storage);
+
+  model::CodeGraph& graph_;
+  std::map<std::string, graph::NodeId> files_;
+  std::map<std::string, graph::NodeId> dirs_;
+  std::map<EntityKey, graph::NodeId> entities_;
+  std::map<std::string, graph::NodeId> implicit_function_decls_;
+  std::set<std::tuple<uint16_t, graph::NodeId, graph::NodeId>> unique_edges_;
+};
+
+}  // namespace frappe::extractor
+
+#endif  // FRAPPE_EXTRACTOR_EXTRACT_H_

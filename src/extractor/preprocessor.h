@@ -1,0 +1,65 @@
+#ifndef FRAPPE_EXTRACTOR_PREPROCESSOR_H_
+#define FRAPPE_EXTRACTOR_PREPROCESSOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "extractor/c_token.h"
+#include "extractor/vfs.h"
+
+namespace frappe::extractor {
+
+// A macro definition captured for the graph (one `macro` node each).
+struct MacroDef {
+  std::string name;
+  bool function_like = false;
+  std::vector<std::string> params;
+  SourceLoc loc;  // of the name token in the #define
+};
+
+// One preprocessor-level dependency event.
+struct MacroEvent {
+  enum class Kind {
+    kExpansion,      // macro expanded at `use` -> expands_macro edge
+    kInterrogation,  // #ifdef/#ifndef/defined() -> interrogates_macro edge
+  };
+  Kind kind;
+  std::string name;
+  SourceLoc use;
+};
+
+struct IncludeEvent {
+  int from_file;  // file-table indexes
+  int to_file;
+  SourceLoc use;  // location of the directive
+};
+
+struct PreprocessOptions {
+  std::vector<std::string> include_dirs;
+  // Predefined object-like macros (name -> replacement text).
+  std::map<std::string, std::string> defines;
+};
+
+// Result of preprocessing one translation unit.
+struct PreprocessedUnit {
+  std::vector<CToken> tokens;       // expanded stream, kEof-terminated
+  std::vector<std::string> files;   // file table; index 0 = main file
+  std::vector<MacroDef> macros;
+  std::vector<MacroEvent> events;
+  std::vector<IncludeEvent> includes;
+};
+
+// Runs the preprocessor over `main_file`. Supports #include (quote/angle),
+// object- and function-like #define (with #, ## and variadic __VA_ARGS__),
+// #undef, #if/#ifdef/#ifndef/#elif/#else/#endif with an integer constant
+// expression evaluator and defined(). Unknown directives (#pragma, #error
+// in inactive regions) are skipped; #error in an active region fails.
+Result<PreprocessedUnit> Preprocess(const Vfs& vfs,
+                                    const std::string& main_file,
+                                    const PreprocessOptions& options = {});
+
+}  // namespace frappe::extractor
+
+#endif  // FRAPPE_EXTRACTOR_PREPROCESSOR_H_

@@ -1,0 +1,659 @@
+#include "extractor/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace frappe::extractor {
+
+using graph::EdgeId;
+using graph::NodeId;
+using model::EdgeKind;
+using model::NodeKind;
+using model::SourceRange;
+
+namespace {
+
+// Entity budget at factor 1.0, calibrated so the totals land on the
+// paper's Table 3 figures (~505 K nodes, ~4 M edges, ratio 1:8).
+struct Budget {
+  uint64_t directories, files, modules;
+  uint64_t functions, function_decls, parameters, locals, static_locals;
+  uint64_t globals, global_decls;
+  uint64_t structs, unions, fields;
+  uint64_t enums, enumerators, typedefs, macros;
+
+  explicit Budget(double f) {
+    directories = Scale(1600, f);
+    files = Scale(16000, f);
+    modules = Scale(900, f);
+    functions = Scale(118000, f);
+    function_decls = Scale(40000, f);
+    parameters = Scale(142000, f);
+    locals = Scale(62000, f);
+    static_locals = Scale(2500, f);
+    globals = Scale(12000, f);
+    global_decls = Scale(3500, f);
+    structs = Scale(17000, f);
+    unions = Scale(1200, f);
+    fields = Scale(52000, f);
+    enums = Scale(2200, f);
+    enumerators = Scale(11000, f);
+    typedefs = Scale(4500, f);
+    macros = Scale(24000, f);
+  }
+
+  static uint64_t Scale(uint64_t base, double f) {
+    uint64_t v = static_cast<uint64_t>(std::llround(base * f));
+    return v < 1 ? 1 : v;
+  }
+};
+
+const char* const kSubsystems[] = {
+    "kernel", "mm", "fs", "net", "block", "crypto", "lib", "sound",
+    "drivers/pci", "drivers/net", "drivers/scsi", "drivers/usb",
+    "drivers/gpu", "drivers/char", "arch/x86", "security",
+};
+
+const char* const kNameStems[] = {
+    "init", "probe", "read", "write", "alloc", "free", "register",
+    "unregister", "handle", "submit", "flush", "sync", "lock", "unlock",
+    "queue", "dequeue", "attach", "detach", "open", "close", "ioctl",
+    "media", "sector", "page", "inode", "dentry", "skb", "pci", "irq",
+    "dma", "timer", "sched", "wake", "poll", "seek", "stat", "map",
+};
+
+const char* const kPrimitives[] = {
+    "int", "unsigned int", "long", "unsigned long", "char", "void",
+    "unsigned char", "short", "unsigned short", "long long", "u8", "u16",
+    "u32", "u64", "size_t", "bool", "double",
+};
+
+// Popularity model for reference targets: a small "hot set" receives a
+// fixed share of references with ~1/sqrt(rank) weights, the rest spread
+// uniformly. Calibrated so the non-hub in-degree tail at paper scale tops
+// out in the low thousands (Figure 7's x-axis reaches ~4.3 K) while the
+// engineered hubs (`int`, `NULL`) stay far above it.
+class ZipfPicker {
+ public:
+  ZipfPicker(size_t size, frappe::Rng* rng)
+      : size_(size), rng_(rng) {
+    size_t hot = std::min<size_t>(size, 1000);
+    cumulative_.reserve(hot);
+    double sum = 0;
+    for (size_t k = 1; k <= hot; ++k) {
+      sum += 1.0 / std::sqrt(static_cast<double>(k));
+      cumulative_.push_back(sum);
+    }
+  }
+
+  size_t Pick() {
+    if (size_ == 0) return 0;
+    if (!cumulative_.empty() && rng_->Bernoulli(0.3)) {
+      double u = rng_->NextDouble() * cumulative_.back();
+      auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+      return static_cast<size_t>(it - cumulative_.begin());
+    }
+    return static_cast<size_t>(rng_->Uniform(size_));
+  }
+
+ private:
+  size_t size_;
+  frappe::Rng* rng_;
+  std::vector<double> cumulative_;
+};
+
+class GraphGenerator {
+ public:
+  GraphGenerator(const GraphScale& scale, model::CodeGraph* graph)
+      : budget_(scale.factor), rng_(scale.seed), graph_(*graph) {}
+
+  GraphReport Run() {
+    MakePrimitives();
+    MakeTree();
+    MakeMacros();
+    MakeTypes();
+    MakeGlobals();
+    MakeFunctions();
+    MakeBuildModel();
+    report_.nodes = graph_.store().NodeCount();
+    report_.edges = graph_.store().EdgeCount();
+    return report_;
+  }
+
+ private:
+  // --- naming ---
+
+  std::string Name(std::string_view prefix, uint64_t i) {
+    const char* stem_a = kNameStems[rng_.Uniform(std::size(kNameStems))];
+    const char* stem_b = kNameStems[rng_.Uniform(std::size(kNameStems))];
+    return std::string(prefix) + "_" + stem_a + "_" + stem_b + "_" +
+           std::to_string(i);
+  }
+
+  SourceRange RandomRange(NodeId file) {
+    int64_t line = rng_.UniformRange(1, 4000);
+    int64_t col = rng_.UniformRange(1, 60);
+    return SourceRange{static_cast<int64_t>(file), line, col, line,
+                       col + rng_.UniformRange(2, 30)};
+  }
+
+  void AnnotateRef(EdgeId edge, NodeId file) {
+    SourceRange use = RandomRange(file);
+    graph_.SetUseRange(edge, use);
+    SourceRange name = use;
+    name.end_col = name.start_col + rng_.UniformRange(2, 16);
+    graph_.SetNameRange(edge, name);
+  }
+
+  // --- structure ---
+
+  void MakePrimitives() {
+    for (const char* p : kPrimitives) {
+      primitives_.push_back(graph_.Primitive(p));
+    }
+    report_.int_primitive = primitives_[0];
+  }
+
+  // Picks a type node with `int` strongly favored, giving Figure 7 its
+  // dominant hub (degree ~79 K at factor 1.0 in the paper).
+  NodeId PickType() {
+    if (rng_.Bernoulli(0.12)) return primitives_[0];  // int
+    if (!structs_.empty() && rng_.Bernoulli(0.35)) {
+      return structs_[rng_.Uniform(structs_.size())];
+    }
+    if (!typedef_nodes_.empty() && rng_.Bernoulli(0.2)) {
+      return typedef_nodes_[rng_.Uniform(typedef_nodes_.size())];
+    }
+    return primitives_[rng_.Uniform(primitives_.size())];
+  }
+
+  std::string RandomQualifiers() {
+    std::string q;
+    if (rng_.Bernoulli(0.35)) q += '*';
+    if (rng_.Bernoulli(0.05)) q += '*';
+    if (rng_.Bernoulli(0.12)) q += 'c';
+    return q;
+  }
+
+  void EmitIsa(NodeId var, NodeId type) {
+    EdgeId edge = graph_.AddEdgeUnchecked(EdgeKind::kIsaType, var, type);
+    std::string q = RandomQualifiers();
+    if (!q.empty()) graph_.SetQualifiers(edge, q);
+  }
+
+  void MakeTree() {
+    // Directories: subsystem roots plus generated children.
+    std::vector<NodeId> dirs;
+    for (const char* name : kSubsystems) {
+      NodeId dir = graph_.AddNode(NodeKind::kDirectory, BaseName(name));
+      graph_.SetLongName(dir, name);
+      dirs.push_back(dir);
+    }
+    while (dirs.size() < budget_.directories) {
+      NodeId parent = dirs[rng_.Uniform(dirs.size())];
+      NodeId dir = graph_.AddNode(NodeKind::kDirectory,
+                                  Name("dir", dirs.size()));
+      graph_.AddEdgeUnchecked(EdgeKind::kDirContains, parent, dir);
+      dirs.push_back(dir);
+    }
+    // Files spread over directories; ~30% headers.
+    for (uint64_t i = 0; i < budget_.files; ++i) {
+      bool header = rng_.Bernoulli(0.3);
+      std::string name = Name(header ? "hdr" : "src", i) +
+                         (header ? ".h" : ".c");
+      NodeId file = graph_.AddNode(NodeKind::kFile, name);
+      NodeId dir = dirs[rng_.Uniform(dirs.size())];
+      graph_.AddEdgeUnchecked(EdgeKind::kDirContains, dir, file);
+      files_.push_back(file);
+      if (header) headers_.push_back(file);
+    }
+    // Include edges: sources include a handful of headers; a few headers
+    // are extremely popular (the NULL-carrying one most of all).
+    if (headers_.empty()) headers_.push_back(files_[0]);
+    for (NodeId file : files_) {
+      uint64_t count = 1 + rng_.PowerLaw(2.0, 12);
+      for (uint64_t k = 0; k < count; ++k) {
+        NodeId header = rng_.Bernoulli(0.25)
+                            ? headers_[rng_.Uniform(
+                                  std::min<size_t>(headers_.size(), 8))]
+                            : headers_[rng_.Uniform(headers_.size())];
+        if (header != file) {
+          graph_.AddEdgeUnchecked(EdgeKind::kIncludes, file, header);
+        }
+      }
+    }
+  }
+
+  NodeId RandomFile() { return files_[rng_.Uniform(files_.size())]; }
+  NodeId RandomSourceLike() { return RandomFile(); }
+
+  void Place(NodeId entity, NodeId file) {
+    graph_.AddEdgeUnchecked(EdgeKind::kFileContains, file, entity);
+  }
+
+  void MakeMacros() {
+    // NULL first: the second hub of Figure 7 (degree ~19 K at the paper's
+    // scale, "common constants referenced in many places").
+    NodeId null_macro = graph_.AddNode(NodeKind::kMacro, "NULL");
+    Place(null_macro, headers_[0]);
+    macros_.push_back(null_macro);
+    report_.null_macro = null_macro;
+    for (uint64_t i = 1; i < budget_.macros; ++i) {
+      NodeId macro = graph_.AddNode(
+          NodeKind::kMacro, ToLowerUpper(Name("CONFIG", i)));
+      Place(macro, headers_[rng_.Uniform(headers_.size())]);
+      macros_.push_back(macro);
+    }
+  }
+
+  static std::string ToLowerUpper(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::toupper(c));
+    return s;
+  }
+
+  void MakeTypes() {
+    for (uint64_t i = 0; i < budget_.structs + budget_.unions; ++i) {
+      bool is_union = i >= budget_.structs;
+      NodeId node = graph_.AddNode(
+          is_union ? NodeKind::kUnion : NodeKind::kStruct,
+          Name(is_union ? "un" : "st", i));
+      Place(node, headers_[rng_.Uniform(headers_.size())]);
+      structs_.push_back(node);
+    }
+    // Fields distributed over records; like every entity, a field is also
+    // contained in a file (Figure 3's `f -[:file_contains]-> (n:field)`).
+    for (uint64_t i = 0; i < budget_.fields; ++i) {
+      NodeId record = structs_[rng_.Uniform(structs_.size())];
+      NodeId field = graph_.AddNode(NodeKind::kField, Name("fld", i));
+      graph_.AddEdgeUnchecked(EdgeKind::kContains, record, field);
+      Place(field, headers_[rng_.Uniform(headers_.size())]);
+      EmitIsa(field, PickType());
+      fields_.push_back(field);
+    }
+    for (uint64_t i = 0; i < budget_.enums; ++i) {
+      NodeId node = graph_.AddNode(NodeKind::kEnumDef, Name("en", i));
+      Place(node, headers_[rng_.Uniform(headers_.size())]);
+      enums_.push_back(node);
+    }
+    for (uint64_t i = 0; i < budget_.enumerators; ++i) {
+      NodeId owner = enums_[rng_.Uniform(enums_.size())];
+      NodeId node = graph_.AddNode(NodeKind::kEnumerator,
+                                   ToLowerUpper(Name("E", i)));
+      graph_.SetEnumValue(node, static_cast<int64_t>(i));
+      graph_.AddEdgeUnchecked(EdgeKind::kContains, owner, node);
+      enumerators_.push_back(node);
+    }
+    for (uint64_t i = 0; i < budget_.typedefs; ++i) {
+      NodeId node = graph_.AddNode(NodeKind::kTypedef, Name("td", i) + "_t");
+      Place(node, headers_[rng_.Uniform(headers_.size())]);
+      EmitIsa(node, PickType());
+      typedef_nodes_.push_back(node);
+    }
+    // Forward declarations (`struct foo;`) and function-pointer types.
+    for (uint64_t i = 0; i < budget_.structs / 40 + 1; ++i) {
+      bool is_union = rng_.Bernoulli(0.1);
+      NodeId decl = graph_.AddNode(
+          is_union ? NodeKind::kUnionDecl : NodeKind::kStructDecl,
+          Name(is_union ? "un" : "st", i));
+      Place(decl, headers_[rng_.Uniform(headers_.size())]);
+      if (i < structs_.size()) {
+        graph_.AddEdgeUnchecked(EdgeKind::kDeclares, decl, structs_[i]);
+      }
+    }
+    for (uint64_t i = 0; i < budget_.typedefs / 8 + 1; ++i) {
+      NodeId fn_type = graph_.AddNode(NodeKind::kFunctionType,
+                                      Name("fnptr", i) + "_fn");
+      Place(fn_type, headers_[rng_.Uniform(headers_.size())]);
+      graph_.AddEdgeUnchecked(EdgeKind::kHasRetType, fn_type, PickType());
+      uint64_t params = rng_.Uniform(3);
+      for (uint64_t p = 0; p < params; ++p) {
+        EdgeId e = graph_.AddEdgeUnchecked(EdgeKind::kHasParamType, fn_type,
+                                           PickType());
+        graph_.SetParamIndex(e, static_cast<int64_t>(p));
+      }
+    }
+  }
+
+  void MakeGlobals() {
+    for (uint64_t i = 0; i < budget_.globals; ++i) {
+      NodeId node = graph_.AddNode(NodeKind::kGlobal, Name("g", i));
+      Place(node, RandomFile());
+      EmitIsa(node, PickType());
+      globals_.push_back(node);
+    }
+    for (uint64_t i = 0; i < budget_.global_decls; ++i) {
+      NodeId node = graph_.AddNode(NodeKind::kGlobalDecl, Name("g", i));
+      Place(node, headers_[rng_.Uniform(headers_.size())]);
+      EmitIsa(node, PickType());
+      global_decls_.push_back(node);
+    }
+  }
+
+  void MakeFunctions() {
+    // Create all function nodes first so call targets exist.
+    for (uint64_t i = 0; i < budget_.functions; ++i) {
+      NodeId file = RandomSourceLike();
+      NodeId node = graph_.AddNode(NodeKind::kFunction, Name("fn", i));
+      graph_.SetLongName(node, Name("fn", i) + "(...)");
+      Place(node, file);
+      functions_.push_back(node);
+      fn_files_.push_back(file);
+      graph_.AddEdgeUnchecked(EdgeKind::kHasRetType, node, PickType());
+    }
+    for (uint64_t i = 0; i < budget_.function_decls; ++i) {
+      NodeId node = graph_.AddNode(NodeKind::kFunctionDecl,
+                                   Name("fn", i));
+      Place(node, headers_[rng_.Uniform(headers_.size())]);
+      decls_.push_back(node);
+      if (i < functions_.size()) {
+        graph_.AddEdgeUnchecked(EdgeKind::kDeclares, node, functions_[i]);
+      }
+      // Prototypes carry parameter types (has_param_type, paper Table 1).
+      uint64_t params = rng_.Uniform(3);
+      for (uint64_t p = 0; p < params; ++p) {
+        EdgeId e = graph_.AddEdgeUnchecked(EdgeKind::kHasParamType, node,
+                                           PickType());
+        graph_.SetParamIndex(e, static_cast<int64_t>(p));
+      }
+    }
+
+    // Per-function contents. Per-entity counts follow the budget ratios.
+    double params_per_fn =
+        static_cast<double>(budget_.parameters) / functions_.size();
+    double locals_per_fn =
+        static_cast<double>(budget_.locals) / functions_.size();
+    uint64_t call_budget = budget_.functions * 10;  // ~1.2 M at factor 1
+    uint64_t rw_budget = budget_.functions * 8;
+    uint64_t member_budget = budget_.functions * 4;
+    uint64_t expand_budget = budget_.macros * 12;
+
+    for (size_t i = 0; i < functions_.size(); ++i) {
+      NodeId fn = functions_[i];
+      // Parameters and locals.
+      uint64_t params = SampleCount(params_per_fn);
+      for (uint64_t p = 0; p < params; ++p) {
+        NodeId node = graph_.AddNode(NodeKind::kParameter,
+                                     "arg" + std::to_string(p));
+        EdgeId e = graph_.AddEdgeUnchecked(EdgeKind::kHasParam, fn, node);
+        graph_.SetParamIndex(e, static_cast<int64_t>(p));
+        EmitIsa(node, PickType());
+        if (rng_.Bernoulli(0.1)) locals_pool_.push_back(node);
+      }
+      uint64_t locals = SampleCount(locals_per_fn);
+      for (uint64_t l = 0; l < locals; ++l) {
+        bool is_static =
+            static_locals_made_ < budget_.static_locals &&
+            rng_.Bernoulli(0.03);
+        NodeId node = graph_.AddNode(
+            is_static ? NodeKind::kStaticLocal : NodeKind::kLocal,
+            "v" + std::to_string(l));
+        if (is_static) ++static_locals_made_;
+        graph_.AddEdgeUnchecked(EdgeKind::kHasLocal, fn, node);
+        EmitIsa(node, PickType());
+        locals_pool_.push_back(node);
+      }
+    }
+
+    // Calls: callee popularity is Zipf-like, producing the in-degree tail.
+    ZipfPicker fn_picker(functions_.size(), &rng_);
+    ZipfPicker decl_picker(decls_.size(), &rng_);
+    for (uint64_t c = 0; c < call_budget; ++c) {
+      NodeId caller = functions_[rng_.Uniform(functions_.size())];
+      NodeId callee;
+      if (rng_.Bernoulli(0.15) && !decls_.empty()) {
+        callee = decls_[decl_picker.Pick()];
+      } else {
+        callee = functions_[fn_picker.Pick()];
+      }
+      EdgeId e = graph_.AddEdgeUnchecked(EdgeKind::kCalls, caller, callee);
+      AnnotateRef(e, fn_files_[rng_.Uniform(fn_files_.size())]);
+    }
+
+    // Reads/writes of globals and locals.
+    ZipfPicker global_picker(globals_.size(), &rng_);
+    for (uint64_t c = 0; c < rw_budget; ++c) {
+      NodeId fn = functions_[rng_.Uniform(functions_.size())];
+      NodeId target;
+      double which = rng_.NextDouble();
+      if (which < 0.35 && !globals_.empty()) {
+        target = globals_[global_picker.Pick()];
+      } else if (which < 0.42 && !global_decls_.empty()) {
+        target = global_decls_[rng_.Uniform(global_decls_.size())];
+      } else if (!locals_pool_.empty()) {
+        target = locals_pool_[rng_.Uniform(locals_pool_.size())];
+      } else {
+        continue;
+      }
+      EdgeKind kind = rng_.Bernoulli(0.6) ? EdgeKind::kReads
+                                          : EdgeKind::kWrites;
+      if (rng_.Bernoulli(0.04)) kind = EdgeKind::kTakesAddressOf;
+      if (rng_.Bernoulli(0.05)) kind = EdgeKind::kDereferences;
+      EdgeId e = graph_.AddEdgeUnchecked(kind, fn, target);
+      AnnotateRef(e, RandomFile());
+    }
+
+    // Member accesses.
+    ZipfPicker field_picker(fields_.size(), &rng_);
+    for (uint64_t c = 0; c < member_budget; ++c) {
+      NodeId fn = functions_[rng_.Uniform(functions_.size())];
+      NodeId field = fields_[field_picker.Pick()];
+      double which = rng_.NextDouble();
+      EdgeKind kind = which < 0.55   ? EdgeKind::kReadsMember
+                      : which < 0.92 ? EdgeKind::kWritesMember
+                      : which < 0.97 ? EdgeKind::kDereferencesMember
+                                     : EdgeKind::kTakesAddressOfMember;
+      EdgeId e = graph_.AddEdgeUnchecked(kind, fn, field);
+      AnnotateRef(e, RandomFile());
+    }
+
+    // Enumerator uses, casts, sizeof.
+    ZipfPicker enum_picker(enumerators_.size(), &rng_);
+    for (uint64_t c = 0; c < budget_.enumerators * 6; ++c) {
+      NodeId fn = functions_[rng_.Uniform(functions_.size())];
+      EdgeId e = graph_.AddEdgeUnchecked(EdgeKind::kUsesEnumerator, fn,
+                                         enumerators_[enum_picker.Pick()]);
+      AnnotateRef(e, RandomFile());
+    }
+    for (uint64_t c = 0; c < budget_.functions; ++c) {
+      NodeId fn = functions_[rng_.Uniform(functions_.size())];
+      double which = rng_.NextDouble();
+      EdgeKind kind = which < 0.68   ? EdgeKind::kCastsTo
+                      : which < 0.96 ? EdgeKind::kGetsSizeOf
+                                     : EdgeKind::kGetsAlignOf;
+      EdgeId e = graph_.AddEdgeUnchecked(kind, fn, PickType());
+      AnnotateRef(e, RandomFile());
+    }
+
+    // Macro expansions; NULL takes a fixed large share (Figure 7's second
+    // hub: ~19 K references at factor 1.0).
+    uint64_t null_expansions =
+        static_cast<uint64_t>(19000.0 * functions_.size() / 118000.0);
+    for (uint64_t c = 0; c < null_expansions; ++c) {
+      NodeId fn = functions_[rng_.Uniform(functions_.size())];
+      EdgeId e = graph_.AddEdgeUnchecked(EdgeKind::kExpandsMacro, fn,
+                                         macros_[0]);
+      AnnotateRef(e, RandomFile());
+    }
+    ZipfPicker macro_picker(macros_.size(), &rng_);
+    for (uint64_t c = 0; c < expand_budget; ++c) {
+      NodeId src = rng_.Bernoulli(0.8)
+                       ? functions_[rng_.Uniform(functions_.size())]
+                       : RandomFile();
+      EdgeKind kind = rng_.Bernoulli(0.85)
+                          ? EdgeKind::kExpandsMacro
+                          : EdgeKind::kInterrogatesMacro;
+      EdgeId e = graph_.AddEdgeUnchecked(kind, src,
+                                         macros_[macro_picker.Pick()]);
+      AnnotateRef(e, RandomFile());
+    }
+  }
+
+  void MakeBuildModel() {
+    std::vector<NodeId> objects;
+    for (uint64_t i = 0; i < budget_.modules; ++i) {
+      NodeId module = graph_.AddNode(
+          NodeKind::kModule,
+          Name("mod", i) + (rng_.Bernoulli(0.3) ? ".elf" : ".o"));
+      // compiled_from a few source files.
+      uint64_t sources = 1 + rng_.Uniform(6);
+      for (uint64_t s = 0; s < sources; ++s) {
+        graph_.AddEdgeUnchecked(EdgeKind::kCompiledFrom, module,
+                                RandomFile());
+      }
+      if (!objects.empty() && rng_.Bernoulli(0.5)) {
+        uint64_t links = 1 + rng_.Uniform(4);
+        for (uint64_t l = 0; l < links; ++l) {
+          EdgeKind kind = rng_.Bernoulli(0.1) ? EdgeKind::kLinkedFromLib
+                                              : EdgeKind::kLinkedFrom;
+          EdgeId e = graph_.AddEdgeUnchecked(
+              kind, module, objects[rng_.Uniform(objects.size())]);
+          graph_.SetLinkOrder(e, static_cast<int64_t>(l));
+        }
+        // Link-time symbol resolution (link_declares / link_matches).
+        uint64_t resolutions = rng_.Uniform(6);
+        for (uint64_t r = 0; r < resolutions && !decls_.empty(); ++r) {
+          size_t idx = rng_.Uniform(decls_.size());
+          graph_.AddEdgeUnchecked(EdgeKind::kLinkDeclares, module,
+                                  decls_[idx]);
+          if (idx < functions_.size()) {
+            graph_.AddEdgeUnchecked(EdgeKind::kLinkMatches, decls_[idx],
+                                    functions_[idx]);
+          }
+        }
+      }
+      objects.push_back(module);
+    }
+  }
+
+  uint64_t SampleCount(double mean) {
+    // Integer part plus Bernoulli remainder keeps the expectation exact.
+    uint64_t base = static_cast<uint64_t>(mean);
+    return base + (rng_.Bernoulli(mean - static_cast<double>(base)) ? 1 : 0);
+  }
+
+  Budget budget_;
+  frappe::Rng rng_;
+  model::CodeGraph& graph_;
+  GraphReport report_;
+
+  std::vector<NodeId> primitives_, files_, headers_, macros_, structs_,
+      fields_, enums_, enumerators_, typedef_nodes_, globals_,
+      global_decls_, functions_, decls_, fn_files_, locals_pool_;
+  uint64_t static_locals_made_ = 0;
+};
+
+}  // namespace
+
+GraphReport GenerateKernelGraph(const GraphScale& scale,
+                                model::CodeGraph* graph) {
+  GraphGenerator generator(scale, graph);
+  return generator.Run();
+}
+
+// ---------------------------------------------------------------------------
+// Source-level generator
+// ---------------------------------------------------------------------------
+
+SourceKernel GenerateKernelSource(const SourceScale& scale, Vfs* vfs) {
+  frappe::Rng rng(scale.seed);
+  SourceKernel out;
+
+  // Shared top-level header.
+  std::string common_h;
+  common_h += "#ifndef COMMON_H\n#define COMMON_H\n";
+  common_h += "#define NULL ((void *)0)\n";
+  common_h += "#define ARRAY_SIZE(a) (sizeof(a) / sizeof((a)[0]))\n";
+  common_h += "typedef unsigned long size_t_k;\n";
+  common_h += "typedef unsigned int u32;\n";
+  common_h += "enum kstate { K_IDLE, K_BUSY, K_DEAD = 9 };\n";
+  common_h += "#endif\n";
+  vfs->AddFile("include/common.h", common_h);
+
+  std::vector<std::string> link_inputs_all;
+  for (int s = 0; s < scale.subsystems; ++s) {
+    std::string sub = "sub" + std::to_string(s);
+    std::string dir = "drivers/" + sub;
+
+    // Subsystem header: structs, macros, prototypes.
+    std::string header;
+    std::string guard = "SUB" + std::to_string(s) + "_H";
+    header += "#ifndef " + guard + "\n#define " + guard + "\n";
+    header += "#include \"common.h\"\n";
+    header += "#define " + sub + "_MAGIC 0x" + std::to_string(40 + s) + "\n";
+    for (int t = 0; t < scale.structs_per_subsystem; ++t) {
+      header += "struct " + sub + "_dev" + std::to_string(t) + " {\n";
+      header += "  u32 id;\n  int state;\n  char name[16];\n";
+      header += "  struct " + sub + "_dev" + std::to_string(t) + " *next;\n";
+      header += "};\n";
+    }
+    for (int g = 0; g < scale.globals_per_subsystem; ++g) {
+      header += "extern int " + sub + "_counter" + std::to_string(g) +
+                ";\n";
+    }
+    for (int f = 0; f < scale.files_per_subsystem; ++f) {
+      for (int k = 0; k < scale.functions_per_file; ++k) {
+        header += "int " + sub + "_f" + std::to_string(f) + "_" +
+                  std::to_string(k) + "(struct " + sub + "_dev0 *dev);\n";
+      }
+    }
+    header += "#endif\n";
+    vfs->AddFile(dir + "/" + sub + ".h", header);
+
+    std::vector<std::string> objects;
+    for (int f = 0; f < scale.files_per_subsystem; ++f) {
+      std::string src;
+      src += "#include \"" + sub + ".h\"\n";
+      for (int g = 0; g < scale.globals_per_subsystem && f == 0; ++g) {
+        src += "int " + sub + "_counter" + std::to_string(g) + " = 0;\n";
+      }
+      src += "static int " + sub + "_file" + std::to_string(f) +
+             "_state = K_IDLE;\n";
+      for (int k = 0; k < scale.functions_per_file; ++k) {
+        std::string fn = sub + "_f" + std::to_string(f) + "_" +
+                         std::to_string(k);
+        src += "int " + fn + "(struct " + sub + "_dev0 *dev) {\n";
+        src += "  static int invocations = 0;\n";
+        src += "  int local = 0;\n";
+        src += "  invocations++;\n";
+        src += "  if (dev == NULL) { return -1; }\n";
+        src += "  dev->state = K_BUSY;\n";
+        src += "  local = dev->id + " + sub + "_MAGIC;\n";
+        // Calls: a couple of targets within the subsystem, weighted to
+        // low indexes so in-degrees skew.
+        for (int c = 0; c < 2; ++c) {
+          int tf = static_cast<int>(
+              rng.PowerLaw(1.8, scale.files_per_subsystem));
+          int tk = static_cast<int>(
+              rng.PowerLaw(1.8, scale.functions_per_file));
+          std::string target = sub + "_f" + std::to_string(tf - 1) + "_" +
+                               std::to_string(tk - 1);
+          if (target != fn) src += "  local += " + target + "(dev);\n";
+        }
+        src += "  " + sub + "_counter0 += local;\n";
+        src += "  " + sub + "_file" + std::to_string(f) + "_state = local;\n";
+        src += "  dev->state = K_IDLE;\n";
+        src += "  return local;\n";
+        src += "}\n";
+      }
+      std::string path = dir + "/" + sub + "_" + std::to_string(f) + ".c";
+      vfs->AddFile(path, src);
+      std::string object = dir + "/" + sub + "_" + std::to_string(f) + ".o";
+      out.build_commands.push_back("gcc " + path + " -c -o " + object +
+                                   " -Iinclude -I" + dir);
+      objects.push_back(object);
+    }
+    std::string module = dir + "/" + sub + ".elf";
+    std::string link = "gcc";
+    for (const std::string& object : objects) link += " " + object;
+    link += " -o " + module;
+    out.build_commands.push_back(link);
+    link_inputs_all.push_back(module);
+  }
+  out.total_lines = vfs->TotalLines();
+  return out;
+}
+
+}  // namespace frappe::extractor

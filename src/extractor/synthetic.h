@@ -1,0 +1,63 @@
+#ifndef FRAPPE_EXTRACTOR_SYNTHETIC_H_
+#define FRAPPE_EXTRACTOR_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "extractor/vfs.h"
+#include "model/code_graph.h"
+
+namespace frappe::extractor {
+
+// Synthetic stand-in for the Unbreakable Enterprise Kernel (substitution
+// documented in DESIGN.md). Two generators:
+//
+//  1. GenerateKernelGraph — directly synthesizes a dependency graph with
+//     the published shape of the paper's UEK extraction (Table 3: ~505 K
+//     nodes / ~4 M edges at factor 1.0; Figure 7: power-law degrees with
+//     `int`-like and `NULL`-like hubs). Used by the paper-scale benches.
+//
+//  2. GenerateKernelSource — emits an actual C source tree (subsystem
+//     directories, headers, macros, call graphs) plus the gcc-style build
+//     commands to extract it through the full pipeline. Used by extractor
+//     tests, examples and the extraction-throughput bench.
+
+struct GraphScale {
+  // 1.0 reproduces the paper's graph size; smaller factors shrink every
+  // entity class proportionally.
+  double factor = 1.0;
+  uint64_t seed = 42;
+};
+
+struct GraphReport {
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  // Ids of the engineered hubs, for Figure 7 commentary.
+  graph::NodeId int_primitive = graph::kInvalidNode;
+  graph::NodeId null_macro = graph::kInvalidNode;
+};
+
+GraphReport GenerateKernelGraph(const GraphScale& scale,
+                                model::CodeGraph* graph);
+
+struct SourceScale {
+  int subsystems = 4;
+  int files_per_subsystem = 5;
+  int functions_per_file = 8;
+  int structs_per_subsystem = 3;
+  int globals_per_subsystem = 4;
+  uint64_t seed = 42;
+};
+
+struct SourceKernel {
+  // Build commands in dependency order, consumable by BuildDriver::Run.
+  std::vector<std::string> build_commands;
+  uint64_t total_lines = 0;
+};
+
+SourceKernel GenerateKernelSource(const SourceScale& scale, Vfs* vfs);
+
+}  // namespace frappe::extractor
+
+#endif  // FRAPPE_EXTRACTOR_SYNTHETIC_H_

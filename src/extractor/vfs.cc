@@ -1,0 +1,109 @@
+#include "extractor/vfs.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace frappe::extractor {
+
+std::string NormalizePath(std::string_view path) {
+  std::vector<std::string_view> parts;
+  for (std::string_view piece : SplitSkipEmpty(path, '/')) {
+    if (piece == ".") continue;
+    if (piece == "..") {
+      if (!parts.empty()) parts.pop_back();
+      continue;
+    }
+    parts.push_back(piece);
+  }
+  return Join(parts, "/");
+}
+
+std::string DirName(std::string_view path) {
+  size_t slash = path.rfind('/');
+  if (slash == std::string_view::npos) return "";
+  return std::string(path.substr(0, slash));
+}
+
+std::string BaseName(std::string_view path) {
+  size_t slash = path.rfind('/');
+  if (slash == std::string_view::npos) return std::string(path);
+  return std::string(path.substr(slash + 1));
+}
+
+void Vfs::AddFile(std::string_view path, std::string content) {
+  files_[NormalizePath(path)] = std::move(content);
+}
+
+bool Vfs::Exists(std::string_view path) const {
+  return files_.find(NormalizePath(path)) != files_.end();
+}
+
+Result<std::string_view> Vfs::Read(std::string_view path) const {
+  auto it = files_.find(NormalizePath(path));
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + std::string(path));
+  }
+  return std::string_view(it->second);
+}
+
+std::vector<std::string> Vfs::Files() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, content] : files_) out.push_back(path);
+  return out;
+}
+
+std::vector<std::string> Vfs::Directories() const {
+  std::set<std::string> dirs;
+  for (const auto& [path, content] : files_) {
+    std::string dir = DirName(path);
+    while (!dir.empty()) {
+      dirs.insert(dir);
+      dir = DirName(dir);
+    }
+  }
+  return std::vector<std::string>(dirs.begin(), dirs.end());
+}
+
+Result<std::string> Vfs::ResolveInclude(
+    std::string_view name, std::string_view including_file, bool angled,
+    const std::vector<std::string>& include_dirs) const {
+  if (!angled) {
+    std::string relative = DirName(including_file);
+    std::string candidate =
+        NormalizePath(relative.empty() ? std::string(name)
+                                       : relative + "/" + std::string(name));
+    if (Exists(candidate)) return candidate;
+  }
+  for (const std::string& dir : include_dirs) {
+    std::string candidate =
+        NormalizePath(dir.empty() ? std::string(name)
+                                  : dir + "/" + std::string(name));
+    if (Exists(candidate)) return candidate;
+  }
+  // Last resort: a bare path that exists as written.
+  std::string bare = NormalizePath(name);
+  if (Exists(bare)) return bare;
+  return Status::NotFound("cannot resolve include '" + std::string(name) +
+                          "' from " + std::string(including_file));
+}
+
+uint64_t Vfs::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [path, content] : files_) total += content.size();
+  return total;
+}
+
+uint64_t Vfs::TotalLines() const {
+  uint64_t total = 0;
+  for (const auto& [path, content] : files_) {
+    total += static_cast<uint64_t>(
+        std::count(content.begin(), content.end(), '\n'));
+    if (!content.empty() && content.back() != '\n') ++total;
+  }
+  return total;
+}
+
+}  // namespace frappe::extractor

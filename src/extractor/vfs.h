@@ -1,0 +1,65 @@
+#ifndef FRAPPE_EXTRACTOR_VFS_H_
+#define FRAPPE_EXTRACTOR_VFS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace frappe::extractor {
+
+// In-memory file system holding the source tree being extracted. Paths are
+// '/'-separated and relative to the tree root (no leading slash). The
+// extractor and the synthetic kernel generator both write into a Vfs; the
+// build driver reads from it, so extraction runs hermetically with no disk
+// access.
+class Vfs {
+ public:
+  Vfs() = default;
+
+  // Adds or replaces a file. Intermediate directories are implied.
+  void AddFile(std::string_view path, std::string content);
+
+  bool Exists(std::string_view path) const;
+  Result<std::string_view> Read(std::string_view path) const;
+
+  // All file paths, sorted.
+  std::vector<std::string> Files() const;
+
+  // All directory paths implied by the files, sorted, root ("") excluded.
+  std::vector<std::string> Directories() const;
+
+  // Resolves an #include reference: `name` is the spelling in the
+  // directive, `including_file` the path of the file containing it.
+  // Quote form searches the includer's directory first, then the include
+  // dirs; angle form searches only the include dirs. Returns the resolved
+  // path or NotFound.
+  Result<std::string> ResolveInclude(
+      std::string_view name, std::string_view including_file, bool angled,
+      const std::vector<std::string>& include_dirs) const;
+
+  size_t FileCount() const { return files_.size(); }
+  uint64_t TotalBytes() const;
+
+  // Total newline-terminated lines across all files (the "lines of code"
+  // figure reported for the synthetic kernel).
+  uint64_t TotalLines() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> files_;
+};
+
+// Normalizes "a/./b", "a/../b" and duplicate slashes.
+std::string NormalizePath(std::string_view path);
+
+// "a/b/c.h" -> "a/b"; "c.h" -> "".
+std::string DirName(std::string_view path);
+
+// "a/b/c.h" -> "c.h".
+std::string BaseName(std::string_view path);
+
+}  // namespace frappe::extractor
+
+#endif  // FRAPPE_EXTRACTOR_VFS_H_

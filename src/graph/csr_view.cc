@@ -1,0 +1,77 @@
+#include "graph/csr_view.h"
+
+namespace frappe::graph {
+
+CsrView CsrView::Build(const GraphView& base) {
+  CsrView view;
+  view.base_ = &base;
+  size_t node_upper = base.NodeIdUpperBound();
+  size_t edge_upper = base.EdgeIdUpperBound();
+
+  view.edges_.assign(edge_upper, Edge{});
+  std::vector<uint32_t> out_counts(node_upper, 0);
+  std::vector<uint32_t> in_counts(node_upper, 0);
+  for (EdgeId e = 0; e < edge_upper; ++e) {
+    if (!base.EdgeExists(e)) continue;
+    Edge edge = base.GetEdge(e);
+    view.edges_[e] = edge;
+    ++out_counts[edge.src];
+    ++in_counts[edge.dst];
+  }
+
+  view.out_offsets_.assign(node_upper + 1, 0);
+  view.in_offsets_.assign(node_upper + 1, 0);
+  for (size_t n = 0; n < node_upper; ++n) {
+    view.out_offsets_[n + 1] = view.out_offsets_[n] + out_counts[n];
+    view.in_offsets_[n + 1] = view.in_offsets_[n] + in_counts[n];
+  }
+  size_t live_edges = view.out_offsets_[node_upper];
+  view.out_edges_.resize(live_edges);
+  view.out_targets_.resize(live_edges);
+  view.in_edges_.resize(live_edges);
+  view.in_sources_.resize(live_edges);
+
+  std::vector<uint64_t> out_cursor(view.out_offsets_.begin(),
+                                   view.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(view.in_offsets_.begin(),
+                                  view.in_offsets_.end() - 1);
+  for (EdgeId e = 0; e < edge_upper; ++e) {
+    if (!base.EdgeExists(e)) continue;
+    const Edge& edge = view.edges_[e];
+    uint64_t out_pos = out_cursor[edge.src]++;
+    view.out_edges_[out_pos] = e;
+    view.out_targets_[out_pos] = edge.dst;
+    uint64_t in_pos = in_cursor[edge.dst]++;
+    view.in_edges_[in_pos] = e;
+    view.in_sources_[in_pos] = edge.src;
+  }
+  return view;
+}
+
+void CsrView::ForEachEdge(NodeId id, Direction dir,
+                          const EdgeVisitor& fn) const {
+  if (id + 1 >= out_offsets_.size() || !base_->NodeExists(id)) return;
+  if (dir == Direction::kOut || dir == Direction::kBoth) {
+    Neighbors out = Out(id);
+    for (size_t i = 0; i < out.count; ++i) {
+      if (!fn(out.begin_edges[i], out.begin_nodes[i])) return;
+    }
+  }
+  if (dir == Direction::kIn || dir == Direction::kBoth) {
+    Neighbors in = In(id);
+    for (size_t i = 0; i < in.count; ++i) {
+      // Self-loops were reported in the out pass already.
+      if (dir == Direction::kBoth && in.begin_nodes[i] == id) continue;
+      if (!fn(in.begin_edges[i], in.begin_nodes[i])) return;
+    }
+  }
+}
+
+uint64_t CsrView::ByteSize() const {
+  return edges_.size() * sizeof(Edge) +
+         (out_offsets_.size() + in_offsets_.size()) * sizeof(uint64_t) +
+         (out_edges_.size() + in_edges_.size()) * sizeof(EdgeId) +
+         (out_targets_.size() + in_sources_.size()) * sizeof(NodeId);
+}
+
+}  // namespace frappe::graph

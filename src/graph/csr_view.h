@@ -1,0 +1,107 @@
+#ifndef FRAPPE_GRAPH_CSR_VIEW_H_
+#define FRAPPE_GRAPH_CSR_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph_view.h"
+
+namespace frappe::graph {
+
+// Read-optimized compressed-sparse-row snapshot of a GraphView. The
+// mutable GraphStore keeps one heap-allocated adjacency vector per node
+// per direction — flexible, but cache-hostile for whole-graph analytics.
+// CsrView packs all adjacency into four flat arrays (offsets + edge ids,
+// out and in), the layout engines like PGX and LLAMA (paper Section 7)
+// use for traversal-heavy workloads.
+//
+// The view borrows the base view for types, properties and strings;
+// topology reads (ForEachEdge, degrees) hit the packed arrays. Build once
+// after loading, then run closures/slices against it.
+class CsrView final : public GraphView {
+ public:
+  // Materializes the adjacency of `base`. The base must outlive the view.
+  static CsrView Build(const GraphView& base);
+
+  // --- GraphView ---
+  const NameRegistry& node_types() const override {
+    return base_->node_types();
+  }
+  const NameRegistry& edge_types() const override {
+    return base_->edge_types();
+  }
+  const NameRegistry& keys() const override { return base_->keys(); }
+  const StringPool& strings() const override { return base_->strings(); }
+
+  size_t NodeCount() const override { return base_->NodeCount(); }
+  size_t EdgeCount() const override { return base_->EdgeCount(); }
+  NodeId NodeIdUpperBound() const override {
+    return base_->NodeIdUpperBound();
+  }
+  EdgeId EdgeIdUpperBound() const override {
+    return base_->EdgeIdUpperBound();
+  }
+  bool NodeExists(NodeId id) const override { return base_->NodeExists(id); }
+  bool EdgeExists(EdgeId id) const override { return base_->EdgeExists(id); }
+
+  TypeId NodeType(NodeId id) const override { return base_->NodeType(id); }
+  Edge GetEdge(EdgeId id) const override {
+    // Topology is answered from the packed copy (cache-friendly).
+    return edges_[id];
+  }
+  Value GetNodeProperty(NodeId id, KeyId key) const override {
+    return base_->GetNodeProperty(id, key);
+  }
+  Value GetEdgeProperty(EdgeId id, KeyId key) const override {
+    return base_->GetEdgeProperty(id, key);
+  }
+  const PropertyMap& NodeProperties(NodeId id) const override {
+    return base_->NodeProperties(id);
+  }
+  const PropertyMap& EdgeProperties(EdgeId id) const override {
+    return base_->EdgeProperties(id);
+  }
+
+  void ForEachEdge(NodeId id, Direction dir,
+                   const EdgeVisitor& fn) const override;
+
+  size_t OutDegree(NodeId id) const override {
+    return out_offsets_[id + 1] - out_offsets_[id];
+  }
+  size_t InDegree(NodeId id) const override {
+    return in_offsets_[id + 1] - in_offsets_[id];
+  }
+
+  // Packed-array accessors for tight traversal loops.
+  struct Neighbors {
+    const EdgeId* begin_edges;
+    const NodeId* begin_nodes;
+    size_t count;
+  };
+  Neighbors Out(NodeId id) const {
+    size_t begin = out_offsets_[id];
+    return {out_edges_.data() + begin, out_targets_.data() + begin,
+            out_offsets_[id + 1] - begin};
+  }
+  Neighbors In(NodeId id) const {
+    size_t begin = in_offsets_[id];
+    return {in_edges_.data() + begin, in_sources_.data() + begin,
+            in_offsets_[id + 1] - begin};
+  }
+
+  // Resident bytes of the packed arrays.
+  uint64_t ByteSize() const;
+
+ private:
+  CsrView() = default;
+
+  const GraphView* base_ = nullptr;
+  std::vector<Edge> edges_;  // indexed by EdgeId (dead edges zeroed)
+  std::vector<uint64_t> out_offsets_, in_offsets_;  // size = nodes + 1
+  std::vector<EdgeId> out_edges_, in_edges_;
+  std::vector<NodeId> out_targets_, in_sources_;
+};
+
+}  // namespace frappe::graph
+
+#endif  // FRAPPE_GRAPH_CSR_VIEW_H_

@@ -1,0 +1,108 @@
+#ifndef FRAPPE_GRAPH_GRAPH_VIEW_H_
+#define FRAPPE_GRAPH_GRAPH_VIEW_H_
+
+#include <functional>
+#include <string_view>
+
+#include "graph/ids.h"
+#include "graph/property_map.h"
+#include "graph/registry.h"
+#include "graph/string_pool.h"
+#include "graph/value.h"
+
+namespace frappe::graph {
+
+// Fixed part of an edge record.
+struct Edge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  TypeId type = kInvalidType;
+};
+
+// Direction of traversal relative to a node.
+enum class Direction : uint8_t { kOut, kIn, kBoth };
+
+// Read-only interface over a property graph. `GraphStore` (the mutable
+// store) and `temporal::VersionView` (a point-in-time view of a versioned
+// graph) both implement it, so traversals, analyses, the query engine and
+// the visualizer run unchanged against either.
+//
+// Iteration contract: node ids are dense in [0, NodeIdUpperBound()) but may
+// contain holes after deletions; callers must check NodeExists(). Same for
+// edges.
+class GraphView {
+ public:
+  virtual ~GraphView() = default;
+
+  // Shared vocabulary of the logical graph.
+  virtual const NameRegistry& node_types() const = 0;
+  virtual const NameRegistry& edge_types() const = 0;
+  virtual const NameRegistry& keys() const = 0;
+  virtual const StringPool& strings() const = 0;
+
+  virtual size_t NodeCount() const = 0;
+  virtual size_t EdgeCount() const = 0;
+  virtual NodeId NodeIdUpperBound() const = 0;
+  virtual EdgeId EdgeIdUpperBound() const = 0;
+  virtual bool NodeExists(NodeId id) const = 0;
+  virtual bool EdgeExists(EdgeId id) const = 0;
+
+  // Requires NodeExists(id) / EdgeExists(id).
+  virtual TypeId NodeType(NodeId id) const = 0;
+  virtual Edge GetEdge(EdgeId id) const = 0;
+  virtual Value GetNodeProperty(NodeId id, KeyId key) const = 0;
+  virtual Value GetEdgeProperty(EdgeId id, KeyId key) const = 0;
+  virtual const PropertyMap& NodeProperties(NodeId id) const = 0;
+  virtual const PropertyMap& EdgeProperties(EdgeId id) const = 0;
+
+  // Invokes `fn(edge_id, neighbor)` for each incident edge in the given
+  // direction; stops early if `fn` returns false. With kBoth, a self-loop
+  // is reported once.
+  using EdgeVisitor = std::function<bool(EdgeId, NodeId)>;
+  virtual void ForEachEdge(NodeId id, Direction dir,
+                           const EdgeVisitor& fn) const = 0;
+
+  virtual size_t OutDegree(NodeId id) const = 0;
+  virtual size_t InDegree(NodeId id) const = 0;
+
+  // --- Convenience helpers (non-virtual) ---
+
+  size_t Degree(NodeId id) const { return OutDegree(id) + InDegree(id); }
+
+  // Resolves a property that holds an interned string; empty view when the
+  // property is absent or not a string.
+  std::string_view GetNodeString(NodeId id, KeyId key) const {
+    Value v = GetNodeProperty(id, key);
+    if (v.type() != ValueType::kString) return {};
+    return strings().Resolve(v.AsString());
+  }
+  std::string_view GetEdgeString(EdgeId id, KeyId key) const {
+    Value v = GetEdgeProperty(id, key);
+    if (v.type() != ValueType::kString) return {};
+    return strings().Resolve(v.AsString());
+  }
+
+  std::string_view NodeTypeName(NodeId id) const {
+    return node_types().Name(NodeType(id));
+  }
+  std::string_view EdgeTypeName(EdgeId id) const {
+    return edge_types().Name(GetEdge(id).type);
+  }
+
+  // Invokes `fn(node_id)` for every live node.
+  void ForEachNode(const std::function<void(NodeId)>& fn) const {
+    for (NodeId id = 0; id < NodeIdUpperBound(); ++id) {
+      if (NodeExists(id)) fn(id);
+    }
+  }
+  // Invokes `fn(edge_id)` for every live edge.
+  void ForEachEdgeGlobal(const std::function<void(EdgeId)>& fn) const {
+    for (EdgeId id = 0; id < EdgeIdUpperBound(); ++id) {
+      if (EdgeExists(id)) fn(id);
+    }
+  }
+};
+
+}  // namespace frappe::graph
+
+#endif  // FRAPPE_GRAPH_GRAPH_VIEW_H_

@@ -1,0 +1,27 @@
+#ifndef FRAPPE_GRAPH_IDS_H_
+#define FRAPPE_GRAPH_IDS_H_
+
+#include <cstdint>
+
+namespace frappe::graph {
+
+// Dense 32-bit handles. A graph at paper scale is ~0.5 M nodes / 4 M edges,
+// far below the 4 G ceiling; 32-bit ids halve adjacency-list memory compared
+// to 64-bit and keep the snapshot format compact.
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+inline constexpr EdgeId kInvalidEdge = 0xFFFFFFFFu;
+
+// Interned identifiers for node labels / edge types and property keys.
+// A code-graph schema has a few dozen of each (paper Table 1 / Table 2).
+using TypeId = uint16_t;
+using KeyId = uint16_t;
+
+inline constexpr TypeId kInvalidType = 0xFFFF;
+inline constexpr KeyId kInvalidKey = 0xFFFF;
+
+}  // namespace frappe::graph
+
+#endif  // FRAPPE_GRAPH_IDS_H_

@@ -1,0 +1,419 @@
+#include "graph/indexes.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace frappe::graph {
+
+namespace {
+
+std::vector<NodeId> SortedUnique(std::vector<NodeId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<NodeId> Union(const std::vector<NodeId>& a,
+                          const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+NameIndex NameIndex::Build(const GraphView& view,
+                           std::vector<FieldSpec> fields) {
+  NameIndex index;
+  for (FieldSpec& spec : fields) {
+    spec.name = ToLower(spec.name);
+    index.specs_.push_back(spec);
+    index.postings_.emplace_back();
+  }
+  view.ForEachNode([&](NodeId id) { index.IndexNode(view, id); });
+  return index;
+}
+
+void NameIndex::IndexNode(const GraphView& view, NodeId id) {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const FieldSpec& spec = specs_[i];
+    std::string_view term;
+    if (spec.is_type_field) {
+      term = view.NodeTypeName(id);
+    } else {
+      term = view.GetNodeString(id, spec.key);
+    }
+    if (!term.empty()) AddTerm(i, term, id);
+  }
+}
+
+void NameIndex::AddTerm(size_t field_idx, std::string_view term, NodeId id) {
+  std::vector<NodeId>& list = postings_[field_idx][ToLower(term)];
+  // Nodes are indexed in ascending id order during Build; keep the posting
+  // list sorted for incremental inserts too.
+  if (list.empty() || list.back() < id) {
+    list.push_back(id);
+  } else {
+    auto it = std::lower_bound(list.begin(), list.end(), id);
+    if (it == list.end() || *it != id) list.insert(it, id);
+  }
+}
+
+const NameIndex::Postings* NameIndex::FindField(std::string_view field) const {
+  std::string lowered = ToLower(field);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == lowered) return &postings_[i];
+  }
+  return nullptr;
+}
+
+std::vector<NodeId> NameIndex::Lookup(std::string_view field,
+                                      std::string_view term) const {
+  const Postings* p = FindField(field);
+  if (p == nullptr) return {};
+  auto it = p->find(ToLower(term));
+  return it == p->end() ? std::vector<NodeId>() : it->second;
+}
+
+std::vector<NodeId> NameIndex::LookupWildcard(std::string_view field,
+                                              std::string_view pattern) const {
+  const Postings* p = FindField(field);
+  if (p == nullptr) return {};
+  std::string lowered = ToLower(pattern);
+  // Literal prefix before the first metacharacter bounds the scan range.
+  size_t meta = lowered.find_first_of("*?");
+  std::string prefix = lowered.substr(0, meta);
+  std::vector<NodeId> out;
+  for (auto it = p->lower_bound(prefix); it != p->end(); ++it) {
+    if (!prefix.empty() && !StartsWith(it->first, prefix)) break;
+    if (WildcardMatch(lowered, it->first)) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return SortedUnique(std::move(out));
+}
+
+std::vector<NodeId> NameIndex::LookupFuzzy(std::string_view field,
+                                           std::string_view term,
+                                           size_t max_distance) const {
+  const Postings* p = FindField(field);
+  if (p == nullptr) return {};
+  std::string lowered = ToLower(term);
+  std::vector<NodeId> out;
+  for (const auto& [candidate, nodes] : *p) {
+    size_t len_a = candidate.size(), len_b = lowered.size();
+    size_t diff = len_a > len_b ? len_a - len_b : len_b - len_a;
+    if (diff > max_distance) continue;
+    if (BoundedEditDistance(candidate, lowered, max_distance) <=
+        max_distance) {
+      out.insert(out.end(), nodes.begin(), nodes.end());
+    }
+  }
+  return SortedUnique(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Lucene-style query parser.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LuceneParser {
+  const NameIndex& index;
+  std::string_view input;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < input.size() &&
+           std::isspace(static_cast<unsigned char>(input[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= input.size();
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos < input.size() && input[pos] == c;
+  }
+
+  // Matches a keyword (AND/OR) case-sensitively, as lucene does.
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipSpace();
+    if (input.substr(pos, kw.size()) != kw) return false;
+    size_t after = pos + kw.size();
+    if (after < input.size() &&
+        !std::isspace(static_cast<unsigned char>(input[after])) &&
+        input[after] != '(') {
+      return false;
+    }
+    pos = after;
+    return true;
+  }
+
+  // Bare word: identifier-ish characters plus wildcard/fuzzy markers and
+  // the dots/dashes that appear in file names like `wakeup.elf`.
+  Result<std::string> ParseTermToken() {
+    SkipSpace();
+    if (pos < input.size() && (input[pos] == '"' || input[pos] == '\'')) {
+      char quote = input[pos++];
+      size_t start = pos;
+      while (pos < input.size() && input[pos] != quote) ++pos;
+      if (pos >= input.size()) {
+        return Status::ParseError("unterminated quoted term");
+      }
+      std::string out(input.substr(start, pos - start));
+      ++pos;  // closing quote
+      return out;
+    }
+    size_t start = pos;
+    while (pos < input.size()) {
+      char c = input[pos];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '*' || c == '?' || c == '~' || c == '.' || c == '-' ||
+          c == ':' || c == '/') {
+        // ':' ends a field name, not a term; handled by caller splitting.
+        if (c == ':') break;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) return Status::ParseError("expected term");
+    return std::string(input.substr(start, pos - start));
+  }
+
+  Result<std::vector<NodeId>> ParseOr() {
+    FRAPPE_ASSIGN_OR_RETURN(std::vector<NodeId> left, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      FRAPPE_ASSIGN_OR_RETURN(std::vector<NodeId> right, ParseAnd());
+      left = Union(left, right);
+    }
+    return left;
+  }
+
+  Result<std::vector<NodeId>> ParseAnd() {
+    FRAPPE_ASSIGN_OR_RETURN(std::vector<NodeId> left, ParsePrimary());
+    while (true) {
+      SkipSpace();
+      if (AtEnd() || Peek(')')) break;
+      // Explicit OR binds at the level above.
+      size_t save = pos;
+      if (ConsumeKeyword("OR")) {
+        pos = save;
+        break;
+      }
+      ConsumeKeyword("AND");  // optional: juxtaposition also means AND
+      if (AtEnd() || Peek(')')) {
+        return Status::ParseError("dangling AND in index query");
+      }
+      FRAPPE_ASSIGN_OR_RETURN(std::vector<NodeId> right, ParsePrimary());
+      left = Intersect(left, right);
+    }
+    return left;
+  }
+
+  Result<std::vector<NodeId>> ParsePrimary() {
+    SkipSpace();
+    if (Peek('(')) {
+      ++pos;
+      FRAPPE_ASSIGN_OR_RETURN(std::vector<NodeId> inner, ParseOr());
+      if (!Peek(')')) return Status::ParseError("expected ')' in index query");
+      ++pos;
+      return inner;
+    }
+    FRAPPE_ASSIGN_OR_RETURN(std::string field, ParseTermToken());
+    if (!Peek(':')) {
+      return Status::ParseError("expected 'field: term', got '" + field + "'");
+    }
+    ++pos;  // ':'
+    FRAPPE_ASSIGN_OR_RETURN(std::string term, ParseTermToken());
+
+    // Fuzzy suffix: `term~` or `term~N`.
+    size_t tilde = term.rfind('~');
+    if (tilde != std::string::npos) {
+      std::string base = term.substr(0, tilde);
+      std::string dist_str = term.substr(tilde + 1);
+      size_t dist = 2;
+      if (!dist_str.empty()) {
+        int64_t parsed = 0;
+        if (!ParseInt64(dist_str, &parsed) || parsed < 0) {
+          return Status::ParseError("bad fuzzy distance '" + dist_str + "'");
+        }
+        dist = static_cast<size_t>(parsed);
+      }
+      return index.LookupFuzzy(field, base, dist);
+    }
+    if (HasWildcards(term)) return index.LookupWildcard(field, term);
+    return index.Lookup(field, term);
+  }
+};
+
+}  // namespace
+
+Result<std::vector<NodeId>> NameIndex::Query(std::string_view query) const {
+  LuceneParser parser{*this, query};
+  FRAPPE_ASSIGN_OR_RETURN(std::vector<NodeId> out, parser.ParseOr());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input in index query: '" +
+                              std::string(query.substr(parser.pos)) + "'");
+  }
+  return out;
+}
+
+size_t NameIndex::TermCount() const {
+  size_t n = 0;
+  for (const Postings& p : postings_) n += p.size();
+  return n;
+}
+
+uint64_t NameIndex::ByteSize() const {
+  uint64_t bytes = 0;
+  for (const Postings& p : postings_) {
+    for (const auto& [term, nodes] : p) {
+      // Term text + std::map node overhead + posting list.
+      bytes += term.size() + 48 + nodes.size() * sizeof(NodeId);
+    }
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: [u32 field_count] then per field
+// [name][key u16][is_type u8][u64 term_count] then per term
+// [term][u32 posting_count][postings...]. Strings are u32-length-prefixed.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+struct Reader {
+  std::string_view data;
+  size_t pos = 0;
+
+  bool ReadU32(uint32_t* v) {
+    if (pos + sizeof(*v) > data.size()) return false;
+    std::memcpy(v, data.data() + pos, sizeof(*v));
+    pos += sizeof(*v);
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos + sizeof(*v) > data.size()) return false;
+    std::memcpy(v, data.data() + pos, sizeof(*v));
+    pos += sizeof(*v);
+    return true;
+  }
+  bool ReadString(std::string* s) {
+    uint32_t len;
+    if (!ReadU32(&len) || pos + len > data.size()) return false;
+    s->assign(data.data() + pos, len);
+    pos += len;
+    return true;
+  }
+};
+
+}  // namespace
+
+void NameIndex::Serialize(std::string* out) const {
+  PutU32(out, static_cast<uint32_t>(specs_.size()));
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    PutString(out, specs_[i].name);
+    PutU32(out, specs_[i].key);
+    PutU32(out, specs_[i].is_type_field ? 1 : 0);
+    PutU64(out, postings_[i].size());
+    for (const auto& [term, nodes] : postings_[i]) {
+      PutString(out, term);
+      PutU32(out, static_cast<uint32_t>(nodes.size()));
+      out->append(reinterpret_cast<const char*>(nodes.data()),
+                  nodes.size() * sizeof(NodeId));
+    }
+  }
+}
+
+Result<NameIndex> NameIndex::Deserialize(std::string_view data) {
+  Reader r{data};
+  uint32_t field_count;
+  if (!r.ReadU32(&field_count)) {
+    return Status::Corruption("name index: truncated header");
+  }
+  NameIndex index;
+  for (uint32_t i = 0; i < field_count; ++i) {
+    FieldSpec spec;
+    uint32_t key, is_type;
+    uint64_t term_count;
+    if (!r.ReadString(&spec.name) || !r.ReadU32(&key) ||
+        !r.ReadU32(&is_type) || !r.ReadU64(&term_count)) {
+      return Status::Corruption("name index: truncated field header");
+    }
+    spec.key = static_cast<KeyId>(key);
+    spec.is_type_field = is_type != 0;
+    index.specs_.push_back(spec);
+    Postings postings;
+    for (uint64_t t = 0; t < term_count; ++t) {
+      std::string term;
+      uint32_t count;
+      if (!r.ReadString(&term) || !r.ReadU32(&count) ||
+          r.pos + count * sizeof(NodeId) > data.size()) {
+        return Status::Corruption("name index: truncated postings");
+      }
+      std::vector<NodeId> nodes(count);
+      std::memcpy(nodes.data(), data.data() + r.pos, count * sizeof(NodeId));
+      r.pos += count * sizeof(NodeId);
+      postings.emplace(std::move(term), std::move(nodes));
+    }
+    index.postings_.push_back(std::move(postings));
+  }
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// LabelIndex
+// ---------------------------------------------------------------------------
+
+LabelIndex LabelIndex::Build(const GraphView& view) {
+  LabelIndex index;
+  index.by_type_.resize(view.node_types().size());
+  view.ForEachNode([&](NodeId id) {
+    TypeId type = view.NodeType(id);
+    if (type < index.by_type_.size()) index.by_type_[type].push_back(id);
+  });
+  return index;
+}
+
+const std::vector<NodeId>& LabelIndex::Nodes(TypeId type) const {
+  if (type >= by_type_.size()) return empty_;
+  return by_type_[type];
+}
+
+uint64_t LabelIndex::ByteSize() const {
+  uint64_t bytes = 0;
+  for (const auto& v : by_type_) bytes += v.size() * sizeof(NodeId) + 24;
+  return bytes;
+}
+
+}  // namespace frappe::graph

@@ -1,0 +1,96 @@
+#ifndef FRAPPE_GRAPH_INDEXES_H_
+#define FRAPPE_GRAPH_INDEXES_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_view.h"
+
+namespace frappe::graph {
+
+// Index over string-valued node properties, equivalent to Neo4j's lucene
+// `node_auto_index` the paper queries with
+// `START n=node:node_auto_index('short_name: id')`.
+//
+// Each configured field maps lowercased terms to the nodes carrying that
+// term. The synthetic field "type" indexes the node's label name, which is
+// what Table 6's `TYPE: struct OR TYPE: union` queries filter on.
+//
+// Lookup flavours, mirroring lucene query syntax:
+//   exact        `short_name: id`
+//   wildcard     `short_name: pci_*` ('*' and '?')
+//   fuzzy        `short_name: sr_media_chnge~` (edit distance <= 2, or `~1`)
+// Terms combine with AND / OR and parentheses; juxtaposition means AND.
+class NameIndex {
+ public:
+  struct FieldSpec {
+    std::string name;            // lucene field name, e.g. "short_name"
+    KeyId key = kInvalidKey;     // node property backing it
+    bool is_type_field = false;  // true: indexes the node label instead
+  };
+
+  NameIndex() = default;
+
+  // Builds the index by scanning every live node of `view`.
+  static NameIndex Build(const GraphView& view, std::vector<FieldSpec> fields);
+
+  // Incrementally indexes one node (used by stores that keep the index live).
+  void IndexNode(const GraphView& view, NodeId id);
+
+  // --- Lookups (results are sorted, deduplicated) ---
+  std::vector<NodeId> Lookup(std::string_view field,
+                             std::string_view term) const;
+  std::vector<NodeId> LookupWildcard(std::string_view field,
+                                     std::string_view pattern) const;
+  std::vector<NodeId> LookupFuzzy(std::string_view field,
+                                  std::string_view term,
+                                  size_t max_distance) const;
+
+  // Evaluates a full lucene-style query string.
+  Result<std::vector<NodeId>> Query(std::string_view query) const;
+
+  // --- Introspection / persistence ---
+  const std::vector<FieldSpec>& fields() const { return specs_; }
+  size_t TermCount() const;
+
+  // Approximate resident bytes (terms + postings), for Table 4 accounting.
+  uint64_t ByteSize() const;
+
+  void Serialize(std::string* out) const;
+  static Result<NameIndex> Deserialize(std::string_view data);
+
+ private:
+  friend class NameIndexTestPeer;
+
+  using Postings = std::map<std::string, std::vector<NodeId>>;
+
+  const Postings* FindField(std::string_view field) const;
+  void AddTerm(size_t field_idx, std::string_view term, NodeId id);
+
+  std::vector<FieldSpec> specs_;
+  std::vector<Postings> postings_;  // parallel to specs_
+};
+
+// Label (node-type) index: constant-time access to all nodes of a type.
+// This is Neo4j 2.x's label scan store; the FQL planner uses it for
+// `MATCH (n:function ...)` start points.
+class LabelIndex {
+ public:
+  static LabelIndex Build(const GraphView& view);
+
+  // Nodes with exactly this type id (sorted). Empty for unknown types.
+  const std::vector<NodeId>& Nodes(TypeId type) const;
+
+  uint64_t ByteSize() const;
+
+ private:
+  std::vector<std::vector<NodeId>> by_type_;
+  std::vector<NodeId> empty_;
+};
+
+}  // namespace frappe::graph
+
+#endif  // FRAPPE_GRAPH_INDEXES_H_

@@ -1,0 +1,57 @@
+#ifndef FRAPPE_GRAPH_REGISTRY_H_
+#define FRAPPE_GRAPH_REGISTRY_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/ids.h"
+
+namespace frappe::graph {
+
+// Small interning table mapping names (node labels, edge types, property
+// keys) to dense 16-bit ids. A schema has a few dozen entries, so lookups
+// and storage stay trivially cheap.
+class NameRegistry {
+ public:
+  NameRegistry() = default;
+  NameRegistry(const NameRegistry&) = delete;
+  NameRegistry& operator=(const NameRegistry&) = delete;
+  NameRegistry(NameRegistry&&) = default;
+  NameRegistry& operator=(NameRegistry&&) = default;
+
+  uint16_t Intern(std::string_view name) {
+    auto it = index_.find(std::string(name));
+    if (it != index_.end()) return it->second;
+    assert(names_.size() < 0xFFFF && "registry overflow");
+    uint16_t id = static_cast<uint16_t>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Returns kInvalidType/kInvalidKey-compatible 0xFFFF when absent.
+  uint16_t Find(std::string_view name) const {
+    auto it = index_.find(std::string(name));
+    return it == index_.end() ? 0xFFFF : it->second;
+  }
+
+  bool Contains(std::string_view name) const { return Find(name) != 0xFFFF; }
+
+  std::string_view Name(uint16_t id) const {
+    if (id >= names_.size()) return {};
+    return names_[id];
+  }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint16_t> index_;
+};
+
+}  // namespace frappe::graph
+
+#endif  // FRAPPE_GRAPH_REGISTRY_H_

@@ -1,0 +1,364 @@
+#include "graph/snapshot.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace frappe::graph {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'R', 'A', 'P', 'P', 'E', 'D', 'B'};
+constexpr uint32_t kVersion = 1;
+
+enum SectionId : uint32_t {
+  kSectionSchema = 1,
+  kSectionStrings = 2,
+  kSectionNodes = 3,
+  kSectionNodeProps = 4,
+  kSectionEdges = 5,
+  kSectionEdgeProps = 6,
+  kSectionIndex = 7,
+};
+
+// Sentinel type id marking a tombstoned node/edge record.
+constexpr uint16_t kDeadType = 0xFFFF;
+
+class Writer {
+ public:
+  explicit Writer(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+  void Raw(const void* data, size_t size) {
+    out_->append(static_cast<const char*>(data), size);
+  }
+  size_t offset() const { return out_->size(); }
+
+ private:
+  std::string* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
+  bool U16(uint16_t* v) { return Raw(v, sizeof(*v)); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    uint32_t len;
+    if (!U32(&len) || pos_ + len > data_.size()) return false;
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool Raw(void* out, size_t size) {
+    if (pos_ + size > data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t pos() const { return pos_; }
+  void Seek(size_t pos) { pos_ = pos; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+void WriteRegistry(Writer* w, const NameRegistry& reg) {
+  w->U32(static_cast<uint32_t>(reg.size()));
+  for (uint16_t i = 0; i < reg.size(); ++i) w->Str(reg.Name(i));
+}
+
+bool ReadRegistryInto(Reader* r,
+                      const std::function<uint16_t(std::string_view)>& intern) {
+  uint32_t count;
+  if (!r->U32(&count)) return false;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!r->Str(&name)) return false;
+    intern(name);
+  }
+  return true;
+}
+
+void WriteProps(Writer* w, const PropertyMap& props) {
+  w->U32(static_cast<uint32_t>(props.size()));
+  for (const PropertyMap::Entry& e : props.entries()) {
+    w->U16(e.key);
+    w->U8(static_cast<uint8_t>(e.type));
+    w->U64(e.payload);
+  }
+}
+
+bool ReadProps(Reader* r, PropertyMap* props) {
+  uint32_t count;
+  if (!r->U32(&count)) return false;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint16_t key;
+    uint8_t type;
+    uint64_t payload;
+    if (!r->U16(&key) || !r->U8(&type) || !r->U64(&payload)) return false;
+    props->Set(key, Value::FromRaw(static_cast<ValueType>(type), payload));
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<SnapshotSizes> SerializeSnapshot(const GraphView& view,
+                                        std::string* out,
+                                        const NameIndex* index) {
+  SnapshotSizes sizes;
+  Writer w(out);
+  w.Raw(kMagic, sizeof(kMagic));
+  w.U32(kVersion);
+  w.U32(index != nullptr ? 7u : 6u);  // section count
+  sizes.header = w.offset();
+
+  // Schema: node types, edge types, keys.
+  {
+    size_t start = w.offset();
+    w.U32(kSectionSchema);
+    WriteRegistry(&w, view.node_types());
+    WriteRegistry(&w, view.edge_types());
+    WriteRegistry(&w, view.keys());
+    sizes.schema = w.offset() - start;
+  }
+  // Strings, ordered by id so refs survive a round trip.
+  {
+    size_t start = w.offset();
+    w.U32(kSectionStrings);
+    const StringPool& pool = view.strings();
+    w.U32(static_cast<uint32_t>(pool.size()));
+    for (uint32_t i = 0; i < pool.size(); ++i) {
+      w.Str(pool.Resolve(StringRef{i}));
+    }
+    sizes.strings = w.offset() - start;
+  }
+  // Node records (type per id slot; tombstones keep the id space intact).
+  {
+    size_t start = w.offset();
+    w.U32(kSectionNodes);
+    w.U32(view.NodeIdUpperBound());
+    for (NodeId id = 0; id < view.NodeIdUpperBound(); ++id) {
+      w.U16(view.NodeExists(id) ? view.NodeType(id) : kDeadType);
+    }
+    sizes.nodes = w.offset() - start;
+  }
+  // Node properties (live nodes only; id-ordered).
+  {
+    size_t start = w.offset();
+    w.U32(kSectionNodeProps);
+    for (NodeId id = 0; id < view.NodeIdUpperBound(); ++id) {
+      if (view.NodeExists(id)) WriteProps(&w, view.NodeProperties(id));
+    }
+    sizes.node_properties = w.offset() - start;
+  }
+  // Edge records.
+  {
+    size_t start = w.offset();
+    w.U32(kSectionEdges);
+    w.U32(view.EdgeIdUpperBound());
+    for (EdgeId id = 0; id < view.EdgeIdUpperBound(); ++id) {
+      if (view.EdgeExists(id)) {
+        Edge e = view.GetEdge(id);
+        w.U16(e.type);
+        w.U32(e.src);
+        w.U32(e.dst);
+      } else {
+        w.U16(kDeadType);
+      }
+    }
+    sizes.relationships = w.offset() - start;
+  }
+  // Edge properties.
+  {
+    size_t start = w.offset();
+    w.U32(kSectionEdgeProps);
+    for (EdgeId id = 0; id < view.EdgeIdUpperBound(); ++id) {
+      if (view.EdgeExists(id)) WriteProps(&w, view.EdgeProperties(id));
+    }
+    sizes.edge_properties = w.offset() - start;
+  }
+  // Optional embedded name index.
+  if (index != nullptr) {
+    size_t start = w.offset();
+    w.U32(kSectionIndex);
+    std::string blob;
+    index->Serialize(&blob);
+    w.Str(blob);
+    sizes.indexes = w.offset() - start;
+  }
+  return sizes;
+}
+
+Result<SnapshotSizes> SaveSnapshot(const GraphView& view,
+                                   const std::string& path,
+                                   const NameIndex* index) {
+  std::string buffer;
+  FRAPPE_ASSIGN_OR_RETURN(SnapshotSizes sizes,
+                          SerializeSnapshot(view, &buffer, index));
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::Internal("cannot open for write: " + path);
+  file.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (!file) return Status::Internal("write failed: " + path);
+  return sizes;
+}
+
+Result<LoadedSnapshot> DeserializeSnapshot(std::string_view data) {
+  Reader r(data);
+  char magic[8];
+  uint32_t version, section_count;
+  if (!r.Raw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("snapshot: bad magic");
+  }
+  if (!r.U32(&version) || version != kVersion) {
+    return Status::Corruption("snapshot: unsupported version");
+  }
+  if (!r.U32(&section_count)) return Status::Corruption("snapshot: truncated");
+
+  LoadedSnapshot loaded;
+  loaded.sizes.header = r.pos();
+  loaded.store = std::make_unique<GraphStore>();
+  GraphStore& store = *loaded.store;
+
+  std::vector<PropertyMap> node_props;
+  std::vector<PropertyMap> edge_props;
+  std::vector<NodeId> live_nodes;
+  std::vector<EdgeId> live_edges;
+
+  for (uint32_t s = 0; s < section_count; ++s) {
+    uint32_t section;
+    size_t start = r.pos();
+    if (!r.U32(&section)) return Status::Corruption("snapshot: truncated");
+    switch (section) {
+      case kSectionSchema: {
+        bool ok =
+            ReadRegistryInto(&r, [&](std::string_view n) {
+              return store.InternNodeType(n);
+            }) &&
+            ReadRegistryInto(&r, [&](std::string_view n) {
+              return store.InternEdgeType(n);
+            }) &&
+            ReadRegistryInto(
+                &r, [&](std::string_view n) { return store.InternKey(n); });
+        if (!ok) return Status::Corruption("snapshot: bad schema section");
+        loaded.sizes.schema = r.pos() - start;
+        break;
+      }
+      case kSectionStrings: {
+        uint32_t count;
+        if (!r.U32(&count)) return Status::Corruption("snapshot: strings");
+        for (uint32_t i = 0; i < count; ++i) {
+          std::string str;
+          if (!r.Str(&str)) return Status::Corruption("snapshot: strings");
+          StringRef ref = store.InternString(str);
+          if (ref.id != i) {
+            return Status::Corruption("snapshot: duplicate interned string");
+          }
+        }
+        loaded.sizes.strings = r.pos() - start;
+        break;
+      }
+      case kSectionNodes: {
+        uint32_t upper;
+        if (!r.U32(&upper)) return Status::Corruption("snapshot: nodes");
+        for (uint32_t i = 0; i < upper; ++i) {
+          uint16_t type;
+          if (!r.U16(&type)) return Status::Corruption("snapshot: nodes");
+          if (type == kDeadType) {
+            store.AddDeadNode();
+          } else {
+            live_nodes.push_back(store.AddNode(static_cast<TypeId>(type)));
+          }
+        }
+        loaded.sizes.nodes = r.pos() - start;
+        break;
+      }
+      case kSectionNodeProps: {
+        for (NodeId id : live_nodes) {
+          PropertyMap props;
+          if (!ReadProps(&r, &props)) {
+            return Status::Corruption("snapshot: node props");
+          }
+          store.SetNodeProperties(id, std::move(props));
+        }
+        loaded.sizes.node_properties = r.pos() - start;
+        break;
+      }
+      case kSectionEdges: {
+        uint32_t upper;
+        if (!r.U32(&upper)) return Status::Corruption("snapshot: edges");
+        for (uint32_t i = 0; i < upper; ++i) {
+          uint16_t type;
+          if (!r.U16(&type)) return Status::Corruption("snapshot: edges");
+          if (type == kDeadType) {
+            store.AddDeadEdge();
+            continue;
+          }
+          uint32_t src, dst;
+          if (!r.U32(&src) || !r.U32(&dst)) {
+            return Status::Corruption("snapshot: edges");
+          }
+          EdgeId e = store.AddEdge(src, dst, static_cast<TypeId>(type));
+          if (e == kInvalidEdge) {
+            return Status::Corruption("snapshot: edge references dead node");
+          }
+          live_edges.push_back(e);
+        }
+        loaded.sizes.relationships = r.pos() - start;
+        break;
+      }
+      case kSectionEdgeProps: {
+        for (EdgeId id : live_edges) {
+          PropertyMap props;
+          if (!ReadProps(&r, &props)) {
+            return Status::Corruption("snapshot: edge props");
+          }
+          store.SetEdgeProperties(id, std::move(props));
+        }
+        loaded.sizes.edge_properties = r.pos() - start;
+        break;
+      }
+      case kSectionIndex: {
+        std::string blob;
+        if (!r.Str(&blob)) return Status::Corruption("snapshot: index");
+        FRAPPE_ASSIGN_OR_RETURN(NameIndex idx, NameIndex::Deserialize(blob));
+        loaded.index = std::move(idx);
+        loaded.sizes.indexes = r.pos() - start;
+        break;
+      }
+      default:
+        return Status::Corruption("snapshot: unknown section " +
+                                  std::to_string(section));
+    }
+  }
+  if (!r.AtEnd()) return Status::Corruption("snapshot: trailing bytes");
+  return loaded;
+}
+
+Result<LoadedSnapshot> LoadSnapshot(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return Status::NotFound("cannot open snapshot: " + path);
+  std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::string data(static_cast<size_t>(size), '\0');
+  if (!file.read(data.data(), size)) {
+    return Status::Internal("read failed: " + path);
+  }
+  return DeserializeSnapshot(data);
+}
+
+}  // namespace frappe::graph

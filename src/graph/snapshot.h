@@ -1,0 +1,57 @@
+#ifndef FRAPPE_GRAPH_SNAPSHOT_H_
+#define FRAPPE_GRAPH_SNAPSHOT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph_store.h"
+#include "graph/indexes.h"
+
+namespace frappe::graph {
+
+// Byte counts of the on-disk snapshot by logical section, matching the
+// paper's Table 4 storage breakdown (Properties / Nodes / Relationships /
+// Indexes).
+struct SnapshotSizes {
+  uint64_t header = 0;         // magic + version + section count
+  uint64_t schema = 0;         // registries (labels, edge types, keys)
+  uint64_t strings = 0;        // interned string payloads (counted under
+                               // properties in Table 4 terms)
+  uint64_t nodes = 0;          // fixed node records
+  uint64_t relationships = 0;  // fixed edge records
+  uint64_t node_properties = 0;
+  uint64_t edge_properties = 0;
+  uint64_t indexes = 0;
+
+  uint64_t properties() const {
+    return node_properties + edge_properties + strings;
+  }
+  uint64_t total() const {
+    return header + schema + strings + nodes + relationships +
+           node_properties + edge_properties + indexes;
+  }
+};
+
+// Writes `view` (and optionally a prebuilt name index) to `path` as a
+// single-file binary snapshot. Returns the per-section sizes.
+Result<SnapshotSizes> SaveSnapshot(const GraphView& view, const std::string& path,
+                                   const NameIndex* index = nullptr);
+
+// In-memory variant (used by tests and the temporal store).
+Result<SnapshotSizes> SerializeSnapshot(const GraphView& view, std::string* out,
+                                        const NameIndex* index = nullptr);
+
+struct LoadedSnapshot {
+  std::unique_ptr<GraphStore> store;
+  std::optional<NameIndex> index;  // present if the snapshot embedded one
+  SnapshotSizes sizes;
+};
+
+Result<LoadedSnapshot> LoadSnapshot(const std::string& path);
+Result<LoadedSnapshot> DeserializeSnapshot(std::string_view data);
+
+}  // namespace frappe::graph
+
+#endif  // FRAPPE_GRAPH_SNAPSHOT_H_

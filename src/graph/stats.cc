@@ -1,0 +1,87 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+namespace frappe::graph {
+
+GraphMetrics ComputeMetrics(const GraphView& view) {
+  GraphMetrics m;
+  m.node_count = view.NodeCount();
+  m.edge_count = view.EdgeCount();
+  if (m.node_count > 0) {
+    m.edge_node_ratio =
+        static_cast<double>(m.edge_count) / static_cast<double>(m.node_count);
+  }
+  if (m.node_count > 1) {
+    m.density = static_cast<double>(m.edge_count) /
+                (static_cast<double>(m.node_count) *
+                 static_cast<double>(m.node_count - 1));
+  }
+  return m;
+}
+
+std::map<uint64_t, uint64_t> DegreeDistribution(const GraphView& view) {
+  std::map<uint64_t, uint64_t> hist;
+  view.ForEachNode([&](NodeId id) { ++hist[view.Degree(id)]; });
+  return hist;
+}
+
+std::vector<DegreeBin> LogBinnedDegrees(const GraphView& view) {
+  std::map<uint64_t, uint64_t> hist = DegreeDistribution(view);
+  std::vector<DegreeBin> bins;
+  for (const auto& [degree, count] : hist) {
+    uint64_t lo = 1, hi = 1;
+    if (degree > 0) {
+      lo = 1;
+      while (lo * 2 <= degree) lo *= 2;
+      hi = lo * 2 - 1;
+    } else {
+      lo = hi = 0;
+    }
+    if (!bins.empty() && bins.back().min_degree == lo) {
+      bins.back().node_count += count;
+    } else {
+      bins.push_back(DegreeBin{lo, hi, count});
+    }
+  }
+  return bins;
+}
+
+std::vector<HubNode> TopDegreeNodes(const GraphView& view, size_t k,
+                                    KeyId name_key) {
+  std::vector<HubNode> all;
+  view.ForEachNode([&](NodeId id) {
+    all.push_back(HubNode{id, view.Degree(id), "", ""});
+  });
+  size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const HubNode& a, const HubNode& b) {
+                      if (a.degree != b.degree) return a.degree > b.degree;
+                      return a.id < b.id;
+                    });
+  all.resize(take);
+  for (HubNode& hub : all) {
+    if (name_key != kInvalidKey) {
+      hub.short_name = std::string(view.GetNodeString(hub.id, name_key));
+    }
+    hub.type_name = std::string(view.NodeTypeName(hub.id));
+  }
+  return all;
+}
+
+std::map<std::string, uint64_t> EdgeTypeHistogram(const GraphView& view) {
+  std::map<std::string, uint64_t> hist;
+  view.ForEachEdgeGlobal([&](EdgeId id) {
+    ++hist[std::string(view.EdgeTypeName(id))];
+  });
+  return hist;
+}
+
+std::map<std::string, uint64_t> NodeTypeHistogram(const GraphView& view) {
+  std::map<std::string, uint64_t> hist;
+  view.ForEachNode(
+      [&](NodeId id) { ++hist[std::string(view.NodeTypeName(id))]; });
+  return hist;
+}
+
+}  // namespace frappe::graph

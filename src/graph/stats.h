@@ -1,0 +1,55 @@
+#ifndef FRAPPE_GRAPH_STATS_H_
+#define FRAPPE_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph_view.h"
+
+namespace frappe::graph {
+
+// Paper Table 3: node count, edge count, density.
+struct GraphMetrics {
+  uint64_t node_count = 0;
+  uint64_t edge_count = 0;
+  // Edge-to-node ratio (the paper quotes 1:8).
+  double edge_node_ratio = 0.0;
+  // Directed graph density: |E| / (|V| * (|V| - 1)).
+  double density = 0.0;
+};
+
+GraphMetrics ComputeMetrics(const GraphView& view);
+
+// Paper Figure 7: distribution of total node degree (in + out).
+// Returns degree -> node count, in ascending degree order.
+std::map<uint64_t, uint64_t> DegreeDistribution(const GraphView& view);
+
+// Log-binned view of the distribution for compact printing: each bin covers
+// degrees [2^i, 2^(i+1)).
+struct DegreeBin {
+  uint64_t min_degree;
+  uint64_t max_degree;
+  uint64_t node_count;
+};
+std::vector<DegreeBin> LogBinnedDegrees(const GraphView& view);
+
+// The k highest-degree nodes with their degree — in the paper these are
+// hubs like `int` (degree ~79K) and `NULL` (~19K).
+struct HubNode {
+  NodeId id;
+  uint64_t degree;
+  std::string short_name;  // resolved via `name_key` when provided
+  std::string type_name;
+};
+std::vector<HubNode> TopDegreeNodes(const GraphView& view, size_t k,
+                                    KeyId name_key = kInvalidKey);
+
+// Edge count per edge type (useful for sanity-checking extractor output).
+std::map<std::string, uint64_t> EdgeTypeHistogram(const GraphView& view);
+std::map<std::string, uint64_t> NodeTypeHistogram(const GraphView& view);
+
+}  // namespace frappe::graph
+
+#endif  // FRAPPE_GRAPH_STATS_H_

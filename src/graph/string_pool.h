@@ -1,0 +1,72 @@
+#ifndef FRAPPE_GRAPH_STRING_POOL_H_
+#define FRAPPE_GRAPH_STRING_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace frappe::graph {
+
+// Reference to an interned string. 32 bits so it fits in a packed property
+// entry payload.
+struct StringRef {
+  uint32_t id = 0xFFFFFFFFu;
+
+  bool valid() const { return id != 0xFFFFFFFFu; }
+  bool operator==(const StringRef&) const = default;
+};
+
+// Append-only interning pool. Every distinct property string (symbol names,
+// file paths, qualifier codes) is stored once; properties hold 4-byte refs.
+// Storage uses a deque so string_views handed out stay valid for the pool's
+// lifetime even as it grows.
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+  StringPool(StringPool&&) = default;
+  StringPool& operator=(StringPool&&) = default;
+
+  // Returns the ref for `s`, interning it if not present.
+  StringRef Intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return StringRef{it->second};
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    index_.emplace(strings_.back(), id);
+    bytes_ += s.size();
+    return StringRef{id};
+  }
+
+  // Const lookup: returns nullopt if `s` was never interned. Lets read-only
+  // consumers (query execution) translate string constants without mutating
+  // the pool.
+  std::optional<StringRef> Find(std::string_view s) const {
+    auto it = index_.find(s);
+    if (it == index_.end()) return std::nullopt;
+    return StringRef{it->second};
+  }
+
+  std::string_view Resolve(StringRef ref) const {
+    if (!ref.valid() || ref.id >= strings_.size()) return {};
+    return strings_[ref.id];
+  }
+
+  size_t size() const { return strings_.size(); }
+
+  // Total payload bytes of interned strings (for storage accounting).
+  uint64_t payload_bytes() const { return bytes_; }
+
+ private:
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace frappe::graph
+
+#endif  // FRAPPE_GRAPH_STRING_POOL_H_

@@ -1,0 +1,26 @@
+#include "graph/value.h"
+
+#include <cstdio>
+
+namespace frappe::graph {
+
+std::string Value::ToString(const StringPool& pool) const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return int_ ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(int_);
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_);
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + std::string(pool.Resolve(string_)) + "'";
+  }
+  return "?";
+}
+
+}  // namespace frappe::graph

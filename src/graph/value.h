@@ -1,0 +1,123 @@
+#ifndef FRAPPE_GRAPH_VALUE_H_
+#define FRAPPE_GRAPH_VALUE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "graph/string_pool.h"
+
+namespace frappe::graph {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,  // interned StringRef into the owning graph's StringPool
+};
+
+// Compact tagged property value (16 bytes). Strings are interned: a Value
+// holds only a StringRef and must be resolved against the graph's
+// StringPool. This keeps the ~40 M property entries of a paper-scale graph
+// within a few hundred MB.
+class Value {
+ public:
+  Value() : type_(ValueType::kNull), int_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = ValueType::kBool;
+    v.int_ = b ? 1 : 0;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.type_ = ValueType::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = ValueType::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static Value String(StringRef ref) {
+    Value v;
+    v.type_ = ValueType::kString;
+    v.int_ = 0;  // zero padding bits so operator== can compare payloads
+    v.string_ = ref;
+    return v;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  bool AsBool() const { return int_ != 0; }
+  int64_t AsInt() const { return int_; }
+  double AsDouble() const { return double_; }
+  StringRef AsString() const { return string_; }
+
+  // Numeric view: ints and doubles compare interchangeably in queries.
+  bool is_numeric() const {
+    return type_ == ValueType::kInt || type_ == ValueType::kDouble;
+  }
+  double NumericValue() const {
+    return type_ == ValueType::kDouble ? double_ : static_cast<double>(int_);
+  }
+
+  // Exact equality: same type and payload, except int/double compare
+  // numerically (so `{line: 5}` matches a stored double 5.0 and vice versa).
+  bool operator==(const Value& other) const {
+    if (is_numeric() && other.is_numeric()) {
+      return NumericValue() == other.NumericValue();
+    }
+    if (type_ != other.type_) return false;
+    switch (type_) {
+      case ValueType::kNull:
+        return true;
+      case ValueType::kBool:
+        return int_ == other.int_;
+      case ValueType::kString:
+        return string_ == other.string_;
+      default:
+        return int_ == other.int_;
+    }
+  }
+
+  // Raw 64-bit payload, used by the packed property map and the snapshot
+  // writer. Interpretation depends on type().
+  uint64_t RawPayload() const {
+    uint64_t out;
+    std::memcpy(&out, &int_, sizeof(out));
+    return out;
+  }
+  static Value FromRaw(ValueType type, uint64_t payload) {
+    Value v;
+    v.type_ = type;
+    std::memcpy(&v.int_, &payload, sizeof(payload));
+    if (type == ValueType::kString) {
+      v.string_ = StringRef{static_cast<uint32_t>(payload)};
+    }
+    return v;
+  }
+
+  // Debug/display rendering; resolves strings against `pool`.
+  std::string ToString(const StringPool& pool) const;
+
+ private:
+  ValueType type_;
+  union {
+    int64_t int_;
+    double double_;
+    StringRef string_;
+  };
+};
+
+static_assert(sizeof(Value) == 16, "Value must stay compact");
+
+}  // namespace frappe::graph
+
+#endif  // FRAPPE_GRAPH_VALUE_H_

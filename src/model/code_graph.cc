@@ -1,0 +1,160 @@
+#include "model/code_graph.h"
+
+namespace frappe::model {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::Value;
+
+CodeGraph::CodeGraph(Validation validation)
+    : validation_(validation), schema_(Schema::Install(&store_)) {}
+
+NodeId CodeGraph::AddNode(NodeKind kind, std::string_view short_name) {
+  NodeId id = store_.AddNode(schema_.node_type(kind));
+  if (!short_name.empty()) SetShortName(id, short_name);
+  return id;
+}
+
+void CodeGraph::SetShortName(NodeId id, std::string_view name) {
+  store_.SetNodeProperty(id, schema_.key(PropKey::kShortName),
+                         store_.StringValue(name));
+}
+void CodeGraph::SetName(NodeId id, std::string_view name) {
+  store_.SetNodeProperty(id, schema_.key(PropKey::kName),
+                         store_.StringValue(name));
+}
+void CodeGraph::SetLongName(NodeId id, std::string_view name) {
+  store_.SetNodeProperty(id, schema_.key(PropKey::kLongName),
+                         store_.StringValue(name));
+}
+void CodeGraph::SetEnumValue(NodeId id, int64_t value) {
+  store_.SetNodeProperty(id, schema_.key(PropKey::kValue), Value::Int(value));
+}
+void CodeGraph::MarkVariadic(NodeId id) {
+  store_.SetNodeProperty(id, schema_.key(PropKey::kVariadic),
+                         Value::Bool(true));
+}
+void CodeGraph::MarkVirtual(NodeId id) {
+  store_.SetNodeProperty(id, schema_.key(PropKey::kVirtual),
+                         Value::Bool(true));
+}
+void CodeGraph::MarkInMacro(NodeId id) {
+  store_.SetNodeProperty(id, schema_.key(PropKey::kInMacro),
+                         Value::Bool(true));
+}
+
+NodeId CodeGraph::Primitive(std::string_view name) {
+  auto it = primitives_.find(std::string(name));
+  if (it != primitives_.end()) return it->second;
+  NodeId id = AddNode(NodeKind::kPrimitive, name);
+  SetName(id, name);
+  SetLongName(id, name);
+  primitives_.emplace(std::string(name), id);
+  return id;
+}
+
+Result<EdgeId> CodeGraph::AddEdge(EdgeKind kind, NodeId src, NodeId dst) {
+  if (!store_.NodeExists(src) || !store_.NodeExists(dst)) {
+    return Status::InvalidArgument("edge endpoint does not exist");
+  }
+  if (validation_ == Validation::kStrict) {
+    NodeKind src_kind = KindOf(src);
+    NodeKind dst_kind = KindOf(dst);
+    if (!ValidEndpoints(kind, src_kind, dst_kind)) {
+      return Status::InvalidArgument(
+          std::string("invalid '") + std::string(EdgeKindName(kind)) +
+          "' edge: " + std::string(NodeKindName(src_kind)) + " -> " +
+          std::string(NodeKindName(dst_kind)));
+    }
+  }
+  return store_.AddEdge(src, dst, schema_.edge_type(kind));
+}
+
+EdgeId CodeGraph::AddEdgeUnchecked(EdgeKind kind, NodeId src, NodeId dst) {
+  return store_.AddEdge(src, dst, schema_.edge_type(kind));
+}
+
+void CodeGraph::SetRange(EdgeId id, const SourceRange& range, PropKey file,
+                         PropKey sl, PropKey sc, PropKey el, PropKey ec) {
+  store_.SetEdgeProperty(id, schema_.key(file), Value::Int(range.file_id));
+  store_.SetEdgeProperty(id, schema_.key(sl), Value::Int(range.start_line));
+  store_.SetEdgeProperty(id, schema_.key(sc), Value::Int(range.start_col));
+  store_.SetEdgeProperty(id, schema_.key(el), Value::Int(range.end_line));
+  store_.SetEdgeProperty(id, schema_.key(ec), Value::Int(range.end_col));
+}
+
+void CodeGraph::SetUseRange(EdgeId id, const SourceRange& range) {
+  SetRange(id, range, PropKey::kUseFileId, PropKey::kUseStartLine,
+           PropKey::kUseStartCol, PropKey::kUseEndLine, PropKey::kUseEndCol);
+}
+void CodeGraph::SetNameRange(EdgeId id, const SourceRange& range) {
+  SetRange(id, range, PropKey::kNameFileId, PropKey::kNameStartLine,
+           PropKey::kNameStartCol, PropKey::kNameEndLine,
+           PropKey::kNameEndCol);
+}
+void CodeGraph::SetQualifiers(EdgeId id, std::string_view codes) {
+  store_.SetEdgeProperty(id, schema_.key(PropKey::kQualifiers),
+                         store_.StringValue(codes));
+}
+void CodeGraph::SetArrayLengths(EdgeId id, std::string_view dims) {
+  store_.SetEdgeProperty(id, schema_.key(PropKey::kArrayLengths),
+                         store_.StringValue(dims));
+}
+void CodeGraph::SetBitWidth(EdgeId id, int64_t bits) {
+  store_.SetEdgeProperty(id, schema_.key(PropKey::kBitWidth),
+                         Value::Int(bits));
+}
+void CodeGraph::SetParamIndex(EdgeId id, int64_t index) {
+  store_.SetEdgeProperty(id, schema_.key(PropKey::kIndex), Value::Int(index));
+}
+void CodeGraph::SetLinkOrder(EdgeId id, int64_t order) {
+  store_.SetEdgeProperty(id, schema_.key(PropKey::kLinkOrder),
+                         Value::Int(order));
+}
+
+SourceRange CodeGraph::UseRange(EdgeId id) const {
+  SourceRange r;
+  graph::Value file =
+      store_.GetEdgeProperty(id, schema_.key(PropKey::kUseFileId));
+  r.file_id = file.is_null() ? -1 : file.AsInt();
+  r.start_line =
+      store_.GetEdgeProperty(id, schema_.key(PropKey::kUseStartLine)).AsInt();
+  r.start_col =
+      store_.GetEdgeProperty(id, schema_.key(PropKey::kUseStartCol)).AsInt();
+  r.end_line =
+      store_.GetEdgeProperty(id, schema_.key(PropKey::kUseEndLine)).AsInt();
+  r.end_col =
+      store_.GetEdgeProperty(id, schema_.key(PropKey::kUseEndCol)).AsInt();
+  return r;
+}
+
+SourceRange CodeGraph::NameRange(EdgeId id) const {
+  SourceRange r;
+  graph::Value file =
+      store_.GetEdgeProperty(id, schema_.key(PropKey::kNameFileId));
+  r.file_id = file.is_null() ? -1 : file.AsInt();
+  r.start_line =
+      store_.GetEdgeProperty(id, schema_.key(PropKey::kNameStartLine)).AsInt();
+  r.start_col =
+      store_.GetEdgeProperty(id, schema_.key(PropKey::kNameStartCol)).AsInt();
+  r.end_line =
+      store_.GetEdgeProperty(id, schema_.key(PropKey::kNameEndLine)).AsInt();
+  r.end_col =
+      store_.GetEdgeProperty(id, schema_.key(PropKey::kNameEndCol)).AsInt();
+  return r;
+}
+
+std::vector<graph::NameIndex::FieldSpec> CodeGraph::IndexFields() const {
+  return {
+      {"short_name", schema_.key(PropKey::kShortName), false},
+      {"name", schema_.key(PropKey::kName), false},
+      {"long_name", schema_.key(PropKey::kLongName), false},
+      {"type", graph::kInvalidKey, true},
+  };
+}
+
+graph::NameIndex CodeGraph::BuildNameIndex() const {
+  return graph::NameIndex::Build(store_, IndexFields());
+}
+
+}  // namespace frappe::model

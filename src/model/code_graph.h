@@ -1,0 +1,120 @@
+#ifndef FRAPPE_MODEL_CODE_GRAPH_H_
+#define FRAPPE_MODEL_CODE_GRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_store.h"
+#include "graph/indexes.h"
+#include "model/schema.h"
+
+namespace frappe::model {
+
+// Half-open-ish source range as the paper stores it: 1-based line/column of
+// the first and last character of the range, plus the id of the file node
+// the range lies in (ranges cannot use the edge endpoints' files because of
+// macro expansion — paper Section 6.2).
+struct SourceRange {
+  int64_t file_id = -1;
+  int64_t start_line = 0;
+  int64_t start_col = 0;
+  int64_t end_line = 0;
+  int64_t end_col = 0;
+
+  bool valid() const { return file_id >= 0 && start_line > 0; }
+  bool operator==(const SourceRange&) const = default;
+};
+
+// Schema-aware facade over a GraphStore for building and reading Frappé
+// code graphs. All node/edge types and property keys go through the
+// installed Schema; the checked mutation API enforces the structural
+// constraints of Table 1 (e.g. `calls` edges connect function-like nodes).
+class CodeGraph {
+ public:
+  enum class Validation {
+    kStrict,  // AddEdge returns InvalidArgument on constraint violations
+    kOff,     // constraints skipped (bulk loads from trusted sources)
+  };
+
+  explicit CodeGraph(Validation validation = Validation::kStrict);
+
+  graph::GraphStore& store() { return store_; }
+  const graph::GraphStore& store() const { return store_; }
+  const graph::GraphView& view() const { return store_; }
+  const Schema& schema() const { return schema_; }
+
+  // --- Node construction ---
+
+  graph::NodeId AddNode(NodeKind kind, std::string_view short_name);
+
+  void SetShortName(graph::NodeId id, std::string_view name);
+  void SetName(graph::NodeId id, std::string_view name);
+  void SetLongName(graph::NodeId id, std::string_view name);
+  void SetEnumValue(graph::NodeId id, int64_t value);
+  void MarkVariadic(graph::NodeId id);
+  void MarkVirtual(graph::NodeId id);
+  void MarkInMacro(graph::NodeId id);
+
+  // Primitive type nodes (`int`, `char`, ...) are shared across the whole
+  // graph; repeated requests return the same node. This is what gives the
+  // paper's Figure 7 its extreme hubs.
+  graph::NodeId Primitive(std::string_view name);
+
+  // --- Edge construction ---
+
+  // Validates endpoints per `ValidEndpoints` when in strict mode.
+  Result<graph::EdgeId> AddEdge(EdgeKind kind, graph::NodeId src,
+                                graph::NodeId dst);
+  // Bypasses validation (still requires live endpoints).
+  graph::EdgeId AddEdgeUnchecked(EdgeKind kind, graph::NodeId src,
+                                 graph::NodeId dst);
+
+  void SetUseRange(graph::EdgeId id, const SourceRange& range);
+  void SetNameRange(graph::EdgeId id, const SourceRange& range);
+  void SetQualifiers(graph::EdgeId id, std::string_view codes);
+  void SetArrayLengths(graph::EdgeId id, std::string_view dims);
+  void SetBitWidth(graph::EdgeId id, int64_t bits);
+  void SetParamIndex(graph::EdgeId id, int64_t index);
+  void SetLinkOrder(graph::EdgeId id, int64_t order);
+
+  // --- Reads ---
+
+  NodeKind KindOf(graph::NodeId id) const {
+    return schema_.node_kind(store_.NodeType(id));
+  }
+  EdgeKind EdgeKindOf(graph::EdgeId id) const {
+    return schema_.edge_kind(store_.GetEdge(id).type);
+  }
+  std::string_view ShortName(graph::NodeId id) const {
+    return store_.GetNodeString(id, schema_.key(PropKey::kShortName));
+  }
+  SourceRange UseRange(graph::EdgeId id) const;
+  SourceRange NameRange(graph::EdgeId id) const;
+
+  graph::TypeId type_id(NodeKind kind) const { return schema_.node_type(kind); }
+  graph::TypeId type_id(EdgeKind kind) const { return schema_.edge_type(kind); }
+  graph::KeyId key_id(PropKey key) const { return schema_.key(key); }
+
+  // --- Indexing ---
+
+  // The auto-index fields Frappé exposes: short_name, name, long_name and
+  // the synthetic "type" field over node labels.
+  std::vector<graph::NameIndex::FieldSpec> IndexFields() const;
+  graph::NameIndex BuildNameIndex() const;
+
+ private:
+  void SetRange(graph::EdgeId id, const SourceRange& range, PropKey file,
+                PropKey sl, PropKey sc, PropKey el, PropKey ec);
+
+  Validation validation_;
+  graph::GraphStore store_;
+  Schema schema_;
+  std::unordered_map<std::string, graph::NodeId> primitives_;
+};
+
+}  // namespace frappe::model
+
+#endif  // FRAPPE_MODEL_CODE_GRAPH_H_

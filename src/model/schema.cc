@@ -1,0 +1,408 @@
+#include "model/schema.h"
+
+#include <array>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace frappe::model {
+
+namespace {
+
+constexpr size_t kNodeCount = static_cast<size_t>(NodeKind::kCount);
+constexpr size_t kEdgeCount = static_cast<size_t>(EdgeKind::kCount);
+constexpr size_t kPropCount = static_cast<size_t>(PropKey::kCount);
+
+constexpr std::array<std::string_view, kNodeCount> kNodeNames = {
+    "directory",   "enum_def",    "enumerator", "field",
+    "file",        "function",    "function_decl", "function_type",
+    "global",      "global_decl", "local",      "macro",
+    "module",      "parameter",   "primitive",  "static_local",
+    "struct",      "struct_decl", "typedef",    "union",
+    "union_decl",
+};
+
+constexpr std::array<std::string_view, kEdgeCount> kEdgeNames = {
+    "calls",
+    "casts_to",
+    "compiled_from",
+    "contains",
+    "declares",
+    "dereferences",
+    "dereferences_member",
+    "dir_contains",
+    "expands_macro",
+    "file_contains",
+    "gets_align_of",
+    "gets_size_of",
+    "has_local",
+    "has_param",
+    "has_param_type",
+    "has_ret_type",
+    "includes",
+    "interrogates_macro",
+    "isa_type",
+    "link_declares",
+    "link_matches",
+    "linked_from",
+    "linked_from_lib",
+    "reads",
+    "reads_member",
+    "takes_address_of",
+    "takes_address_of_member",
+    "uses_enumerator",
+    "writes",
+    "writes_member",
+};
+
+constexpr std::array<std::string_view, kPropCount> kPropNames = {
+    "short_name",      "name",          "long_name",      "value",
+    "variadic",        "virtual",       "in_macro",       "use_file_id",
+    "use_start_line",  "use_start_col", "use_end_line",   "use_end_col",
+    "name_file_id",    "name_start_line", "name_start_col", "name_end_line",
+    "name_end_col",    "array_lengths", "bit_width",      "qualifiers",
+    "index",           "link_order",
+};
+
+constexpr std::array<std::string_view,
+                     static_cast<size_t>(NodeGroup::kCount)>
+    kNodeGroupNames = {"symbol", "type", "container"};
+
+constexpr std::array<std::string_view,
+                     static_cast<size_t>(EdgeGroup::kCount)>
+    kEdgeGroupNames = {"link", "preprocessor", "containment", "reference"};
+
+// Group membership tables.
+bool NodeGroupTable(NodeKind kind, NodeGroup group) {
+  switch (group) {
+    case NodeGroup::kSymbol:
+      switch (kind) {
+        case NodeKind::kEnumerator:
+        case NodeKind::kField:
+        case NodeKind::kFunction:
+        case NodeKind::kFunctionDecl:
+        case NodeKind::kGlobal:
+        case NodeKind::kGlobalDecl:
+        case NodeKind::kLocal:
+        case NodeKind::kMacro:
+        case NodeKind::kParameter:
+        case NodeKind::kStaticLocal:
+        case NodeKind::kStruct:
+        case NodeKind::kStructDecl:
+        case NodeKind::kTypedef:
+        case NodeKind::kUnion:
+        case NodeKind::kUnionDecl:
+        case NodeKind::kEnumDef:
+          return true;
+        default:
+          return false;
+      }
+    case NodeGroup::kType:
+      switch (kind) {
+        case NodeKind::kEnumDef:
+        case NodeKind::kFunctionType:
+        case NodeKind::kPrimitive:
+        case NodeKind::kStruct:
+        case NodeKind::kStructDecl:
+        case NodeKind::kTypedef:
+        case NodeKind::kUnion:
+        case NodeKind::kUnionDecl:
+          return true;
+        default:
+          return false;
+      }
+    case NodeGroup::kContainer:
+      switch (kind) {
+        case NodeKind::kDirectory:
+        case NodeKind::kEnumDef:
+        case NodeKind::kFile:
+        case NodeKind::kModule:
+        case NodeKind::kStruct:
+        case NodeKind::kUnion:
+          return true;
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+bool EdgeGroupTable(EdgeKind kind, EdgeGroup group) {
+  switch (group) {
+    case EdgeGroup::kLink:
+      switch (kind) {
+        case EdgeKind::kCompiledFrom:
+        case EdgeKind::kLinkDeclares:
+        case EdgeKind::kLinkMatches:
+        case EdgeKind::kLinkedFrom:
+        case EdgeKind::kLinkedFromLib:
+          return true;
+        default:
+          return false;
+      }
+    case EdgeGroup::kPreprocessor:
+      switch (kind) {
+        case EdgeKind::kExpandsMacro:
+        case EdgeKind::kIncludes:
+        case EdgeKind::kInterrogatesMacro:
+          return true;
+        default:
+          return false;
+      }
+    case EdgeGroup::kContainment:
+      switch (kind) {
+        case EdgeKind::kContains:
+        case EdgeKind::kDeclares:
+        case EdgeKind::kDirContains:
+        case EdgeKind::kFileContains:
+        case EdgeKind::kHasLocal:
+        case EdgeKind::kHasParam:
+          return true;
+        default:
+          return false;
+      }
+    case EdgeGroup::kReference:
+      switch (kind) {
+        case EdgeKind::kCalls:
+        case EdgeKind::kCastsTo:
+        case EdgeKind::kDereferences:
+        case EdgeKind::kDereferencesMember:
+        case EdgeKind::kGetsAlignOf:
+        case EdgeKind::kGetsSizeOf:
+        case EdgeKind::kHasParamType:
+        case EdgeKind::kHasRetType:
+        case EdgeKind::kIsaType:
+        case EdgeKind::kReads:
+        case EdgeKind::kReadsMember:
+        case EdgeKind::kTakesAddressOf:
+        case EdgeKind::kTakesAddressOfMember:
+        case EdgeKind::kUsesEnumerator:
+        case EdgeKind::kWrites:
+        case EdgeKind::kWritesMember:
+          return true;
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+bool IsFunctionLike(NodeKind k) {
+  return k == NodeKind::kFunction || k == NodeKind::kFunctionDecl;
+}
+bool IsVariableLike(NodeKind k) {
+  return k == NodeKind::kGlobal || k == NodeKind::kGlobalDecl ||
+         k == NodeKind::kLocal || k == NodeKind::kStaticLocal ||
+         k == NodeKind::kParameter || k == NodeKind::kField;
+}
+bool IsTypeLike(NodeKind k) { return NodeGroupTable(k, NodeGroup::kType); }
+bool IsRecordLike(NodeKind k) {
+  return k == NodeKind::kStruct || k == NodeKind::kUnion ||
+         k == NodeKind::kStructDecl || k == NodeKind::kUnionDecl ||
+         k == NodeKind::kTypedef;  // typedef of a record used as member base
+}
+
+}  // namespace
+
+std::string_view NodeKindName(NodeKind kind) {
+  size_t i = static_cast<size_t>(kind);
+  return i < kNodeCount ? kNodeNames[i] : std::string_view();
+}
+std::string_view EdgeKindName(EdgeKind kind) {
+  size_t i = static_cast<size_t>(kind);
+  return i < kEdgeCount ? kEdgeNames[i] : std::string_view();
+}
+std::string_view PropKeyName(PropKey key) {
+  size_t i = static_cast<size_t>(key);
+  return i < kPropCount ? kPropNames[i] : std::string_view();
+}
+std::string_view NodeGroupName(NodeGroup group) {
+  size_t i = static_cast<size_t>(group);
+  return i < kNodeGroupNames.size() ? kNodeGroupNames[i] : std::string_view();
+}
+std::string_view EdgeGroupName(EdgeGroup group) {
+  size_t i = static_cast<size_t>(group);
+  return i < kEdgeGroupNames.size() ? kEdgeGroupNames[i] : std::string_view();
+}
+
+NodeKind NodeKindFromName(std::string_view name) {
+  std::string lowered = ToLower(name);
+  for (size_t i = 0; i < kNodeCount; ++i) {
+    if (kNodeNames[i] == lowered) return static_cast<NodeKind>(i);
+  }
+  return NodeKind::kCount;
+}
+EdgeKind EdgeKindFromName(std::string_view name) {
+  std::string lowered = ToLower(name);
+  for (size_t i = 0; i < kEdgeCount; ++i) {
+    if (kEdgeNames[i] == lowered) return static_cast<EdgeKind>(i);
+  }
+  return EdgeKind::kCount;
+}
+PropKey PropKeyFromName(std::string_view name) {
+  std::string canonical = CanonicalPropertyName(name);
+  for (size_t i = 0; i < kPropCount; ++i) {
+    if (kPropNames[i] == canonical) return static_cast<PropKey>(i);
+  }
+  return PropKey::kCount;
+}
+NodeGroup NodeGroupFromName(std::string_view name) {
+  std::string lowered = ToLower(name);
+  for (size_t i = 0; i < kNodeGroupNames.size(); ++i) {
+    if (kNodeGroupNames[i] == lowered) return static_cast<NodeGroup>(i);
+  }
+  return NodeGroup::kCount;
+}
+EdgeGroup EdgeGroupFromName(std::string_view name) {
+  std::string lowered = ToLower(name);
+  for (size_t i = 0; i < kEdgeGroupNames.size(); ++i) {
+    if (kEdgeGroupNames[i] == lowered) return static_cast<EdgeGroup>(i);
+  }
+  return EdgeGroup::kCount;
+}
+
+std::string CanonicalPropertyName(std::string_view name) {
+  std::string lowered = ToLower(name);
+  // The paper uses both *_COL and *_COLUMN spellings (Figure 4 vs Table 2).
+  if (EndsWith(lowered, "_column")) {
+    lowered = lowered.substr(0, lowered.size() - 3);  // "_column" -> "_col"
+  }
+  return lowered;
+}
+
+bool InGroup(NodeKind kind, NodeGroup group) {
+  return NodeGroupTable(kind, group);
+}
+bool InGroup(EdgeKind kind, EdgeGroup group) {
+  return EdgeGroupTable(kind, group);
+}
+
+std::vector<NodeKind> GroupMembers(NodeGroup group) {
+  std::vector<NodeKind> out;
+  for (size_t i = 0; i < kNodeCount; ++i) {
+    NodeKind kind = static_cast<NodeKind>(i);
+    if (InGroup(kind, group)) out.push_back(kind);
+  }
+  return out;
+}
+std::vector<EdgeKind> GroupMembers(EdgeGroup group) {
+  std::vector<EdgeKind> out;
+  for (size_t i = 0; i < kEdgeCount; ++i) {
+    EdgeKind kind = static_cast<EdgeKind>(i);
+    if (InGroup(kind, group)) out.push_back(kind);
+  }
+  return out;
+}
+
+bool ValidEndpoints(EdgeKind kind, NodeKind src, NodeKind dst) {
+  switch (kind) {
+    case EdgeKind::kCalls:
+      return IsFunctionLike(src) && IsFunctionLike(dst);
+    case EdgeKind::kCastsTo:
+    case EdgeKind::kGetsAlignOf:
+    case EdgeKind::kGetsSizeOf:
+      return IsFunctionLike(src) && IsTypeLike(dst);
+    case EdgeKind::kCompiledFrom:
+      return src == NodeKind::kModule && dst == NodeKind::kFile;
+    case EdgeKind::kContains:
+      // struct/union/enum contains fields/enumerators; nested records too.
+      return (IsRecordLike(src) || src == NodeKind::kEnumDef) &&
+             (dst == NodeKind::kField || dst == NodeKind::kEnumerator ||
+              IsRecordLike(dst) || dst == NodeKind::kEnumDef);
+    case EdgeKind::kDeclares:
+      // A declaration declares its definition (decl -> def).
+      return (src == NodeKind::kFunctionDecl && dst == NodeKind::kFunction) ||
+             (src == NodeKind::kGlobalDecl && dst == NodeKind::kGlobal) ||
+             (src == NodeKind::kStructDecl && dst == NodeKind::kStruct) ||
+             (src == NodeKind::kUnionDecl && dst == NodeKind::kUnion);
+    case EdgeKind::kDereferences:
+    case EdgeKind::kReads:
+    case EdgeKind::kWrites:
+    case EdgeKind::kTakesAddressOf:
+      return IsFunctionLike(src) &&
+             (IsVariableLike(dst) || IsFunctionLike(dst));
+    case EdgeKind::kDereferencesMember:
+    case EdgeKind::kReadsMember:
+    case EdgeKind::kWritesMember:
+    case EdgeKind::kTakesAddressOfMember:
+      return IsFunctionLike(src) && dst == NodeKind::kField;
+    case EdgeKind::kDirContains:
+      return src == NodeKind::kDirectory &&
+             (dst == NodeKind::kDirectory || dst == NodeKind::kFile);
+    case EdgeKind::kExpandsMacro:
+    case EdgeKind::kInterrogatesMacro:
+      // Functions, files (top-level expansion) and macros (nested expansion)
+      // can use macros.
+      return (IsFunctionLike(src) || src == NodeKind::kFile ||
+              src == NodeKind::kMacro) &&
+             dst == NodeKind::kMacro;
+    case EdgeKind::kFileContains:
+      return src == NodeKind::kFile;
+    case EdgeKind::kHasLocal:
+      return IsFunctionLike(src) && (dst == NodeKind::kLocal ||
+                                     dst == NodeKind::kStaticLocal);
+    case EdgeKind::kHasParam:
+      return IsFunctionLike(src) && dst == NodeKind::kParameter;
+    case EdgeKind::kHasParamType:
+    case EdgeKind::kHasRetType:
+      return (IsFunctionLike(src) || src == NodeKind::kFunctionType) &&
+             IsTypeLike(dst);
+    case EdgeKind::kIncludes:
+      return src == NodeKind::kFile && dst == NodeKind::kFile;
+    case EdgeKind::kIsaType:
+      return (IsVariableLike(src) || src == NodeKind::kTypedef ||
+              src == NodeKind::kGlobalDecl || src == NodeKind::kEnumerator) &&
+             IsTypeLike(dst);
+    case EdgeKind::kLinkDeclares:
+      // A module's link step resolves a declaration (module -> decl).
+      return src == NodeKind::kModule &&
+             (dst == NodeKind::kFunctionDecl || dst == NodeKind::kGlobalDecl);
+    case EdgeKind::kLinkMatches:
+      // Declaration matched to its definition at link time.
+      return (src == NodeKind::kFunctionDecl &&
+              dst == NodeKind::kFunction) ||
+             (src == NodeKind::kGlobalDecl && dst == NodeKind::kGlobal);
+    case EdgeKind::kLinkedFrom:
+    case EdgeKind::kLinkedFromLib:
+      return src == NodeKind::kModule && dst == NodeKind::kModule;
+    case EdgeKind::kUsesEnumerator:
+      return IsFunctionLike(src) && dst == NodeKind::kEnumerator;
+    default:
+      return false;
+  }
+}
+
+Schema Schema::Install(graph::GraphStore* store) {
+  Schema schema;
+  schema.node_ids_.reserve(kNodeCount);
+  for (size_t i = 0; i < kNodeCount; ++i) {
+    schema.node_ids_.push_back(store->InternNodeType(kNodeNames[i]));
+  }
+  schema.edge_ids_.reserve(kEdgeCount);
+  for (size_t i = 0; i < kEdgeCount; ++i) {
+    schema.edge_ids_.push_back(store->InternEdgeType(kEdgeNames[i]));
+  }
+  schema.key_ids_.reserve(kPropCount);
+  for (size_t i = 0; i < kPropCount; ++i) {
+    schema.key_ids_.push_back(store->InternKey(kPropNames[i]));
+  }
+  return schema;
+}
+
+NodeKind Schema::node_kind(graph::TypeId id) const {
+  for (size_t i = 0; i < node_ids_.size(); ++i) {
+    if (node_ids_[i] == id) return static_cast<NodeKind>(i);
+  }
+  return NodeKind::kCount;
+}
+
+EdgeKind Schema::edge_kind(graph::TypeId id) const {
+  for (size_t i = 0; i < edge_ids_.size(); ++i) {
+    if (edge_ids_[i] == id) return static_cast<EdgeKind>(i);
+  }
+  return EdgeKind::kCount;
+}
+
+}  // namespace frappe::model

@@ -1,0 +1,186 @@
+#ifndef FRAPPE_MODEL_SCHEMA_H_
+#define FRAPPE_MODEL_SCHEMA_H_
+
+#include <string_view>
+#include <vector>
+
+#include "graph/graph_store.h"
+#include "graph/ids.h"
+
+namespace frappe::model {
+
+// Node types of the Frappé graph model (paper Table 1). Nodes represent
+// "a range of entities from symbol definitions and declarations to macro
+// definitions, source files, directories, and modules".
+enum class NodeKind : uint16_t {
+  kDirectory = 0,
+  kEnumDef,
+  kEnumerator,
+  kField,
+  kFile,
+  kFunction,
+  kFunctionDecl,
+  kFunctionType,
+  kGlobal,
+  kGlobalDecl,
+  kLocal,
+  kMacro,
+  kModule,  // linked outputs: executables, shared objects, object files
+  kParameter,
+  kPrimitive,
+  kStaticLocal,
+  kStruct,
+  kStructDecl,
+  kTypedef,
+  kUnion,
+  kUnionDecl,
+  kCount,
+};
+
+// Edge types (paper Table 1): "directed associations between entities".
+enum class EdgeKind : uint16_t {
+  kCalls = 0,
+  kCastsTo,
+  kCompiledFrom,
+  kContains,
+  kDeclares,
+  kDereferences,
+  kDereferencesMember,
+  kDirContains,
+  kExpandsMacro,
+  kFileContains,
+  kGetsAlignOf,
+  kGetsSizeOf,
+  kHasLocal,
+  kHasParam,
+  kHasParamType,
+  kHasRetType,
+  kIncludes,
+  kInterrogatesMacro,
+  kIsaType,
+  kLinkDeclares,
+  kLinkMatches,
+  kLinkedFrom,
+  kLinkedFromLib,
+  kReads,
+  kReadsMember,
+  kTakesAddressOf,
+  kTakesAddressOfMember,
+  kUsesEnumerator,
+  kWrites,
+  kWritesMember,
+  kCount,
+};
+
+// Property keys (paper Table 2). Node TYPE is modeled as the node's label,
+// not a property; the name index exposes it as the queryable field "type".
+enum class PropKey : uint16_t {
+  // --- node properties ---
+  kShortName = 0,  // file name or symbol name, e.g. "main"
+  kName,           // symbol name including its parent, e.g. "message::id"
+  kLongName,       // fully qualified, e.g. "message::get_id(int)" or path
+  kValue,          // enumerator integer value
+  kVariadic,       // present (true) if the function is variadic
+  kVirtual,        // present (true) if the function is virtual
+  kInMacro,        // present if the node results from a macro expansion
+  // --- edge properties: source range of the referencing expression ---
+  kUseFileId,
+  kUseStartLine,
+  kUseStartCol,
+  kUseEndLine,
+  kUseEndCol,
+  // --- edge properties: source range of the representative token ---
+  kNameFileId,
+  kNameStartLine,
+  kNameStartCol,
+  kNameEndLine,
+  kNameEndCol,
+  // --- isa_type edge qualifiers ---
+  kArrayLengths,  // constant dimension sizes of declared arrays
+  kBitWidth,      // bit width of bitfields
+  kQualifiers,    // coded string: ']' array, '*' pointer, c/v/r cv-quals
+  // --- positional ---
+  kIndex,      // has_param / has_param_type parameter position
+  kLinkOrder,  // linked_from link order
+  kCount,
+};
+
+// Label groups (paper Table 6 / Section 6.2): Neo4j 2.x-style grouped
+// labels so a query can say `(n:container:symbol)` instead of enumerating
+// concrete TYPE values.
+enum class NodeGroup : uint8_t {
+  kSymbol = 0,
+  kType,
+  kContainer,
+  kCount,
+};
+
+// Edge groups (Section 6.2 suggests link / preprocessor / containment /
+// reference groupings).
+enum class EdgeGroup : uint8_t {
+  kLink = 0,
+  kPreprocessor,
+  kContainment,
+  kReference,
+  kCount,
+};
+
+// Canonical lowercase names as used in queries and stored registries.
+std::string_view NodeKindName(NodeKind kind);
+std::string_view EdgeKindName(EdgeKind kind);
+std::string_view PropKeyName(PropKey key);
+std::string_view NodeGroupName(NodeGroup group);
+std::string_view EdgeGroupName(EdgeGroup group);
+
+// Reverse lookups; return kCount when unknown. Lookup is case-insensitive.
+NodeKind NodeKindFromName(std::string_view name);
+EdgeKind EdgeKindFromName(std::string_view name);
+PropKey PropKeyFromName(std::string_view name);
+NodeGroup NodeGroupFromName(std::string_view name);
+EdgeGroup EdgeGroupFromName(std::string_view name);
+
+// Normalizes a property name: lowercases and resolves paper aliases
+// (NAME_START_COLUMN -> name_start_col, USE_START_COLUMN -> use_start_col).
+std::string CanonicalPropertyName(std::string_view name);
+
+// Group membership.
+bool InGroup(NodeKind kind, NodeGroup group);
+bool InGroup(EdgeKind kind, EdgeGroup group);
+std::vector<NodeKind> GroupMembers(NodeGroup group);
+std::vector<EdgeKind> GroupMembers(EdgeGroup group);
+
+// Structural constraint check: may an edge of `kind` connect `src` -> `dst`?
+// (e.g. `calls` must leave a function-like node; `dir_contains` must leave a
+// directory). Used by CodeGraph's checked mutation API.
+bool ValidEndpoints(EdgeKind kind, NodeKind src, NodeKind dst);
+
+// Interns the full schema vocabulary into `store` and records the id
+// mappings. Installing into a fresh store yields identity mappings, but the
+// class works against any store (e.g. one reloaded from a snapshot).
+class Schema {
+ public:
+  static Schema Install(graph::GraphStore* store);
+
+  graph::TypeId node_type(NodeKind kind) const {
+    return node_ids_[static_cast<size_t>(kind)];
+  }
+  graph::TypeId edge_type(EdgeKind kind) const {
+    return edge_ids_[static_cast<size_t>(kind)];
+  }
+  graph::KeyId key(PropKey key) const {
+    return key_ids_[static_cast<size_t>(key)];
+  }
+
+  // Reverse mapping from store ids; returns kCount for non-schema ids.
+  NodeKind node_kind(graph::TypeId id) const;
+  EdgeKind edge_kind(graph::TypeId id) const;
+
+ private:
+  std::vector<graph::TypeId> node_ids_;
+  std::vector<graph::TypeId> edge_ids_;
+  std::vector<graph::KeyId> key_ids_;
+};
+
+}  // namespace frappe::model
+
+#endif  // FRAPPE_MODEL_SCHEMA_H_

@@ -1,0 +1,85 @@
+#ifndef FRAPPE_QUERY_EXECUTOR_H_
+#define FRAPPE_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/database.h"
+
+namespace frappe::query {
+
+// Execution limits. The paper aborted the Figure 6 transitive-closure query
+// after 15 minutes; these limits let a caller reproduce that behaviour
+// without hanging: on breach the executor returns DeadlineExceeded /
+// ResourceExhausted instead of a result.
+struct ExecOptions {
+  uint64_t max_steps = 0;      // 0 = unlimited; counts expansions/candidates
+  int64_t deadline_ms = 0;     // 0 = none; wall-clock budget
+};
+
+// A value in a result row: a node, an edge, a scalar, or the edge list a
+// variable-length relationship variable binds to.
+struct ResultValue {
+  enum class Kind { kNull, kNode, kEdge, kValue, kEdgeList };
+  Kind kind = Kind::kNull;
+  graph::NodeId node = graph::kInvalidNode;
+  graph::EdgeId edge = graph::kInvalidEdge;
+  graph::Value value;                 // kValue payload
+  std::vector<graph::EdgeId> edges;   // kEdgeList payload
+
+  static ResultValue Null() { return {}; }
+  static ResultValue Node(graph::NodeId id) {
+    ResultValue v;
+    v.kind = Kind::kNode;
+    v.node = id;
+    return v;
+  }
+  static ResultValue EdgeRef(graph::EdgeId id) {
+    ResultValue v;
+    v.kind = Kind::kEdge;
+    v.edge = id;
+    return v;
+  }
+  static ResultValue Scalar(graph::Value value) {
+    ResultValue v;
+    if (value.is_null()) return v;
+    v.kind = Kind::kValue;
+    v.value = value;
+    return v;
+  }
+  static ResultValue EdgeList(std::vector<graph::EdgeId> list) {
+    ResultValue v;
+    v.kind = Kind::kEdgeList;
+    v.edges = std::move(list);
+    return v;
+  }
+
+  bool is_null() const { return kind == Kind::kNull; }
+
+  bool operator==(const ResultValue& other) const;
+  // Total order used by DISTINCT, grouping and ORDER BY. Nulls sort last.
+  static int Compare(const ResultValue& a, const ResultValue& b);
+
+  // Display rendering, e.g. `(#12:function main)` for a node.
+  std::string ToString(const Database& db) const;
+};
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<ResultValue>> rows;
+  uint64_t steps = 0;  // work units the executor spent
+
+  size_t size() const { return rows.size(); }
+};
+
+// Parses nothing — takes an already-parsed query. See Session::Run for the
+// string-in/rows-out convenience wrapper.
+Result<QueryResult> Execute(const Database& db, const Query& query,
+                            const ExecOptions& options = {});
+
+}  // namespace frappe::query
+
+#endif  // FRAPPE_QUERY_EXECUTOR_H_

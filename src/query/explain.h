@@ -1,0 +1,33 @@
+#ifndef FRAPPE_QUERY_EXPLAIN_H_
+#define FRAPPE_QUERY_EXPLAIN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/database.h"
+
+namespace frappe::query {
+
+// Renders the execution plan the engine will follow for `query`: start
+// operators (index seek / id seek / all-nodes scan), the anchor and
+// expansion order chosen for each MATCH chain (with label/scan estimates
+// from the database's indexes), filter predicates, and the
+// projection/aggregation/ordering pipeline.
+//
+// This is the EXPLAIN the paper wished for when diagnosing "suboptimal
+// graph explorations being chosen by the Cypher query language"
+// (Section 6.1): it makes the exploration order visible before paying for
+// it.
+Result<std::string> Explain(const Database& db, const Query& query);
+
+// Parses and explains in one step.
+Result<std::string> ExplainText(const Database& db, std::string_view text);
+
+// Renders an expression back to FQL-ish text (used by Explain and handy
+// for diagnostics).
+std::string DescribeExpr(const Expr& expr);
+
+}  // namespace frappe::query
+
+#endif  // FRAPPE_QUERY_EXPLAIN_H_

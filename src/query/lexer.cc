@@ -1,0 +1,255 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace frappe::query {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == TokenType::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  auto push = [&](TokenType type, size_t at) {
+    Token t;
+    t.type = type;
+    t.offset = at;
+    tokens.push_back(std::move(t));
+  };
+
+  while (pos < input.size()) {
+    char c = input[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    // Comments: // to end of line.
+    if (c == '/' && pos + 1 < input.size() && input[pos + 1] == '/') {
+      while (pos < input.size() && input[pos] != '\n') ++pos;
+      continue;
+    }
+    size_t start = pos;
+    if (IsIdentStart(c)) {
+      while (pos < input.size() && IsIdentChar(input[pos])) ++pos;
+      Token t;
+      t.type = TokenType::kIdent;
+      t.text = std::string(input.substr(start, pos - start));
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (pos < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[pos]))) {
+        ++pos;
+      }
+      // A float only if '.' is followed by a digit ("1..3" must lex as
+      // 1 .. 3 for range patterns).
+      bool is_double = false;
+      if (pos + 1 < input.size() && input[pos] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[pos + 1]))) {
+        is_double = true;
+        ++pos;
+        while (pos < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[pos]))) {
+          ++pos;
+        }
+      }
+      Token t;
+      t.offset = start;
+      std::string text(input.substr(start, pos - start));
+      if (is_double) {
+        t.type = TokenType::kDouble;
+        t.double_value = std::stod(text);
+      } else {
+        t.type = TokenType::kInt;
+        int64_t v = 0;
+        if (!ParseInt64(text, &v)) {
+          return Status::ParseError("integer literal out of range: " + text);
+        }
+        t.int_value = v;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++pos;
+      std::string text;
+      while (pos < input.size() && input[pos] != quote) {
+        if (input[pos] == '\\' && pos + 1 < input.size()) {
+          ++pos;  // simple escape: next char literally
+        }
+        text.push_back(input[pos++]);
+      }
+      if (pos >= input.size()) {
+        return Status::ParseError("unterminated string literal");
+      }
+      ++pos;  // closing quote
+      Token t;
+      t.type = TokenType::kString;
+      t.text = std::move(text);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen, start);
+        ++pos;
+        break;
+      case ')':
+        push(TokenType::kRParen, start);
+        ++pos;
+        break;
+      case '[':
+        push(TokenType::kLBracket, start);
+        ++pos;
+        break;
+      case ']':
+        push(TokenType::kRBracket, start);
+        ++pos;
+        break;
+      case '{':
+        push(TokenType::kLBrace, start);
+        ++pos;
+        break;
+      case '}':
+        push(TokenType::kRBrace, start);
+        ++pos;
+        break;
+      case ':':
+        push(TokenType::kColon, start);
+        ++pos;
+        break;
+      case ',':
+        push(TokenType::kComma, start);
+        ++pos;
+        break;
+      case '|':
+        push(TokenType::kPipe, start);
+        ++pos;
+        break;
+      case '*':
+        push(TokenType::kStar, start);
+        ++pos;
+        break;
+      case '-':
+        push(TokenType::kMinus, start);
+        ++pos;
+        break;
+      case '=':
+        push(TokenType::kEq, start);
+        ++pos;
+        break;
+      case '.':
+        if (pos + 1 < input.size() && input[pos + 1] == '.') {
+          push(TokenType::kDotDot, start);
+          pos += 2;
+        } else {
+          push(TokenType::kDot, start);
+          ++pos;
+        }
+        break;
+      case '<':
+        if (pos + 1 < input.size() && input[pos + 1] == '>') {
+          push(TokenType::kNe, start);
+          pos += 2;
+        } else if (pos + 1 < input.size() && input[pos + 1] == '=') {
+          push(TokenType::kLe, start);
+          pos += 2;
+        } else {
+          push(TokenType::kLt, start);
+          ++pos;
+        }
+        break;
+      case '>':
+        if (pos + 1 < input.size() && input[pos + 1] == '=') {
+          push(TokenType::kGe, start);
+          pos += 2;
+        } else {
+          push(TokenType::kGt, start);
+          ++pos;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = input.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+std::string TokenDescription(const Token& token) {
+  switch (token.type) {
+    case TokenType::kEnd:
+      return "end of query";
+    case TokenType::kIdent:
+      return "'" + token.text + "'";
+    case TokenType::kInt:
+      return std::to_string(token.int_value);
+    case TokenType::kDouble:
+      return std::to_string(token.double_value);
+    case TokenType::kString:
+      return "string '" + token.text + "'";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kRBracket:
+      return "']'";
+    case TokenType::kLBrace:
+      return "'{'";
+    case TokenType::kRBrace:
+      return "'}'";
+    case TokenType::kColon:
+      return "':'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kDotDot:
+      return "'..'";
+    case TokenType::kPipe:
+      return "'|'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+  }
+  return "?";
+}
+
+}  // namespace frappe::query

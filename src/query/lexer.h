@@ -1,0 +1,60 @@
+#ifndef FRAPPE_QUERY_LEXER_H_
+#define FRAPPE_QUERY_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace frappe::query {
+
+enum class TokenType {
+  kEnd,
+  kIdent,    // identifiers and keywords (keyword-ness decided by parser)
+  kInt,
+  kDouble,
+  kString,   // quoted with ' or "
+  kLParen,   // (
+  kRParen,   // )
+  kLBracket, // [
+  kRBracket, // ]
+  kLBrace,   // {
+  kRBrace,   // }
+  kColon,    // :
+  kComma,    // ,
+  kDot,      // .
+  kDotDot,   // ..
+  kPipe,     // |
+  kStar,     // *
+  kMinus,    // -
+  kEq,       // =
+  kNe,       // <>
+  kLt,       // <
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       // identifier / string payload
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;      // byte offset in the query, for error messages
+
+  bool IsKeyword(std::string_view kw) const;  // case-insensitive ident match
+};
+
+// Tokenizes an FQL query. `<-` and `->` are NOT fused here: the pattern
+// parser combines kLt/kMinus/kGt itself so that `a < -5` keeps working in
+// expressions (the same choice real Cypher lexers make).
+Result<std::vector<Token>> Lex(std::string_view input);
+
+// Human-readable token description for error messages.
+std::string TokenDescription(const Token& token);
+
+}  // namespace frappe::query
+
+#endif  // FRAPPE_QUERY_LEXER_H_

@@ -1,0 +1,64 @@
+#include "query/session.h"
+
+#include "common/string_util.h"
+#include "query/parser.h"
+
+namespace frappe::query {
+
+Database MakeFrappeDatabase(const graph::GraphView& view,
+                            const model::Schema& schema,
+                            const graph::NameIndex* name_index,
+                            const graph::LabelIndex* label_index) {
+  Database db;
+  db.view = &view;
+  db.name_index = name_index;
+  db.label_index = label_index;
+  db.display_name_key = schema.key(model::PropKey::kShortName);
+  db.resolve_label = [&view, schema](std::string_view label) {
+    std::vector<graph::TypeId> out;
+    // Group labels (Table 6: symbol / type / container) expand to their
+    // member node types.
+    model::NodeGroup group = model::NodeGroupFromName(label);
+    if (group != model::NodeGroup::kCount) {
+      for (model::NodeKind kind : model::GroupMembers(group)) {
+        out.push_back(schema.node_type(kind));
+      }
+      return out;
+    }
+    graph::TypeId id = view.node_types().Find(ToLower(label));
+    if (id != graph::kInvalidType) out.push_back(id);
+    return out;
+  };
+  db.resolve_edge_type =
+      [&view, schema](std::string_view name) -> std::optional<graph::TypeId> {
+    // Edge groups (link / preprocessor / containment / reference) are not
+    // expressible as a single type id; resolve concrete types only. (FQL
+    // alternation `-[:a|b|c]->` covers the grouped case.)
+    graph::TypeId id = view.edge_types().Find(ToLower(name));
+    if (id == graph::kInvalidType) return std::nullopt;
+    return id;
+  };
+  db.resolve_property =
+      [&view](std::string_view name) -> std::optional<graph::KeyId> {
+    graph::KeyId id =
+        view.keys().Find(model::CanonicalPropertyName(name));
+    if (id == graph::kInvalidKey) return std::nullopt;
+    return id;
+  };
+  return db;
+}
+
+Session::Session(const model::CodeGraph& code_graph)
+    : code_graph_(code_graph),
+      name_index_(code_graph.BuildNameIndex()),
+      label_index_(graph::LabelIndex::Build(code_graph.view())),
+      db_(MakeFrappeDatabase(code_graph.view(), code_graph.schema(),
+                             &name_index_, &label_index_)) {}
+
+Result<QueryResult> Session::Run(std::string_view query_text,
+                                 const ExecOptions& options) const {
+  FRAPPE_ASSIGN_OR_RETURN(Query query, Parse(query_text));
+  return Execute(db_, query, options);
+}
+
+}  // namespace frappe::query

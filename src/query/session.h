@@ -1,0 +1,53 @@
+#ifndef FRAPPE_QUERY_SESSION_H_
+#define FRAPPE_QUERY_SESSION_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "graph/indexes.h"
+#include "model/code_graph.h"
+#include "query/database.h"
+#include "query/executor.h"
+
+namespace frappe::query {
+
+// End-to-end query session over a Frappé code graph: owns the auto name
+// index and label index, wires schema-aware label/property resolution
+// (group labels like `symbol`/`container` expand per paper Table 6, and
+// paper property aliases like NAME_START_COLUMN resolve), and runs FQL
+// strings.
+//
+// The indexes are built eagerly at construction, mirroring a database whose
+// index files already exist on disk.
+class Session {
+ public:
+  explicit Session(const model::CodeGraph& code_graph);
+
+  // Parses and executes `query_text`.
+  Result<QueryResult> Run(std::string_view query_text,
+                          const ExecOptions& options = {}) const;
+
+  const Database& database() const { return db_; }
+  const graph::NameIndex& name_index() const { return name_index_; }
+  const graph::LabelIndex& label_index() const { return label_index_; }
+
+ private:
+  const model::CodeGraph& code_graph_;
+  graph::NameIndex name_index_;
+  graph::LabelIndex label_index_;
+  Database db_;
+};
+
+// Wires a schema-aware Database over arbitrary components (used when the
+// graph was loaded from a snapshot rather than built through CodeGraph).
+// Group labels expand using `schema`; property names canonicalize through
+// model::CanonicalPropertyName.
+Database MakeFrappeDatabase(const graph::GraphView& view,
+                            const model::Schema& schema,
+                            const graph::NameIndex* name_index,
+                            const graph::LabelIndex* label_index);
+
+}  // namespace frappe::query
+
+#endif  // FRAPPE_QUERY_SESSION_H_

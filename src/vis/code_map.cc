@@ -1,0 +1,260 @@
+#include "vis/code_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <unordered_set>
+
+namespace frappe::vis {
+
+using graph::NodeId;
+using model::EdgeKind;
+using model::NodeKind;
+
+namespace {
+
+// Region weight: functions by their connectivity, files/dirs by content.
+double FunctionWeight(const graph::GraphView& view, NodeId node) {
+  return 1.0 + std::sqrt(static_cast<double>(view.Degree(node)));
+}
+
+double SumChildren(const MapRegion& region) {
+  double total = 0;
+  for (const MapRegion& child : region.children) total += child.weight;
+  return total;
+}
+
+void LayoutRegion(MapRegion* region) {
+  if (region->children.empty()) return;
+  // Inset children slightly so region borders stay visible.
+  Rect inner = region->rect;
+  double inset = std::min({inner.w * 0.02, inner.h * 0.02, 2.0});
+  inner.x += inset;
+  inner.y += inset;
+  inner.w = std::max(inner.w - 2 * inset, 0.0);
+  inner.h = std::max(inner.h - 2 * inset, 0.0);
+  std::vector<double> weights;
+  weights.reserve(region->children.size());
+  for (const MapRegion& child : region->children) {
+    weights.push_back(child.weight);
+  }
+  std::vector<Rect> rects = SquarifiedLayout(inner, weights);
+  for (size_t i = 0; i < region->children.size(); ++i) {
+    region->children[i].rect = rects[i];
+    LayoutRegion(&region->children[i]);
+  }
+}
+
+void AppendEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '&':
+        *out += "&amp;";
+        break;
+      case '"':
+        *out += "&quot;";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+const char* FillFor(NodeKind kind, bool highlighted) {
+  if (highlighted) return "#e4572e";
+  switch (kind) {
+    case NodeKind::kDirectory:
+      return "#dfe7ef";
+    case NodeKind::kFile:
+      return "#c7d4e2";
+    case NodeKind::kFunction:
+      return "#a9bdd3";
+    default:
+      return "#b8c8da";
+  }
+}
+
+}  // namespace
+
+CodeMap CodeMap::Build(const graph::GraphView& view,
+                       const model::Schema& schema, double width,
+                       double height) {
+  CodeMap map;
+  map.root_.name = "/";
+  map.root_.rect = Rect{0, 0, width, height};
+
+  graph::TypeId dir_type = schema.node_type(NodeKind::kDirectory);
+  graph::TypeId file_type = schema.node_type(NodeKind::kFile);
+  graph::TypeId fn_type = schema.node_type(NodeKind::kFunction);
+  graph::TypeId dir_contains = schema.edge_type(EdgeKind::kDirContains);
+  graph::TypeId file_contains = schema.edge_type(EdgeKind::kFileContains);
+  graph::KeyId name_key = schema.key(model::PropKey::kShortName);
+
+  // Recursive builders.
+  std::function<MapRegion(NodeId)> build_file = [&](NodeId file) {
+    MapRegion region;
+    region.node = file;
+    region.kind = NodeKind::kFile;
+    region.name = std::string(view.GetNodeString(file, name_key));
+    view.ForEachEdge(file, graph::Direction::kOut,
+                     [&](graph::EdgeId e, NodeId target) {
+                       if (view.GetEdge(e).type != file_contains) {
+                         return true;
+                       }
+                       if (view.NodeType(target) == fn_type) {
+                         MapRegion fn;
+                         fn.node = target;
+                         fn.kind = NodeKind::kFunction;
+                         fn.name = std::string(
+                             view.GetNodeString(target, name_key));
+                         fn.weight = FunctionWeight(view, target);
+                         region.children.push_back(std::move(fn));
+                       }
+                       return true;
+                     });
+    region.weight = 1.0 + SumChildren(region);
+    return region;
+  };
+
+  std::function<MapRegion(NodeId)> build_dir = [&](NodeId dir) {
+    MapRegion region;
+    region.node = dir;
+    region.kind = NodeKind::kDirectory;
+    region.name = std::string(view.GetNodeString(dir, name_key));
+    view.ForEachEdge(dir, graph::Direction::kOut,
+                     [&](graph::EdgeId e, NodeId target) {
+                       if (view.GetEdge(e).type != dir_contains) {
+                         return true;
+                       }
+                       if (view.NodeType(target) == dir_type) {
+                         region.children.push_back(build_dir(target));
+                       } else if (view.NodeType(target) == file_type) {
+                         region.children.push_back(build_file(target));
+                       }
+                       return true;
+                     });
+    region.weight = 1.0 + SumChildren(region);
+    return region;
+  };
+
+  // Roots: directories with no parent directory, plus parentless files.
+  view.ForEachNode([&](NodeId node) {
+    graph::TypeId type = view.NodeType(node);
+    if (type != dir_type && type != file_type) return;
+    bool has_parent = false;
+    view.ForEachEdge(node, graph::Direction::kIn,
+                     [&](graph::EdgeId e, NodeId) {
+                       if (view.GetEdge(e).type == dir_contains) {
+                         has_parent = true;
+                         return false;
+                       }
+                       return true;
+                     });
+    if (has_parent) return;
+    map.root_.children.push_back(type == dir_type ? build_dir(node)
+                                                  : build_file(node));
+  });
+  map.root_.weight = 1.0 + SumChildren(map.root_);
+
+  LayoutRegion(&map.root_);
+  map.IndexRegions(map.root_);
+  return map;
+}
+
+void CodeMap::IndexRegions(const MapRegion& region) {
+  if (region.node != graph::kInvalidNode) {
+    by_node_.emplace(region.node, &region);
+  }
+  for (const MapRegion& child : region.children) IndexRegions(child);
+}
+
+const MapRegion* CodeMap::Find(NodeId node) const {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? nullptr : it->second;
+}
+
+size_t CodeMap::RegionCount() const { return by_node_.size(); }
+
+std::string CodeMap::ToSvg(const Overlay& overlay) const {
+  std::unordered_set<NodeId> highlighted(overlay.highlights.begin(),
+                                         overlay.highlights.end());
+  std::string svg;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+                "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+                root_.rect.w, root_.rect.h, root_.rect.w, root_.rect.h);
+  svg += buf;
+
+  std::function<void(const MapRegion&)> draw = [&](const MapRegion& region) {
+    if (region.rect.area() <= 0) return;
+    bool hl = highlighted.count(region.node) != 0;
+    std::snprintf(buf, sizeof(buf),
+                  "  <rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" "
+                  "height=\"%.2f\" fill=\"%s\" stroke=\"#5b6b7b\" "
+                  "stroke-width=\"0.5\">",
+                  region.rect.x, region.rect.y, region.rect.w, region.rect.h,
+                  FillFor(region.kind, hl));
+    svg += buf;
+    svg += "<title>";
+    AppendEscaped(&svg, region.name);
+    svg += "</title></rect>\n";
+    for (const MapRegion& child : region.children) draw(child);
+  };
+  for (const MapRegion& child : root_.children) draw(child);
+
+  // Paths: poly-lines through region centers.
+  for (const auto& path : overlay.paths) {
+    std::string points;
+    for (NodeId node : path) {
+      const MapRegion* region = Find(node);
+      if (region == nullptr) continue;
+      std::snprintf(buf, sizeof(buf), "%.2f,%.2f ",
+                    region->rect.x + region->rect.w / 2,
+                    region->rect.y + region->rect.h / 2);
+      points += buf;
+    }
+    if (!points.empty()) {
+      svg += "  <polyline fill=\"none\" stroke=\"#e4572e\" "
+             "stroke-width=\"1.5\" points=\"" +
+             points + "\"/>\n";
+    }
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string CodeMap::ToJson() const {
+  std::string json;
+  char buf[128];
+  std::function<void(const MapRegion&)> emit = [&](const MapRegion& region) {
+    json += "{\"name\":\"";
+    AppendEscaped(&json, region.name);
+    json += "\",";
+    std::snprintf(buf, sizeof(buf),
+                  "\"node\":%u,\"x\":%.2f,\"y\":%.2f,\"w\":%.2f,\"h\":%.2f",
+                  region.node, region.rect.x, region.rect.y, region.rect.w,
+                  region.rect.h);
+    json += buf;
+    if (!region.children.empty()) {
+      json += ",\"children\":[";
+      for (size_t i = 0; i < region.children.size(); ++i) {
+        if (i > 0) json += ",";
+        emit(region.children[i]);
+      }
+      json += "]";
+    }
+    json += "}";
+  };
+  emit(root_);
+  return json;
+}
+
+}  // namespace frappe::vis

@@ -1,0 +1,70 @@
+#ifndef FRAPPE_VIS_CODE_MAP_H_
+#define FRAPPE_VIS_CODE_MAP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "model/schema.h"
+#include "vis/treemap.h"
+
+namespace frappe::vis {
+
+// The Frappé interface substrate (paper Section 2): a zoomable 2D code map
+// built on a cartographic metaphor — "the continent/country/state/city
+// hierarchy of the map corresponds to the equivalent in source code: the
+// high-level architectural components down to the individual files and
+// functions". Regions nest directory -> file -> function; areas are
+// proportional to contained code (function degree as a proxy for size).
+//
+// Query results overlay onto the map so users get "an immediate general
+// impression of the location, locality, structure, and quantity of
+// results".
+struct MapRegion {
+  graph::NodeId node = graph::kInvalidNode;
+  std::string name;
+  model::NodeKind kind = model::NodeKind::kCount;
+  double weight = 1.0;
+  Rect rect;
+  std::vector<MapRegion> children;
+};
+
+class CodeMap {
+ public:
+  // Builds the hierarchy from the graph's dir_contains / file_contains
+  // edges and lays it out in a width x height viewport.
+  static CodeMap Build(const graph::GraphView& view,
+                       const model::Schema& schema, double width,
+                       double height);
+
+  const MapRegion& root() const { return root_; }
+
+  // Region rectangle for a node, if it is on the map.
+  const MapRegion* Find(graph::NodeId node) const;
+
+  // Number of regions (all levels).
+  size_t RegionCount() const;
+
+  // SVG rendering with an optional overlay: highlighted nodes are filled
+  // in the accent colour, everything else in neutral greys. Paths can be
+  // drawn as poly-lines between region centers.
+  struct Overlay {
+    std::vector<graph::NodeId> highlights;
+    std::vector<std::vector<graph::NodeId>> paths;
+  };
+  std::string ToSvg(const Overlay& overlay = {}) const;
+
+  // Machine-readable JSON of the layout (for external viewers).
+  std::string ToJson() const;
+
+ private:
+  void IndexRegions(const MapRegion& region);
+
+  MapRegion root_;
+  std::map<graph::NodeId, const MapRegion*> by_node_;
+};
+
+}  // namespace frappe::vis
+
+#endif  // FRAPPE_VIS_CODE_MAP_H_

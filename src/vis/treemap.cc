@@ -1,0 +1,99 @@
+#include "vis/treemap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace frappe::vis {
+
+namespace {
+
+// Worst aspect ratio of a row of areas laid along a side of length `side`.
+double WorstAspect(const std::vector<double>& row, double side) {
+  double total = std::accumulate(row.begin(), row.end(), 0.0);
+  if (total <= 0 || side <= 0) return 1e18;
+  double thickness = total / side;
+  double worst = 1.0;
+  for (double area : row) {
+    double length = area / thickness;
+    double aspect = std::max(length / thickness, thickness / length);
+    worst = std::max(worst, aspect);
+  }
+  return worst;
+}
+
+// Lays `row` along the shorter side of `*free_rect`, shrinking it.
+void LayRow(const std::vector<double>& row,
+            const std::vector<size_t>& row_idx, Rect* free_rect,
+            std::vector<Rect>* out) {
+  double total = std::accumulate(row.begin(), row.end(), 0.0);
+  if (total <= 0) return;
+  bool horizontal = free_rect->w >= free_rect->h;  // row along left edge?
+  if (horizontal) {
+    // Row occupies a vertical strip of width total/h at the left.
+    double strip_w = total / free_rect->h;
+    double y = free_rect->y;
+    for (size_t i = 0; i < row.size(); ++i) {
+      double item_h = row[i] / strip_w;
+      (*out)[row_idx[i]] = Rect{free_rect->x, y, strip_w, item_h};
+      y += item_h;
+    }
+    free_rect->x += strip_w;
+    free_rect->w -= strip_w;
+  } else {
+    double strip_h = total / free_rect->w;
+    double x = free_rect->x;
+    for (size_t i = 0; i < row.size(); ++i) {
+      double item_w = row[i] / strip_h;
+      (*out)[row_idx[i]] = Rect{x, free_rect->y, item_w, strip_h};
+      x += item_w;
+    }
+    free_rect->y += strip_h;
+    free_rect->h -= strip_h;
+  }
+}
+
+}  // namespace
+
+std::vector<Rect> SquarifiedLayout(const Rect& bounds,
+                                   const std::vector<double>& weights) {
+  std::vector<Rect> out(weights.size());
+  double total_weight = 0;
+  for (double w : weights) total_weight += std::max(w, 0.0);
+  if (total_weight <= 0 || bounds.area() <= 0) return out;
+
+  // Normalize weights to areas within the bounds; sort descending (the
+  // algorithm requires it), remembering original positions.
+  double scale = bounds.area() / total_weight;
+  std::vector<size_t> order;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return weights[a] > weights[b];
+  });
+
+  Rect free_rect = bounds;
+  std::vector<double> row;
+  std::vector<size_t> row_idx;
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    size_t idx = order[pos];
+    double area = weights[idx] * scale;
+    double side = std::min(free_rect.w, free_rect.h);
+    std::vector<double> with_next = row;
+    with_next.push_back(area);
+    if (row.empty() ||
+        WorstAspect(with_next, side) <= WorstAspect(row, side)) {
+      row.push_back(area);
+      row_idx.push_back(idx);
+    } else {
+      LayRow(row, row_idx, &free_rect, &out);
+      row.assign(1, area);
+      row_idx.assign(1, idx);
+    }
+  }
+  if (!row.empty()) LayRow(row, row_idx, &free_rect, &out);
+  return out;
+}
+
+}  // namespace frappe::vis

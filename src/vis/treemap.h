@@ -1,0 +1,30 @@
+#ifndef FRAPPE_VIS_TREEMAP_H_
+#define FRAPPE_VIS_TREEMAP_H_
+
+#include <vector>
+
+namespace frappe::vis {
+
+struct Rect {
+  double x = 0, y = 0, w = 0, h = 0;
+
+  double area() const { return w * h; }
+  bool Contains(double px, double py) const {
+    return px >= x && px <= x + w && py >= y && py <= y + h;
+  }
+  bool Overlaps(const Rect& other) const {
+    return x < other.x + other.w && other.x < x + w && y < other.y + other.h &&
+           other.y < y + h;
+  }
+};
+
+// Squarified treemap layout (Bruls, Huizing, van Wijk 2000): partitions
+// `bounds` into one rectangle per weight, areas proportional to weights,
+// preferring near-square aspect ratios. Zero/negative weights receive
+// empty rectangles. Output is parallel to `weights`.
+std::vector<Rect> SquarifiedLayout(const Rect& bounds,
+                                   const std::vector<double>& weights);
+
+}  // namespace frappe::vis
+
+#endif  // FRAPPE_VIS_TREEMAP_H_

@@ -1,0 +1,90 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace frappe {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double freq = static_cast<double>(hits) / n;
+  EXPECT_NEAR(freq, 0.3, 0.03);
+}
+
+TEST(RngTest, PowerLawBoundsAndSkew) {
+  Rng rng(13);
+  const uint64_t kMax = 1000;
+  std::map<uint64_t, int> hist;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = rng.PowerLaw(2.2, kMax);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, kMax);
+    ++hist[k];
+  }
+  // Heavy head: degree-1 samples dominate degree-10 samples, which dominate
+  // degree-100. (The defining property of the Figure 7 shape.)
+  int low = 0, mid = 0, high = 0;
+  for (const auto& [k, count] : hist) {
+    if (k <= 2) low += count;
+    else if (k <= 50) mid += count;
+    else high += count;
+  }
+  EXPECT_GT(low, mid);
+  EXPECT_GT(mid, high);
+  EXPECT_GT(high, 0);  // but the tail is populated
+}
+
+}  // namespace
+}  // namespace frappe

@@ -1,0 +1,110 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+namespace frappe {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  Status s = Status::NotFound("no such node");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such node");
+  EXPECT_EQ(s.ToString(), "NotFound: no such node");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Corruption("x"), Status::Corruption("x"));
+  EXPECT_FALSE(Status::Corruption("x") == Status::Corruption("y"));
+  EXPECT_FALSE(Status::Corruption("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,
+
+      StatusCode::kInvalidArgument,   StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,     StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+      StatusCode::kDeadlineExceeded,  StatusCode::kCorruption,
+      StatusCode::kUnimplemented,     StatusCode::kInternal,
+      StatusCode::kParseError,
+  };
+  std::set<std::string> names;
+  for (StatusCode c : codes) names.insert(StatusCodeName(c));
+  EXPECT_EQ(names.size(), std::size(codes));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  FRAPPE_ASSIGN_OR_RETURN(int half, Half(x));
+  FRAPPE_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesErrors) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> inner_fail = Quarter(6);  // 6/2=3, then 3 is odd
+  ASSERT_FALSE(inner_fail.ok());
+  EXPECT_EQ(inner_fail.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status CheckAll(std::initializer_list<int> xs) {
+  for (int x : xs) {
+    FRAPPE_RETURN_IF_ERROR(FailIfNegative(x));
+  }
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckAll({1, 2, 3}).ok());
+  EXPECT_EQ(CheckAll({1, -2, 3}).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace frappe

@@ -1,0 +1,244 @@
+#include "extractor/c_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace frappe::extractor {
+namespace {
+
+TranslationUnit MustParse(const std::string& source) {
+  Vfs vfs;
+  vfs.AddFile("t.c", source);
+  auto pp = Preprocess(vfs, "t.c");
+  EXPECT_TRUE(pp.ok()) << pp.status();
+  auto unit = ParseUnit(*pp);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return unit.ok() ? std::move(*unit) : TranslationUnit{};
+}
+
+TEST(CParserTest, FunctionDefinitionAndPrototype) {
+  auto unit = MustParse("int bar(int);\n"
+                        "int bar(int input) { return input; }\n");
+  ASSERT_EQ(unit.functions.size(), 2u);
+  EXPECT_EQ(unit.functions[0].name, "bar");
+  EXPECT_FALSE(unit.functions[0].is_definition);
+  EXPECT_TRUE(unit.functions[1].is_definition);
+  ASSERT_EQ(unit.functions[1].params.size(), 1u);
+  EXPECT_EQ(unit.functions[1].params[0].name, "input");
+  EXPECT_EQ(unit.functions[1].params[0].type.name, "int");
+}
+
+TEST(CParserTest, StaticAndVariadic) {
+  auto unit = MustParse("static int log_it(const char *fmt, ...) { return 0; }\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_TRUE(unit.functions[0].is_static);
+  EXPECT_TRUE(unit.functions[0].variadic);
+  EXPECT_TRUE(unit.functions[0].params[0].type.is_const);
+  EXPECT_EQ(unit.functions[0].params[0].type.pointer_depth, 1);
+}
+
+TEST(CParserTest, VoidParameterList) {
+  auto unit = MustParse("int f(void) { return 1; }\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_TRUE(unit.functions[0].params.empty());
+}
+
+TEST(CParserTest, GlobalsWithQualifiersAndArrays) {
+  auto unit = MustParse("static unsigned long counters[8];\n"
+                        "extern int debug_level;\n"
+                        "char *volatile p, buf[4][2];\n");
+  ASSERT_EQ(unit.globals.size(), 4u);
+  EXPECT_TRUE(unit.globals[0].is_static);
+  EXPECT_EQ(unit.globals[0].decl.type.name, "unsigned long");
+  EXPECT_EQ(unit.globals[0].decl.type.array_dims,
+            std::vector<int64_t>{8});
+  EXPECT_TRUE(unit.globals[1].is_extern);
+  EXPECT_EQ(unit.globals[2].decl.name, "p");
+  EXPECT_TRUE(unit.globals[2].decl.type.is_volatile);
+  EXPECT_EQ(unit.globals[2].decl.type.pointer_depth, 1);
+  EXPECT_EQ(unit.globals[3].decl.name, "buf");
+  EXPECT_EQ(unit.globals[3].decl.type.array_dims,
+            (std::vector<int64_t>{4, 2}));
+}
+
+TEST(CParserTest, StructWithBitfieldsAndNestedPointer) {
+  auto unit = MustParse(
+      "struct packet_command {\n"
+      "  unsigned char cmd[12];\n"
+      "  int quiet : 1;\n"
+      "  struct packet_command *next;\n"
+      "};\n");
+  ASSERT_EQ(unit.records.size(), 1u);
+  const RecordDecl& record = unit.records[0];
+  EXPECT_EQ(record.tag, "packet_command");
+  EXPECT_FALSE(record.is_union);
+  ASSERT_EQ(record.fields.size(), 3u);
+  EXPECT_EQ(record.fields[0].name, "cmd");
+  EXPECT_EQ(record.fields[0].type.array_dims, std::vector<int64_t>{12});
+  EXPECT_EQ(record.fields[1].bit_width, 1);
+  EXPECT_EQ(record.fields[2].type.pointer_depth, 1);
+  EXPECT_EQ(record.fields[2].type.base, TypeName::Base::kStruct);
+}
+
+TEST(CParserTest, UnionAndAnonymousStruct) {
+  auto unit = MustParse("union u { int i; float f; };\n"
+                        "struct { int x; } instance;\n");
+  ASSERT_EQ(unit.records.size(), 2u);
+  EXPECT_TRUE(unit.records[0].is_union);
+  EXPECT_FALSE(unit.records[1].tag.empty());  // generated anonymous tag
+  ASSERT_EQ(unit.globals.size(), 1u);
+  EXPECT_EQ(unit.globals[0].decl.name, "instance");
+}
+
+TEST(CParserTest, EnumValues) {
+  auto unit = MustParse("enum state { IDLE, BUSY = 5, DEAD, GONE = -2 };\n");
+  ASSERT_EQ(unit.enums.size(), 1u);
+  const EnumDecl& decl = unit.enums[0];
+  ASSERT_EQ(decl.enumerators.size(), 4u);
+  EXPECT_EQ(decl.enumerators[0].value, 0);
+  EXPECT_EQ(decl.enumerators[1].value, 5);
+  EXPECT_EQ(decl.enumerators[2].value, 6);
+  EXPECT_EQ(decl.enumerators[3].value, -2);
+}
+
+TEST(CParserTest, TypedefAndUseAsDeclaration) {
+  auto unit = MustParse("typedef unsigned int u32;\n"
+                        "typedef struct page *page_ptr;\n"
+                        "u32 counter;\n"
+                        "int f(void) { u32 local = 1; return local; }\n");
+  ASSERT_EQ(unit.typedefs.size(), 2u);
+  EXPECT_EQ(unit.typedefs[0].name, "u32");
+  EXPECT_EQ(unit.typedefs[1].underlying.pointer_depth, 1);
+  ASSERT_EQ(unit.globals.size(), 1u);
+  EXPECT_EQ(unit.globals[0].decl.type.base, TypeName::Base::kTypedefName);
+  // `u32 local` inside the body parses as a declaration.
+  const Stmt& body = *unit.functions[0].body;
+  EXPECT_EQ(body.children[0]->kind, StmtKind::kDecl);
+}
+
+TEST(CParserTest, FunctionPointerDeclarator) {
+  auto unit = MustParse("int (*handler)(int, char *);\n");
+  ASSERT_EQ(unit.globals.size(), 1u);
+  EXPECT_EQ(unit.globals[0].decl.name, "handler");
+  EXPECT_TRUE(unit.globals[0].decl.type.function_pointer);
+}
+
+TEST(CParserTest, StatementsAll) {
+  auto unit = MustParse(
+      "int f(int n) {\n"
+      "  int acc = 0;\n"
+      "  for (int i = 0; i < n; i++) { acc += i; }\n"
+      "  while (acc > 100) acc -= 10;\n"
+      "  do { acc++; } while (acc < 5);\n"
+      "  switch (n) { case 1: break; default: acc = 0; }\n"
+      "  if (acc) return acc; else return -1;\n"
+      "}\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  const Stmt& body = *unit.functions[0].body;
+  ASSERT_EQ(body.children.size(), 6u);
+  EXPECT_EQ(body.children[0]->kind, StmtKind::kDecl);
+  EXPECT_EQ(body.children[1]->kind, StmtKind::kFor);
+  EXPECT_EQ(body.children[2]->kind, StmtKind::kWhile);
+  EXPECT_EQ(body.children[3]->kind, StmtKind::kDoWhile);
+  EXPECT_EQ(body.children[4]->kind, StmtKind::kSwitch);
+  EXPECT_EQ(body.children[5]->kind, StmtKind::kIf);
+}
+
+TEST(CParserTest, GotoAndLabels) {
+  auto unit = MustParse("int f(void) { goto out; out: return 0; }\n");
+  const Stmt& body = *unit.functions[0].body;
+  EXPECT_EQ(body.children[0]->kind, StmtKind::kGoto);
+  EXPECT_EQ(body.children[0]->label, "out");
+  EXPECT_EQ(body.children[1]->kind, StmtKind::kLabel);
+}
+
+TEST(CParserTest, ExpressionShapes) {
+  auto unit = MustParse(
+      "int f(struct s *p, int a[]) {\n"
+      "  p->count = a[0] + sizeof(struct s);\n"
+      "  int x = (int)p->flags;\n"
+      "  return *p->next ? -x : x++;\n"
+      "}\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  const Stmt& body = *unit.functions[0].body;
+  ASSERT_EQ(body.children.size(), 3u);
+  const Expr& assign = *body.children[0]->expr;
+  EXPECT_EQ(assign.kind, ExprKind::kBinary);
+  EXPECT_EQ(assign.text, "=");
+  EXPECT_EQ(assign.lhs->kind, ExprKind::kMember);
+  EXPECT_TRUE(assign.lhs->arrow);
+}
+
+TEST(CParserTest, CallWithArguments) {
+  auto unit = MustParse("int g(int); int f(void) { return g(g(1) + 2); }\n");
+  const Stmt& ret = *unit.functions[1].body->children[0];
+  EXPECT_EQ(ret.kind, StmtKind::kReturn);
+  EXPECT_EQ(ret.expr->kind, ExprKind::kCall);
+  ASSERT_EQ(ret.expr->args.size(), 1u);
+  EXPECT_EQ(ret.expr->args[0]->kind, ExprKind::kBinary);
+}
+
+TEST(CParserTest, InitializerListsWithDesignators) {
+  auto unit = MustParse(
+      "struct ops { int (*open)(void); int id; };\n"
+      "int my_open(void);\n"
+      "struct ops table = { .open = my_open, .id = 3 };\n"
+      "int arr[3] = {1, 2, 3};\n");
+  ASSERT_EQ(unit.globals.size(), 2u);
+  EXPECT_EQ(unit.globals[0].decl.init->kind, ExprKind::kInitList);
+  EXPECT_EQ(unit.globals[1].decl.init->args.size(), 3u);
+}
+
+TEST(CParserTest, AttributesSkipped) {
+  auto unit = MustParse(
+      "static int __attribute__((unused)) helper(void) { return 0; }\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_EQ(unit.functions[0].name, "helper");
+}
+
+TEST(CParserTest, SyntaxErrorReported) {
+  Vfs vfs;
+  vfs.AddFile("t.c", "int f( { }\n");
+  auto pp = Preprocess(vfs, "t.c");
+  ASSERT_TRUE(pp.ok());
+  EXPECT_FALSE(ParseUnit(*pp).ok());
+}
+
+
+TEST(CParserTest, GnuElvisOperator) {
+  auto unit = MustParse("int f(int a) { return a ?: -1; }\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  const Stmt& ret = *unit.functions[0].body->children[0];
+  EXPECT_EQ(ret.expr->kind, ExprKind::kTernary);
+}
+
+TEST(CParserTest, GnuStatementExpressionIsOpaque) {
+  auto unit = MustParse(
+      "#define min(a, b) ({ int _x = (a); int _y = (b); _x < _y ? _x : _y; })\n"
+      "int f(int p, int q) { return min(p, q) + 1; }\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_EQ(unit.functions[0].body->children[0]->kind, StmtKind::kReturn);
+}
+
+TEST(CParserTest, NestedTernaries) {
+  auto unit = MustParse("int f(int a) { return a > 0 ? 1 : a < 0 ? -1 : 0; }\n");
+  const Stmt& ret = *unit.functions[0].body->children[0];
+  EXPECT_EQ(ret.expr->kind, ExprKind::kTernary);
+  EXPECT_EQ(ret.expr->third->kind, ExprKind::kTernary);
+}
+
+TEST(CParserTest, CommaExpression) {
+  auto unit = MustParse("int f(int a) { int b; b = (a++, a + 1); return b; }\n");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  EXPECT_EQ(unit.functions[0].body->children.size(), 3u);
+}
+
+TEST(CParserTest, MultiDeclaratorLocals) {
+  auto unit = MustParse("void f(void) { int a = 1, *b = 0, c[3]; }\n");
+  const Stmt& decl = *unit.functions[0].body->children[0];
+  ASSERT_EQ(decl.decls.size(), 3u);
+  EXPECT_EQ(decl.decls[1].type.pointer_depth, 1);
+  EXPECT_EQ(decl.decls[2].type.array_dims, std::vector<int64_t>{3});
+}
+
+}  // namespace
+}  // namespace frappe::extractor

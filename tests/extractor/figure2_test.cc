@@ -1,0 +1,171 @@
+// End-to-end validation of the paper's Figure 2: the three-file example
+// program, compiled with the paper's exact command lines, must produce the
+// dependency graph the paper draws.
+
+#include <gtest/gtest.h>
+
+#include "extractor/build_model.h"
+#include "model/code_graph.h"
+
+namespace frappe::extractor {
+namespace {
+
+using graph::NodeId;
+using model::EdgeKind;
+using model::NodeKind;
+using model::PropKey;
+
+class Figure2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vfs_.AddFile("foo.h", "int bar(int);\n");
+    vfs_.AddFile("foo.c",
+                 "#include \"foo.h\"\n"
+                 "int bar(int input) {\n"
+                 "  return input;\n"
+                 "}\n");
+    vfs_.AddFile("main.c",
+                 "#include \"foo.h\"\n"
+                 "int main(int argc, char **argv) {\n"
+                 "  return bar(argc);\n"
+                 "}\n");
+    driver_ = std::make_unique<BuildDriver>(&vfs_, &graph_);
+    // The paper's build (Figure 2): gcc foo.c -c -o foo.o
+    //                               gcc main.c foo.o -o prog
+    ASSERT_TRUE(driver_->Run("gcc foo.c -c -o foo.o").ok());
+    ASSERT_TRUE(driver_->Run("gcc main.c foo.o -o prog").ok());
+  }
+
+  NodeId Find(NodeKind kind, std::string_view name) {
+    NodeId found = graph::kInvalidNode;
+    graph_.view().ForEachNode([&](NodeId id) {
+      if (graph_.KindOf(id) == kind && graph_.ShortName(id) == name) {
+        found = id;
+      }
+    });
+    EXPECT_NE(found, graph::kInvalidNode)
+        << model::NodeKindName(kind) << " " << name;
+    return found;
+  }
+
+  bool HasEdge(EdgeKind kind, NodeId src, NodeId dst) {
+    bool found = false;
+    graph_.store().ForEachEdge(
+        src, graph::Direction::kOut, [&](graph::EdgeId e, NodeId target) {
+          if (target == dst && graph_.EdgeKindOf(e) == kind) found = true;
+          return true;
+        });
+    return found;
+  }
+
+  Vfs vfs_;
+  model::CodeGraph graph_;
+  std::unique_ptr<BuildDriver> driver_;
+};
+
+TEST_F(Figure2Test, AllPaperNodesExist) {
+  // "The nodes of this graph are the executable program prog, object file
+  //  foo.o, source files main.c, foo.h and foo.c, function main and bar,
+  //  formal parameters argv, argc and input, and their types char and int."
+  Find(NodeKind::kModule, "prog");
+  Find(NodeKind::kModule, "foo.o");
+  Find(NodeKind::kFile, "main.c");
+  Find(NodeKind::kFile, "foo.h");
+  Find(NodeKind::kFile, "foo.c");
+  Find(NodeKind::kFunction, "main");
+  Find(NodeKind::kFunction, "bar");
+  Find(NodeKind::kParameter, "argv");
+  Find(NodeKind::kParameter, "argc");
+  Find(NodeKind::kParameter, "input");
+  Find(NodeKind::kPrimitive, "char");
+  Find(NodeKind::kPrimitive, "int");
+}
+
+TEST_F(Figure2Test, BuildEdges) {
+  NodeId prog = Find(NodeKind::kModule, "prog");
+  NodeId foo_o = Find(NodeKind::kModule, "foo.o");
+  EXPECT_TRUE(HasEdge(EdgeKind::kCompiledFrom, foo_o,
+                      Find(NodeKind::kFile, "foo.c")));
+  EXPECT_TRUE(HasEdge(EdgeKind::kCompiledFrom, prog,
+                      Find(NodeKind::kFile, "main.c")));
+  EXPECT_TRUE(HasEdge(EdgeKind::kLinkedFrom, prog, foo_o));
+}
+
+TEST_F(Figure2Test, IncludeEdges) {
+  NodeId foo_h = Find(NodeKind::kFile, "foo.h");
+  EXPECT_TRUE(HasEdge(EdgeKind::kIncludes, Find(NodeKind::kFile, "foo.c"),
+                      foo_h));
+  EXPECT_TRUE(HasEdge(EdgeKind::kIncludes, Find(NodeKind::kFile, "main.c"),
+                      foo_h));
+}
+
+TEST_F(Figure2Test, FileContainsEdges) {
+  EXPECT_TRUE(HasEdge(EdgeKind::kFileContains,
+                      Find(NodeKind::kFile, "main.c"),
+                      Find(NodeKind::kFunction, "main")));
+  EXPECT_TRUE(HasEdge(EdgeKind::kFileContains,
+                      Find(NodeKind::kFile, "foo.c"),
+                      Find(NodeKind::kFunction, "bar")));
+  EXPECT_TRUE(HasEdge(EdgeKind::kFileContains,
+                      Find(NodeKind::kFile, "foo.h"),
+                      Find(NodeKind::kFunctionDecl, "bar")));
+}
+
+TEST_F(Figure2Test, CallResolvesThroughHeaderDeclarationAndLink) {
+  NodeId main_fn = Find(NodeKind::kFunction, "main");
+  NodeId bar_decl = Find(NodeKind::kFunctionDecl, "bar");
+  NodeId bar_def = Find(NodeKind::kFunction, "bar");
+  // main calls the declaration visible in its unit...
+  EXPECT_TRUE(HasEdge(EdgeKind::kCalls, main_fn, bar_decl));
+  // ...which the unit (foo.c) and the linker tie to the definition.
+  EXPECT_TRUE(HasEdge(EdgeKind::kDeclares, bar_decl, bar_def));
+  EXPECT_TRUE(HasEdge(EdgeKind::kLinkMatches, bar_decl, bar_def));
+  EXPECT_TRUE(HasEdge(EdgeKind::kLinkDeclares,
+                      Find(NodeKind::kModule, "prog"), bar_decl));
+}
+
+TEST_F(Figure2Test, ParameterEdgesAndTypes) {
+  NodeId main_fn = Find(NodeKind::kFunction, "main");
+  NodeId argc = Find(NodeKind::kParameter, "argc");
+  NodeId argv = Find(NodeKind::kParameter, "argv");
+  EXPECT_TRUE(HasEdge(EdgeKind::kHasParam, main_fn, argc));
+  EXPECT_TRUE(HasEdge(EdgeKind::kHasParam, main_fn, argv));
+  EXPECT_TRUE(HasEdge(EdgeKind::kIsaType, argc,
+                      Find(NodeKind::kPrimitive, "int")));
+  EXPECT_TRUE(HasEdge(EdgeKind::kIsaType, argv,
+                      Find(NodeKind::kPrimitive, "char")));
+  // main reads argc when passing it to bar.
+  EXPECT_TRUE(HasEdge(EdgeKind::kReads, main_fn, argc));
+  // bar returns its input.
+  EXPECT_TRUE(HasEdge(EdgeKind::kReads, Find(NodeKind::kFunction, "bar"),
+                      Find(NodeKind::kParameter, "input")));
+}
+
+TEST_F(Figure2Test, ArgvQualifierIsDoublePointer) {
+  // "the edge isa_type from argv to char makes use of the QUALIFIER ** to
+  //  denote the correct signature for argv."
+  NodeId argv = Find(NodeKind::kParameter, "argv");
+  bool checked = false;
+  graph_.store().ForEachEdge(
+      argv, graph::Direction::kOut, [&](graph::EdgeId e, NodeId) {
+        if (graph_.EdgeKindOf(e) != EdgeKind::kIsaType) return true;
+        EXPECT_EQ(graph_.store().GetEdgeString(
+                      e, graph_.key_id(PropKey::kQualifiers)),
+                  "**");
+        checked = true;
+        return true;
+      });
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(Figure2Test, ReturnTypes) {
+  EXPECT_TRUE(HasEdge(EdgeKind::kHasRetType,
+                      Find(NodeKind::kFunction, "main"),
+                      Find(NodeKind::kPrimitive, "int")));
+  EXPECT_TRUE(HasEdge(EdgeKind::kHasRetType,
+                      Find(NodeKind::kFunction, "bar"),
+                      Find(NodeKind::kPrimitive, "int")));
+}
+
+}  // namespace
+}  // namespace frappe::extractor

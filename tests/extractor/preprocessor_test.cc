@@ -1,0 +1,221 @@
+#include "extractor/preprocessor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace frappe::extractor {
+namespace {
+
+std::string Render(const PreprocessedUnit& unit) {
+  std::string out;
+  for (const CToken& t : unit.tokens) {
+    if (t.IsEof()) break;
+    if (!out.empty()) out += " ";
+    out += t.text;
+  }
+  return out;
+}
+
+PreprocessedUnit MustPp(Vfs& vfs, const std::string& main,
+                        PreprocessOptions options = {}) {
+  auto result = Preprocess(vfs, main, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(*result) : PreprocessedUnit{};
+}
+
+TEST(PreprocessorTest, PassThrough) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "int x = 1;\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int x = 1 ;");
+}
+
+TEST(PreprocessorTest, ObjectMacroExpansion) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#define N 16\nint a[N];\n");
+  auto unit = MustPp(vfs, "a.c");
+  EXPECT_EQ(Render(unit), "int a [ 16 ] ;");
+  ASSERT_EQ(unit.macros.size(), 1u);
+  EXPECT_EQ(unit.macros[0].name, "N");
+  ASSERT_EQ(unit.events.size(), 1u);
+  EXPECT_EQ(unit.events[0].kind, MacroEvent::Kind::kExpansion);
+  EXPECT_EQ(unit.events[0].use.line, 2);
+}
+
+TEST(PreprocessorTest, ExpandedTokensCarryInMacro) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#define N 16\nint a = N;\n");
+  auto unit = MustPp(vfs, "a.c");
+  // Token "16" is macro-produced and located at the expansion site.
+  const CToken& sixteen = unit.tokens[3];
+  EXPECT_EQ(sixteen.text, "16");
+  EXPECT_TRUE(sixteen.in_macro);
+  EXPECT_EQ(sixteen.macro, "N");
+  EXPECT_EQ(sixteen.loc.line, 2);
+}
+
+TEST(PreprocessorTest, FunctionMacro) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#define MAX(a, b) ((a) > (b) ? (a) : (b))\n"
+                     "int m = MAX(x, y + 1);\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")),
+            "int m = ( ( x ) > ( y + 1 ) ? ( x ) : ( y + 1 ) ) ;");
+}
+
+TEST(PreprocessorTest, FunctionMacroNeedsParens) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#define F(x) x\nint F = 3;\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int F = 3 ;");
+}
+
+TEST(PreprocessorTest, NestedExpansion) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#define A B\n#define B 7\nint x = A;\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int x = 7 ;");
+}
+
+TEST(PreprocessorTest, RecursiveMacroDoesNotLoop) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#define X X\nint X;\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int X ;");
+}
+
+TEST(PreprocessorTest, VariadicMacro) {
+  Vfs vfs;
+  vfs.AddFile("a.c",
+              "#define LOG(fmt, ...) printk(fmt, __VA_ARGS__)\n"
+              "void f(void) { LOG(\"%d %d\", a, b); }\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")),
+            "void f ( void ) { printk ( \"%d %d\" , a , b ) ; }");
+}
+
+TEST(PreprocessorTest, TokenPasting) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#define GLUE(a, b) a##b\nint GLUE(foo, bar);\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int foobar ;");
+}
+
+TEST(PreprocessorTest, Stringize) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#define STR(x) #x\nchar *s = STR(hello);\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "char * s = \"hello\" ;");
+}
+
+TEST(PreprocessorTest, UndefStopsExpansion) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#define N 1\n#undef N\nint x = N;\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int x = N ;");
+}
+
+TEST(PreprocessorTest, IfdefActiveAndInactive) {
+  Vfs vfs;
+  vfs.AddFile("a.c",
+              "#define CONFIG_A 1\n"
+              "#ifdef CONFIG_A\nint a;\n#endif\n"
+              "#ifdef CONFIG_B\nint b;\n#endif\n");
+  auto unit = MustPp(vfs, "a.c");
+  EXPECT_EQ(Render(unit), "int a ;");
+  // Both #ifdefs are interrogations, including the undefined one.
+  int interrogations = 0;
+  for (const auto& e : unit.events) {
+    if (e.kind == MacroEvent::Kind::kInterrogation) ++interrogations;
+  }
+  EXPECT_EQ(interrogations, 2);
+}
+
+TEST(PreprocessorTest, IfndefElse) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#ifndef X\nint no_x;\n#else\nint has_x;\n#endif\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int no_x ;");
+}
+
+TEST(PreprocessorTest, IfExpression) {
+  Vfs vfs;
+  vfs.AddFile("a.c",
+              "#define VER 3\n"
+              "#if VER >= 2 && defined(VER)\nint modern;\n"
+              "#elif VER == 1\nint legacy;\n#else\nint none;\n#endif\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int modern ;");
+}
+
+TEST(PreprocessorTest, ElifChain) {
+  Vfs vfs;
+  vfs.AddFile("a.c",
+              "#define V 2\n"
+              "#if V == 1\nint one;\n#elif V == 2\nint two;\n"
+              "#elif V == 2\nint dup;\n#else\nint other;\n#endif\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int two ;");
+}
+
+TEST(PreprocessorTest, NestedConditionals) {
+  Vfs vfs;
+  vfs.AddFile("a.c",
+              "#if 1\n#if 0\nint dead;\n#else\nint live;\n#endif\n#endif\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int live ;");
+}
+
+TEST(PreprocessorTest, InactiveRegionsIgnoreDirectives) {
+  Vfs vfs;
+  vfs.AddFile("a.c",
+              "#if 0\n#define HIDDEN 1\n#error should not fire\n#endif\n"
+              "#ifdef HIDDEN\nint hidden;\n#endif\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "");
+}
+
+TEST(PreprocessorTest, ErrorDirectiveFails) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#error boom\n");
+  EXPECT_FALSE(Preprocess(vfs, "a.c").ok());
+}
+
+TEST(PreprocessorTest, IncludeQuote) {
+  Vfs vfs;
+  vfs.AddFile("foo.h", "int bar(int);\n");
+  vfs.AddFile("foo.c", "#include \"foo.h\"\nint bar(int input) { return input; }\n");
+  auto unit = MustPp(vfs, "foo.c");
+  ASSERT_EQ(unit.files.size(), 2u);
+  EXPECT_EQ(unit.files[0], "foo.c");
+  EXPECT_EQ(unit.files[1], "foo.h");
+  ASSERT_EQ(unit.includes.size(), 1u);
+  EXPECT_EQ(unit.includes[0].from_file, 0);
+  EXPECT_EQ(unit.includes[0].to_file, 1);
+}
+
+TEST(PreprocessorTest, IncludeGuardsWork) {
+  Vfs vfs;
+  vfs.AddFile("g.h", "#ifndef G_H\n#define G_H\nint g;\n#endif\n");
+  vfs.AddFile("a.c", "#include \"g.h\"\n#include \"g.h\"\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int g ;");
+}
+
+TEST(PreprocessorTest, MissingAngledIncludeSkipped) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#include <stdio.h>\nint x;\n");
+  EXPECT_EQ(Render(MustPp(vfs, "a.c")), "int x ;");
+}
+
+TEST(PreprocessorTest, MissingQuotedIncludeFails) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#include \"gone.h\"\n");
+  EXPECT_FALSE(Preprocess(vfs, "a.c").ok());
+}
+
+TEST(PreprocessorTest, IncludeCycleHitsDepthLimit) {
+  Vfs vfs;
+  vfs.AddFile("a.h", "#include \"b.h\"\n");
+  vfs.AddFile("b.h", "#include \"a.h\"\n");
+  vfs.AddFile("a.c", "#include \"a.h\"\n");
+  EXPECT_FALSE(Preprocess(vfs, "a.c").ok());
+}
+
+TEST(PreprocessorTest, PredefinedMacros) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "#ifdef CONFIG_SMP\nint smp;\n#endif\nint n = NCPU;\n");
+  PreprocessOptions options;
+  options.defines["CONFIG_SMP"] = "1";
+  options.defines["NCPU"] = "8";
+  EXPECT_EQ(Render(MustPp(vfs, "a.c", options)), "int smp ; int n = 8 ;");
+}
+
+}  // namespace
+}  // namespace frappe::extractor

@@ -1,0 +1,138 @@
+#include "extractor/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "extractor/build_model.h"
+#include "graph/stats.h"
+
+namespace frappe::extractor {
+namespace {
+
+TEST(SyntheticGraphTest, ScalesToRequestedSize) {
+  model::CodeGraph graph(model::CodeGraph::Validation::kOff);
+  GraphScale scale;
+  scale.factor = 0.01;  // ~5 K nodes
+  GraphReport report = GenerateKernelGraph(scale, &graph);
+  EXPECT_EQ(report.nodes, graph.store().NodeCount());
+  EXPECT_EQ(report.edges, graph.store().EdgeCount());
+  EXPECT_GT(report.nodes, 3000u);
+  EXPECT_LT(report.nodes, 9000u);
+  // Edge:node ratio near the paper's 1:8.
+  double ratio = static_cast<double>(report.edges) /
+                 static_cast<double>(report.nodes);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 11.0);
+}
+
+TEST(SyntheticGraphTest, DeterministicForSeed) {
+  model::CodeGraph a(model::CodeGraph::Validation::kOff);
+  model::CodeGraph b(model::CodeGraph::Validation::kOff);
+  GraphScale scale;
+  scale.factor = 0.005;
+  GraphReport ra = GenerateKernelGraph(scale, &a);
+  GraphReport rb = GenerateKernelGraph(scale, &b);
+  EXPECT_EQ(ra.nodes, rb.nodes);
+  EXPECT_EQ(ra.edges, rb.edges);
+}
+
+TEST(SyntheticGraphTest, IntAndNullAreHubs) {
+  model::CodeGraph graph(model::CodeGraph::Validation::kOff);
+  GraphScale scale;
+  scale.factor = 0.02;
+  GraphReport report = GenerateKernelGraph(scale, &graph);
+  auto hubs = graph::TopDegreeNodes(
+      graph.view(), 10, graph.key_id(model::PropKey::kShortName));
+  ASSERT_FALSE(hubs.empty());
+  // `int` is the top hub, as in paper Figure 7 (degree 79K at full scale).
+  EXPECT_EQ(hubs[0].id, report.int_primitive);
+  EXPECT_EQ(hubs[0].short_name, "int");
+  // NULL appears among the top hubs.
+  bool null_in_top = false;
+  for (const auto& hub : hubs) {
+    if (hub.id == report.null_macro) null_in_top = true;
+  }
+  EXPECT_TRUE(null_in_top);
+}
+
+TEST(SyntheticGraphTest, DegreeDistributionIsHeavyTailed) {
+  model::CodeGraph graph(model::CodeGraph::Validation::kOff);
+  GraphScale scale;
+  scale.factor = 0.02;
+  GenerateKernelGraph(scale, &graph);
+  auto bins = graph::LogBinnedDegrees(graph.view());
+  ASSERT_GE(bins.size(), 5u);
+  // Majority of nodes in low-degree bins; tail sparsely populated —
+  // the Figure 7 shape.
+  uint64_t total = 0, low = 0, high = 0;
+  for (const auto& bin : bins) {
+    total += bin.node_count;
+    if (bin.max_degree <= 15) low += bin.node_count;
+    if (bin.min_degree >= 128) high += bin.node_count;
+  }
+  // Most nodes have small degree, yet the tail reaches far (Figure 7).
+  EXPECT_GT(low, total * 6 / 10);
+  EXPECT_GT(high, 0u);
+  EXPECT_LT(high, total / 50);
+}
+
+TEST(SyntheticGraphTest, AllSchemaConstraintsRespected) {
+  // Regenerate with validation ON: every edge must satisfy Table 1
+  // endpoint rules.
+  model::CodeGraph graph(model::CodeGraph::Validation::kStrict);
+  GraphScale scale;
+  scale.factor = 0.005;
+  GenerateKernelGraph(scale, &graph);
+  const auto& store = graph.store();
+  size_t violations = 0;
+  store.ForEachEdgeGlobal([&](graph::EdgeId e) {
+    graph::Edge edge = store.GetEdge(e);
+    model::EdgeKind kind = graph.EdgeKindOf(e);
+    if (kind == model::EdgeKind::kCount) return;
+    if (!model::ValidEndpoints(kind, graph.KindOf(edge.src),
+                               graph.KindOf(edge.dst))) {
+      ++violations;
+    }
+  });
+  EXPECT_EQ(violations, 0u);
+}
+
+TEST(SyntheticSourceTest, GeneratesCompilableTree) {
+  Vfs vfs;
+  SourceScale scale;
+  scale.subsystems = 2;
+  scale.files_per_subsystem = 3;
+  scale.functions_per_file = 4;
+  SourceKernel kernel = GenerateKernelSource(scale, &vfs);
+  EXPECT_GT(kernel.total_lines, 50u);
+  ASSERT_FALSE(kernel.build_commands.empty());
+
+  model::CodeGraph graph;
+  BuildDriver driver(&vfs, &graph);
+  for (const std::string& command : kernel.build_commands) {
+    ASSERT_TRUE(driver.Run(command).ok()) << command;
+  }
+  EXPECT_EQ(driver.stats().units_compiled, 6u);
+  EXPECT_EQ(driver.stats().modules_linked, 2u);
+  EXPECT_EQ(driver.stats().symbols_unresolved, 0u);
+  // Real structure came out: functions, structs, calls.
+  auto node_hist = graph::NodeTypeHistogram(graph.view());
+  EXPECT_GE(node_hist["function"], 24u);
+  EXPECT_GE(node_hist["struct"], 6u);
+  auto edge_hist = graph::EdgeTypeHistogram(graph.view());
+  EXPECT_GT(edge_hist["calls"], 0u);
+  EXPECT_GT(edge_hist["writes_member"], 0u);
+  EXPECT_GT(edge_hist["expands_macro"], 0u);
+}
+
+TEST(SyntheticSourceTest, DeterministicCommands) {
+  Vfs a, b;
+  SourceScale scale;
+  scale.subsystems = 1;
+  SourceKernel ka = GenerateKernelSource(scale, &a);
+  SourceKernel kb = GenerateKernelSource(scale, &b);
+  EXPECT_EQ(ka.build_commands, kb.build_commands);
+  EXPECT_EQ(ka.total_lines, kb.total_lines);
+}
+
+}  // namespace
+}  // namespace frappe::extractor

@@ -1,0 +1,98 @@
+#include "extractor/vfs.h"
+
+#include <gtest/gtest.h>
+
+namespace frappe::extractor {
+namespace {
+
+TEST(PathTest, Normalize) {
+  EXPECT_EQ(NormalizePath("a/b/c.h"), "a/b/c.h");
+  EXPECT_EQ(NormalizePath("a//b/./c.h"), "a/b/c.h");
+  EXPECT_EQ(NormalizePath("a/x/../b/c.h"), "a/b/c.h");
+  EXPECT_EQ(NormalizePath("./c.h"), "c.h");
+  EXPECT_EQ(NormalizePath("../c.h"), "c.h");  // clamped at root
+  EXPECT_EQ(NormalizePath(""), "");
+}
+
+TEST(PathTest, DirAndBase) {
+  EXPECT_EQ(DirName("a/b/c.h"), "a/b");
+  EXPECT_EQ(DirName("c.h"), "");
+  EXPECT_EQ(BaseName("a/b/c.h"), "c.h");
+  EXPECT_EQ(BaseName("c.h"), "c.h");
+}
+
+TEST(VfsTest, AddReadExists) {
+  Vfs vfs;
+  vfs.AddFile("src/main.c", "int main;");
+  EXPECT_TRUE(vfs.Exists("src/main.c"));
+  EXPECT_TRUE(vfs.Exists("src//main.c"));  // normalized
+  EXPECT_FALSE(vfs.Exists("src/other.c"));
+  auto content = vfs.Read("src/main.c");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "int main;");
+  EXPECT_FALSE(vfs.Read("nope.c").ok());
+}
+
+TEST(VfsTest, OverwriteReplaces) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "old");
+  vfs.AddFile("a.c", "new");
+  EXPECT_EQ(*vfs.Read("a.c"), "new");
+  EXPECT_EQ(vfs.FileCount(), 1u);
+}
+
+TEST(VfsTest, DirectoriesImplied) {
+  Vfs vfs;
+  vfs.AddFile("drivers/pci/probe.c", "x");
+  vfs.AddFile("drivers/scsi/sr.c", "y");
+  vfs.AddFile("top.c", "z");
+  auto dirs = vfs.Directories();
+  EXPECT_EQ(dirs, (std::vector<std::string>{"drivers", "drivers/pci",
+                                            "drivers/scsi"}));
+}
+
+TEST(VfsTest, ResolveIncludeQuoteSearchesIncluderDirFirst) {
+  Vfs vfs;
+  vfs.AddFile("drivers/pci/local.h", "a");
+  vfs.AddFile("include/local.h", "b");
+  auto resolved = vfs.ResolveInclude("local.h", "drivers/pci/probe.c",
+                                     /*angled=*/false, {"include"});
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, "drivers/pci/local.h");
+}
+
+TEST(VfsTest, ResolveIncludeAngledSkipsIncluderDir) {
+  Vfs vfs;
+  vfs.AddFile("drivers/pci/local.h", "a");
+  vfs.AddFile("include/local.h", "b");
+  auto resolved = vfs.ResolveInclude("local.h", "drivers/pci/probe.c",
+                                     /*angled=*/true, {"include"});
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, "include/local.h");
+}
+
+TEST(VfsTest, ResolveIncludeRelativePath) {
+  Vfs vfs;
+  vfs.AddFile("include/linux/pci.h", "a");
+  auto resolved = vfs.ResolveInclude("linux/pci.h", "drivers/pci/probe.c",
+                                     true, {"include"});
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, "include/linux/pci.h");
+}
+
+TEST(VfsTest, ResolveIncludeMissing) {
+  Vfs vfs;
+  EXPECT_FALSE(
+      vfs.ResolveInclude("gone.h", "a.c", false, {"include"}).ok());
+}
+
+TEST(VfsTest, TotalLinesCountsUnterminatedLastLine) {
+  Vfs vfs;
+  vfs.AddFile("a.c", "one\ntwo\n");
+  vfs.AddFile("b.c", "one\ntwo");
+  EXPECT_EQ(vfs.TotalLines(), 4u);
+  EXPECT_EQ(vfs.TotalBytes(), 15u);
+}
+
+}  // namespace
+}  // namespace frappe::extractor

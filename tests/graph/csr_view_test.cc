@@ -1,0 +1,146 @@
+#include "graph/csr_view.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/graph_store.h"
+#include "graph/stats.h"
+#include "graph/traversal.h"
+
+namespace frappe::graph {
+namespace {
+
+TEST(CsrViewTest, EmptyGraph) {
+  GraphStore store;
+  CsrView view = CsrView::Build(store);
+  EXPECT_EQ(view.NodeCount(), 0u);
+  EXPECT_EQ(view.EdgeCount(), 0u);
+}
+
+TEST(CsrViewTest, AdjacencyMatchesStore) {
+  GraphStore store;
+  NodeId a = store.AddNode("n");
+  NodeId b = store.AddNode("n");
+  NodeId c = store.AddNode("n");
+  EdgeId ab = store.AddEdge(a, b, "e");
+  EdgeId ac = store.AddEdge(a, c, "e");
+  EdgeId cb = store.AddEdge(c, b, "e");
+  CsrView view = CsrView::Build(store);
+
+  EXPECT_EQ(view.OutDegree(a), 2u);
+  EXPECT_EQ(view.InDegree(b), 2u);
+  std::set<EdgeId> out_edges;
+  view.ForEachEdge(a, Direction::kOut, [&](EdgeId e, NodeId) {
+    out_edges.insert(e);
+    return true;
+  });
+  EXPECT_EQ(out_edges, (std::set<EdgeId>{ab, ac}));
+  std::set<EdgeId> in_edges;
+  view.ForEachEdge(b, Direction::kIn, [&](EdgeId e, NodeId) {
+    in_edges.insert(e);
+    return true;
+  });
+  EXPECT_EQ(in_edges, (std::set<EdgeId>{ab, cb}));
+  Edge edge = view.GetEdge(cb);
+  EXPECT_EQ(edge.src, c);
+  EXPECT_EQ(edge.dst, b);
+}
+
+TEST(CsrViewTest, SelfLoopReportedOnceInBoth) {
+  GraphStore store;
+  NodeId a = store.AddNode("n");
+  store.AddEdge(a, a, "e");
+  CsrView view = CsrView::Build(store);
+  int count = 0;
+  view.ForEachEdge(a, Direction::kBoth, [&](EdgeId, NodeId) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(view.Degree(a), 2u);
+}
+
+TEST(CsrViewTest, DeadEdgesExcluded) {
+  GraphStore store;
+  NodeId a = store.AddNode("n");
+  NodeId b = store.AddNode("n");
+  EdgeId e1 = store.AddEdge(a, b, "e");
+  store.AddEdge(a, b, "e");
+  store.RemoveEdge(e1);
+  CsrView view = CsrView::Build(store);
+  EXPECT_EQ(view.OutDegree(a), 1u);
+  EXPECT_FALSE(view.EdgeExists(e1));
+}
+
+TEST(CsrViewTest, PropertiesDelegateToBase) {
+  GraphStore store;
+  NodeId a = store.AddNode("n");
+  NodeId b = store.AddNode("n");
+  EdgeId e = store.AddEdge(a, b, "e");
+  store.SetNodeProperty(a, "short_name", store.StringValue("alpha"));
+  store.SetEdgeProperty(e, "line", Value::Int(7));
+  CsrView view = CsrView::Build(store);
+  EXPECT_EQ(view.GetNodeString(a, store.keys().Find("short_name")), "alpha");
+  EXPECT_EQ(view.GetEdgeProperty(e, store.keys().Find("line")).AsInt(), 7);
+}
+
+TEST(CsrViewTest, PackedAccessorsMatchCallbacks) {
+  GraphStore store;
+  NodeId a = store.AddNode("n");
+  for (int i = 0; i < 5; ++i) store.AddEdge(a, store.AddNode("n"), "e");
+  CsrView view = CsrView::Build(store);
+  CsrView::Neighbors out = view.Out(a);
+  EXPECT_EQ(out.count, 5u);
+  size_t i = 0;
+  view.ForEachEdge(a, Direction::kOut, [&](EdgeId e, NodeId n) {
+    EXPECT_EQ(out.begin_edges[i], e);
+    EXPECT_EQ(out.begin_nodes[i], n);
+    ++i;
+    return true;
+  });
+}
+
+// Property sweep: traversal over a CSR view agrees with the store.
+class CsrRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsrRandomTest, ClosureAndMetricsAgreeWithStore) {
+  frappe::Rng rng(GetParam());
+  GraphStore store;
+  TypeId nt = store.InternNodeType("n");
+  TypeId et = store.InternEdgeType("e");
+  const size_t kNodes = 60;
+  for (size_t i = 0; i < kNodes; ++i) store.AddNode(nt);
+  for (size_t i = 0; i < kNodes * 3; ++i) {
+    store.AddEdge(static_cast<NodeId>(rng.Uniform(kNodes)),
+                  static_cast<NodeId>(rng.Uniform(kNodes)), et);
+  }
+  // Some deletions to create holes.
+  for (int i = 0; i < 6; ++i) {
+    store.RemoveEdge(static_cast<EdgeId>(rng.Uniform(kNodes * 3)));
+  }
+  CsrView view = CsrView::Build(store);
+
+  auto store_metrics = ComputeMetrics(store);
+  auto csr_metrics = ComputeMetrics(view);
+  EXPECT_EQ(store_metrics.node_count, csr_metrics.node_count);
+  EXPECT_EQ(store_metrics.edge_count, csr_metrics.edge_count);
+
+  NodeId seed = static_cast<NodeId>(rng.Uniform(kNodes));
+  for (Direction dir : {Direction::kOut, Direction::kIn}) {
+    auto a = TransitiveClosure(store, seed, EdgeFilter::Of({et}, dir));
+    auto b = TransitiveClosure(view, seed, EdgeFilter::Of({et}, dir));
+    EXPECT_EQ(a, b);
+  }
+  for (NodeId n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(store.OutDegree(n), view.OutDegree(n)) << n;
+    EXPECT_EQ(store.InDegree(n), view.InDegree(n)) << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrRandomTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace frappe::graph

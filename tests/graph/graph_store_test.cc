@@ -1,0 +1,274 @@
+#include "graph/graph_store.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace frappe::graph {
+namespace {
+
+class GraphStoreTest : public ::testing::Test {
+ protected:
+  GraphStore store_;
+};
+
+TEST_F(GraphStoreTest, EmptyStore) {
+  EXPECT_EQ(store_.NodeCount(), 0u);
+  EXPECT_EQ(store_.EdgeCount(), 0u);
+  EXPECT_FALSE(store_.NodeExists(0));
+  EXPECT_FALSE(store_.EdgeExists(0));
+}
+
+TEST_F(GraphStoreTest, AddNodesAssignsDenseIds) {
+  NodeId a = store_.AddNode("function");
+  NodeId b = store_.AddNode("file");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(store_.NodeCount(), 2u);
+  EXPECT_EQ(store_.NodeTypeName(a), "function");
+  EXPECT_EQ(store_.NodeTypeName(b), "file");
+}
+
+TEST_F(GraphStoreTest, AddEdgeLinksAdjacency) {
+  NodeId a = store_.AddNode("function");
+  NodeId b = store_.AddNode("function");
+  EdgeId e = store_.AddEdge(a, b, "calls");
+  ASSERT_NE(e, kInvalidEdge);
+  EXPECT_EQ(store_.EdgeCount(), 1u);
+  Edge edge = store_.GetEdge(e);
+  EXPECT_EQ(edge.src, a);
+  EXPECT_EQ(edge.dst, b);
+  EXPECT_EQ(store_.EdgeTypeName(e), "calls");
+  EXPECT_EQ(store_.OutDegree(a), 1u);
+  EXPECT_EQ(store_.InDegree(b), 1u);
+  EXPECT_EQ(store_.OutDegree(b), 0u);
+}
+
+TEST_F(GraphStoreTest, AddEdgeToMissingNodeFails) {
+  NodeId a = store_.AddNode("function");
+  EXPECT_EQ(store_.AddEdge(a, 99, "calls"), kInvalidEdge);
+  EXPECT_EQ(store_.AddEdge(99, a, "calls"), kInvalidEdge);
+  EXPECT_EQ(store_.EdgeCount(), 0u);
+}
+
+TEST_F(GraphStoreTest, NodePropertiesRoundTrip) {
+  NodeId a = store_.AddNode("function");
+  store_.SetNodeProperty(a, "short_name", store_.StringValue("main"));
+  store_.SetNodeProperty(a, "value", Value::Int(7));
+  EXPECT_EQ(store_.GetNodeString(a, store_.InternKey("short_name")), "main");
+  EXPECT_EQ(store_.GetNodeProperty(a, store_.InternKey("value")).AsInt(), 7);
+  EXPECT_TRUE(
+      store_.GetNodeProperty(a, store_.InternKey("absent")).is_null());
+}
+
+TEST_F(GraphStoreTest, EdgePropertiesRoundTrip) {
+  NodeId a = store_.AddNode("function");
+  NodeId b = store_.AddNode("function");
+  EdgeId e = store_.AddEdge(a, b, "calls");
+  store_.SetEdgeProperty(e, "use_start_line", Value::Int(236));
+  EXPECT_EQ(
+      store_.GetEdgeProperty(e, store_.InternKey("use_start_line")).AsInt(),
+      236);
+}
+
+TEST_F(GraphStoreTest, ForEachEdgeDirections) {
+  NodeId a = store_.AddNode("n");
+  NodeId b = store_.AddNode("n");
+  NodeId c = store_.AddNode("n");
+  store_.AddEdge(a, b, "e");
+  store_.AddEdge(c, a, "e");
+
+  std::vector<NodeId> out_neighbors;
+  store_.ForEachEdge(a, Direction::kOut, [&](EdgeId, NodeId n) {
+    out_neighbors.push_back(n);
+    return true;
+  });
+  EXPECT_EQ(out_neighbors, std::vector<NodeId>{b});
+
+  std::vector<NodeId> in_neighbors;
+  store_.ForEachEdge(a, Direction::kIn, [&](EdgeId, NodeId n) {
+    in_neighbors.push_back(n);
+    return true;
+  });
+  EXPECT_EQ(in_neighbors, std::vector<NodeId>{c});
+
+  std::set<NodeId> both;
+  store_.ForEachEdge(a, Direction::kBoth, [&](EdgeId, NodeId n) {
+    both.insert(n);
+    return true;
+  });
+  EXPECT_EQ(both, (std::set<NodeId>{b, c}));
+}
+
+TEST_F(GraphStoreTest, ForEachEdgeEarlyStop) {
+  NodeId a = store_.AddNode("n");
+  for (int i = 0; i < 5; ++i) {
+    store_.AddEdge(a, store_.AddNode("n"), "e");
+  }
+  int visited = 0;
+  store_.ForEachEdge(a, Direction::kOut, [&](EdgeId, NodeId) {
+    ++visited;
+    return visited < 2;
+  });
+  EXPECT_EQ(visited, 2);
+}
+
+TEST_F(GraphStoreTest, SelfLoopReportedOnceInBothDirection) {
+  NodeId a = store_.AddNode("n");
+  store_.AddEdge(a, a, "e");
+  int count = 0;
+  store_.ForEachEdge(a, Direction::kBoth, [&](EdgeId, NodeId n) {
+    EXPECT_EQ(n, a);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(store_.Degree(a), 2u);  // self-loop counts in and out
+}
+
+TEST_F(GraphStoreTest, RemoveEdgeDetachesAdjacency) {
+  NodeId a = store_.AddNode("n");
+  NodeId b = store_.AddNode("n");
+  EdgeId e1 = store_.AddEdge(a, b, "e");
+  EdgeId e2 = store_.AddEdge(a, b, "e");
+  store_.RemoveEdge(e1);
+  EXPECT_FALSE(store_.EdgeExists(e1));
+  EXPECT_TRUE(store_.EdgeExists(e2));
+  EXPECT_EQ(store_.EdgeCount(), 1u);
+  EXPECT_EQ(store_.OutDegree(a), 1u);
+  EXPECT_EQ(store_.InDegree(b), 1u);
+  // Removing again is a no-op.
+  store_.RemoveEdge(e1);
+  EXPECT_EQ(store_.EdgeCount(), 1u);
+}
+
+TEST_F(GraphStoreTest, RemoveNodeCascadesToEdges) {
+  NodeId a = store_.AddNode("n");
+  NodeId b = store_.AddNode("n");
+  NodeId c = store_.AddNode("n");
+  store_.AddEdge(a, b, "e");
+  store_.AddEdge(b, c, "e");
+  store_.AddEdge(c, a, "e");
+  store_.RemoveNode(b);
+  EXPECT_FALSE(store_.NodeExists(b));
+  EXPECT_EQ(store_.NodeCount(), 2u);
+  EXPECT_EQ(store_.EdgeCount(), 1u);  // only c->a survives
+  EXPECT_EQ(store_.OutDegree(a), 0u);
+  EXPECT_EQ(store_.InDegree(a), 1u);
+}
+
+TEST_F(GraphStoreTest, IdsNotReusedAfterRemoval) {
+  NodeId a = store_.AddNode("n");
+  store_.RemoveNode(a);
+  NodeId b = store_.AddNode("n");
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(store_.NodeExists(a));
+  EXPECT_TRUE(store_.NodeExists(b));
+}
+
+TEST_F(GraphStoreTest, DeadRecordsPreserveIdSpace) {
+  NodeId dead = store_.AddDeadNode();
+  NodeId live = store_.AddNode("n");
+  EXPECT_FALSE(store_.NodeExists(dead));
+  EXPECT_TRUE(store_.NodeExists(live));
+  EXPECT_EQ(store_.NodeCount(), 1u);
+  EXPECT_EQ(store_.NodeIdUpperBound(), 2u);
+
+  EdgeId dead_edge = store_.AddDeadEdge();
+  EXPECT_FALSE(store_.EdgeExists(dead_edge));
+  EXPECT_EQ(store_.EdgeCount(), 0u);
+}
+
+TEST_F(GraphStoreTest, ForEachNodeSkipsDead) {
+  store_.AddNode("n");
+  NodeId b = store_.AddNode("n");
+  store_.AddNode("n");
+  store_.RemoveNode(b);
+  std::vector<NodeId> seen;
+  store_.ForEachNode([&](NodeId id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<NodeId>{0, 2}));
+}
+
+TEST_F(GraphStoreTest, EstimateMemoryGrowsWithContent) {
+  auto before = store_.EstimateMemory();
+  NodeId a = store_.AddNode("n");
+  NodeId b = store_.AddNode("n");
+  EdgeId e = store_.AddEdge(a, b, "calls");
+  store_.SetEdgeProperty(e, "k", Value::Int(1));
+  store_.SetNodeProperty(a, "name", store_.StringValue("something_long"));
+  auto after = store_.EstimateMemory();
+  EXPECT_GT(after.nodes, before.nodes);
+  EXPECT_GT(after.relationships, before.relationships);
+  EXPECT_GT(after.properties, before.properties);
+  EXPECT_EQ(after.total(),
+            after.nodes + after.relationships + after.properties);
+}
+
+// Property-style sweep: after N random mutations, invariants hold.
+class GraphStoreRandomOpsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphStoreRandomOpsTest, InvariantsHoldUnderRandomMutation) {
+  frappe::Rng rng(GetParam());
+  GraphStore store;
+  TypeId nt = store.InternNodeType("n");
+  TypeId et = store.InternEdgeType("e");
+  std::vector<NodeId> live_nodes;
+  std::vector<EdgeId> live_edges;
+
+  for (int step = 0; step < 500; ++step) {
+    uint64_t op = rng.Uniform(10);
+    if (op < 4 || live_nodes.empty()) {
+      live_nodes.push_back(store.AddNode(nt));
+    } else if (op < 8 && live_nodes.size() >= 2) {
+      NodeId src = live_nodes[rng.Uniform(live_nodes.size())];
+      NodeId dst = live_nodes[rng.Uniform(live_nodes.size())];
+      EdgeId e = store.AddEdge(src, dst, et);
+      ASSERT_NE(e, kInvalidEdge);
+      live_edges.push_back(e);
+    } else if (op == 8 && !live_edges.empty()) {
+      size_t idx = rng.Uniform(live_edges.size());
+      store.RemoveEdge(live_edges[idx]);
+      live_edges.erase(live_edges.begin() + static_cast<long>(idx));
+    } else if (!live_nodes.empty()) {
+      size_t idx = rng.Uniform(live_nodes.size());
+      NodeId victim = live_nodes[idx];
+      store.RemoveNode(victim);
+      live_nodes.erase(live_nodes.begin() + static_cast<long>(idx));
+      // Drop edges that were cascade-deleted.
+      std::erase_if(live_edges,
+                    [&](EdgeId e) { return !store.EdgeExists(e); });
+    }
+  }
+
+  // Invariant 1: live counts match our bookkeeping.
+  EXPECT_EQ(store.NodeCount(), live_nodes.size());
+  EXPECT_EQ(store.EdgeCount(), live_edges.size());
+
+  // Invariant 2: every live edge endpoints are live, and the edge is
+  // present in both endpoint adjacency lists.
+  size_t adjacency_total = 0;
+  for (EdgeId e : live_edges) {
+    Edge edge = store.GetEdge(e);
+    EXPECT_TRUE(store.NodeExists(edge.src));
+    EXPECT_TRUE(store.NodeExists(edge.dst));
+    bool in_out = false;
+    store.ForEachEdge(edge.src, Direction::kOut, [&](EdgeId id, NodeId) {
+      if (id == e) in_out = true;
+      return true;
+    });
+    EXPECT_TRUE(in_out);
+  }
+
+  // Invariant 3: sum of out-degrees equals the live edge count.
+  store.ForEachNode([&](NodeId id) { adjacency_total += store.OutDegree(id); });
+  EXPECT_EQ(adjacency_total, live_edges.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphStoreRandomOpsTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace frappe::graph

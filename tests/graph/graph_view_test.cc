@@ -1,0 +1,83 @@
+// Tests for the GraphView convenience helpers shared by every view
+// implementation (store, CSR, temporal).
+
+#include "graph/graph_view.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/graph_store.h"
+
+namespace frappe::graph {
+namespace {
+
+class GraphViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    name_ = store_.InternKey("short_name");
+    value_ = store_.InternKey("value");
+    fn_ = store_.AddNode("function");
+    store_.SetNodeProperty(fn_, name_, store_.StringValue("main"));
+    store_.SetNodeProperty(fn_, value_, Value::Int(7));
+    file_ = store_.AddNode("file");
+    edge_ = store_.AddEdge(file_, fn_, "file_contains");
+    store_.SetEdgeProperty(edge_, name_, store_.StringValue("ref"));
+  }
+
+  GraphStore store_;
+  KeyId name_, value_;
+  NodeId fn_, file_;
+  EdgeId edge_;
+};
+
+TEST_F(GraphViewTest, GetNodeStringResolvesInternedValue) {
+  EXPECT_EQ(store_.GetNodeString(fn_, name_), "main");
+}
+
+TEST_F(GraphViewTest, GetNodeStringOnNonStringPropertyIsEmpty) {
+  EXPECT_EQ(store_.GetNodeString(fn_, value_), "");
+}
+
+TEST_F(GraphViewTest, GetNodeStringOnAbsentKeyIsEmpty) {
+  EXPECT_EQ(store_.GetNodeString(fn_, store_.InternKey("absent")), "");
+}
+
+TEST_F(GraphViewTest, GetEdgeStringResolves) {
+  EXPECT_EQ(store_.GetEdgeString(edge_, name_), "ref");
+  EXPECT_EQ(store_.GetEdgeString(edge_, value_), "");
+}
+
+TEST_F(GraphViewTest, TypeNameHelpers) {
+  EXPECT_EQ(store_.NodeTypeName(fn_), "function");
+  EXPECT_EQ(store_.EdgeTypeName(edge_), "file_contains");
+}
+
+TEST_F(GraphViewTest, DegreeSumsBothDirections) {
+  EXPECT_EQ(store_.Degree(fn_), 1u);
+  EXPECT_EQ(store_.Degree(file_), 1u);
+  store_.AddEdge(fn_, file_, "x");
+  EXPECT_EQ(store_.Degree(fn_), 2u);
+}
+
+TEST_F(GraphViewTest, ForEachEdgeGlobalSkipsDead) {
+  EdgeId second = store_.AddEdge(file_, fn_, "includes");
+  store_.RemoveEdge(edge_);
+  std::vector<EdgeId> seen;
+  store_.ForEachEdgeGlobal([&](EdgeId e) { seen.push_back(e); });
+  EXPECT_EQ(seen, std::vector<EdgeId>{second});
+}
+
+TEST_F(GraphViewTest, ForEachNodeVisitsAllLive) {
+  size_t count = 0;
+  store_.ForEachNode([&](NodeId) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(ValueToStringTest, DoubleRendering) {
+  StringPool pool;
+  EXPECT_EQ(Value::Double(2.5).ToString(pool), "2.5");
+}
+
+}  // namespace
+}  // namespace frappe::graph

@@ -1,0 +1,214 @@
+#include "graph/indexes.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_store.h"
+
+namespace frappe::graph {
+namespace {
+
+class NameIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    short_name_ = store_.InternKey("short_name");
+    name_ = store_.InternKey("name");
+    fn_type_ = store_.InternNodeType("function");
+    field_type_ = store_.InternNodeType("field");
+
+    main_ = AddNamed(fn_type_, "main");
+    bar_ = AddNamed(fn_type_, "bar");
+    pci_read_ = AddNamed(fn_type_, "pci_read_bases");
+    pci_write_ = AddNamed(fn_type_, "pci_write_bases");
+    id_field_ = AddNamed(field_type_, "id");
+    id_fn_ = AddNamed(fn_type_, "id");
+
+    index_ = NameIndex::Build(
+        store_, {{"short_name", short_name_, false},
+                 {"name", name_, false},
+                 {"type", kInvalidKey, true}});
+  }
+
+  NodeId AddNamed(TypeId type, std::string_view name) {
+    NodeId id = store_.AddNode(type);
+    store_.SetNodeProperty(id, short_name_, store_.StringValue(name));
+    store_.SetNodeProperty(id, name_,
+                           store_.StringValue(std::string(name) + "::full"));
+    return id;
+  }
+
+  GraphStore store_;
+  KeyId short_name_, name_;
+  TypeId fn_type_, field_type_;
+  NodeId main_, bar_, pci_read_, pci_write_, id_field_, id_fn_;
+  NameIndex index_;
+};
+
+TEST_F(NameIndexTest, ExactLookup) {
+  EXPECT_EQ(index_.Lookup("short_name", "main"), std::vector<NodeId>{main_});
+  EXPECT_EQ(index_.Lookup("short_name", "id"),
+            (std::vector<NodeId>{id_field_, id_fn_}));
+  EXPECT_TRUE(index_.Lookup("short_name", "nonexistent").empty());
+}
+
+TEST_F(NameIndexTest, LookupIsCaseInsensitive) {
+  EXPECT_EQ(index_.Lookup("SHORT_NAME", "MAIN"), std::vector<NodeId>{main_});
+}
+
+TEST_F(NameIndexTest, UnknownFieldReturnsEmpty) {
+  EXPECT_TRUE(index_.Lookup("no_such_field", "main").empty());
+}
+
+TEST_F(NameIndexTest, WildcardPrefix) {
+  EXPECT_EQ(index_.LookupWildcard("short_name", "pci_*"),
+            (std::vector<NodeId>{pci_read_, pci_write_}));
+}
+
+TEST_F(NameIndexTest, WildcardInfixAndSuffix) {
+  EXPECT_EQ(index_.LookupWildcard("short_name", "*_bases"),
+            (std::vector<NodeId>{pci_read_, pci_write_}));
+  EXPECT_EQ(index_.LookupWildcard("short_name", "pci_?ead_bases"),
+            std::vector<NodeId>{pci_read_});
+}
+
+TEST_F(NameIndexTest, FuzzyLookup) {
+  // One substitution away.
+  EXPECT_EQ(index_.LookupFuzzy("short_name", "mair", 1),
+            std::vector<NodeId>{main_});
+  // Distance 2: "maXX" still matches "main".
+  EXPECT_EQ(index_.LookupFuzzy("short_name", "maxx", 2),
+            std::vector<NodeId>{main_});
+  // Distance limit respected.
+  EXPECT_TRUE(index_.LookupFuzzy("short_name", "qqqq", 1).empty());
+}
+
+TEST_F(NameIndexTest, TypeFieldIndexesNodeLabels) {
+  EXPECT_EQ(index_.Lookup("type", "field"), std::vector<NodeId>{id_field_});
+  auto functions = index_.Lookup("type", "function");
+  EXPECT_EQ(functions.size(), 5u);
+}
+
+TEST_F(NameIndexTest, LuceneExactQuery) {
+  auto result = index_.Query("short_name: main");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, std::vector<NodeId>{main_});
+}
+
+TEST_F(NameIndexTest, LuceneAndNarrows) {
+  // The paper's Table 6 pattern: type filter AND name filter.
+  auto result = index_.Query("type: function AND short_name: id");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, std::vector<NodeId>{id_fn_});
+}
+
+TEST_F(NameIndexTest, LuceneJuxtapositionMeansAnd) {
+  auto result = index_.Query("type: function short_name: id");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, std::vector<NodeId>{id_fn_});
+}
+
+TEST_F(NameIndexTest, LuceneOrUnions) {
+  auto result = index_.Query("short_name: main OR short_name: bar");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<NodeId>{main_, bar_}));
+}
+
+TEST_F(NameIndexTest, LuceneParenthesesGroup) {
+  auto result = index_.Query(
+      "(type: field OR type: function) AND short_name: id");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<NodeId>{id_field_, id_fn_}));
+}
+
+TEST_F(NameIndexTest, LuceneWildcardTerm) {
+  auto result = index_.Query("short_name: pci_*");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<NodeId>{pci_read_, pci_write_}));
+}
+
+TEST_F(NameIndexTest, LuceneFuzzyTerm) {
+  auto result = index_.Query("short_name: mair~1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, std::vector<NodeId>{main_});
+}
+
+TEST_F(NameIndexTest, LuceneQuotedTermWithDot) {
+  NodeId elf = AddNamed(fn_type_, "wakeup.elf");
+  NameIndex fresh = NameIndex::Build(
+      store_, {{"short_name", short_name_, false}});
+  auto result = fresh.Query("short_name: 'wakeup.elf'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, std::vector<NodeId>{elf});
+  // Bare dotted terms also parse (lucene-ish leniency).
+  auto bare = fresh.Query("short_name: wakeup.elf");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(*bare, std::vector<NodeId>{elf});
+}
+
+TEST_F(NameIndexTest, LuceneSyntaxErrors) {
+  EXPECT_FALSE(index_.Query("short_name").ok());
+  EXPECT_FALSE(index_.Query("short_name: main AND").ok());
+  EXPECT_FALSE(index_.Query("(short_name: main").ok());
+  EXPECT_FALSE(index_.Query("short_name: 'unterminated").ok());
+}
+
+TEST_F(NameIndexTest, SerializeDeserializeRoundTrip) {
+  std::string blob;
+  index_.Serialize(&blob);
+  auto restored = NameIndex::Deserialize(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->Lookup("short_name", "main"),
+            std::vector<NodeId>{main_});
+  EXPECT_EQ(restored->Lookup("type", "field"),
+            std::vector<NodeId>{id_field_});
+  EXPECT_EQ(restored->TermCount(), index_.TermCount());
+}
+
+TEST_F(NameIndexTest, DeserializeRejectsTruncation) {
+  std::string blob;
+  index_.Serialize(&blob);
+  for (size_t cut : {size_t{0}, size_t{2}, blob.size() / 2, blob.size() - 1}) {
+    auto truncated = NameIndex::Deserialize(
+        std::string_view(blob).substr(0, cut));
+    EXPECT_FALSE(truncated.ok()) << "cut=" << cut;
+  }
+}
+
+TEST_F(NameIndexTest, IncrementalIndexNode) {
+  NodeId fresh = AddNamed(fn_type_, "late_arrival");
+  index_.IndexNode(store_, fresh);
+  EXPECT_EQ(index_.Lookup("short_name", "late_arrival"),
+            std::vector<NodeId>{fresh});
+}
+
+TEST_F(NameIndexTest, ByteSizeNonZero) {
+  EXPECT_GT(index_.ByteSize(), 0u);
+}
+
+TEST(LabelIndexTest, GroupsNodesByType) {
+  GraphStore store;
+  TypeId fn = store.InternNodeType("function");
+  TypeId file = store.InternNodeType("file");
+  NodeId f1 = store.AddNode(fn);
+  NodeId f2 = store.AddNode(fn);
+  NodeId file1 = store.AddNode(file);
+  LabelIndex index = LabelIndex::Build(store);
+  EXPECT_EQ(index.Nodes(fn), (std::vector<NodeId>{f1, f2}));
+  EXPECT_EQ(index.Nodes(file), std::vector<NodeId>{file1});
+  EXPECT_TRUE(index.Nodes(999).empty());
+}
+
+TEST(LabelIndexTest, SkipsDeadNodes) {
+  GraphStore store;
+  TypeId fn = store.InternNodeType("function");
+  NodeId f1 = store.AddNode(fn);
+  NodeId f2 = store.AddNode(fn);
+  store.RemoveNode(f1);
+  LabelIndex index = LabelIndex::Build(store);
+  EXPECT_EQ(index.Nodes(fn), std::vector<NodeId>{f2});
+}
+
+}  // namespace
+}  // namespace frappe::graph

@@ -1,0 +1,116 @@
+#include "graph/property_map.h"
+
+#include <gtest/gtest.h>
+
+namespace frappe::graph {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Int(-5).AsInt(), -5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  Value s = Value::String(StringRef{7});
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(s.AsString().id, 7u);
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value::Int(5) == Value::Double(5.0));
+  EXPECT_TRUE(Value::Double(5.0) == Value::Int(5));
+  EXPECT_FALSE(Value::Int(5) == Value::Double(5.5));
+}
+
+TEST(ValueTest, DistinctTypesNeverEqual) {
+  EXPECT_FALSE(Value::Bool(true) == Value::Int(1));
+  EXPECT_FALSE(Value::String(StringRef{1}) == Value::Int(1));
+  EXPECT_FALSE(Value::Null() == Value::Int(0));
+  EXPECT_TRUE(Value::Null() == Value::Null());
+}
+
+TEST(ValueTest, RawRoundTrip) {
+  for (Value v : {Value::Null(), Value::Bool(true), Value::Int(-123456789),
+                  Value::Double(3.14159), Value::String(StringRef{42})}) {
+    Value back = Value::FromRaw(v.type(), v.RawPayload());
+    EXPECT_TRUE(v == back);
+  }
+}
+
+TEST(ValueTest, ToStringRendersEachType) {
+  StringPool pool;
+  StringRef hello = pool.Intern("hello");
+  EXPECT_EQ(Value::Null().ToString(pool), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(pool), "true");
+  EXPECT_EQ(Value::Bool(false).ToString(pool), "false");
+  EXPECT_EQ(Value::Int(42).ToString(pool), "42");
+  EXPECT_EQ(Value::String(hello).ToString(pool), "'hello'");
+}
+
+TEST(PropertyMapTest, SetGetHas) {
+  PropertyMap map;
+  EXPECT_TRUE(map.empty());
+  map.Set(3, Value::Int(30));
+  map.Set(1, Value::Int(10));
+  map.Set(2, Value::Int(20));
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.Get(1).AsInt(), 10);
+  EXPECT_EQ(map.Get(2).AsInt(), 20);
+  EXPECT_EQ(map.Get(3).AsInt(), 30);
+  EXPECT_TRUE(map.Has(2));
+  EXPECT_FALSE(map.Has(4));
+  EXPECT_TRUE(map.Get(4).is_null());
+}
+
+TEST(PropertyMapTest, EntriesStaySortedByKey) {
+  PropertyMap map;
+  map.Set(9, Value::Int(9));
+  map.Set(1, Value::Int(1));
+  map.Set(5, Value::Int(5));
+  KeyId prev = 0;
+  for (const auto& e : map.entries()) {
+    EXPECT_GE(e.key, prev);
+    prev = e.key;
+  }
+}
+
+TEST(PropertyMapTest, OverwriteReplacesValue) {
+  PropertyMap map;
+  map.Set(1, Value::Int(10));
+  map.Set(1, Value::String(StringRef{3}));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.Get(1).type(), ValueType::kString);
+}
+
+TEST(PropertyMapTest, SettingNullErases) {
+  PropertyMap map;
+  map.Set(1, Value::Int(10));
+  map.Set(1, Value::Null());
+  EXPECT_FALSE(map.Has(1));
+  EXPECT_TRUE(map.empty());
+  // Erasing an absent key is a no-op.
+  map.Erase(99);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(PropertyMapTest, EqualityIsValueBased) {
+  PropertyMap a, b;
+  a.Set(1, Value::Int(1));
+  a.Set(2, Value::Bool(true));
+  b.Set(2, Value::Bool(true));
+  b.Set(1, Value::Int(1));
+  EXPECT_TRUE(a == b);
+  b.Set(3, Value::Int(3));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PropertyMapTest, ByteSizeTracksEntries) {
+  PropertyMap map;
+  EXPECT_EQ(map.byte_size(), 0u);
+  map.Set(1, Value::Int(1));
+  map.Set(2, Value::Int(2));
+  EXPECT_EQ(map.byte_size(), 2 * sizeof(PropertyMap::Entry));
+}
+
+}  // namespace
+}  // namespace frappe::graph

@@ -1,0 +1,225 @@
+#include "graph/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "graph/graph_store.h"
+
+namespace frappe::graph {
+namespace {
+
+// Builds a store exercising every value type, properties on nodes and
+// edges, and tombstoned ids.
+GraphStore BuildFixture() {
+  GraphStore store;
+  NodeId a = store.AddNode("function");
+  store.SetNodeProperty(a, "short_name", store.StringValue("main"));
+  store.SetNodeProperty(a, "variadic", Value::Bool(true));
+  NodeId dead = store.AddNode("function");
+  NodeId b = store.AddNode("file");
+  store.SetNodeProperty(b, "long_name", store.StringValue("/src/main.c"));
+  store.SetNodeProperty(b, "value", Value::Double(1.5));
+  EdgeId e1 = store.AddEdge(a, b, "file_contains");
+  store.SetEdgeProperty(e1, "use_start_line", Value::Int(104));
+  EdgeId dead_edge = store.AddEdge(a, b, "calls");
+  store.RemoveEdge(dead_edge);
+  store.RemoveNode(dead);
+  return store;
+}
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  GraphStore original = BuildFixture();
+  std::string blob;
+  auto sizes = SerializeSnapshot(original, &blob);
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_EQ(sizes->total(), blob.size());
+
+  auto loaded = DeserializeSnapshot(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const GraphStore& restored = *loaded->store;
+
+  EXPECT_EQ(restored.NodeCount(), original.NodeCount());
+  EXPECT_EQ(restored.EdgeCount(), original.EdgeCount());
+  EXPECT_EQ(restored.NodeIdUpperBound(), original.NodeIdUpperBound());
+  EXPECT_EQ(restored.EdgeIdUpperBound(), original.EdgeIdUpperBound());
+
+  // Same liveness layout.
+  for (NodeId id = 0; id < original.NodeIdUpperBound(); ++id) {
+    EXPECT_EQ(restored.NodeExists(id), original.NodeExists(id)) << id;
+  }
+  for (EdgeId id = 0; id < original.EdgeIdUpperBound(); ++id) {
+    EXPECT_EQ(restored.EdgeExists(id), original.EdgeExists(id)) << id;
+  }
+
+  // Property values survive, including interned strings.
+  NodeId a = 0, b = 2;
+  EXPECT_EQ(restored.GetNodeString(a, restored.keys().Find("short_name")),
+            "main");
+  EXPECT_TRUE(restored
+                  .GetNodeProperty(a, restored.keys().Find("variadic"))
+                  .AsBool());
+  EXPECT_EQ(restored.GetNodeString(b, restored.keys().Find("long_name")),
+            "/src/main.c");
+  EXPECT_DOUBLE_EQ(
+      restored.GetNodeProperty(b, restored.keys().Find("value")).AsDouble(),
+      1.5);
+  EdgeId e1 = 0;
+  Edge edge = restored.GetEdge(e1);
+  EXPECT_EQ(edge.src, a);
+  EXPECT_EQ(edge.dst, b);
+  EXPECT_EQ(restored.EdgeTypeName(e1), "file_contains");
+  EXPECT_EQ(
+      restored.GetEdgeProperty(e1, restored.keys().Find("use_start_line"))
+          .AsInt(),
+      104);
+}
+
+TEST(SnapshotTest, RoundTripWithEmbeddedIndex) {
+  GraphStore original = BuildFixture();
+  NameIndex index = NameIndex::Build(
+      original, {{"short_name", original.keys().Find("short_name"), false}});
+  std::string blob;
+  auto sizes = SerializeSnapshot(original, &blob, &index);
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_GT(sizes->indexes, 0u);
+
+  auto loaded = DeserializeSnapshot(blob);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->index.has_value());
+  EXPECT_EQ(loaded->index->Lookup("short_name", "main"),
+            std::vector<NodeId>{0});
+}
+
+TEST(SnapshotTest, SizesSectionsAreConsistent) {
+  GraphStore original = BuildFixture();
+  std::string blob;
+  auto sizes = SerializeSnapshot(original, &blob);
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_GT(sizes->schema, 0u);
+  EXPECT_GT(sizes->strings, 0u);
+  EXPECT_GT(sizes->nodes, 0u);
+  EXPECT_GT(sizes->relationships, 0u);
+  EXPECT_GT(sizes->node_properties, 0u);
+  EXPECT_GT(sizes->edge_properties, 0u);
+  EXPECT_EQ(sizes->indexes, 0u);
+  EXPECT_EQ(sizes->properties(),
+            sizes->node_properties + sizes->edge_properties + sizes->strings);
+}
+
+TEST(SnapshotTest, EmptyGraphRoundTrips) {
+  GraphStore empty;
+  std::string blob;
+  ASSERT_TRUE(SerializeSnapshot(empty, &blob).ok());
+  auto loaded = DeserializeSnapshot(blob);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->store->NodeCount(), 0u);
+  EXPECT_EQ(loaded->store->EdgeCount(), 0u);
+}
+
+TEST(SnapshotTest, RejectsBadMagic) {
+  EXPECT_FALSE(DeserializeSnapshot("NOTADB00garbage").ok());
+  EXPECT_FALSE(DeserializeSnapshot("").ok());
+}
+
+TEST(SnapshotTest, RejectsTruncation) {
+  GraphStore original = BuildFixture();
+  std::string blob;
+  ASSERT_TRUE(SerializeSnapshot(original, &blob).ok());
+  for (size_t frac = 1; frac < 8; ++frac) {
+    size_t cut = blob.size() * frac / 8;
+    auto result = DeserializeSnapshot(std::string_view(blob).substr(0, cut));
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(SnapshotTest, RejectsTrailingGarbage) {
+  GraphStore original = BuildFixture();
+  std::string blob;
+  ASSERT_TRUE(SerializeSnapshot(original, &blob).ok());
+  blob += "extra";
+  EXPECT_FALSE(DeserializeSnapshot(blob).ok());
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  GraphStore original = BuildFixture();
+  std::string path = ::testing::TempDir() + "/frappe_snapshot_test.db";
+  auto sizes = SaveSnapshot(original, path);
+  ASSERT_TRUE(sizes.ok()) << sizes.status();
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->store->NodeCount(), original.NodeCount());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadMissingFileIsNotFound) {
+  auto result = LoadSnapshot("/nonexistent/path/to.db");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// Property test: random graphs round-trip exactly.
+class SnapshotRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotRandomTest, RandomGraphRoundTrips) {
+  frappe::Rng rng(GetParam());
+  GraphStore store;
+  TypeId nt = store.InternNodeType("n");
+  TypeId et = store.InternEdgeType("e");
+  KeyId k1 = store.InternKey("k1");
+  KeyId k2 = store.InternKey("k2");
+  const size_t kNodes = 30;
+  for (size_t i = 0; i < kNodes; ++i) {
+    NodeId id = store.AddNode(nt);
+    if (rng.Bernoulli(0.5)) {
+      store.SetNodeProperty(id, k1, Value::Int(rng.UniformRange(-100, 100)));
+    }
+    if (rng.Bernoulli(0.3)) {
+      store.SetNodeProperty(
+          id, k2, store.StringValue("s" + std::to_string(rng.Uniform(10))));
+    }
+  }
+  for (size_t i = 0; i < kNodes * 2; ++i) {
+    EdgeId e = store.AddEdge(static_cast<NodeId>(rng.Uniform(kNodes)),
+                             static_cast<NodeId>(rng.Uniform(kNodes)), et);
+    if (rng.Bernoulli(0.5)) {
+      store.SetEdgeProperty(e, k1, Value::Double(rng.NextDouble()));
+    }
+  }
+  // Random deletions create tombstones.
+  for (size_t i = 0; i < 5; ++i) {
+    store.RemoveNode(static_cast<NodeId>(rng.Uniform(kNodes)));
+  }
+
+  std::string blob;
+  ASSERT_TRUE(SerializeSnapshot(store, &blob).ok());
+  auto loaded = DeserializeSnapshot(blob);
+  ASSERT_TRUE(loaded.ok());
+  const GraphStore& restored = *loaded->store;
+
+  ASSERT_EQ(restored.NodeIdUpperBound(), store.NodeIdUpperBound());
+  ASSERT_EQ(restored.EdgeIdUpperBound(), store.EdgeIdUpperBound());
+  for (NodeId id = 0; id < store.NodeIdUpperBound(); ++id) {
+    ASSERT_EQ(restored.NodeExists(id), store.NodeExists(id));
+    if (!store.NodeExists(id)) continue;
+    EXPECT_EQ(restored.NodeType(id), store.NodeType(id));
+    EXPECT_TRUE(restored.NodeProperties(id) == store.NodeProperties(id));
+  }
+  for (EdgeId id = 0; id < store.EdgeIdUpperBound(); ++id) {
+    ASSERT_EQ(restored.EdgeExists(id), store.EdgeExists(id));
+    if (!store.EdgeExists(id)) continue;
+    Edge a = restored.GetEdge(id), b = store.GetEdge(id);
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_TRUE(restored.EdgeProperties(id) == store.EdgeProperties(id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotRandomTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace frappe::graph

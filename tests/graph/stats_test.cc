@@ -1,0 +1,122 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_store.h"
+
+namespace frappe::graph {
+namespace {
+
+class StatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    name_key_ = store_.InternKey("short_name");
+    TypeId fn = store_.InternNodeType("function");
+    TypeId prim = store_.InternNodeType("primitive");
+    TypeId et = store_.InternEdgeType("calls");
+    TypeId isa = store_.InternEdgeType("isa_type");
+
+    // A hub node referenced by everything (like `int` in the paper).
+    hub_ = store_.AddNode(prim);
+    store_.SetNodeProperty(hub_, name_key_, store_.StringValue("int"));
+    for (int i = 0; i < 10; ++i) {
+      NodeId f = store_.AddNode(fn);
+      store_.SetNodeProperty(f, name_key_,
+                             store_.StringValue("f" + std::to_string(i)));
+      store_.AddEdge(f, hub_, isa);
+      if (i > 0) store_.AddEdge(f, first_, et);
+      else first_ = f;
+    }
+  }
+
+  GraphStore store_;
+  KeyId name_key_;
+  NodeId hub_ = kInvalidNode;
+  NodeId first_ = kInvalidNode;
+};
+
+TEST_F(StatsTest, MetricsCountsAndRatio) {
+  GraphMetrics m = ComputeMetrics(store_);
+  EXPECT_EQ(m.node_count, 11u);
+  EXPECT_EQ(m.edge_count, 19u);  // 10 isa + 9 calls
+  EXPECT_NEAR(m.edge_node_ratio, 19.0 / 11.0, 1e-9);
+  EXPECT_NEAR(m.density, 19.0 / (11.0 * 10.0), 1e-9);
+}
+
+TEST_F(StatsTest, MetricsOnEmptyGraph) {
+  GraphStore empty;
+  GraphMetrics m = ComputeMetrics(empty);
+  EXPECT_EQ(m.node_count, 0u);
+  EXPECT_EQ(m.edge_count, 0u);
+  EXPECT_EQ(m.density, 0.0);
+}
+
+TEST_F(StatsTest, DegreeDistributionSumsToNodeCount) {
+  auto hist = DegreeDistribution(store_);
+  uint64_t total = 0;
+  for (const auto& [degree, count] : hist) total += count;
+  EXPECT_EQ(total, store_.NodeCount());
+  // The hub (10 in) and the first function (1 out + 9 in) have degree 10;
+  // the other nine functions have degree 2.
+  EXPECT_EQ(hist.at(10), 2u);
+  EXPECT_EQ(hist.at(2), 9u);
+}
+
+TEST_F(StatsTest, TopDegreeNodesFindsHub) {
+  auto hubs = TopDegreeNodes(store_, 3, name_key_);
+  ASSERT_EQ(hubs.size(), 3u);
+  EXPECT_EQ(hubs[0].id, hub_);
+  EXPECT_EQ(hubs[0].degree, 10u);
+  EXPECT_EQ(hubs[0].short_name, "int");
+  EXPECT_EQ(hubs[0].type_name, "primitive");
+  EXPECT_GE(hubs[0].degree, hubs[1].degree);
+  EXPECT_GE(hubs[1].degree, hubs[2].degree);
+}
+
+TEST_F(StatsTest, TopDegreeNodesClampsK) {
+  auto hubs = TopDegreeNodes(store_, 1000, name_key_);
+  EXPECT_EQ(hubs.size(), store_.NodeCount());
+}
+
+TEST_F(StatsTest, LogBinnedDegreesCoverAllNodes) {
+  auto bins = LogBinnedDegrees(store_);
+  uint64_t total = 0;
+  for (const DegreeBin& bin : bins) {
+    EXPECT_LE(bin.min_degree, bin.max_degree);
+    total += bin.node_count;
+  }
+  EXPECT_EQ(total, store_.NodeCount());
+}
+
+TEST_F(StatsTest, LogBinsArePowersOfTwo) {
+  auto bins = LogBinnedDegrees(store_);
+  for (const DegreeBin& bin : bins) {
+    if (bin.min_degree == 0) continue;
+    // min is a power of two and max = 2*min - 1.
+    EXPECT_EQ(bin.min_degree & (bin.min_degree - 1), 0u);
+    EXPECT_EQ(bin.max_degree, bin.min_degree * 2 - 1);
+  }
+}
+
+TEST_F(StatsTest, TypeHistograms) {
+  auto nodes = NodeTypeHistogram(store_);
+  EXPECT_EQ(nodes.at("function"), 10u);
+  EXPECT_EQ(nodes.at("primitive"), 1u);
+  auto edges = EdgeTypeHistogram(store_);
+  EXPECT_EQ(edges.at("isa_type"), 10u);
+  EXPECT_EQ(edges.at("calls"), 9u);
+}
+
+TEST_F(StatsTest, DeadNodesExcluded) {
+  store_.RemoveNode(hub_);
+  GraphMetrics m = ComputeMetrics(store_);
+  EXPECT_EQ(m.node_count, 10u);
+  EXPECT_EQ(m.edge_count, 9u);  // isa edges cascaded away
+  auto hist = DegreeDistribution(store_);
+  uint64_t total = 0;
+  for (const auto& [d, c] : hist) total += c;
+  EXPECT_EQ(total, 10u);
+}
+
+}  // namespace
+}  // namespace frappe::graph

@@ -1,0 +1,175 @@
+// Whole-system integration: generate a source tree, extract it through
+// the full pipeline, persist it, reload it as a fresh deployment would,
+// and run every query path (FQL + direct analyses + code map) against the
+// reloaded database. This is the "downstream user" workflow end to end.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/search.h"
+#include "analysis/slicing.h"
+#include "extractor/build_model.h"
+#include "extractor/synthetic.h"
+#include "graph/snapshot.h"
+#include "graph/stats.h"
+#include "query/parser.h"
+#include "query/session.h"
+#include "vis/code_map.h"
+
+namespace frappe {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Extract once for the whole suite (it is the expensive step).
+    vfs_ = new extractor::Vfs();
+    extractor::SourceScale scale;
+    scale.subsystems = 3;
+    scale.files_per_subsystem = 4;
+    scale.functions_per_file = 6;
+    kernel_ = new extractor::SourceKernel(
+        extractor::GenerateKernelSource(scale, vfs_));
+    graph_ = new model::CodeGraph();
+    driver_ = new extractor::BuildDriver(vfs_, graph_);
+    for (const std::string& command : kernel_->build_commands) {
+      ASSERT_TRUE(driver_->Run(command).ok()) << command;
+    }
+  }
+  static void TearDownTestSuite() {
+    delete driver_;
+    delete graph_;
+    delete kernel_;
+    delete vfs_;
+    driver_ = nullptr;
+    graph_ = nullptr;
+    kernel_ = nullptr;
+    vfs_ = nullptr;
+  }
+
+  static extractor::Vfs* vfs_;
+  static extractor::SourceKernel* kernel_;
+  static model::CodeGraph* graph_;
+  static extractor::BuildDriver* driver_;
+};
+
+extractor::Vfs* EndToEndTest::vfs_ = nullptr;
+extractor::SourceKernel* EndToEndTest::kernel_ = nullptr;
+model::CodeGraph* EndToEndTest::graph_ = nullptr;
+extractor::BuildDriver* EndToEndTest::driver_ = nullptr;
+
+TEST_F(EndToEndTest, ExtractionProducedAllLayers) {
+  auto nodes = graph::NodeTypeHistogram(graph_->view());
+  EXPECT_GT(nodes["function"], 0u);
+  EXPECT_GT(nodes["function_decl"], 0u);
+  EXPECT_GT(nodes["struct"], 0u);
+  EXPECT_GT(nodes["field"], 0u);
+  EXPECT_GT(nodes["enumerator"], 0u);
+  EXPECT_GT(nodes["macro"], 0u);
+  EXPECT_GT(nodes["module"], 0u);
+  EXPECT_GT(nodes["global"], 0u);
+  EXPECT_GT(nodes["static_local"], 0u);
+  auto edges = graph::EdgeTypeHistogram(graph_->view());
+  for (const char* kind :
+       {"calls", "reads", "writes", "writes_member", "reads_member",
+        "isa_type", "includes", "file_contains", "dir_contains", "contains",
+        "compiled_from", "linked_from", "link_matches", "link_declares",
+        "expands_macro", "has_param", "has_local", "has_ret_type",
+        "declares", "uses_enumerator", "dereferences"}) {
+    EXPECT_GT(edges[kind], 0u) << kind;
+  }
+}
+
+TEST_F(EndToEndTest, SnapshotReloadAndQueryAsFreshDeployment) {
+  // Persist with the auto index embedded.
+  graph::NameIndex index = graph_->BuildNameIndex();
+  std::string path = ::testing::TempDir() + "/e2e_frappe.db";
+  auto saved = graph::SaveSnapshot(graph_->view(), path, &index);
+  ASSERT_TRUE(saved.ok()) << saved.status();
+
+  // Reload into a completely fresh store.
+  auto loaded = graph::LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->index.has_value());
+  graph::GraphStore& store = *loaded->store;
+  EXPECT_EQ(store.NodeCount(), graph_->store().NodeCount());
+  EXPECT_EQ(store.EdgeCount(), graph_->store().EdgeCount());
+
+  // Wire a query database over the reloaded pieces and run the paper's
+  // module-scoped search (Figure 3 shape).
+  model::Schema schema = model::Schema::Install(&store);
+  graph::LabelIndex labels = graph::LabelIndex::Build(store);
+  query::Database db = query::MakeFrappeDatabase(store, schema,
+                                                 &*loaded->index, &labels);
+  auto parsed = query::Parse(
+      "START m=node:node_auto_index('short_name: sub0.elf') "
+      "MATCH m -[:compiled_from|linked_from*]-> f WITH distinct f "
+      "MATCH f -[:file_contains]-> (n:function) RETURN count(distinct n)");
+  ASSERT_TRUE(parsed.ok());
+  auto result = query::Execute(db, *parsed);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].value.AsInt(), 24);  // 4 files x 6 functions
+  std::remove(path.c_str());
+}
+
+TEST_F(EndToEndTest, FqlAgreesWithAnalysisOnRealExtraction) {
+  query::Session session(*graph_);
+  // Pick a function with callers.
+  graph::NodeId target = graph::kInvalidNode;
+  graph_->view().ForEachNode([&](graph::NodeId id) {
+    if (target == graph::kInvalidNode &&
+        graph_->KindOf(id) == model::NodeKind::kFunction &&
+        graph_->view().InDegree(id) > 2) {
+      target = id;
+    }
+  });
+  ASSERT_NE(target, graph::kInvalidNode);
+  auto fql = session.Run(
+      "START n=node(" + std::to_string(target) + ") "
+      "MATCH n <-[:calls*]- m RETURN distinct m");
+  ASSERT_TRUE(fql.ok()) << fql.status();
+  auto direct = analysis::ForwardSlice(graph_->view(), graph_->schema(),
+                                       target);
+  std::set<graph::NodeId> fql_nodes;
+  for (const auto& row : fql->rows) fql_nodes.insert(row[0].node);
+  EXPECT_EQ(fql_nodes,
+            std::set<graph::NodeId>(direct.begin(), direct.end()));
+}
+
+TEST_F(EndToEndTest, CodeMapCoversExtractedTree) {
+  vis::CodeMap map = vis::CodeMap::Build(graph_->view(), graph_->schema(),
+                                         640, 480);
+  // Every file of the tree has a region.
+  size_t files_on_map = 0;
+  graph_->view().ForEachNode([&](graph::NodeId id) {
+    if (graph_->KindOf(id) == model::NodeKind::kFile &&
+        map.Find(id) != nullptr) {
+      ++files_on_map;
+    }
+  });
+  EXPECT_EQ(files_on_map, vfs_->FileCount());
+  std::string svg = map.ToSvg();
+  EXPECT_GT(svg.size(), 1000u);
+}
+
+TEST_F(EndToEndTest, ModuleScopedSearchMatchesLinkGraph) {
+  query::Session session(*graph_);
+  auto module = driver_->ModuleFor("drivers/sub1/sub1.elf");
+  ASSERT_TRUE(module.ok());
+  analysis::SearchQuery query;
+  query.name = "*counter*";
+  query.module = *module;
+  auto results = analysis::CodeSearch(graph_->view(), graph_->schema(),
+                                      session.name_index(), query);
+  // Each subsystem defines its own counters; only sub1's are in scope.
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results) {
+    EXPECT_NE(r.short_name.find("sub1"), std::string::npos)
+        << r.short_name;
+  }
+}
+
+}  // namespace
+}  // namespace frappe

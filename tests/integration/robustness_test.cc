@@ -1,0 +1,132 @@
+// Robustness sweeps: the FQL parser, the C front end, and the query
+// executor must never crash on malformed input — they return ParseError /
+// status codes instead. Inputs are deterministic random mutations of valid
+// programs/queries plus token soup.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "extractor/c_parser.h"
+#include "extractor/preprocessor.h"
+#include "query/parser.h"
+#include "query/session.h"
+#include "tests/query/fixture.h"
+
+namespace frappe {
+namespace {
+
+const char* const kFqlSeeds[] = {
+    "START n=node:node_auto_index('short_name: id') RETURN n",
+    "MATCH (n:function {short_name: 'x'}) -[r:calls*1..3]-> m "
+    "WHERE r.use_start_line >= 10 AND NOT m.virtual = true "
+    "RETURN distinct m, count(*) ORDER BY m.short_name DESC SKIP 1 LIMIT 5",
+    "START a=node(1), b=node(*) MATCH shortestPath(a -[:calls*]-> b) "
+    "RETURN length(a)",
+    "MATCH x <-[{NAME_FILE_ID: 3, NAME_START_LINE: 1}]- () RETURN id(x)",
+};
+
+const char* kCSeed =
+    "#include \"h.h\"\n"
+    "#define MAX(a, b) ((a) > (b) ? (a) : (b))\n"
+    "struct s { int x : 3; struct s *next; };\n"
+    "typedef unsigned long ulong_t;\n"
+    "enum e { A, B = 2 };\n"
+    "static int g[4] = {1, 2, 3, 4};\n"
+    "int f(struct s *p, ulong_t n) {\n"
+    "  int acc = (int)n;\n"
+    "  for (int i = 0; i < MAX(3, 4); i++) acc += p->x;\n"
+    "  switch (acc) { case 1: break; default: acc = -1; }\n"
+    "  return acc + sizeof(struct s);\n"
+    "}\n";
+
+std::string Mutate(std::string input, Rng* rng, int edits) {
+  for (int i = 0; i < edits && !input.empty(); ++i) {
+    size_t pos = rng->Uniform(input.size());
+    switch (rng->Uniform(4)) {
+      case 0:
+        input.erase(pos, 1 + rng->Uniform(3));
+        break;
+      case 1:
+        input.insert(pos, 1, static_cast<char>(32 + rng->Uniform(95)));
+        break;
+      case 2:
+        input[pos] = static_cast<char>(32 + rng->Uniform(95));
+        break;
+      case 3: {
+        // Duplicate a random slice (creates unbalanced constructs).
+        size_t len = std::min<size_t>(1 + rng->Uniform(8),
+                                      input.size() - pos);
+        input.insert(pos, input.substr(pos, len));
+        break;
+      }
+    }
+  }
+  return input;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, FqlParserNeverCrashes) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string seed = kFqlSeeds[rng.Uniform(std::size(kFqlSeeds))];
+    std::string mutated = Mutate(seed, &rng, 1 + rng.Uniform(6));
+    auto result = query::Parse(mutated);  // must not crash or hang
+    (void)result;
+  }
+}
+
+TEST_P(FuzzTest, FqlTokenSoupNeverCrashes) {
+  Rng rng(GetParam());
+  const char* vocab[] = {"START", "MATCH", "WHERE",  "RETURN", "WITH",
+                         "(",     ")",     "[",      "]",      "{",
+                         "}",     "-",     "->",     "<-",     ":",
+                         "*",     "..",    "n",      "calls",  "'x'",
+                         "3",     "=",     ",",      ".",      "|",
+                         "count", "distinct", "node", "AND",   "NOT"};
+  for (int round = 0; round < 200; ++round) {
+    std::string soup;
+    int len = 1 + static_cast<int>(rng.Uniform(25));
+    for (int i = 0; i < len; ++i) {
+      soup += vocab[rng.Uniform(std::size(vocab))];
+      soup += " ";
+    }
+    auto result = query::Parse(soup);
+    (void)result;
+  }
+}
+
+TEST_P(FuzzTest, CFrontEndNeverCrashes) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 60; ++round) {
+    extractor::Vfs vfs;
+    vfs.AddFile("h.h", "int decl(void);\n");
+    vfs.AddFile("t.c", Mutate(kCSeed, &rng, 1 + rng.Uniform(8)));
+    auto pp = extractor::Preprocess(vfs, "t.c");
+    if (!pp.ok()) continue;  // error status is the acceptable outcome
+    auto unit = extractor::ParseUnit(*pp);
+    (void)unit;
+  }
+}
+
+TEST_P(FuzzTest, ExecutorHonorsBudgetsOnMutatedQueries) {
+  Rng rng(GetParam());
+  query::testing::PaperFixture fixture;
+  query::Session session(fixture.graph);
+  query::ExecOptions options;
+  options.max_steps = 10000;  // hard cap: no mutation may hang the engine
+  for (int round = 0; round < 100; ++round) {
+    std::string seed = kFqlSeeds[rng.Uniform(std::size(kFqlSeeds))];
+    std::string mutated = Mutate(seed, &rng, rng.Uniform(4));
+    auto result = session.Run(mutated, options);
+    (void)result;  // ok, parse error, or budget error — never a crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace frappe

@@ -1,0 +1,226 @@
+#include "model/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace frappe::model {
+namespace {
+
+TEST(SchemaNamesTest, AllNodeKindsHaveUniqueNames) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < static_cast<size_t>(NodeKind::kCount); ++i) {
+    std::string_view name = NodeKindName(static_cast<NodeKind>(i));
+    EXPECT_FALSE(name.empty());
+    names.insert(std::string(name));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(NodeKind::kCount));
+}
+
+TEST(SchemaNamesTest, AllEdgeKindsHaveUniqueNames) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < static_cast<size_t>(EdgeKind::kCount); ++i) {
+    std::string_view name = EdgeKindName(static_cast<EdgeKind>(i));
+    EXPECT_FALSE(name.empty());
+    names.insert(std::string(name));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(EdgeKind::kCount));
+}
+
+TEST(SchemaNamesTest, AllPropKeysHaveUniqueNames) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < static_cast<size_t>(PropKey::kCount); ++i) {
+    std::string_view name = PropKeyName(static_cast<PropKey>(i));
+    EXPECT_FALSE(name.empty());
+    names.insert(std::string(name));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(PropKey::kCount));
+}
+
+TEST(SchemaNamesTest, PaperTable1NodeTypesPresent) {
+  // Spot-check the exact names from paper Table 1.
+  for (const char* name :
+       {"directory", "enum_def", "enumerator", "field", "file", "function",
+        "function_decl", "function_type", "global", "global_decl", "local",
+        "macro", "module", "parameter", "primitive", "static_local", "struct",
+        "struct_decl", "typedef", "union", "union_decl"}) {
+    EXPECT_NE(NodeKindFromName(name), NodeKind::kCount) << name;
+  }
+}
+
+TEST(SchemaNamesTest, PaperTable1EdgeTypesPresent) {
+  for (const char* name :
+       {"calls", "casts_to", "compiled_from", "contains", "declares",
+        "dereferences", "dereferences_member", "dir_contains", "expands_macro",
+        "file_contains", "gets_align_of", "gets_size_of", "has_local",
+        "has_param", "has_param_type", "has_ret_type", "includes",
+        "interrogates_macro", "isa_type", "link_declares", "link_matches",
+        "linked_from", "linked_from_lib", "reads", "reads_member",
+        "takes_address_of", "takes_address_of_member", "uses_enumerator",
+        "writes", "writes_member"}) {
+    EXPECT_NE(EdgeKindFromName(name), EdgeKind::kCount) << name;
+  }
+}
+
+TEST(SchemaNamesTest, RoundTripNames) {
+  EXPECT_EQ(NodeKindFromName(NodeKindName(NodeKind::kStructDecl)),
+            NodeKind::kStructDecl);
+  EXPECT_EQ(EdgeKindFromName(EdgeKindName(EdgeKind::kWritesMember)),
+            EdgeKind::kWritesMember);
+  EXPECT_EQ(PropKeyFromName(PropKeyName(PropKey::kUseStartLine)),
+            PropKey::kUseStartLine);
+}
+
+TEST(SchemaNamesTest, LookupIsCaseInsensitive) {
+  EXPECT_EQ(NodeKindFromName("FUNCTION"), NodeKind::kFunction);
+  EXPECT_EQ(EdgeKindFromName("Calls"), EdgeKind::kCalls);
+  EXPECT_EQ(PropKeyFromName("SHORT_NAME"), PropKey::kShortName);
+}
+
+TEST(SchemaNamesTest, UnknownNamesReturnCount) {
+  EXPECT_EQ(NodeKindFromName("bogus"), NodeKind::kCount);
+  EXPECT_EQ(EdgeKindFromName("bogus"), EdgeKind::kCount);
+  EXPECT_EQ(PropKeyFromName("bogus"), PropKey::kCount);
+  EXPECT_EQ(NodeGroupFromName("bogus"), NodeGroup::kCount);
+  EXPECT_EQ(EdgeGroupFromName("bogus"), EdgeGroup::kCount);
+}
+
+TEST(SchemaNamesTest, CanonicalPropertyNameHandlesPaperAliases) {
+  // Figure 4 uses NAME_START_COLUMN where Table 2 says NAME_START_COL.
+  EXPECT_EQ(CanonicalPropertyName("NAME_START_COLUMN"), "name_start_col");
+  EXPECT_EQ(CanonicalPropertyName("use_end_column"), "use_end_col");
+  EXPECT_EQ(CanonicalPropertyName("USE_FILE_ID"), "use_file_id");
+  EXPECT_EQ(PropKeyFromName("NAME_START_COLUMN"), PropKey::kNameStartCol);
+}
+
+TEST(SchemaGroupsTest, Table6GroupsResolve) {
+  // Table 6: `(n:container:symbol {name: "foo"})` expands TYPE struct,
+  // union, enum...: structs and unions must be in both groups.
+  EXPECT_TRUE(InGroup(NodeKind::kStruct, NodeGroup::kContainer));
+  EXPECT_TRUE(InGroup(NodeKind::kStruct, NodeGroup::kSymbol));
+  EXPECT_TRUE(InGroup(NodeKind::kUnion, NodeGroup::kContainer));
+  EXPECT_TRUE(InGroup(NodeKind::kEnumDef, NodeGroup::kContainer));
+  EXPECT_FALSE(InGroup(NodeKind::kFunction, NodeGroup::kContainer));
+  EXPECT_TRUE(InGroup(NodeKind::kFunction, NodeGroup::kSymbol));
+  EXPECT_TRUE(InGroup(NodeKind::kPrimitive, NodeGroup::kType));
+  EXPECT_FALSE(InGroup(NodeKind::kPrimitive, NodeGroup::kSymbol));
+}
+
+TEST(SchemaGroupsTest, EdgeGroupsPartitionSensibly) {
+  EXPECT_TRUE(InGroup(EdgeKind::kLinkedFrom, EdgeGroup::kLink));
+  EXPECT_TRUE(InGroup(EdgeKind::kCompiledFrom, EdgeGroup::kLink));
+  EXPECT_TRUE(InGroup(EdgeKind::kIncludes, EdgeGroup::kPreprocessor));
+  EXPECT_TRUE(InGroup(EdgeKind::kExpandsMacro, EdgeGroup::kPreprocessor));
+  EXPECT_TRUE(InGroup(EdgeKind::kFileContains, EdgeGroup::kContainment));
+  EXPECT_TRUE(InGroup(EdgeKind::kCalls, EdgeGroup::kReference));
+  EXPECT_TRUE(InGroup(EdgeKind::kWrites, EdgeGroup::kReference));
+  EXPECT_FALSE(InGroup(EdgeKind::kCalls, EdgeGroup::kLink));
+}
+
+TEST(SchemaGroupsTest, EveryEdgeKindHasExactlyOneGroup) {
+  for (size_t i = 0; i < static_cast<size_t>(EdgeKind::kCount); ++i) {
+    EdgeKind kind = static_cast<EdgeKind>(i);
+    int groups = 0;
+    for (size_t g = 0; g < static_cast<size_t>(EdgeGroup::kCount); ++g) {
+      if (InGroup(kind, static_cast<EdgeGroup>(g))) ++groups;
+    }
+    EXPECT_EQ(groups, 1) << EdgeKindName(kind);
+  }
+}
+
+TEST(SchemaGroupsTest, GroupMembersConsistentWithInGroup) {
+  for (size_t g = 0; g < static_cast<size_t>(NodeGroup::kCount); ++g) {
+    NodeGroup group = static_cast<NodeGroup>(g);
+    auto members = GroupMembers(group);
+    EXPECT_FALSE(members.empty());
+    for (NodeKind kind : members) EXPECT_TRUE(InGroup(kind, group));
+  }
+}
+
+TEST(SchemaValidationTest, CallsRequiresFunctionLikeEndpoints) {
+  EXPECT_TRUE(
+      ValidEndpoints(EdgeKind::kCalls, NodeKind::kFunction, NodeKind::kFunction));
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kCalls, NodeKind::kFunction,
+                             NodeKind::kFunctionDecl));
+  EXPECT_FALSE(
+      ValidEndpoints(EdgeKind::kCalls, NodeKind::kFile, NodeKind::kFunction));
+  EXPECT_FALSE(
+      ValidEndpoints(EdgeKind::kCalls, NodeKind::kFunction, NodeKind::kGlobal));
+}
+
+TEST(SchemaValidationTest, StructuralEdges) {
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kDirContains, NodeKind::kDirectory,
+                             NodeKind::kFile));
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kDirContains, NodeKind::kDirectory,
+                             NodeKind::kDirectory));
+  EXPECT_FALSE(ValidEndpoints(EdgeKind::kDirContains, NodeKind::kFile,
+                              NodeKind::kFile));
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kCompiledFrom, NodeKind::kModule,
+                             NodeKind::kFile));
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kLinkedFrom, NodeKind::kModule,
+                             NodeKind::kModule));
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kIncludes, NodeKind::kFile,
+                             NodeKind::kFile));
+  EXPECT_FALSE(ValidEndpoints(EdgeKind::kIncludes, NodeKind::kFile,
+                              NodeKind::kFunction));
+}
+
+TEST(SchemaValidationTest, ReferenceEdges) {
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kWrites, NodeKind::kFunction,
+                             NodeKind::kGlobal));
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kWritesMember, NodeKind::kFunction,
+                             NodeKind::kField));
+  EXPECT_FALSE(ValidEndpoints(EdgeKind::kWritesMember, NodeKind::kFunction,
+                              NodeKind::kGlobal));
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kIsaType, NodeKind::kParameter,
+                             NodeKind::kPrimitive));
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kUsesEnumerator, NodeKind::kFunction,
+                             NodeKind::kEnumerator));
+}
+
+TEST(SchemaValidationTest, LinkEdges) {
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kLinkMatches, NodeKind::kFunctionDecl,
+                             NodeKind::kFunction));
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kLinkMatches, NodeKind::kGlobalDecl,
+                             NodeKind::kGlobal));
+  EXPECT_FALSE(ValidEndpoints(EdgeKind::kLinkMatches, NodeKind::kFunction,
+                              NodeKind::kFunctionDecl));
+  EXPECT_TRUE(ValidEndpoints(EdgeKind::kLinkDeclares, NodeKind::kModule,
+                             NodeKind::kFunctionDecl));
+}
+
+TEST(SchemaInstallTest, FreshStoreGetsIdentityIds) {
+  graph::GraphStore store;
+  Schema schema = Schema::Install(&store);
+  for (size_t i = 0; i < static_cast<size_t>(NodeKind::kCount); ++i) {
+    EXPECT_EQ(schema.node_type(static_cast<NodeKind>(i)), i);
+  }
+  EXPECT_EQ(store.node_types().size(),
+            static_cast<size_t>(NodeKind::kCount));
+  EXPECT_EQ(store.edge_types().size(),
+            static_cast<size_t>(EdgeKind::kCount));
+}
+
+TEST(SchemaInstallTest, InstallOnPopulatedStoreStillMaps) {
+  graph::GraphStore store;
+  store.InternNodeType("custom_type");  // occupy id 0
+  Schema schema = Schema::Install(&store);
+  graph::TypeId fn = schema.node_type(NodeKind::kFunction);
+  EXPECT_EQ(store.node_types().Name(fn), "function");
+  EXPECT_EQ(schema.node_kind(fn), NodeKind::kFunction);
+  EXPECT_EQ(schema.node_kind(store.node_types().Find("custom_type")),
+            NodeKind::kCount);
+}
+
+TEST(SchemaInstallTest, InstallIsIdempotent) {
+  graph::GraphStore store;
+  Schema a = Schema::Install(&store);
+  Schema b = Schema::Install(&store);
+  EXPECT_EQ(a.node_type(NodeKind::kMacro), b.node_type(NodeKind::kMacro));
+  EXPECT_EQ(store.node_types().size(),
+            static_cast<size_t>(NodeKind::kCount));
+}
+
+}  // namespace
+}  // namespace frappe::model

@@ -1,0 +1,140 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace frappe::query {
+namespace {
+
+std::vector<TokenType> Types(std::string_view input) {
+  auto tokens = Lex(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenType> out;
+  for (const Token& t : *tokens) out.push_back(t.type);
+  return out;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Lex("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = Lex("START match RETURN pci_read_bases _x9");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 6u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kIdent);
+  }
+  EXPECT_TRUE((*tokens)[0].IsKeyword("start"));
+  EXPECT_TRUE((*tokens)[0].IsKeyword("START"));
+  EXPECT_FALSE((*tokens)[3].IsKeyword("start"));
+  EXPECT_EQ((*tokens)[3].text, "pci_read_bases");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Lex("236 3.14 0");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInt);
+  EXPECT_EQ((*tokens)[0].int_value, 236);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kDouble);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 3.14);
+  EXPECT_EQ((*tokens)[2].int_value, 0);
+}
+
+TEST(LexerTest, RangeDoesNotLexAsFloat) {
+  // `*1..3` must produce STAR INT DOTDOT INT.
+  EXPECT_EQ(Types("*1..3"),
+            (std::vector<TokenType>{TokenType::kStar, TokenType::kInt,
+                                    TokenType::kDotDot, TokenType::kInt,
+                                    TokenType::kEnd}));
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Lex("'single' \"double\" 'wakeup.elf'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "single");
+  EXPECT_EQ((*tokens)[1].text, "double");
+  EXPECT_EQ((*tokens)[2].text, "wakeup.elf");
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Lex(R"('it\'s')");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(LexerTest, RelationshipPatternTokens) {
+  // `-[:calls*]->` : MINUS LBRACKET COLON IDENT STAR RBRACKET MINUS GT.
+  EXPECT_EQ(Types("-[:calls*]->"),
+            (std::vector<TokenType>{
+                TokenType::kMinus, TokenType::kLBracket, TokenType::kColon,
+                TokenType::kIdent, TokenType::kStar, TokenType::kRBracket,
+                TokenType::kMinus, TokenType::kGt, TokenType::kEnd}));
+}
+
+TEST(LexerTest, IncomingRelTokens) {
+  // `<-[]-` : LT MINUS LBRACKET RBRACKET MINUS.
+  EXPECT_EQ(Types("<-[]-"),
+            (std::vector<TokenType>{TokenType::kLt, TokenType::kMinus,
+                                    TokenType::kLBracket,
+                                    TokenType::kRBracket, TokenType::kMinus,
+                                    TokenType::kEnd}));
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  EXPECT_EQ(Types("= <> < <= > >="),
+            (std::vector<TokenType>{TokenType::kEq, TokenType::kNe,
+                                    TokenType::kLt, TokenType::kLe,
+                                    TokenType::kGt, TokenType::kGe,
+                                    TokenType::kEnd}));
+}
+
+TEST(LexerTest, LessThanNegativeNumberStaysSeparate) {
+  // `a < -5` must not fuse `<-` into an arrow.
+  EXPECT_EQ(Types("a < -5"),
+            (std::vector<TokenType>{TokenType::kIdent, TokenType::kLt,
+                                    TokenType::kMinus, TokenType::kInt,
+                                    TokenType::kEnd}));
+}
+
+TEST(LexerTest, Punctuation) {
+  EXPECT_EQ(Types("( ) [ ] { } : , . | *"),
+            (std::vector<TokenType>{
+                TokenType::kLParen, TokenType::kRParen, TokenType::kLBracket,
+                TokenType::kRBracket, TokenType::kLBrace, TokenType::kRBrace,
+                TokenType::kColon, TokenType::kComma, TokenType::kDot,
+                TokenType::kPipe, TokenType::kStar, TokenType::kEnd}));
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Lex("a // trailing comment\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  auto result = Lex("a @ b");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  auto tokens = Lex("ab  cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 4u);
+}
+
+}  // namespace
+}  // namespace frappe::query

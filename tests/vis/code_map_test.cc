@@ -1,0 +1,144 @@
+#include "vis/code_map.h"
+
+#include <gtest/gtest.h>
+
+#include "extractor/build_model.h"
+#include "tests/query/fixture.h"
+
+namespace frappe::vis {
+namespace {
+
+using graph::NodeId;
+using query::testing::PaperFixture;
+
+// Builds a map from a real extracted tree (directories + files +
+// functions).
+class CodeMapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vfs_.AddFile("drivers/scsi/sr.c",
+                 "int sr_init(void) { return sr_probe(); }\n"
+                 "int sr_probe(void) { return 0; }\n");
+    vfs_.AddFile("drivers/net/e1000.c", "int e1000_up(void) { return 1; }\n");
+    vfs_.AddFile("kernel/sched.c", "int schedule(void) { return 0; }\n");
+    driver_ = std::make_unique<extractor::BuildDriver>(&vfs_, &graph_);
+    ASSERT_TRUE(driver_->Run("gcc drivers/scsi/sr.c -c -o sr.o").ok());
+    ASSERT_TRUE(driver_->Run("gcc drivers/net/e1000.c -c -o e1000.o").ok());
+    ASSERT_TRUE(driver_->Run("gcc kernel/sched.c -c -o sched.o").ok());
+    map_ = std::make_unique<CodeMap>(
+        CodeMap::Build(graph_.view(), graph_.schema(), 800, 600));
+  }
+
+  NodeId Find(model::NodeKind kind, std::string_view name) {
+    NodeId found = graph::kInvalidNode;
+    graph_.view().ForEachNode([&](NodeId id) {
+      if (graph_.KindOf(id) == kind && graph_.ShortName(id) == name) {
+        found = id;
+      }
+    });
+    return found;
+  }
+
+  extractor::Vfs vfs_;
+  model::CodeGraph graph_;
+  std::unique_ptr<extractor::BuildDriver> driver_;
+  std::unique_ptr<CodeMap> map_;
+};
+
+TEST_F(CodeMapTest, HierarchyMirrorsDirectories) {
+  const MapRegion& root = map_->root();
+  // Top level: drivers/ and kernel/.
+  ASSERT_EQ(root.children.size(), 2u);
+  std::set<std::string> names;
+  for (const auto& child : root.children) names.insert(child.name);
+  EXPECT_EQ(names, (std::set<std::string>{"drivers", "kernel"}));
+}
+
+TEST_F(CodeMapTest, RegionsExistForFilesAndFunctions) {
+  EXPECT_NE(map_->Find(Find(model::NodeKind::kFile, "sr.c")), nullptr);
+  EXPECT_NE(map_->Find(Find(model::NodeKind::kFunction, "sr_init")),
+            nullptr);
+  EXPECT_NE(map_->Find(Find(model::NodeKind::kFunction, "schedule")),
+            nullptr);
+  EXPECT_GE(map_->RegionCount(), 10u);  // 4 dirs + 3 files + 4 functions
+}
+
+TEST_F(CodeMapTest, NestingIsGeometric) {
+  const MapRegion* file = map_->Find(Find(model::NodeKind::kFile, "sr.c"));
+  const MapRegion* fn =
+      map_->Find(Find(model::NodeKind::kFunction, "sr_init"));
+  ASSERT_NE(file, nullptr);
+  ASSERT_NE(fn, nullptr);
+  // Function rect sits inside its file rect.
+  EXPECT_GE(fn->rect.x, file->rect.x - 1e-6);
+  EXPECT_GE(fn->rect.y, file->rect.y - 1e-6);
+  EXPECT_LE(fn->rect.x + fn->rect.w, file->rect.x + file->rect.w + 1e-6);
+  EXPECT_LE(fn->rect.y + fn->rect.h, file->rect.y + file->rect.h + 1e-6);
+}
+
+TEST_F(CodeMapTest, SiblingRegionsDoNotOverlap) {
+  const MapRegion& root = map_->root();
+  const MapRegion& a = root.children[0];
+  const MapRegion& b = root.children[1];
+  Rect shrunk = a.rect;
+  shrunk.x += 1e-6;
+  shrunk.y += 1e-6;
+  shrunk.w -= 2e-6;
+  shrunk.h -= 2e-6;
+  EXPECT_FALSE(shrunk.Overlaps(b.rect));
+}
+
+TEST_F(CodeMapTest, SvgContainsRegionsAndHighlight) {
+  NodeId sr_init = Find(model::NodeKind::kFunction, "sr_init");
+  CodeMap::Overlay overlay;
+  overlay.highlights.push_back(sr_init);
+  std::string svg = map_->ToSvg(overlay);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("sr_init"), std::string::npos);
+  EXPECT_NE(svg.find("#e4572e"), std::string::npos);  // highlight colour
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST_F(CodeMapTest, SvgPathOverlay) {
+  CodeMap::Overlay overlay;
+  overlay.paths.push_back({Find(model::NodeKind::kFunction, "sr_init"),
+                           Find(model::NodeKind::kFunction, "sr_probe")});
+  std::string svg = map_->ToSvg(overlay);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST_F(CodeMapTest, JsonIsWellFormedish) {
+  std::string json = map_->ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"children\":["), std::string::npos);
+  // Balanced braces/brackets.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(CodeMapTest, OverlayOnPaperFixture) {
+  // Query results over a code map: highlight the Figure 6 closure.
+  PaperFixture fixture;
+  CodeMap map = CodeMap::Build(fixture.graph.view(), fixture.graph.schema(),
+                               400, 300);
+  CodeMap::Overlay overlay;
+  overlay.highlights = {fixture.helper_a, fixture.helper_b,
+                        fixture.get_sectorsize, fixture.sr_do_ioctl};
+  std::string svg = map.ToSvg(overlay);
+  EXPECT_NE(svg.find("helper_a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace frappe::vis

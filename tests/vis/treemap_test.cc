@@ -1,0 +1,108 @@
+#include "vis/treemap.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace frappe::vis {
+namespace {
+
+TEST(TreemapTest, SingleItemFillsBounds) {
+  Rect bounds{0, 0, 100, 50};
+  auto rects = SquarifiedLayout(bounds, {7.0});
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_DOUBLE_EQ(rects[0].area(), 5000.0);
+}
+
+TEST(TreemapTest, AreasProportionalToWeights) {
+  Rect bounds{0, 0, 100, 100};
+  auto rects = SquarifiedLayout(bounds, {1.0, 2.0, 1.0});
+  ASSERT_EQ(rects.size(), 3u);
+  EXPECT_NEAR(rects[0].area(), 2500.0, 1e-6);
+  EXPECT_NEAR(rects[1].area(), 5000.0, 1e-6);
+  EXPECT_NEAR(rects[2].area(), 2500.0, 1e-6);
+}
+
+TEST(TreemapTest, ZeroWeightsGetEmptyRects) {
+  Rect bounds{0, 0, 10, 10};
+  auto rects = SquarifiedLayout(bounds, {1.0, 0.0, 1.0});
+  EXPECT_GT(rects[0].area(), 0.0);
+  EXPECT_DOUBLE_EQ(rects[1].area(), 0.0);
+  EXPECT_GT(rects[2].area(), 0.0);
+}
+
+TEST(TreemapTest, EmptyInput) {
+  EXPECT_TRUE(SquarifiedLayout(Rect{0, 0, 10, 10}, {}).empty());
+}
+
+TEST(TreemapTest, AllZeroWeights) {
+  auto rects = SquarifiedLayout(Rect{0, 0, 10, 10}, {0.0, 0.0});
+  for (const Rect& r : rects) EXPECT_DOUBLE_EQ(r.area(), 0.0);
+}
+
+TEST(TreemapTest, SquarifiedBeatsStripsOnAspectRatio) {
+  // Eight equal weights in a square: squarified layout should produce
+  // roughly square cells (aspect < 3), where naive strips would give 8:1.
+  Rect bounds{0, 0, 80, 80};
+  auto rects = SquarifiedLayout(bounds, std::vector<double>(8, 1.0));
+  for (const Rect& r : rects) {
+    double aspect = std::max(r.w / r.h, r.h / r.w);
+    EXPECT_LT(aspect, 3.0);
+  }
+}
+
+// Property sweep: for random weights, rectangles tile the bounds — areas
+// sum to the bounds area, no pairwise overlap, all within bounds.
+class TreemapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreemapPropertyTest, TilesTheBounds) {
+  frappe::Rng rng(GetParam());
+  size_t n = 2 + rng.Uniform(20);
+  std::vector<double> weights;
+  for (size_t i = 0; i < n; ++i) {
+    weights.push_back(rng.Bernoulli(0.1) ? 0.0 : 1.0 + rng.NextDouble() * 50);
+  }
+  Rect bounds{5, 7, 200, 120};
+  auto rects = SquarifiedLayout(bounds, weights);
+  ASSERT_EQ(rects.size(), weights.size());
+
+  double total_weight = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double total_area = 0;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    const Rect& r = rects[i];
+    total_area += r.area();
+    if (weights[i] <= 0) continue;
+    // Within bounds (small numeric tolerance).
+    EXPECT_GE(r.x, bounds.x - 1e-6);
+    EXPECT_GE(r.y, bounds.y - 1e-6);
+    EXPECT_LE(r.x + r.w, bounds.x + bounds.w + 1e-6);
+    EXPECT_LE(r.y + r.h, bounds.y + bounds.h + 1e-6);
+    // Area proportional to weight.
+    EXPECT_NEAR(r.area(), bounds.area() * weights[i] / total_weight,
+                bounds.area() * 1e-9);
+  }
+  EXPECT_NEAR(total_area, bounds.area(), bounds.area() * 1e-9);
+
+  // No pairwise overlap (shrink slightly to avoid boundary contact).
+  for (size_t i = 0; i < rects.size(); ++i) {
+    if (rects[i].area() <= 0) continue;
+    for (size_t j = i + 1; j < rects.size(); ++j) {
+      if (rects[j].area() <= 0) continue;
+      Rect a = rects[i];
+      a.x += 1e-6;
+      a.y += 1e-6;
+      a.w -= 2e-6;
+      a.h -= 2e-6;
+      EXPECT_FALSE(a.Overlaps(rects[j]))
+          << "rects " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreemapPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+}  // namespace
+}  // namespace frappe::vis

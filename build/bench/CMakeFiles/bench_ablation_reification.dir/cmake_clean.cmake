@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reification.dir/bench_ablation_reification.cc.o"
+  "CMakeFiles/bench_ablation_reification.dir/bench_ablation_reification.cc.o.d"
+  "bench_ablation_reification"
+  "bench_ablation_reification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

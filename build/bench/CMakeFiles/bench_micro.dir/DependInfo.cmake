@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/frappe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/frappe_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/frappe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/frappe_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/extractor/CMakeFiles/frappe_extractor.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/frappe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/vis/CMakeFiles/frappe_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/frappe_temporal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

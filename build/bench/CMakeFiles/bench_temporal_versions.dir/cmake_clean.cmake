@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_temporal_versions.dir/bench_temporal_versions.cc.o"
+  "CMakeFiles/bench_temporal_versions.dir/bench_temporal_versions.cc.o.d"
+  "bench_temporal_versions"
+  "bench_temporal_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temporal_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_search.dir/code_search.cpp.o"
+  "CMakeFiles/code_search.dir/code_search.cpp.o.d"
+  "code_search"
+  "code_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

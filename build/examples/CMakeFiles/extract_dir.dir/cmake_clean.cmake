@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_dir.dir/extract_dir.cpp.o"
+  "CMakeFiles/extract_dir.dir/extract_dir.cpp.o.d"
+  "extract_dir"
+  "extract_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

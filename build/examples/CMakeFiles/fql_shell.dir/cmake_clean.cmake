@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fql_shell.dir/fql_shell.cpp.o"
+  "CMakeFiles/fql_shell.dir/fql_shell.cpp.o.d"
+  "fql_shell"
+  "fql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_queries.dir/kernel_queries.cpp.o"
+  "CMakeFiles/kernel_queries.dir/kernel_queries.cpp.o.d"
+  "kernel_queries"
+  "kernel_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_evolution.dir/temporal_evolution.cpp.o"
+  "CMakeFiles/temporal_evolution.dir/temporal_evolution.cpp.o.d"
+  "temporal_evolution"
+  "temporal_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/debugging.cc" "src/analysis/CMakeFiles/frappe_analysis.dir/debugging.cc.o" "gcc" "src/analysis/CMakeFiles/frappe_analysis.dir/debugging.cc.o.d"
+  "/root/repo/src/analysis/navigation.cc" "src/analysis/CMakeFiles/frappe_analysis.dir/navigation.cc.o" "gcc" "src/analysis/CMakeFiles/frappe_analysis.dir/navigation.cc.o.d"
+  "/root/repo/src/analysis/search.cc" "src/analysis/CMakeFiles/frappe_analysis.dir/search.cc.o" "gcc" "src/analysis/CMakeFiles/frappe_analysis.dir/search.cc.o.d"
+  "/root/repo/src/analysis/slicing.cc" "src/analysis/CMakeFiles/frappe_analysis.dir/slicing.cc.o" "gcc" "src/analysis/CMakeFiles/frappe_analysis.dir/slicing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/frappe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/frappe_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frappe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frappe_analysis.dir/debugging.cc.o"
+  "CMakeFiles/frappe_analysis.dir/debugging.cc.o.d"
+  "CMakeFiles/frappe_analysis.dir/navigation.cc.o"
+  "CMakeFiles/frappe_analysis.dir/navigation.cc.o.d"
+  "CMakeFiles/frappe_analysis.dir/search.cc.o"
+  "CMakeFiles/frappe_analysis.dir/search.cc.o.d"
+  "CMakeFiles/frappe_analysis.dir/slicing.cc.o"
+  "CMakeFiles/frappe_analysis.dir/slicing.cc.o.d"
+  "libfrappe_analysis.a"
+  "libfrappe_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frappe_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

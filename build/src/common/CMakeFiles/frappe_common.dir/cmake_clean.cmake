@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frappe_common.dir/status.cc.o"
+  "CMakeFiles/frappe_common.dir/status.cc.o.d"
+  "CMakeFiles/frappe_common.dir/string_util.cc.o"
+  "CMakeFiles/frappe_common.dir/string_util.cc.o.d"
+  "libfrappe_common.a"
+  "libfrappe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frappe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

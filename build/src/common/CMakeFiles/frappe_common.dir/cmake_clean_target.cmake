@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfrappe_common.a"
+)

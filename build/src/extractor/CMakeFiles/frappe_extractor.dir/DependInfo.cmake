@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extractor/build_model.cc" "src/extractor/CMakeFiles/frappe_extractor.dir/build_model.cc.o" "gcc" "src/extractor/CMakeFiles/frappe_extractor.dir/build_model.cc.o.d"
+  "/root/repo/src/extractor/c_lexer.cc" "src/extractor/CMakeFiles/frappe_extractor.dir/c_lexer.cc.o" "gcc" "src/extractor/CMakeFiles/frappe_extractor.dir/c_lexer.cc.o.d"
+  "/root/repo/src/extractor/c_parser.cc" "src/extractor/CMakeFiles/frappe_extractor.dir/c_parser.cc.o" "gcc" "src/extractor/CMakeFiles/frappe_extractor.dir/c_parser.cc.o.d"
+  "/root/repo/src/extractor/extract.cc" "src/extractor/CMakeFiles/frappe_extractor.dir/extract.cc.o" "gcc" "src/extractor/CMakeFiles/frappe_extractor.dir/extract.cc.o.d"
+  "/root/repo/src/extractor/preprocessor.cc" "src/extractor/CMakeFiles/frappe_extractor.dir/preprocessor.cc.o" "gcc" "src/extractor/CMakeFiles/frappe_extractor.dir/preprocessor.cc.o.d"
+  "/root/repo/src/extractor/synthetic.cc" "src/extractor/CMakeFiles/frappe_extractor.dir/synthetic.cc.o" "gcc" "src/extractor/CMakeFiles/frappe_extractor.dir/synthetic.cc.o.d"
+  "/root/repo/src/extractor/vfs.cc" "src/extractor/CMakeFiles/frappe_extractor.dir/vfs.cc.o" "gcc" "src/extractor/CMakeFiles/frappe_extractor.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/frappe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/frappe_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frappe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

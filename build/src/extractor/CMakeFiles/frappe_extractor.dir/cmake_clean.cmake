@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frappe_extractor.dir/build_model.cc.o"
+  "CMakeFiles/frappe_extractor.dir/build_model.cc.o.d"
+  "CMakeFiles/frappe_extractor.dir/c_lexer.cc.o"
+  "CMakeFiles/frappe_extractor.dir/c_lexer.cc.o.d"
+  "CMakeFiles/frappe_extractor.dir/c_parser.cc.o"
+  "CMakeFiles/frappe_extractor.dir/c_parser.cc.o.d"
+  "CMakeFiles/frappe_extractor.dir/extract.cc.o"
+  "CMakeFiles/frappe_extractor.dir/extract.cc.o.d"
+  "CMakeFiles/frappe_extractor.dir/preprocessor.cc.o"
+  "CMakeFiles/frappe_extractor.dir/preprocessor.cc.o.d"
+  "CMakeFiles/frappe_extractor.dir/synthetic.cc.o"
+  "CMakeFiles/frappe_extractor.dir/synthetic.cc.o.d"
+  "CMakeFiles/frappe_extractor.dir/vfs.cc.o"
+  "CMakeFiles/frappe_extractor.dir/vfs.cc.o.d"
+  "libfrappe_extractor.a"
+  "libfrappe_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frappe_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

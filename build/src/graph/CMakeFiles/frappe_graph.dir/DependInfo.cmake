@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_view.cc" "src/graph/CMakeFiles/frappe_graph.dir/csr_view.cc.o" "gcc" "src/graph/CMakeFiles/frappe_graph.dir/csr_view.cc.o.d"
+  "/root/repo/src/graph/graph_store.cc" "src/graph/CMakeFiles/frappe_graph.dir/graph_store.cc.o" "gcc" "src/graph/CMakeFiles/frappe_graph.dir/graph_store.cc.o.d"
+  "/root/repo/src/graph/indexes.cc" "src/graph/CMakeFiles/frappe_graph.dir/indexes.cc.o" "gcc" "src/graph/CMakeFiles/frappe_graph.dir/indexes.cc.o.d"
+  "/root/repo/src/graph/snapshot.cc" "src/graph/CMakeFiles/frappe_graph.dir/snapshot.cc.o" "gcc" "src/graph/CMakeFiles/frappe_graph.dir/snapshot.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/frappe_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/frappe_graph.dir/stats.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/graph/CMakeFiles/frappe_graph.dir/traversal.cc.o" "gcc" "src/graph/CMakeFiles/frappe_graph.dir/traversal.cc.o.d"
+  "/root/repo/src/graph/value.cc" "src/graph/CMakeFiles/frappe_graph.dir/value.cc.o" "gcc" "src/graph/CMakeFiles/frappe_graph.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/frappe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

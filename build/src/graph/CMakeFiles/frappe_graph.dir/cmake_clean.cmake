@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frappe_graph.dir/csr_view.cc.o"
+  "CMakeFiles/frappe_graph.dir/csr_view.cc.o.d"
+  "CMakeFiles/frappe_graph.dir/graph_store.cc.o"
+  "CMakeFiles/frappe_graph.dir/graph_store.cc.o.d"
+  "CMakeFiles/frappe_graph.dir/indexes.cc.o"
+  "CMakeFiles/frappe_graph.dir/indexes.cc.o.d"
+  "CMakeFiles/frappe_graph.dir/snapshot.cc.o"
+  "CMakeFiles/frappe_graph.dir/snapshot.cc.o.d"
+  "CMakeFiles/frappe_graph.dir/stats.cc.o"
+  "CMakeFiles/frappe_graph.dir/stats.cc.o.d"
+  "CMakeFiles/frappe_graph.dir/traversal.cc.o"
+  "CMakeFiles/frappe_graph.dir/traversal.cc.o.d"
+  "CMakeFiles/frappe_graph.dir/value.cc.o"
+  "CMakeFiles/frappe_graph.dir/value.cc.o.d"
+  "libfrappe_graph.a"
+  "libfrappe_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frappe_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/code_graph.cc" "src/model/CMakeFiles/frappe_model.dir/code_graph.cc.o" "gcc" "src/model/CMakeFiles/frappe_model.dir/code_graph.cc.o.d"
+  "/root/repo/src/model/schema.cc" "src/model/CMakeFiles/frappe_model.dir/schema.cc.o" "gcc" "src/model/CMakeFiles/frappe_model.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/frappe_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frappe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

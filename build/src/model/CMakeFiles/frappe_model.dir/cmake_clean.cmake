@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frappe_model.dir/code_graph.cc.o"
+  "CMakeFiles/frappe_model.dir/code_graph.cc.o.d"
+  "CMakeFiles/frappe_model.dir/schema.cc.o"
+  "CMakeFiles/frappe_model.dir/schema.cc.o.d"
+  "libfrappe_model.a"
+  "libfrappe_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frappe_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/database.cc" "src/query/CMakeFiles/frappe_query.dir/database.cc.o" "gcc" "src/query/CMakeFiles/frappe_query.dir/database.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/frappe_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/frappe_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/explain.cc" "src/query/CMakeFiles/frappe_query.dir/explain.cc.o" "gcc" "src/query/CMakeFiles/frappe_query.dir/explain.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/frappe_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/frappe_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/frappe_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/frappe_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/session.cc" "src/query/CMakeFiles/frappe_query.dir/session.cc.o" "gcc" "src/query/CMakeFiles/frappe_query.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/frappe_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/frappe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frappe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

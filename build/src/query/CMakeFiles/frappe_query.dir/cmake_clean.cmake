@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frappe_query.dir/database.cc.o"
+  "CMakeFiles/frappe_query.dir/database.cc.o.d"
+  "CMakeFiles/frappe_query.dir/executor.cc.o"
+  "CMakeFiles/frappe_query.dir/executor.cc.o.d"
+  "CMakeFiles/frappe_query.dir/explain.cc.o"
+  "CMakeFiles/frappe_query.dir/explain.cc.o.d"
+  "CMakeFiles/frappe_query.dir/lexer.cc.o"
+  "CMakeFiles/frappe_query.dir/lexer.cc.o.d"
+  "CMakeFiles/frappe_query.dir/parser.cc.o"
+  "CMakeFiles/frappe_query.dir/parser.cc.o.d"
+  "CMakeFiles/frappe_query.dir/session.cc.o"
+  "CMakeFiles/frappe_query.dir/session.cc.o.d"
+  "libfrappe_query.a"
+  "libfrappe_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frappe_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frappe_temporal.dir/impact.cc.o"
+  "CMakeFiles/frappe_temporal.dir/impact.cc.o.d"
+  "CMakeFiles/frappe_temporal.dir/version_store.cc.o"
+  "CMakeFiles/frappe_temporal.dir/version_store.cc.o.d"
+  "libfrappe_temporal.a"
+  "libfrappe_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frappe_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

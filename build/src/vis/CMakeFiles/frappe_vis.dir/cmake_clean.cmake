@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frappe_vis.dir/code_map.cc.o"
+  "CMakeFiles/frappe_vis.dir/code_map.cc.o.d"
+  "CMakeFiles/frappe_vis.dir/treemap.cc.o"
+  "CMakeFiles/frappe_vis.dir/treemap.cc.o.d"
+  "libfrappe_vis.a"
+  "libfrappe_vis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frappe_vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

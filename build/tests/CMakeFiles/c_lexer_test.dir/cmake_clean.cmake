@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_lexer_test.dir/extractor/c_lexer_test.cc.o"
+  "CMakeFiles/c_lexer_test.dir/extractor/c_lexer_test.cc.o.d"
+  "c_lexer_test"
+  "c_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

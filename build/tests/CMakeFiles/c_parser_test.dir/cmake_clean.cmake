@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_parser_test.dir/extractor/c_parser_test.cc.o"
+  "CMakeFiles/c_parser_test.dir/extractor/c_parser_test.cc.o.d"
+  "c_parser_test"
+  "c_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_graph_test.dir/model/code_graph_test.cc.o"
+  "CMakeFiles/code_graph_test.dir/model/code_graph_test.cc.o.d"
+  "code_graph_test"
+  "code_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_map_test.dir/vis/code_map_test.cc.o"
+  "CMakeFiles/code_map_test.dir/vis/code_map_test.cc.o.d"
+  "code_map_test"
+  "code_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

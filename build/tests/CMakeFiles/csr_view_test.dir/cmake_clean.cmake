@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_view_test.dir/graph/csr_view_test.cc.o"
+  "CMakeFiles/csr_view_test.dir/graph/csr_view_test.cc.o.d"
+  "csr_view_test"
+  "csr_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

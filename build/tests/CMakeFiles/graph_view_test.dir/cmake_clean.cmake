@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_view_test.dir/graph/graph_view_test.cc.o"
+  "CMakeFiles/graph_view_test.dir/graph/graph_view_test.cc.o.d"
+  "graph_view_test"
+  "graph_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impact_test.dir/temporal/impact_test.cc.o"
+  "CMakeFiles/impact_test.dir/temporal/impact_test.cc.o.d"
+  "impact_test"
+  "impact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexes_test.dir/graph/indexes_test.cc.o"
+  "CMakeFiles/indexes_test.dir/graph/indexes_test.cc.o.d"
+  "indexes_test"
+  "indexes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

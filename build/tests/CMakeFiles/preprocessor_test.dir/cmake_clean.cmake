@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocessor_test.dir/extractor/preprocessor_test.cc.o"
+  "CMakeFiles/preprocessor_test.dir/extractor/preprocessor_test.cc.o.d"
+  "preprocessor_test"
+  "preprocessor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocessor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_map_test.dir/graph/property_map_test.cc.o"
+  "CMakeFiles/property_map_test.dir/graph/property_map_test.cc.o.d"
+  "property_map_test"
+  "property_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "bench/kernel_common.h"
 #include "common/rng.h"
 #include "graph/traversal.h"
@@ -52,6 +53,7 @@ int main() {
   std::printf("%-28s %14s %16s %12s\n", "graph (layers x width x fanout)",
               "FQL closure", "direct closure", "reached");
   const uint64_t kStepBudget = 20'000'000;
+  bench::JsonReport json("ablation_closure");
 
   for (int layers : {4, 8, 12, 16, 24}) {
     int width = 16, fanout = 3;
@@ -89,6 +91,13 @@ int main() {
                   fanout);
     std::printf("%-28s %14s %13.2f ms %12zu\n", label, fql_cell.c_str(),
                 direct_ms, closure.size());
+    json.Add(std::string(label) + " / fql")
+        .Sample(fql_ms)
+        .Results(fql.ok() ? static_cast<int64_t>(fql->rows.size()) : -1)
+        .Note(fql.ok() ? "" : fql_cell);
+    json.Add(std::string(label) + " / direct")
+        .Sample(direct_ms)
+        .Results(static_cast<int64_t>(closure.size()));
   }
   std::printf("\nTakeaway: path enumeration cost grows with the number of"
               " paths (exponential in\ndepth); the visited-set traversal"

@@ -4,9 +4,11 @@
 // and repeated transitive closures on the kernel-scale graph through both
 // representations.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/kernel_common.h"
 #include "graph/csr_view.h"
 #include "graph/traversal.h"
@@ -85,5 +87,22 @@ int main() {
   auto [c_ms, c_n] = bfs_all(csr);
   std::printf("\nundirected whole-graph BFS: store %.0f ms (%zu nodes),"
               " CSR %.0f ms (%zu nodes)\n", s_ms, s_n, c_ms, c_n);
+
+  bench::JsonReport json("ablation_csr");
+  json.Add("csr build").Sample(build_ms).Extra("scale", factor).Extra(
+      "csr_mb", csr.ByteSize() / 1048576.0);
+  json.Add("50 closures / store")
+      .Sample(store_ms)
+      .Results(static_cast<int64_t>(store_total));
+  json.Add("50 closures / csr")
+      .Sample(csr_ms)
+      .Results(static_cast<int64_t>(csr_total))
+      .Extra("speedup_vs_store", store_ms / std::max(csr_ms, 0.001));
+  json.Add("whole-graph bfs / store")
+      .Sample(s_ms)
+      .Results(static_cast<int64_t>(s_n));
+  json.Add("whole-graph bfs / csr")
+      .Sample(c_ms)
+      .Results(static_cast<int64_t>(c_n));
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/kernel_common.h"
 
 using namespace frappe;
@@ -121,6 +122,15 @@ int main() {
   std::printf("%-44s %7.3f ms %10zu\n",
               "reified encoding (file adjacency)", reified_ms, found_sites);
   std::printf("speedup: %.0fx\n\n", edge_ms / std::max(reified_ms, 0.0001));
+
+  bench::JsonReport json("ablation_reification");
+  json.Add("edge encoding scan")
+      .Sample(edge_ms)
+      .Results(static_cast<int64_t>(found_edges));
+  json.Add("reified adjacency")
+      .Sample(reified_ms)
+      .Results(static_cast<int64_t>(found_sites))
+      .Extra("speedup_vs_scan", edge_ms / std::max(reified_ms, 0.0001));
 
   auto base_mem = store.EstimateMemory();
   auto reified_mem = reified.EstimateMemory();

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/kernel_common.h"
 #include "graph/stats.h"
 
@@ -61,5 +62,15 @@ int main() {
   std::printf("\n%.1f%% of nodes have degree <= 15 (paper: 'large majority"
               " ... small node degree')\n",
               100.0 * static_cast<double>(low) / static_cast<double>(total));
+
+  bench::JsonReport json("fig7_degree_distribution");
+  json.Add("degree distribution")
+      .Results(static_cast<int64_t>(total))
+      .Extra("scale", factor)
+      .Extra("bins", static_cast<double>(bins.size()))
+      .Extra("pct_degree_le_15",
+             100.0 * static_cast<double>(low) / static_cast<double>(total))
+      .Extra("max_hub_degree",
+             hubs.empty() ? 0.0 : static_cast<double>(hubs.front().degree));
   return 0;
 }

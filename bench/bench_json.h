@@ -1,0 +1,164 @@
+#ifndef FRAPPE_BENCH_BENCH_JSON_H_
+#define FRAPPE_BENCH_BENCH_JSON_H_
+
+// Machine-readable companion output for the reproduction benches. Each
+// bench_* binary accumulates one entry per measured configuration and
+// writes BENCH_<name>.json (label, min/avg/max ms, result counts, thread
+// count) next to the human-readable table, so the perf trajectory is
+// trackable across PRs without scraping stdout.
+//
+// Output location: $FRAPPE_BENCH_JSON_DIR (default: current directory).
+// Files are overwritten on every run.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace frappe::bench {
+
+struct JsonEntry {
+  std::string label;
+  std::vector<double> samples_ms;  // min/avg/max derived at write time
+  int64_t results = -1;            // result/row/node count; -1 = omit
+  int threads = -1;                // lane count; -1 = omit
+  std::string note;                // e.g. "ABORTED: ..."; empty = omit
+  // Extra numeric facts (counts, sizes, ratios) specific to one bench.
+  std::vector<std::pair<std::string, double>> extra;
+
+  JsonEntry& Sample(double ms) {
+    samples_ms.push_back(ms);
+    return *this;
+  }
+  JsonEntry& Samples(const std::vector<double>& ms) {
+    samples_ms.insert(samples_ms.end(), ms.begin(), ms.end());
+    return *this;
+  }
+  JsonEntry& Results(int64_t count) {
+    results = count;
+    return *this;
+  }
+  JsonEntry& Threads(int count) {
+    threads = count;
+    return *this;
+  }
+  JsonEntry& Note(std::string text) {
+    note = std::move(text);
+    return *this;
+  }
+  JsonEntry& Extra(std::string key, double value) {
+    extra.emplace_back(std::move(key), value);
+    return *this;
+  }
+};
+
+// Collects entries and writes BENCH_<name>.json when Write() is called (or
+// on destruction, for benches that exit through main's tail).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { Write(); }
+
+  JsonEntry& Add(std::string label) {
+    entries_.emplace_back();
+    entries_.back().label = std::move(label);
+    return entries_.back();
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    std::string path = Path();
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bench_json] cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"entries\": [",
+                 Quoted(name_).c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const JsonEntry& e = entries_[i];
+      std::fprintf(f, "%s\n    {\"label\": %s", i == 0 ? "" : ",",
+                   Quoted(e.label).c_str());
+      if (!e.samples_ms.empty()) {
+        double min = *std::min_element(e.samples_ms.begin(),
+                                       e.samples_ms.end());
+        double max = *std::max_element(e.samples_ms.begin(),
+                                       e.samples_ms.end());
+        double sum = 0;
+        for (double s : e.samples_ms) sum += s;
+        std::fprintf(f,
+                     ", \"iterations\": %zu, \"min_ms\": %s, \"avg_ms\": %s,"
+                     " \"max_ms\": %s",
+                     e.samples_ms.size(), Num(min).c_str(),
+                     Num(sum / static_cast<double>(e.samples_ms.size()))
+                         .c_str(),
+                     Num(max).c_str());
+      }
+      if (e.results >= 0) {
+        std::fprintf(f, ", \"results\": %lld",
+                     static_cast<long long>(e.results));
+      }
+      if (e.threads >= 0) std::fprintf(f, ", \"threads\": %d", e.threads);
+      for (const auto& [key, value] : e.extra) {
+        std::fprintf(f, ", %s: %s", Quoted(key).c_str(), Num(value).c_str());
+      }
+      if (!e.note.empty()) {
+        std::fprintf(f, ", \"note\": %s", Quoted(e.note).c_str());
+      }
+      std::fputc('}', f);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("\n[bench_json] wrote %s (%zu entries)\n", path.c_str(),
+                entries_.size());
+  }
+
+  std::string Path() const {
+    const char* dir = std::getenv("FRAPPE_BENCH_JSON_DIR");
+    std::string prefix = dir != nullptr ? std::string(dir) + "/" : "";
+    return prefix + "BENCH_" + name_ + ".json";
+  }
+
+ private:
+  static std::string Quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  // %g keeps the file compact while preserving ~6 significant digits.
+  static std::string Num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<JsonEntry> entries_;
+  bool written_ = false;
+};
+
+}  // namespace frappe::bench
+
+#endif  // FRAPPE_BENCH_BENCH_JSON_H_

@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "extractor/build_model.h"
 #include "extractor/synthetic.h"
@@ -176,4 +180,33 @@ BENCHMARK(BM_ExtractionThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_micro.json (JSON format) so this binary emits machine-readable
+// results like the table/figure benches do. An explicit --benchmark_out
+// on the command line wins.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (const char* dir = std::getenv("FRAPPE_BENCH_JSON_DIR")) {
+    out_flag = std::string("--benchmark_out=") + dir + "/BENCH_micro.json";
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

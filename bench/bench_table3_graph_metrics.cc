@@ -7,6 +7,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/kernel_common.h"
 #include "graph/stats.h"
 
@@ -43,5 +44,14 @@ int main() {
   std::printf("edge types present: %zu / %zu from paper Table 1\n",
               graph::EdgeTypeHistogram(graph->view()).size(),
               static_cast<size_t>(model::EdgeKind::kCount));
+
+  bench::JsonReport json("table3_graph_metrics");
+  json.Add("generate + metrics")
+      .Sample(gen_ms)
+      .Extra("scale", factor)
+      .Extra("node_count", static_cast<double>(m.node_count))
+      .Extra("edge_count", static_cast<double>(m.edge_count))
+      .Extra("edge_node_ratio", m.edge_node_ratio)
+      .Extra("density", m.density);
   return 0;
 }

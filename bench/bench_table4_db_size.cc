@@ -8,6 +8,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/kernel_common.h"
 
 int main() {
@@ -53,6 +54,15 @@ int main() {
                sizes->indexes > sizes->nodes)
                   ? "HOLDS (as in the paper)"
                   : "differs — see EXPERIMENTS.md");
+  bench::JsonReport json("table4_db_size");
+  json.Add("save_snapshot")
+      .Sample(save_ms)
+      .Extra("scale", factor)
+      .Extra("properties_mb", mb(sizes->properties()))
+      .Extra("nodes_mb", mb(sizes->nodes))
+      .Extra("relationships_mb", mb(sizes->relationships))
+      .Extra("indexes_mb", mb(sizes->indexes))
+      .Extra("total_mb", mb(sizes->total()));
   std::remove(path.c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/kernel_common.h"
 #include "common/rng.h"
 #include "graph/traversal.h"
@@ -101,6 +102,15 @@ int main() {
               static_cast<double>(naive_resident) /
                   static_cast<double>(store.DeltaBytes()));
 
+  bench::JsonReport json("temporal_versions");
+  json.Add("storage")
+      .Extra("versions", static_cast<double>(store.VersionCount()))
+      .Extra("naive_disk_mb", naive_bytes / 1048576.0)
+      .Extra("delta_disk_mb",
+             (base_sizes.ok() ? base_sizes->total() : 0) / 1048576.0)
+      .Extra("naive_resident_mb", naive_resident / 1048576.0)
+      .Extra("delta_resident_mb", store.DeltaBytes() / 1048576.0);
+
   // Point-in-time query latency: closure on first and last version.
   for (temporal::Version v : {temporal::Version{0},
                               temporal::Version(store.VersionCount() - 1)}) {
@@ -111,6 +121,9 @@ int main() {
     double ms = bench::MsSince(t0);
     std::printf("closure at version %u: %zu nodes in %.1f ms\n", v,
                 closure.size(), ms);
+    json.Add("closure at v" + std::to_string(v))
+        .Sample(ms)
+        .Results(static_cast<int64_t>(closure.size()));
   }
 
   // Cross-version: diff + impact (impossible with isolated copies without
@@ -131,6 +144,14 @@ int main() {
                 " transitively (%.1f ms)\n",
                 impact->changed_functions.size(),
                 impact->impacted_functions.size(), impact_ms);
+    json.Add("diff v0..last")
+        .Sample(diff_ms)
+        .Results(static_cast<int64_t>(diff->added_nodes.size() +
+                                      diff->added_edges.size() +
+                                      diff->removed_edges.size()));
+    json.Add("change impact")
+        .Sample(impact_ms)
+        .Results(static_cast<int64_t>(impact->impacted_functions.size()));
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "graph/analytics.h"
 #include "graph/traversal.h"
 
 namespace frappe::analysis {
@@ -16,6 +17,19 @@ namespace {
 
 EdgeFilter CallFilter(const model::Schema& schema, Direction dir) {
   return EdgeFilter::Of({schema.edge_type(EdgeKind::kCalls)}, dir);
+}
+
+// Unbudgeted kernel run: without max_steps/deadline the closure cannot
+// fail, so an empty set stands in for the unreachable error arm.
+std::vector<NodeId> RunClosure(const graph::CsrView& csr,
+                               const std::vector<NodeId>& seeds,
+                               EdgeFilter filter, size_t threads,
+                               size_t max_depth) {
+  graph::analytics::Options options;
+  options.threads = threads;
+  options.max_depth = max_depth;
+  return graph::analytics::ParallelClosure(csr, seeds, filter, options)
+      .value_or({});
 }
 
 }  // namespace
@@ -84,6 +98,35 @@ std::vector<NodeId> IncludeImpact(const graph::GraphView& view,
       view, header,
       EdgeFilter::Of({schema.edge_type(EdgeKind::kIncludes)},
                      Direction::kIn));
+}
+
+std::vector<NodeId> ParallelBackwardSlice(const graph::CsrView& csr,
+                                          const model::Schema& schema,
+                                          NodeId function, size_t threads,
+                                          size_t max_depth) {
+  return RunClosure(csr, {function}, CallFilter(schema, Direction::kOut),
+                    threads, max_depth);
+}
+
+std::vector<NodeId> ParallelForwardSlice(const graph::CsrView& csr,
+                                         const model::Schema& schema,
+                                         NodeId function, size_t threads,
+                                         size_t max_depth) {
+  return RunClosure(csr, {function}, CallFilter(schema, Direction::kIn),
+                    threads, max_depth);
+}
+
+std::vector<NodeId> ParallelImpactSet(const graph::CsrView& csr,
+                                      const model::Schema& schema,
+                                      const std::vector<NodeId>& seeds,
+                                      const std::vector<EdgeKind>& kinds,
+                                      Direction direction, size_t threads,
+                                      size_t max_depth) {
+  std::vector<graph::TypeId> types;
+  types.reserve(kinds.size());
+  for (EdgeKind kind : kinds) types.push_back(schema.edge_type(kind));
+  return RunClosure(csr, seeds, EdgeFilter::Of(std::move(types), direction),
+                    threads, max_depth);
 }
 
 }  // namespace frappe::analysis

@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "graph/csr_view.h"
 #include "graph/graph_view.h"
 #include "model/schema.h"
 
@@ -48,6 +49,26 @@ std::vector<graph::NodeId> MacroImpact(const graph::GraphView& view,
 std::vector<graph::NodeId> IncludeImpact(const graph::GraphView& view,
                                          const model::Schema& schema,
                                          graph::NodeId header);
+
+// Parallel counterparts running the level-synchronous frontier kernel over
+// a prebuilt CSR snapshot. Results are identical to the sequential
+// functions above for every thread count; `threads = 0` resolves
+// FRAPPE_THREADS / hardware concurrency, `threads = 1` runs the kernel
+// inline on the caller.
+std::vector<graph::NodeId> ParallelBackwardSlice(
+    const graph::CsrView& csr, const model::Schema& schema,
+    graph::NodeId function, size_t threads,
+    size_t max_depth = std::numeric_limits<size_t>::max());
+std::vector<graph::NodeId> ParallelForwardSlice(
+    const graph::CsrView& csr, const model::Schema& schema,
+    graph::NodeId function, size_t threads,
+    size_t max_depth = std::numeric_limits<size_t>::max());
+std::vector<graph::NodeId> ParallelImpactSet(
+    const graph::CsrView& csr, const model::Schema& schema,
+    const std::vector<graph::NodeId>& seeds,
+    const std::vector<model::EdgeKind>& kinds, graph::Direction direction,
+    size_t threads,
+    size_t max_depth = std::numeric_limits<size_t>::max());
 
 }  // namespace frappe::analysis
 

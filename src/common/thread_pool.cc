@@ -1,0 +1,103 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+
+namespace frappe {
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunLanes(size_t lanes,
+                          const std::function<void(size_t)>& fn) {
+  if (lanes <= 1) {
+    if (lanes == 1) fn(0);
+    return;
+  }
+  // Join state lives on the caller's stack; lanes signal a countdown.
+  struct Join {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t pending;
+  } join;
+  join.pending = lanes - 1;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t lane = 1; lane < lanes; ++lane) {
+      queue_.emplace_back([&fn, &join, lane] {
+        fn(lane);
+        std::lock_guard<std::mutex> jlock(join.mu);
+        if (--join.pending == 0) join.done.notify_one();
+      });
+    }
+  }
+  work_ready_.notify_all();
+
+  fn(0);
+  // Help drain the queue while waiting. This guarantees progress even when
+  // the pool has fewer workers than lanes — including zero workers, where
+  // the caller ends up running every lane itself (an 8-lane run on a
+  // 1-core machine is then simply sequential, with identical results).
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    if (task) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(join.mu);
+    if (join.pending == 0) return;
+    join.done.wait(lock, [&join] { return join.pending == 0; });
+    return;
+  }
+}
+
+size_t ThreadPool::ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("FRAPPE_THREADS")) {
+    long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(ResolveThreads(0) - 1);
+  return pool;
+}
+
+}  // namespace frappe

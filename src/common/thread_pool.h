@@ -1,0 +1,70 @@
+#ifndef FRAPPE_COMMON_THREAD_POOL_H_
+#define FRAPPE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace frappe {
+
+// Fixed-size worker pool for fork/join data parallelism. No work stealing,
+// no futures: the one primitive is RunLanes, which fans a callable out over
+// N lanes and blocks until every lane returns. That is all the
+// level-synchronous analytics kernels need, and it keeps the pool simple
+// enough to reason about under TSan.
+//
+// Lane 0 always runs on the calling thread, so `RunLanes(1, fn)` is a plain
+// inline call with no queueing, locking or signalling — the `threads=1`
+// configuration of every parallel engine is bit-for-bit the sequential
+// code path.
+//
+// RunLanes must not be called re-entrantly from inside a lane (a lane
+// scheduled on a worker would then block waiting for workers that are all
+// busy). The analytics kernels never nest.
+class ThreadPool {
+ public:
+  // Spawns `workers` background threads (0 is valid: every lane then runs
+  // inline on the caller).
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t worker_count() const { return workers_.size(); }
+
+  // Invokes fn(lane) for every lane in [0, lanes). Lane 0 runs on the
+  // calling thread; the rest are queued to the workers (if lanes exceeds
+  // worker_count() + 1 the surplus lanes simply queue up and run as workers
+  // free up). Returns when every lane has finished. Exceptions must not
+  // escape fn.
+  void RunLanes(size_t lanes, const std::function<void(size_t)>& fn);
+
+  // Process-wide pool, sized once from the FRAPPE_THREADS environment
+  // variable (falling back to std::thread::hardware_concurrency). Holds
+  // ResolveThreads(0) - 1 workers, so `RunLanes(ResolveThreads(0), fn)`
+  // saturates the machine without oversubscribing.
+  static ThreadPool& Shared();
+
+  // Resolves a requested thread count: a positive request is returned as
+  // is; 0 means "use the environment": FRAPPE_THREADS when set to a
+  // positive integer, else hardware_concurrency, never less than 1.
+  static size_t ResolveThreads(size_t requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace frappe
+
+#endif  // FRAPPE_COMMON_THREAD_POOL_H_

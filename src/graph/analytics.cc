@@ -1,0 +1,261 @@
+#include "graph/analytics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <string>
+
+namespace frappe::graph::analytics {
+
+void VisitedBitmap::Reset(size_t universe) {
+  size_t words = (universe + kBitsPerWord - 1) / kBitsPerWord;
+  if (words > capacity_words_) {
+    // Value-initialization zeroes the words; tag 0 is never a live epoch.
+    words_ = std::make_unique<std::atomic<uint64_t>[]>(words);
+    capacity_words_ = words;
+    epoch_ = 1;
+  } else if (epoch_ == std::numeric_limits<uint16_t>::max()) {
+    for (size_t i = 0; i < capacity_words_; ++i) {
+      words_[i].store(0, std::memory_order_relaxed);
+    }
+    epoch_ = 1;
+  } else {
+    ++epoch_;
+  }
+  size_ = universe;
+}
+
+void VisitedBitmap::AppendSetBits(std::vector<NodeId>* out) const {
+  constexpr uint64_t kPayloadMask = (uint64_t{1} << kBitsPerWord) - 1;
+  size_t words = (size_ + kBitsPerWord - 1) / kBitsPerWord;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t cur = words_[w].load(std::memory_order_relaxed);
+    if ((cur >> kBitsPerWord) != epoch_) continue;
+    uint64_t payload = cur & kPayloadMask;
+    while (payload != 0) {
+      int bit = std::countr_zero(payload);
+      payload &= payload - 1;
+      NodeId id = static_cast<NodeId>(w * kBitsPerWord + bit);
+      if (id < size_) out->push_back(id);
+    }
+  }
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Flush/poll interval for the per-lane step counters. Small enough that a
+// deadline or step-budget breach is noticed promptly, large enough that the
+// shared atomic stays out of the hot loop.
+constexpr uint64_t kFlushInterval = 4096;
+
+enum CancelReason : int { kNone = 0, kSteps = 1, kDeadline = 2 };
+
+struct SharedState {
+  std::atomic<uint64_t> steps{0};
+  std::atomic<bool> cancelled{false};
+  std::atomic<int> reason{kNone};
+
+  void Cancel(int why) {
+    reason.store(why, std::memory_order_relaxed);
+    cancelled.store(true, std::memory_order_relaxed);
+  }
+};
+
+Status StatusFor(int reason, const Options& options) {
+  switch (reason) {
+    case kSteps:
+      return Status::ResourceExhausted(
+          "traversal exceeded step budget of " +
+          std::to_string(options.max_steps));
+    case kDeadline:
+      return Status::DeadlineExceeded("traversal exceeded deadline of " +
+                                      std::to_string(options.deadline_ms) +
+                                      "ms");
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace
+
+Status FrontierEngine::Run(const CsrView& csr,
+                           const std::vector<NodeId>& seeds,
+                           const EdgeFilter& filter, const Options& options,
+                           bool track_member, std::vector<uint32_t>* depths,
+                           Metrics* metrics) {
+  size_t upper = csr.NodeIdUpperBound();
+  size_t threads = ThreadPool::ResolveThreads(options.threads);
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Shared();
+
+  visited_.Reset(upper);
+  if (track_member) member_.Reset(upper);
+  if (depths != nullptr) depths->assign(upper, kUnreachedDepth);
+
+  frontier_.clear();
+  for (NodeId seed : seeds) {
+    if (!csr.NodeExists(seed)) continue;
+    if (visited_.TestAndSet(seed)) {
+      frontier_.push_back(seed);
+      if (depths != nullptr) (*depths)[seed] = 0;
+    }
+  }
+
+  SharedState shared;
+  bool typed = !filter.types.empty();
+  Clock::time_point deadline;
+  bool has_deadline = options.deadline_ms > 0;
+  if (has_deadline) {
+    deadline = Clock::now() + std::chrono::milliseconds(options.deadline_ms);
+  }
+
+  size_t depth = 0;
+  while (!frontier_.empty() && depth < options.max_depth &&
+         !shared.cancelled.load(std::memory_order_relaxed)) {
+    if (metrics != nullptr) {
+      metrics->frontier_peak = std::max(metrics->frontier_peak,
+                                        frontier_.size());
+    }
+    size_t lanes = std::min(threads, frontier_.size());
+    size_t chunk = (frontier_.size() + lanes - 1) / lanes;
+    lane_next_.resize(std::max(lane_next_.size(), lanes));
+
+    auto expand_lane = [&](size_t lane) {
+      std::vector<NodeId>& next = lane_next_[lane];
+      next.clear();
+      uint64_t local_steps = 0;
+      auto flush = [&] {
+        uint64_t total = shared.steps.fetch_add(
+                             local_steps, std::memory_order_relaxed) +
+                         local_steps;
+        local_steps = 0;
+        if (options.max_steps > 0 && total > options.max_steps) {
+          shared.Cancel(kSteps);
+        } else if (has_deadline && Clock::now() > deadline) {
+          shared.Cancel(kDeadline);
+        }
+      };
+      size_t begin = lane * chunk;
+      size_t end = std::min(begin + chunk, frontier_.size());
+      uint32_t next_depth = static_cast<uint32_t>(depth) + 1;
+      for (size_t i = begin; i < end; ++i) {
+        if (shared.cancelled.load(std::memory_order_relaxed)) break;
+        NodeId node = frontier_[i];
+        auto scan = [&](CsrView::Neighbors nbrs) {
+          for (size_t j = 0; j < nbrs.count; ++j) {
+            if (++local_steps >= kFlushInterval) {
+              flush();
+              if (shared.cancelled.load(std::memory_order_relaxed)) return;
+            }
+            if (typed &&
+                !filter.Allows(csr.GetEdge(nbrs.begin_edges[j]).type)) {
+              continue;
+            }
+            NodeId neighbor = nbrs.begin_nodes[j];
+            if (track_member) member_.Set(neighbor);
+            if (visited_.TestAndSet(neighbor)) {
+              // Sole winner of the bit: no write race on depths.
+              if (depths != nullptr) (*depths)[neighbor] = next_depth;
+              next.push_back(neighbor);
+            }
+          }
+        };
+        if (filter.direction == Direction::kOut ||
+            filter.direction == Direction::kBoth) {
+          scan(csr.Out(node));
+        }
+        if (filter.direction == Direction::kIn ||
+            filter.direction == Direction::kBoth) {
+          scan(csr.In(node));
+        }
+      }
+      flush();
+    };
+
+    if (lanes <= 1) {
+      expand_lane(0);
+    } else {
+      pool.RunLanes(lanes, expand_lane);
+    }
+
+    // Barrier passed: merge per-lane discoveries into the next frontier.
+    // Lane order keeps the merge deterministic for a given thread count;
+    // the *set* per level is thread-count independent.
+    frontier_.clear();
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      frontier_.insert(frontier_.end(), lane_next_[lane].begin(),
+                       lane_next_[lane].end());
+    }
+    ++depth;
+    if (metrics != nullptr) metrics->levels = depth;
+  }
+
+  if (metrics != nullptr) {
+    metrics->steps = shared.steps.load(std::memory_order_relaxed);
+  }
+  return StatusFor(shared.reason.load(std::memory_order_relaxed), options);
+}
+
+Result<std::vector<NodeId>> FrontierEngine::Closure(
+    const CsrView& csr, const std::vector<NodeId>& seeds,
+    const EdgeFilter& filter, const Options& options, Metrics* metrics) {
+  FRAPPE_RETURN_IF_ERROR(Run(csr, seeds, filter, options,
+                             /*track_member=*/true, /*depths=*/nullptr,
+                             metrics));
+  std::vector<NodeId> out;
+  member_.AppendSetBits(&out);
+  return out;
+}
+
+Result<std::vector<NodeId>> FrontierEngine::Reachable(
+    const CsrView& csr, const std::vector<NodeId>& seeds,
+    const EdgeFilter& filter, const Options& options, Metrics* metrics) {
+  FRAPPE_RETURN_IF_ERROR(Run(csr, seeds, filter, options,
+                             /*track_member=*/false, /*depths=*/nullptr,
+                             metrics));
+  std::vector<NodeId> out;
+  visited_.AppendSetBits(&out);
+  return out;
+}
+
+Result<std::vector<uint32_t>> FrontierEngine::BfsDepths(
+    const CsrView& csr, const std::vector<NodeId>& seeds,
+    const EdgeFilter& filter, const Options& options, Metrics* metrics) {
+  std::vector<uint32_t> depths;
+  FRAPPE_RETURN_IF_ERROR(Run(csr, seeds, filter, options,
+                             /*track_member=*/false, &depths, metrics));
+  return depths;
+}
+
+namespace {
+
+FrontierEngine& LocalEngine() {
+  thread_local FrontierEngine engine;
+  return engine;
+}
+
+}  // namespace
+
+Result<std::vector<NodeId>> ParallelClosure(const CsrView& csr,
+                                            const std::vector<NodeId>& seeds,
+                                            const EdgeFilter& filter,
+                                            const Options& options,
+                                            Metrics* metrics) {
+  return LocalEngine().Closure(csr, seeds, filter, options, metrics);
+}
+
+Result<std::vector<NodeId>> ParallelReachable(
+    const CsrView& csr, const std::vector<NodeId>& seeds,
+    const EdgeFilter& filter, const Options& options, Metrics* metrics) {
+  return LocalEngine().Reachable(csr, seeds, filter, options, metrics);
+}
+
+Result<std::vector<uint32_t>> ParallelBfsDepths(
+    const CsrView& csr, const std::vector<NodeId>& seeds,
+    const EdgeFilter& filter, const Options& options, Metrics* metrics) {
+  return LocalEngine().BfsDepths(csr, seeds, filter, options, metrics);
+}
+
+}  // namespace frappe::graph::analytics

@@ -1,0 +1,165 @@
+#ifndef FRAPPE_GRAPH_ANALYTICS_H_
+#define FRAPPE_GRAPH_ANALYTICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/csr_view.h"
+#include "graph/traversal.h"
+
+namespace frappe::graph::analytics {
+
+// Parallel frontier-based graph analytics over the packed CsrView arrays —
+// the PGX/LLAMA-style fast path the paper points at in Section 7. The
+// kernels are level-synchronous: each BFS level is split into per-thread
+// chunks, lanes claim nodes through an atomic VisitedBitmap, and the
+// per-lane discoveries are concatenated into the next frontier at a
+// barrier. Results are therefore identical for every thread count (the
+// newly-visited set of a level is frontier-neighbors minus already-visited,
+// independent of lane interleaving), and `threads=1` runs the very same
+// loop inline on the caller with no pool involvement.
+
+// Reusable visited set: one bit per NodeId, cleared in O(1) by bumping an
+// epoch. Each 64-bit word packs 48 payload bits with a 16-bit epoch tag, so
+// a word whose tag is stale reads as all-zeros and is refreshed atomically
+// (CAS) by the first writer — no O(n) clear between queries, and no
+// clear/set race between lanes. Safe for concurrent TestAndSet.
+class VisitedBitmap {
+ public:
+  static constexpr uint32_t kBitsPerWord = 48;
+
+  // Prepares the bitmap for ids in [0, universe): reuses the allocation and
+  // bumps the epoch; reallocates (or hard-clears on epoch wraparound) only
+  // when needed.
+  void Reset(size_t universe);
+
+  // Atomically sets the bit; returns true when this call set it first.
+  bool TestAndSet(NodeId id) {
+    std::atomic<uint64_t>& word = words_[id / kBitsPerWord];
+    uint64_t bit = uint64_t{1} << (id % kBitsPerWord);
+    uint64_t fresh = uint64_t{epoch_} << kBitsPerWord;
+    uint64_t cur = word.load(std::memory_order_relaxed);
+    for (;;) {
+      if ((cur >> kBitsPerWord) == epoch_) {
+        uint64_t prev = word.fetch_or(bit, std::memory_order_relaxed);
+        return (prev & bit) == 0;
+      }
+      // Stale word: atomically install {current epoch, just this bit}.
+      if (word.compare_exchange_weak(cur, fresh | bit,
+                                     std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+  void Set(NodeId id) { TestAndSet(id); }
+
+  bool Test(NodeId id) const {
+    uint64_t cur = words_[id / kBitsPerWord].load(std::memory_order_relaxed);
+    if ((cur >> kBitsPerWord) != epoch_) return false;
+    return (cur & (uint64_t{1} << (id % kBitsPerWord))) != 0;
+  }
+
+  size_t universe() const { return size_; }
+
+  // Appends every set id in ascending order.
+  void AppendSetBits(std::vector<NodeId>* out) const;
+
+ private:
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+  size_t capacity_words_ = 0;
+  size_t size_ = 0;
+  uint16_t epoch_ = 0;
+};
+
+struct Options {
+  // Lane count. 1 = sequential (inline, no pool). 0 = resolve from the
+  // FRAPPE_THREADS environment variable / hardware concurrency.
+  size_t threads = 1;
+  size_t max_depth = std::numeric_limits<size_t>::max();
+  // Budget over edge expansions, mirroring query::ExecOptions: on breach
+  // the kernel returns ResourceExhausted / DeadlineExceeded. Parallel runs
+  // count steps in per-lane counters flushed to a shared atomic every few
+  // thousand edges, so a breach is detected within one flush interval.
+  uint64_t max_steps = 0;   // 0 = unlimited
+  int64_t deadline_ms = 0;  // 0 = none
+  // Pool to run on; null uses ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+};
+
+struct Metrics {
+  uint64_t steps = 0;   // edges scanned
+  size_t levels = 0;    // BFS levels expanded
+  size_t frontier_peak = 0;
+};
+
+inline constexpr uint32_t kUnreachedDepth =
+    std::numeric_limits<uint32_t>::max();
+
+// Scratch-owning engine: the bitmaps and frontier buffers persist across
+// calls, so repeated queries pay no per-query allocation beyond frontier
+// growth. One engine must not be used from two threads at once (the
+// kernels parallelize internally).
+class FrontierEngine {
+ public:
+  // Multi-source transitive closure: every node reached over >= 1 matching
+  // edge within max_depth steps — seeds included only when re-reached
+  // through a cycle. Sorted ascending; semantics identical to
+  // graph::TransitiveClosure.
+  Result<std::vector<NodeId>> Closure(const CsrView& csr,
+                                      const std::vector<NodeId>& seeds,
+                                      const EdgeFilter& filter,
+                                      const Options& options = {},
+                                      Metrics* metrics = nullptr);
+
+  // Multi-source reachability: every node reachable over >= 0 edges (live
+  // seeds always included). Sorted ascending.
+  Result<std::vector<NodeId>> Reachable(const CsrView& csr,
+                                        const std::vector<NodeId>& seeds,
+                                        const EdgeFilter& filter,
+                                        const Options& options = {},
+                                        Metrics* metrics = nullptr);
+
+  // Level-synchronous BFS: minimal depth per node id (kUnreachedDepth when
+  // unreached), over the whole id universe of the view.
+  Result<std::vector<uint32_t>> BfsDepths(const CsrView& csr,
+                                          const std::vector<NodeId>& seeds,
+                                          const EdgeFilter& filter,
+                                          const Options& options = {},
+                                          Metrics* metrics = nullptr);
+
+ private:
+  Status Run(const CsrView& csr, const std::vector<NodeId>& seeds,
+             const EdgeFilter& filter, const Options& options,
+             bool track_member, std::vector<uint32_t>* depths,
+             Metrics* metrics);
+
+  VisitedBitmap visited_;
+  VisitedBitmap member_;
+  std::vector<NodeId> frontier_;
+  std::vector<std::vector<NodeId>> lane_next_;
+};
+
+// Convenience wrappers over a thread-local FrontierEngine (scratch reuse
+// across calls without threading an engine through every call site).
+Result<std::vector<NodeId>> ParallelClosure(const CsrView& csr,
+                                            const std::vector<NodeId>& seeds,
+                                            const EdgeFilter& filter,
+                                            const Options& options = {},
+                                            Metrics* metrics = nullptr);
+Result<std::vector<NodeId>> ParallelReachable(
+    const CsrView& csr, const std::vector<NodeId>& seeds,
+    const EdgeFilter& filter, const Options& options = {},
+    Metrics* metrics = nullptr);
+Result<std::vector<uint32_t>> ParallelBfsDepths(
+    const CsrView& csr, const std::vector<NodeId>& seeds,
+    const EdgeFilter& filter, const Options& options = {},
+    Metrics* metrics = nullptr);
+
+}  // namespace frappe::graph::analytics
+
+#endif  // FRAPPE_GRAPH_ANALYTICS_H_

@@ -74,4 +74,19 @@ uint64_t CsrView::ByteSize() const {
          (out_targets_.size() + in_sources_.size()) * sizeof(NodeId);
 }
 
+const CsrView& CsrCache::Get(const GraphView& base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (view_ == nullptr || base_ != &base) {
+    view_ = std::make_unique<CsrView>(CsrView::Build(base));
+    base_ = &base;
+  }
+  return *view_;
+}
+
+void CsrCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  view_.reset();
+  base_ = nullptr;
+}
+
 }  // namespace frappe::graph

@@ -2,6 +2,7 @@
 #define FRAPPE_GRAPH_CSR_VIEW_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "graph/graph_view.h"
@@ -100,6 +101,22 @@ class CsrView final : public GraphView {
   std::vector<uint64_t> out_offsets_, in_offsets_;  // size = nodes + 1
   std::vector<EdgeId> out_edges_, in_edges_;
   std::vector<NodeId> out_targets_, in_sources_;
+};
+
+// Thread-safe lazy CsrView cache: builds the packed adjacency on first use
+// and hands out the same view afterwards, so repeated analytics queries
+// (the executor's closure fast path, parallel slices) amortize the one-off
+// build. Invalidate() after mutating the base graph; Get() with a
+// different base also rebuilds.
+class CsrCache {
+ public:
+  const CsrView& Get(const GraphView& base);
+  void Invalidate();
+
+ private:
+  std::mutex mu_;
+  std::unique_ptr<CsrView> view_;
+  const GraphView* base_ = nullptr;
 };
 
 }  // namespace frappe::graph

@@ -134,32 +134,55 @@ std::optional<Path> ShortestPath(const GraphView& view, NodeId from,
 
 namespace {
 
-void EnumerateDfs(const GraphView& view, NodeId current, NodeId to,
+void EnumerateDfs(const GraphView& view, NodeId from, NodeId to,
                   const EdgeFilter& filter, size_t max_depth, size_t limit,
                   Path* stack, std::unordered_set<NodeId>* on_path,
                   std::vector<Path>* out) {
-  if (out->size() >= limit) return;
-  if (stack->edges.size() >= max_depth) return;
-  Expand(view, current, filter, [&](EdgeId e, NodeId neighbor) {
-    if (out->size() >= limit) return false;
+  // Explicit DFS stack: path depth is bounded only by the node count (think
+  // a 100k-node chain), far beyond what the call stack can hold.
+  struct Frame {
+    EdgeId in_edge;  // edge appended to the path to enter this frame
+    std::vector<std::pair<EdgeId, NodeId>> edges;
+    size_t next = 0;
+  };
+  auto make_frame = [&](NodeId node, EdgeId in_edge) {
+    Frame frame;
+    frame.in_edge = in_edge;
+    if (stack->edges.size() < max_depth) {
+      Expand(view, node, filter, [&](EdgeId e, NodeId n) {
+        frame.edges.emplace_back(e, n);
+        return true;
+      });
+    }
+    return frame;
+  };
+  std::vector<Frame> frames;
+  frames.push_back(make_frame(from, kInvalidEdge));
+  while (!frames.empty()) {
+    Frame& top = frames.back();
+    if (out->size() >= limit || top.next >= top.edges.size()) {
+      if (top.in_edge != kInvalidEdge) {
+        on_path->erase(stack->nodes.back());
+        stack->nodes.pop_back();
+        stack->edges.pop_back();
+      }
+      frames.pop_back();
+      continue;
+    }
+    auto [edge, neighbor] = top.edges[top.next++];
     if (neighbor == to) {
       Path found = *stack;
       found.nodes.push_back(neighbor);
-      found.edges.push_back(e);
+      found.edges.push_back(edge);
       out->push_back(std::move(found));
-      return true;
+      continue;
     }
-    if (on_path->count(neighbor)) return true;  // simple paths only
+    if (on_path->count(neighbor)) continue;  // simple paths only
     stack->nodes.push_back(neighbor);
-    stack->edges.push_back(e);
+    stack->edges.push_back(edge);
     on_path->insert(neighbor);
-    EnumerateDfs(view, neighbor, to, filter, max_depth, limit, stack, on_path,
-                 out);
-    on_path->erase(neighbor);
-    stack->nodes.pop_back();
-    stack->edges.pop_back();
-    return true;
-  });
+    frames.push_back(make_frame(neighbor, edge));
+  }
 }
 
 }  // namespace

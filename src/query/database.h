@@ -2,10 +2,12 @@
 #define FRAPPE_QUERY_DATABASE_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <vector>
 
+#include "graph/csr_view.h"
 #include "graph/graph_view.h"
 #include "graph/indexes.h"
 
@@ -38,6 +40,12 @@ struct Database {
 
   // Property used when rendering nodes in result output (optional).
   graph::KeyId display_name_key = graph::kInvalidKey;
+
+  // Lazily-built CSR snapshot shared by analytics fast paths (the
+  // executor's variable-length closure kernel). Populated by Plain /
+  // MakeFrappeDatabase; a null cache disables the fast path. Call
+  // csr->Invalidate() after mutating the underlying graph.
+  std::shared_ptr<graph::CsrCache> csr;
 
   // Builds a Database with schema-unaware defaults: labels resolve by exact
   // (case-insensitive) registry lookup, properties by lowercased name.

@@ -8,7 +8,9 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "graph/analytics.h"
 #include "graph/traversal.h"
+#include "query/fast_path.h"
 
 namespace frappe::query {
 
@@ -212,14 +214,16 @@ class Engine {
     rows_.push_back(Row(width_));
     QueryResult out;
     bool returned = false;
-    for (const Clause& clause : query_.clauses) {
+    for (size_t clause_index = 0; clause_index < query_.clauses.size();
+         ++clause_index) {
+      const Clause& clause = query_.clauses[clause_index];
       Status status = std::visit(
           [&](const auto& c) -> Status {
             using T = std::decay_t<decltype(c)>;
             if constexpr (std::is_same_v<T, StartClause>) {
               return ExecStart(c);
             } else if constexpr (std::is_same_v<T, MatchClause>) {
-              return ExecMatch(c);
+              return ExecMatch(c, clause_index);
             } else if constexpr (std::is_same_v<T, WhereClause>) {
               return ExecWhere(c);
             } else if constexpr (std::is_same_v<T, WithClause>) {
@@ -318,15 +322,30 @@ class Engine {
     return Status::OK();
   }
 
-  Status ExecMatch(const MatchClause& clause) {
+  Status ExecMatch(const MatchClause& clause, size_t clause_index) {
     // Resolve all chains once.
     std::vector<BoundChain> chains;
     for (const PatternChain& chain : clause.chains) {
       FRAPPE_ASSIGN_OR_RETURN(BoundChain bound, BindChain(chain));
       chains.push_back(std::move(bound));
     }
+    // CSR closure fast path: a lone deep variable-length hop whose path
+    // multiplicity is collapsed downstream can be answered with the
+    // parallel frontier kernel instead of enumerating every path. Only for
+    // a single-chain MATCH — multiple chains share edge-distinctness via
+    // `used`, which the closure does not model.
+    bool try_fast_path =
+        options_.use_csr_fast_path && db_.csr != nullptr &&
+        clause.chains.size() == 1 &&
+        ChainEligibleForCsrClosure(query_, clause_index, clause.chains[0])
+            .eligible;
     std::vector<Row> next;
     for (Row& row : rows_) {
+      if (try_fast_path) {
+        FRAPPE_ASSIGN_OR_RETURN(bool handled,
+                                TryCsrClosure(chains[0], &row, &next));
+        if (handled) continue;
+      }
       std::unordered_set<EdgeId> used;
       FRAPPE_RETURN_IF_ERROR(MatchChainList(
           chains, 0, &row, &used, [&](const Row& matched) {
@@ -336,6 +355,111 @@ class Engine {
     }
     rows_ = std::move(next);
     return Status::OK();
+  }
+
+  // Attempts to answer an eligible variable-length chain for one row with
+  // the parallel CSR closure kernel. Returns true when the row was handled
+  // (its result rows, possibly none, were appended to `out`); false falls
+  // back to path enumeration — used whenever the runtime binding shape is
+  // not the "exactly one endpoint bound, target unbound and named" form
+  // the kernel answers.
+  Result<bool> TryCsrClosure(const BoundChain& chain, Row* row,
+                             std::vector<Row>* out) {
+    const BoundNodePattern& a = chain.nodes[0];
+    const BoundNodePattern& b = chain.nodes[1];
+    const BoundRelPattern& rel = chain.rels[0];
+    if (rel.impossible || a.impossible || b.impossible) return false;
+
+    // -1 = unbound slot, kInvalidNode-as-weird handled via the bool.
+    auto slot_node = [&](const BoundNodePattern& p, bool* weird) -> NodeId {
+      if (p.slot < 0 || p.slot >= static_cast<int>(row->size())) {
+        return graph::kInvalidNode;
+      }
+      const ResultValue& v = (*row)[p.slot];
+      if (v.is_null()) return graph::kInvalidNode;
+      if (v.kind != ResultValue::Kind::kNode) *weird = true;
+      return v.node;
+    };
+    bool weird = false;
+    NodeId from = slot_node(a, &weird);
+    NodeId to = slot_node(b, &weird);
+    if (weird) return false;  // non-node binding: let the slow path decide
+
+    bool reversed;
+    if (from != graph::kInvalidNode && to == graph::kInvalidNode) {
+      reversed = false;
+    } else if (to != graph::kInvalidNode && from == graph::kInvalidNode) {
+      reversed = true;
+    } else {
+      return false;  // both or neither endpoint bound
+    }
+    const BoundNodePattern& anchor = reversed ? b : a;
+    const BoundNodePattern& target = reversed ? a : b;
+    if (target.slot < 0) return false;  // anonymous target
+    NodeId seed = reversed ? to : from;
+
+    FRAPPE_RETURN_IF_ERROR(Tick());
+    if (!NodeSatisfies(anchor, seed)) return true;  // handled: no rows
+
+    graph::EdgeFilter filter;
+    filter.direction = reversed ? Flip(rel.direction) : rel.direction;
+    if (!rel.any_type) filter.types = rel.types;
+
+    graph::analytics::Options opt;
+    opt.threads = options_.threads;
+    if (rel.max_length != kUnboundedLength) opt.max_depth = rel.max_length;
+    // Hand the kernel the remaining budget so a breach surfaces with the
+    // same codes (and comparable timing) as the enumerating path.
+    if (options_.max_steps > 0) {
+      opt.max_steps =
+          options_.max_steps > steps_ ? options_.max_steps - steps_ : 1;
+    }
+    if (has_deadline_) {
+      int64_t remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline_ - std::chrono::steady_clock::now())
+              .count();
+      opt.deadline_ms = remaining_ms > 0 ? remaining_ms : 1;
+    }
+
+    const graph::CsrView& csr = db_.csr->Get(*db_.view);
+    graph::analytics::Metrics metrics;
+    auto members = graph::analytics::ParallelClosure(csr, {seed}, filter,
+                                                     opt, &metrics);
+    steps_ += metrics.steps;
+    if (!members.ok()) {
+      // Re-phrase kernel budget errors in the executor's vocabulary.
+      if (members.status().code() == StatusCode::kResourceExhausted) {
+        return Status::ResourceExhausted(
+            "query exceeded step budget of " +
+            std::to_string(options_.max_steps));
+      }
+      if (members.status().code() == StatusCode::kDeadlineExceeded) {
+        return Status::DeadlineExceeded(
+            "query exceeded deadline of " +
+            std::to_string(options_.deadline_ms) + "ms");
+      }
+      return members.status();
+    }
+
+    auto emit = [&](NodeId node) -> Status {
+      if (!NodeSatisfies(target, node)) return Status::OK();
+      FRAPPE_RETURN_IF_ERROR(Tick());
+      Row extended = *row;
+      extended[target.slot] = ResultValue::Node(node);
+      out->push_back(std::move(extended));
+      return Status::OK();
+    };
+    // `*0..` includes the zero-length path unless the closure already
+    // reached the seed through a cycle.
+    if (rel.min_length == 0 &&
+        !std::binary_search(members->begin(), members->end(), seed)) {
+      FRAPPE_RETURN_IF_ERROR(emit(seed));
+    }
+    for (NodeId node : *members) {
+      FRAPPE_RETURN_IF_ERROR(emit(node));
+    }
+    return true;
   }
 
   Status ExecWhere(const WhereClause& clause) {

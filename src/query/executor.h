@@ -18,6 +18,16 @@ namespace frappe::query {
 struct ExecOptions {
   uint64_t max_steps = 0;      // 0 = unlimited; counts expansions/candidates
   int64_t deadline_ms = 0;     // 0 = none; wall-clock budget
+  // Lane count for the parallel analytics kernels the executor may dispatch
+  // to (the CSR closure fast path). 0 resolves FRAPPE_THREADS / hardware
+  // concurrency; 1 forces the sequential inline loop.
+  size_t threads = 0;
+  // When a variable-length MATCH only feeds multiplicity-insensitive
+  // clauses (RETURN DISTINCT, count(DISTINCT ...)), answer it with the
+  // parallel CSR transitive-closure kernel instead of enumerating every
+  // edge-distinct path — the difference between Figure 6 aborting and
+  // finishing. Off = always enumerate (the paper's measured behaviour).
+  bool use_csr_fast_path = true;
 };
 
 // A value in a result row: a node, an edge, a scalar, or the edge list a

@@ -3,6 +3,7 @@
 #include <set>
 #include <sstream>
 
+#include "query/fast_path.h"
 #include "query/parser.h"
 
 namespace frappe::query {
@@ -192,7 +193,9 @@ Result<std::string> Explain(const Database& db, const Query& query) {
     out += std::to_string(step++) + ". " + text + "\n";
   };
 
-  for (const Clause& clause : query.clauses) {
+  for (size_t clause_index = 0; clause_index < query.clauses.size();
+       ++clause_index) {
+    const Clause& clause = query.clauses[clause_index];
     if (const auto* start = std::get_if<StartClause>(&clause)) {
       for (const StartItem& item : start->items) {
         switch (item.kind) {
@@ -240,16 +243,30 @@ Result<std::string> Explain(const Database& db, const Query& query) {
           } else {
             anchor_desc = "anchored by " + AnchorEstimate(db, anchor);
           }
+          // Mirror the executor's runtime dispatch: an eligible chain whose
+          // anchor is the one bound endpoint runs on the parallel closure
+          // kernel instead of enumerating paths.
+          bool csr_fast_path =
+              match->chains.size() == 1 && chain.nodes.size() == 2 &&
+              best == 0 &&
+              !chain.nodes[1 - pivot].var.empty() &&
+              bound.count(chain.nodes[1 - pivot].var) == 0 &&
+              ChainEligibleForCsrClosure(query, clause_index, chain)
+                  .eligible;
           std::string expansion;
+          const char* var_length_note =
+              csr_fast_path
+                  ? " [CSR closure fast path: parallel frontier traversal]"
+                  : " [path enumeration]";
           for (size_t i = pivot; i + 1 < chain.nodes.size(); ++i) {
             expansion += " Expand" + DescribeRelPattern(chain.rels[i]);
-            if (chain.rels[i].var_length) expansion += " [path enumeration]";
+            if (chain.rels[i].var_length) expansion += var_length_note;
           }
           for (size_t i = pivot; i > 0; --i) {
             expansion += " Expand(reversed)" +
                          DescribeRelPattern(chain.rels[i - 1]);
             if (chain.rels[i - 1].var_length) {
-              expansion += " [path enumeration]";
+              expansion += var_length_note;
             }
           }
           line("Match " + DescribeChain(chain) + " — " + anchor_desc +

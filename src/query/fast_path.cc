@@ -1,0 +1,105 @@
+#include "query/fast_path.h"
+
+#include <variant>
+
+namespace frappe::query {
+
+namespace {
+
+FastPathDecision No(const char* reason) {
+  FastPathDecision d;
+  d.reason = reason;
+  return d;
+}
+
+FastPathDecision Yes() {
+  FastPathDecision d;
+  d.eligible = true;
+  return d;
+}
+
+// Classifies a projection (WITH or RETURN items) for multiplicity safety.
+enum class ProjectionKind {
+  kCollapsing,   // DISTINCT, or aggregation with only count(DISTINCT x)
+  kTransparent,  // plain projection: duplicates in -> duplicates out
+  kObserving,    // count(*) / count(x): row multiplicity reaches the output
+};
+
+ProjectionKind ClassifyProjection(const std::vector<ProjectionItem>& items,
+                                  bool distinct) {
+  if (distinct) return ProjectionKind::kCollapsing;
+  bool has_aggregate = false;
+  bool all_distinct_counts = true;
+  for (const ProjectionItem& item : items) {
+    const auto* call = std::get_if<CallExpr>(&item.expr->node);
+    if (call == nullptr || call->function != "count") continue;
+    has_aggregate = true;
+    if (call->star || !call->distinct) all_distinct_counts = false;
+  }
+  if (!has_aggregate) return ProjectionKind::kTransparent;
+  // Aggregation groups by the non-aggregate items. Deduplicating input rows
+  // preserves the set of groups and every count(DISTINCT x), but changes
+  // count(*) / count(x).
+  return all_distinct_counts ? ProjectionKind::kCollapsing
+                             : ProjectionKind::kObserving;
+}
+
+}  // namespace
+
+FastPathDecision ChainEligibleForCsrClosure(const Query& query,
+                                            size_t clause_index,
+                                            const PatternChain& chain) {
+  // --- shape ---
+  if (chain.shortest) return No("shortestPath has its own plan");
+  if (chain.nodes.size() != 2 || chain.rels.size() != 1) {
+    return No("chain is not a single hop");
+  }
+  const RelPattern& rel = chain.rels[0];
+  if (!rel.var_length) return No("relationship is fixed-length");
+  if (!rel.var.empty()) {
+    return No("relationship variable binds the path edges");
+  }
+  if (!rel.props.empty()) {
+    return No("relationship properties require per-edge checks on the path");
+  }
+  if (rel.min_length > 1) {
+    return No("min length > 1 distinguishes paths the closure cannot");
+  }
+  if (rel.max_length != kUnboundedLength &&
+      rel.max_length < kCsrClosureDepthThreshold) {
+    return No("bounded shallow expansion; enumeration is cheap");
+  }
+
+  // --- downstream multiplicity safety ---
+  for (size_t i = clause_index + 1; i < query.clauses.size(); ++i) {
+    const Clause& clause = query.clauses[i];
+    if (std::holds_alternative<StartClause>(clause) ||
+        std::holds_alternative<MatchClause>(clause) ||
+        std::holds_alternative<WhereClause>(clause)) {
+      // Per-row filters/extensions: duplicates in -> duplicates out.
+      continue;
+    }
+    if (const auto* with = std::get_if<WithClause>(&clause)) {
+      switch (ClassifyProjection(with->items, with->distinct)) {
+        case ProjectionKind::kCollapsing:
+          return Yes();
+        case ProjectionKind::kTransparent:
+          continue;
+        case ProjectionKind::kObserving:
+          return No("WITH observes row multiplicity (count over paths)");
+      }
+    }
+    if (const auto* ret = std::get_if<ReturnClause>(&clause)) {
+      switch (ClassifyProjection(ret->items, ret->distinct)) {
+        case ProjectionKind::kCollapsing:
+          return Yes();
+        case ProjectionKind::kTransparent:
+        case ProjectionKind::kObserving:
+          return No("RETURN observes row multiplicity (one row per path)");
+      }
+    }
+  }
+  return No("no collapsing projection downstream");
+}
+
+}  // namespace frappe::query

@@ -45,6 +45,7 @@ Database MakeFrappeDatabase(const graph::GraphView& view,
     if (id == graph::kInvalidKey) return std::nullopt;
     return id;
   };
+  db.csr = std::make_shared<graph::CsrCache>();
   return db;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "analysis/slicing.h"
+#include "graph/csr_view.h"
 
 namespace frappe::temporal {
 
@@ -12,7 +13,7 @@ using model::NodeKind;
 
 Result<ImpactReport> ChangeImpact(const VersionStore& store,
                                   const model::Schema& schema, Version from,
-                                  Version to) {
+                                  Version to, size_t threads) {
   FRAPPE_ASSIGN_OR_RETURN(VersionStore::Diff diff,
                           store.ComputeDiff(from, to));
   FRAPPE_ASSIGN_OR_RETURN(std::unique_ptr<VersionView> view,
@@ -70,9 +71,16 @@ Result<ImpactReport> ChangeImpact(const VersionStore& store,
   for (NodeId id : seeds) {
     if (view->NodeExists(id)) live_seeds.push_back(id);
   }
-  report.impacted_functions = analysis::ImpactSet(
-      *view, schema, live_seeds, {model::EdgeKind::kCalls},
-      graph::Direction::kIn);
+  if (threads == 1) {
+    report.impacted_functions = analysis::ImpactSet(
+        *view, schema, live_seeds, {model::EdgeKind::kCalls},
+        graph::Direction::kIn);
+  } else {
+    graph::CsrView csr = graph::CsrView::Build(*view);
+    report.impacted_functions = analysis::ParallelImpactSet(
+        csr, schema, live_seeds, {model::EdgeKind::kCalls},
+        graph::Direction::kIn, threads);
+  }
   return report;
 }
 

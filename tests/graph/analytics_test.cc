@@ -1,0 +1,347 @@
+#include "graph/analytics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "graph/graph_store.h"
+#include "graph/traversal.h"
+
+namespace frappe::graph::analytics {
+namespace {
+
+// ---------------------------------------------------------------------------
+// VisitedBitmap
+// ---------------------------------------------------------------------------
+
+TEST(VisitedBitmapTest, SetAndTest) {
+  VisitedBitmap bitmap;
+  bitmap.Reset(200);
+  EXPECT_FALSE(bitmap.Test(0));
+  EXPECT_TRUE(bitmap.TestAndSet(0));
+  EXPECT_FALSE(bitmap.TestAndSet(0));  // second set is not first
+  EXPECT_TRUE(bitmap.Test(0));
+  EXPECT_TRUE(bitmap.TestAndSet(199));
+  EXPECT_FALSE(bitmap.Test(100));
+}
+
+TEST(VisitedBitmapTest, ResetClearsInConstantTimeViaEpoch) {
+  VisitedBitmap bitmap;
+  bitmap.Reset(100);
+  for (NodeId id = 0; id < 100; ++id) bitmap.Set(id);
+  bitmap.Reset(100);
+  for (NodeId id = 0; id < 100; ++id) {
+    EXPECT_FALSE(bitmap.Test(id)) << id;
+  }
+  // Bits set before the reset must not resurface after many epochs.
+  bitmap.Set(7);
+  for (int i = 0; i < 100; ++i) bitmap.Reset(100);
+  EXPECT_FALSE(bitmap.Test(7));
+}
+
+TEST(VisitedBitmapTest, ResetGrowsUniverse) {
+  VisitedBitmap bitmap;
+  bitmap.Reset(10);
+  bitmap.Set(5);
+  bitmap.Reset(100000);
+  EXPECT_FALSE(bitmap.Test(5));
+  bitmap.Set(99999);
+  EXPECT_TRUE(bitmap.Test(99999));
+}
+
+TEST(VisitedBitmapTest, AppendSetBitsSortedAscending) {
+  VisitedBitmap bitmap;
+  bitmap.Reset(500);
+  // Deliberately out of order, crossing word boundaries (48 bits/word).
+  for (NodeId id : {499u, 0u, 47u, 48u, 96u, 3u}) bitmap.Set(id);
+  std::vector<NodeId> out;
+  bitmap.AppendSetBits(&out);
+  EXPECT_EQ(out, (std::vector<NodeId>{0, 3, 47, 48, 96, 499}));
+}
+
+TEST(VisitedBitmapTest, SurvivesEpochWraparound) {
+  VisitedBitmap bitmap;
+  bitmap.Reset(50);
+  bitmap.Set(10);
+  // Drive the 16-bit epoch all the way around; the hard clear on
+  // wraparound must not let stale tags alias a fresh epoch.
+  for (int i = 0; i < 70000; ++i) bitmap.Reset(50);
+  EXPECT_FALSE(bitmap.Test(10));
+  EXPECT_TRUE(bitmap.TestAndSet(10));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunLanesRunsEveryLane) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(16);
+  pool.RunLanes(16, [&](size_t lane) {
+    hits[lane].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "lane " << i;
+  }
+}
+
+TEST(ThreadPoolTest, MoreLanesThanWorkersCannotDeadlock) {
+  // A pool with zero workers must still complete: the caller help-drains
+  // the queue (this is the 1-core-machine configuration).
+  ThreadPool pool(0);
+  std::atomic<int> count{0};
+  pool.RunLanes(8, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(4), 4u);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: parallel kernels agree with the sequential traversals on
+// random graphs, for every thread count.
+// ---------------------------------------------------------------------------
+
+struct RandomGraph {
+  GraphStore store;
+  TypeId node_type, edge_a, edge_b;
+  std::vector<NodeId> nodes;
+};
+
+RandomGraph MakeRandomGraph(uint64_t seed, size_t node_count,
+                            size_t edges_per_node) {
+  RandomGraph g;
+  frappe::Rng rng(seed);
+  g.node_type = g.store.InternNodeType("n");
+  g.edge_a = g.store.InternEdgeType("a");
+  g.edge_b = g.store.InternEdgeType("b");
+  for (size_t i = 0; i < node_count; ++i) {
+    g.nodes.push_back(g.store.AddNode(g.node_type));
+  }
+  for (size_t i = 0; i < node_count * edges_per_node; ++i) {
+    NodeId src = g.nodes[rng.Uniform(node_count)];
+    NodeId dst = g.nodes[rng.Uniform(node_count)];
+    g.store.AddEdge(src, dst, i % 4 == 0 ? g.edge_b : g.edge_a);
+  }
+  return g;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterminismTest, ClosureMatchesSequentialForEveryThreadCount) {
+  RandomGraph g = MakeRandomGraph(GetParam(), /*node_count=*/300,
+                                  /*edges_per_node=*/4);
+  CsrView csr = CsrView::Build(g.store);
+  // A real multi-worker pool so lanes genuinely interleave.
+  ThreadPool pool(7);
+  frappe::Rng rng(GetParam() ^ 0x5eed);
+  for (Direction dir : {Direction::kOut, Direction::kIn, Direction::kBoth}) {
+    EdgeFilter filter = EdgeFilter::Of({g.edge_a}, dir);
+    std::vector<NodeId> seeds{g.nodes[rng.Uniform(g.nodes.size())],
+                              g.nodes[rng.Uniform(g.nodes.size())]};
+    std::vector<NodeId> expected =
+        TransitiveClosure(g.store, seeds, filter);
+    for (size_t threads : {1u, 2u, 8u}) {
+      Options options;
+      options.threads = threads;
+      options.pool = &pool;
+      auto got = ParallelClosure(csr, seeds, filter, options);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(*got, expected)
+          << "dir=" << static_cast<int>(dir) << " threads=" << threads;
+    }
+  }
+}
+
+TEST_P(DeterminismTest, DepthLimitedClosureMatchesSequential) {
+  RandomGraph g = MakeRandomGraph(GetParam() + 17, 200, 3);
+  CsrView csr = CsrView::Build(g.store);
+  ThreadPool pool(7);
+  EdgeFilter filter = EdgeFilter::Any();
+  for (size_t max_depth : {1u, 2u, 5u}) {
+    std::vector<NodeId> expected =
+        TransitiveClosure(g.store, g.nodes[0], filter, max_depth);
+    for (size_t threads : {1u, 2u, 8u}) {
+      Options options;
+      options.threads = threads;
+      options.pool = &pool;
+      options.max_depth = max_depth;
+      auto got = ParallelClosure(csr, {g.nodes[0]}, filter, options);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(*got, expected)
+          << "depth=" << max_depth << " threads=" << threads;
+    }
+  }
+}
+
+TEST_P(DeterminismTest, BfsDepthsMatchSequentialBfs) {
+  RandomGraph g = MakeRandomGraph(GetParam() + 31, 250, 3);
+  CsrView csr = CsrView::Build(g.store);
+  ThreadPool pool(7);
+  EdgeFilter filter = EdgeFilter::Of({g.edge_a, g.edge_b});
+  std::vector<NodeId> seeds{g.nodes[1]};
+  std::map<NodeId, size_t> expected;
+  Bfs(g.store, seeds, filter, [&](NodeId id, size_t depth) {
+    expected[id] = depth;
+    return true;
+  });
+  for (size_t threads : {1u, 2u, 8u}) {
+    Options options;
+    options.threads = threads;
+    options.pool = &pool;
+    auto got = ParallelBfsDepths(csr, seeds, filter, options);
+    ASSERT_TRUE(got.ok()) << got.status();
+    for (NodeId id = 0; id < got->size(); ++id) {
+      auto it = expected.find(id);
+      if (it == expected.end()) {
+        EXPECT_EQ((*got)[id], kUnreachedDepth) << "node " << id;
+      } else {
+        EXPECT_EQ((*got)[id], it->second) << "node " << id;
+      }
+    }
+  }
+}
+
+TEST_P(DeterminismTest, ReachableMatchesSequentialBfsSet) {
+  RandomGraph g = MakeRandomGraph(GetParam() + 77, 250, 3);
+  CsrView csr = CsrView::Build(g.store);
+  ThreadPool pool(7);
+  EdgeFilter filter = EdgeFilter::Of({g.edge_a});
+  std::vector<NodeId> seeds{g.nodes[2], g.nodes[3]};
+  std::vector<NodeId> expected;
+  Bfs(g.store, seeds, filter, [&](NodeId id, size_t) {
+    expected.push_back(id);
+    return true;
+  });
+  std::sort(expected.begin(), expected.end());
+  for (size_t threads : {1u, 2u, 8u}) {
+    Options options;
+    options.threads = threads;
+    options.pool = &pool;
+    auto got = ParallelReachable(csr, seeds, filter, options);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, expected) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
+                         ::testing::Values(11, 42, 1234, 98765));
+
+// ---------------------------------------------------------------------------
+// Engine semantics on a hand-built graph
+// ---------------------------------------------------------------------------
+
+TEST(FrontierEngineTest, SeedInClosureOnlyViaCycle) {
+  GraphStore store;
+  TypeId nt = store.InternNodeType("n");
+  TypeId et = store.InternEdgeType("e");
+  NodeId a = store.AddNode(nt), b = store.AddNode(nt),
+         c = store.AddNode(nt), d = store.AddNode(nt);
+  store.AddEdge(a, b, et);
+  store.AddEdge(b, c, et);
+  store.AddEdge(c, b, et);  // cycle b<->c, a not on it
+  (void)d;
+  CsrView csr = CsrView::Build(store);
+  FrontierEngine engine;
+  auto from_a = engine.Closure(csr, {a}, EdgeFilter::Of({et}));
+  ASSERT_TRUE(from_a.ok());
+  EXPECT_EQ(*from_a, (std::vector<NodeId>{b, c}));  // a not re-reached
+  auto from_b = engine.Closure(csr, {b}, EdgeFilter::Of({et}));
+  ASSERT_TRUE(from_b.ok());
+  EXPECT_EQ(*from_b, (std::vector<NodeId>{b, c}));  // b re-reached via c
+}
+
+TEST(FrontierEngineTest, ScratchReuseAcrossCalls) {
+  RandomGraph g = MakeRandomGraph(5, 100, 3);
+  CsrView csr = CsrView::Build(g.store);
+  FrontierEngine engine;
+  EdgeFilter filter = EdgeFilter::Any();
+  for (int round = 0; round < 5; ++round) {
+    NodeId seed = g.nodes[round * 7];
+    auto got = engine.Closure(csr, {seed}, filter);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, TransitiveClosure(g.store, seed, filter)) << round;
+  }
+}
+
+TEST(FrontierEngineTest, MetricsReportWork) {
+  RandomGraph g = MakeRandomGraph(9, 120, 4);
+  CsrView csr = CsrView::Build(g.store);
+  FrontierEngine engine;
+  Metrics metrics;
+  auto got = engine.Closure(csr, {g.nodes[0]}, EdgeFilter::Any(), {},
+                            &metrics);
+  ASSERT_TRUE(got.ok());
+  if (!got->empty()) {
+    EXPECT_GT(metrics.steps, 0u);
+    EXPECT_GT(metrics.levels, 0u);
+    EXPECT_GT(metrics.frontier_peak, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation under parallel execution
+// ---------------------------------------------------------------------------
+
+TEST(CancellationTest, StepBudgetBreachReturnsResourceExhausted) {
+  RandomGraph g = MakeRandomGraph(21, 400, 5);
+  CsrView csr = CsrView::Build(g.store);
+  ThreadPool pool(7);
+  for (size_t threads : {1u, 2u, 8u}) {
+    Options options;
+    options.threads = threads;
+    options.pool = &pool;
+    options.max_steps = 1;  // any expansion of the first level breaches
+    FrontierEngine engine;
+    auto got = engine.Closure(csr, {g.nodes[0]}, EdgeFilter::Any(), options);
+    ASSERT_FALSE(got.ok()) << "threads=" << threads;
+    EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(got.status().message().find("step budget"), std::string::npos);
+  }
+}
+
+TEST(CancellationTest, DeadlineBreachReturnsDeadlineExceeded) {
+  // A long chain forces one BFS level per node: hundreds of thousands of
+  // levels take well over a millisecond, so a 1ms deadline must trip.
+  GraphStore store;
+  TypeId nt = store.InternNodeType("n");
+  TypeId et = store.InternEdgeType("e");
+  const size_t kNodes = 300000;
+  NodeId prev = store.AddNode(nt);
+  NodeId first = prev;
+  for (size_t i = 1; i < kNodes; ++i) {
+    NodeId cur = store.AddNode(nt);
+    store.AddEdge(prev, cur, et);
+    prev = cur;
+  }
+  CsrView csr = CsrView::Build(store);
+  ThreadPool pool(7);
+  for (size_t threads : {1u, 8u}) {
+    Options options;
+    options.threads = threads;
+    options.pool = &pool;
+    options.deadline_ms = 1;
+    FrontierEngine engine;
+    auto got = engine.Closure(csr, {first}, EdgeFilter::Of({et}), options);
+    ASSERT_FALSE(got.ok()) << "threads=" << threads;
+    EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_NE(got.status().message().find("deadline"), std::string::npos);
+  }
+}
+
+TEST(CancellationTest, UnbudgetedRunNeverFails) {
+  RandomGraph g = MakeRandomGraph(33, 200, 4);
+  CsrView csr = CsrView::Build(g.store);
+  FrontierEngine engine;
+  auto got = engine.Closure(csr, {g.nodes[0]}, EdgeFilter::Any());
+  EXPECT_TRUE(got.ok()) << got.status();
+}
+
+}  // namespace
+}  // namespace frappe::graph::analytics

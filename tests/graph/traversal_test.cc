@@ -188,6 +188,29 @@ TEST_F(TraversalTest, EnumeratePathsCycleBackToStart) {
   EXPECT_EQ(cycles[0].Length(), 3u);
 }
 
+TEST(EnumeratePathsDeepTest, HandlesHundredThousandNodeChain) {
+  // Regression: EnumeratePaths used to recurse once per path node, so a
+  // long chain overflowed the call stack. The explicit-stack DFS walks a
+  // 100k-node chain (one 100k-edge path) without issue.
+  GraphStore store;
+  TypeId nt = store.InternNodeType("n");
+  TypeId et = store.InternEdgeType("e");
+  const size_t kNodes = 100000;
+  std::vector<NodeId> chain;
+  chain.reserve(kNodes);
+  for (size_t i = 0; i < kNodes; ++i) chain.push_back(store.AddNode(nt));
+  for (size_t i = 0; i + 1 < kNodes; ++i) {
+    store.AddEdge(chain[i], chain[i + 1], et);
+  }
+  auto paths = EnumeratePaths(store, chain.front(), chain.back(),
+                              EdgeFilter::Of({et}),
+                              /*max_depth=*/kNodes, /*limit=*/10);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].Length(), kNodes - 1);
+  EXPECT_EQ(paths[0].nodes.front(), chain.front());
+  EXPECT_EQ(paths[0].nodes.back(), chain.back());
+}
+
 TEST_F(TraversalTest, IsReachable) {
   EXPECT_TRUE(IsReachable(store_, n_[0], n_[3], EdgeFilter::Of({calls_})));
   EXPECT_FALSE(IsReachable(store_, n_[3], n_[0], EdgeFilter::Of({calls_})));

@@ -52,9 +52,20 @@ TEST_F(ExplainTest, AllNodesScanForBareVariable) {
 }
 
 TEST_F(ExplainTest, VarLengthFlaggedAsPathEnumeration) {
+  // `RETURN m` observes one row per path, so the closure kernel cannot be
+  // substituted — the plan keeps full path enumeration.
+  std::string plan = Plan(
+      "START n=node(0) MATCH n -[:calls*]-> m RETURN m");
+  EXPECT_NE(plan.find("[path enumeration]"), std::string::npos);
+}
+
+TEST_F(ExplainTest, VarLengthWithDistinctUsesCsrFastPath) {
+  // The Figure 6 shape: path multiplicity is collapsed by DISTINCT, so the
+  // plan dispatches to the parallel CSR closure kernel.
   std::string plan = Plan(
       "START n=node(0) MATCH n -[:calls*]-> m RETURN distinct m");
-  EXPECT_NE(plan.find("[path enumeration]"), std::string::npos);
+  EXPECT_NE(plan.find("CSR closure fast path"), std::string::npos);
+  EXPECT_EQ(plan.find("[path enumeration]"), std::string::npos);
   EXPECT_NE(plan.find("Produce DISTINCT"), std::string::npos);
 }
 

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <utility>
 #include <vector>
@@ -78,8 +79,13 @@ class JsonReport {
       std::fprintf(stderr, "[bench_json] cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": %s,\n  \"entries\": [",
-                 Quoted(name_).c_str());
+    // Provenance stamp: which commit produced the numbers, and when — so
+    // BENCH_*.json files from different PRs are comparable as a trajectory.
+    std::fprintf(f,
+                 "{\n  \"bench\": %s,\n  \"git_sha\": %s,\n"
+                 "  \"timestamp\": %s,\n  \"entries\": [",
+                 Quoted(name_).c_str(), Quoted(GitSha()).c_str(),
+                 Quoted(TimestampUtc()).c_str());
     for (size_t i = 0; i < entries_.size(); ++i) {
       const JsonEntry& e = entries_[i];
       std::fprintf(f, "%s\n    {\"label\": %s", i == 0 ? "" : ",",
@@ -125,6 +131,29 @@ class JsonReport {
   }
 
  private:
+  // Commit SHA baked in at configure time (FRAPPE_GIT_SHA_DEFAULT, see
+  // bench/CMakeLists.txt); the FRAPPE_GIT_SHA env var overrides it when the
+  // build tree is stale relative to the checkout.
+  static std::string GitSha() {
+    const char* env = std::getenv("FRAPPE_GIT_SHA");
+    if (env != nullptr && *env != '\0') return env;
+#ifdef FRAPPE_GIT_SHA_DEFAULT
+    return FRAPPE_GIT_SHA_DEFAULT;
+#else
+    return "unknown";
+#endif
+  }
+
+  // ISO-8601 UTC, e.g. "2026-08-06T12:34:56Z".
+  static std::string TimestampUtc() {
+    std::time_t now = std::time(nullptr);
+    std::tm tm = {};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+  }
+
   static std::string Quoted(const std::string& s) {
     std::string out = "\"";
     for (char c : s) {

@@ -1,0 +1,164 @@
+// Micro-bench for the frappe::obs acceptance bar: the observability layer
+// must cost < 5% of executor time when no sink is attached.
+//
+// Strategy (an uninstrumented build is not available at runtime to diff
+// against, so the disabled-path cost is measured directly):
+//   1. Time the disabled Span constructor/destructor in a tight loop —
+//      one relaxed atomic load + branch per span.
+//   2. Time a representative query (the Figure 6 closure shape, which
+//      crosses every instrumented layer: session -> executor -> fast path
+//      -> analytics) with tracing disabled.
+//   3. Enable tracing once to count how many spans that query emits, then
+//      derive: overhead_pct = spans_per_query * span_ns / query_ns * 100.
+//   4. For reference, also measure the query with tracing *enabled* (ring
+//      writes included) — the worst case an operator can switch on.
+//
+// Emits BENCH_obs_overhead.json through the shared bench_json.h path (git
+// SHA + timestamp stamped). Exits non-zero when the derived disabled-path
+// overhead breaches 5%.
+//
+// Env knobs: FRAPPE_OBS_SCALE (0.1), FRAPPE_OBS_ITERS (30).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/kernel_common.h"
+#include "model/code_graph.h"
+#include "obs/trace.h"
+#include "query/session.h"
+
+namespace {
+
+using namespace frappe;
+using bench::Clock;
+using bench::MsSince;
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  double v = std::atof(env);
+  return v > 0 ? v : fallback;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("obs overhead: disabled-span cost vs executor time");
+  bench::JsonReport report("obs_overhead");
+
+  // --- 1. disabled Span cost ---
+  constexpr uint64_t kSpanIters = 20'000'000;
+  obs::Trace::Disable();
+  Clock::time_point span_start = Clock::now();
+  for (uint64_t i = 0; i < kSpanIters; ++i) {
+    FRAPPE_TRACE_SPAN("bench.noop");
+  }
+  double span_total_ms = MsSince(span_start);
+  double span_ns = span_total_ms * 1e6 / static_cast<double>(kSpanIters);
+  std::printf("disabled span: %.2f ns each (%" PRIu64 " iterations)\n",
+              span_ns, kSpanIters);
+  report.Add("span_disabled")
+      .Sample(span_total_ms)
+      .Extra("iterations", static_cast<double>(kSpanIters))
+      .Extra("ns_per_span", span_ns);
+
+  // --- graph + query setup ---
+  double scale = EnvDouble("FRAPPE_OBS_SCALE", 0.1);
+  auto graph = bench::GenerateKernel(scale);
+  query::Session session(*graph);
+  const graph::GraphView& view = graph->view();
+  const model::Schema& schema = graph->schema();
+
+  // Seed: a function with outgoing calls, so the Figure 6 closure shape
+  // does real work across every instrumented layer.
+  graph::TypeId calls = schema.edge_type(model::EdgeKind::kCalls);
+  graph::KeyId short_name = schema.key(model::PropKey::kShortName);
+  std::string seed_name;
+  for (graph::EdgeId e = 0; e < view.EdgeIdUpperBound(); ++e) {
+    if (!view.EdgeExists(e) || view.GetEdge(e).type != calls) continue;
+    std::string_view name =
+        view.GetNodeString(view.GetEdge(e).src, short_name);
+    if (!name.empty()) {
+      seed_name = std::string(name);
+      break;
+    }
+  }
+  if (seed_name.empty()) {
+    std::fprintf(stderr, "FATAL: no seed function found\n");
+    return 1;
+  }
+  std::string fig6 = "START n=node:node_auto_index('short_name: " +
+                     seed_name + "') MATCH n -[:calls*]-> m RETURN distinct m";
+
+  const int iters = static_cast<int>(EnvDouble("FRAPPE_OBS_ITERS", 30));
+  auto run_query = [&]() -> size_t {
+    auto result = session.Run(fig6);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    return result->size();
+  };
+  size_t rows = run_query();  // warm caches (CSR build, allocator)
+
+  // --- 2. query with tracing disabled (sinks off) ---
+  std::vector<double> off_ms;
+  for (int i = 0; i < iters; ++i) {
+    Clock::time_point start = Clock::now();
+    run_query();
+    off_ms.push_back(MsSince(start));
+  }
+  double off_avg = 0;
+  for (double s : off_ms) off_avg += s;
+  off_avg /= static_cast<double>(off_ms.size());
+  report.Add("query_sinks_off")
+      .Samples(off_ms)
+      .Results(static_cast<int64_t>(rows));
+
+  // --- 3. spans per query + tracing-on latency ---
+  obs::Trace::Enable();
+  obs::Trace::Clear();
+  run_query();
+  size_t spans_per_query = obs::Trace::EventCount();
+  std::vector<double> on_ms;
+  for (int i = 0; i < iters; ++i) {
+    Clock::time_point start = Clock::now();
+    run_query();
+    on_ms.push_back(MsSince(start));
+  }
+  obs::Trace::Disable();
+  obs::Trace::Clear();
+  double on_avg = 0;
+  for (double s : on_ms) on_avg += s;
+  on_avg /= static_cast<double>(on_ms.size());
+
+  double derived_pct =
+      100.0 * static_cast<double>(spans_per_query) * span_ns /
+      (off_avg * 1e6);
+  double tracing_on_pct = 100.0 * (on_avg - off_avg) / off_avg;
+  bool pass = derived_pct < 5.0;
+
+  std::printf("query (sinks off):  %.3f ms avg over %d iters, %zu rows\n",
+              off_avg, iters, rows);
+  std::printf("query (tracing on): %.3f ms avg (%+.2f%%), %zu spans/query\n",
+              on_avg, tracing_on_pct, spans_per_query);
+  std::printf("derived disabled-path overhead: %.4f%% (%zu spans x %.2f ns"
+              " / %.3f ms) -> %s (< 5%% required)\n",
+              derived_pct, spans_per_query, span_ns, off_avg,
+              pass ? "PASS" : "FAIL");
+
+  report.Add("query_tracing_on")
+      .Samples(on_ms)
+      .Extra("spans_per_query", static_cast<double>(spans_per_query))
+      .Extra("tracing_on_overhead_pct", tracing_on_pct);
+  report.Add("overhead")
+      .Extra("derived_disabled_overhead_pct", derived_pct)
+      .Extra("pass", pass ? 1 : 0);
+  report.Write();
+  return pass ? 0 : 1;
+}

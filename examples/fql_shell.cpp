@@ -127,8 +127,9 @@ int main(int argc, char** argv) {
     Generate(0.02, &shell);
   }
   PrintStats(shell);
-  std::printf("type FQL queries, or \\stats \\hubs \\schema"
-              " \\explain <query> \\save <path> \\quit\n");
+  std::printf("type FQL queries (prefix EXPLAIN or PROFILE for plans), or"
+              " \\stats \\hubs \\schema \\explain <query> \\save <path>"
+              " \\quit\n");
 
   std::string line;
   while (true) {
@@ -173,9 +174,19 @@ int main(int argc, char** argv) {
       std::printf("parse error: %s\n", parsed.status().message().c_str());
       continue;
     }
+    // `EXPLAIN <query>` renders the plan without executing (same as
+    // \explain); `PROFILE <query>` executes and prints the annotated plan
+    // above the rows.
+    if (parsed->mode == query::QueryMode::kExplain) {
+      auto plan = query::Explain(shell.db, *parsed);
+      std::printf("%s", plan.ok() ? plan->c_str()
+                                  : (plan.status().ToString() + "\n").c_str());
+      continue;
+    }
     query::ExecOptions options;
     options.max_steps = 50'000'000;
     options.deadline_ms = 30'000;
+    options.profile = parsed->mode == query::QueryMode::kProfile;
     auto start = std::chrono::steady_clock::now();
     auto result = query::Execute(shell.db, *parsed, options);
     double ms = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -185,6 +196,10 @@ int main(int argc, char** argv) {
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
+    }
+    if (options.profile) {
+      auto plan = query::ProfilePlan(shell.db, *parsed, result->stats);
+      if (plan.ok()) std::printf("%s", plan->c_str());
     }
     // Header.
     for (const std::string& column : result->columns) {

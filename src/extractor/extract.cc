@@ -4,6 +4,8 @@
 
 #include "common/string_util.h"
 #include "extractor/vfs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace frappe::extractor {
 
@@ -183,6 +185,7 @@ void Extractor::EmitIsaType(UnitContext* ctx, NodeId var,
 Status Extractor::ExtractUnit(const PreprocessedUnit& pp,
                               const TranslationUnit& ast,
                               UnitSymbols* symbols) {
+  FRAPPE_TRACE_SPAN("extract.unit");
   UnitContext ctx;
   ctx.pp = &pp;
   ctx.symbols = symbols;
@@ -196,10 +199,25 @@ Status Extractor::ExtractUnit(const PreprocessedUnit& pp,
              ctx.file_nodes[inc.to_file]);
   }
 
-  FRAPPE_RETURN_IF_ERROR(ExtractTypes(&ctx, ast));
-  FRAPPE_RETURN_IF_ERROR(ExtractGlobals(&ctx, ast));
-  FRAPPE_RETURN_IF_ERROR(ExtractFunctions(&ctx, ast));
-  FRAPPE_RETURN_IF_ERROR(ExtractMacros(&ctx, ast));
+  {
+    FRAPPE_TRACE_SPAN("extract.types");
+    FRAPPE_RETURN_IF_ERROR(ExtractTypes(&ctx, ast));
+  }
+  {
+    FRAPPE_TRACE_SPAN("extract.globals");
+    FRAPPE_RETURN_IF_ERROR(ExtractGlobals(&ctx, ast));
+  }
+  {
+    FRAPPE_TRACE_SPAN("extract.functions");
+    FRAPPE_RETURN_IF_ERROR(ExtractFunctions(&ctx, ast));
+  }
+  {
+    FRAPPE_TRACE_SPAN("extract.macros");
+    FRAPPE_RETURN_IF_ERROR(ExtractMacros(&ctx, ast));
+  }
+  static obs::Counter& units =
+      obs::Registry::Global().GetCounter("extractor.units");
+  units.Add();
   return Status::OK();
 }
 

@@ -5,6 +5,9 @@
 #include <chrono>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace frappe::graph::analytics {
 
 void VisitedBitmap::Reset(size_t universe) {
@@ -85,6 +88,7 @@ Status FrontierEngine::Run(const CsrView& csr,
                            const EdgeFilter& filter, const Options& options,
                            bool track_member, std::vector<uint32_t>* depths,
                            Metrics* metrics) {
+  FRAPPE_TRACE_SPAN("analytics.run");
   size_t upper = csr.NodeIdUpperBound();
   size_t threads = ThreadPool::ResolveThreads(options.threads);
   ThreadPool& pool =
@@ -114,11 +118,16 @@ Status FrontierEngine::Run(const CsrView& csr,
   size_t depth = 0;
   while (!frontier_.empty() && depth < options.max_depth &&
          !shared.cancelled.load(std::memory_order_relaxed)) {
+    FRAPPE_TRACE_SPAN("analytics.level");
     if (metrics != nullptr) {
       metrics->frontier_peak = std::max(metrics->frontier_peak,
                                         frontier_.size());
+      metrics->frontier_sizes.push_back(frontier_.size());
     }
     size_t lanes = std::min(threads, frontier_.size());
+    if (metrics != nullptr) {
+      metrics->lanes_used = std::max(metrics->lanes_used, lanes);
+    }
     size_t chunk = (frontier_.size() + lanes - 1) / lanes;
     lane_next_.resize(std::max(lane_next_.size(), lanes));
 
@@ -177,6 +186,7 @@ Status FrontierEngine::Run(const CsrView& csr,
     if (lanes <= 1) {
       expand_lane(0);
     } else {
+      FRAPPE_TRACE_SPAN("analytics.run_lanes");
       pool.RunLanes(lanes, expand_lane);
     }
 
@@ -195,6 +205,15 @@ Status FrontierEngine::Run(const CsrView& csr,
   if (metrics != nullptr) {
     metrics->steps = shared.steps.load(std::memory_order_relaxed);
   }
+  static obs::Counter& runs_counter =
+      obs::Registry::Global().GetCounter("analytics.runs");
+  static obs::Counter& steps_counter =
+      obs::Registry::Global().GetCounter("analytics.steps");
+  static obs::Histogram& levels_hist =
+      obs::Registry::Global().GetHistogram("analytics.levels");
+  runs_counter.Add();
+  steps_counter.Add(shared.steps.load(std::memory_order_relaxed));
+  levels_hist.Record(depth);
   return StatusFor(shared.reason.load(std::memory_order_relaxed), options);
 }
 

@@ -95,6 +95,12 @@ struct Metrics {
   uint64_t steps = 0;   // edges scanned
   size_t levels = 0;    // BFS levels expanded
   size_t frontier_peak = 0;
+  // Observability detail (PROFILE): frontier size at the start of each
+  // expanded level, and the widest lane fan-out any level ran with. The
+  // sizes are thread-count independent (same per-level sets); lanes_used is
+  // a property of this run only.
+  std::vector<uint64_t> frontier_sizes;
+  size_t lanes_used = 0;
 };
 
 inline constexpr uint32_t kUnreachedDepth =

@@ -1,0 +1,192 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+namespace frappe::obs {
+
+size_t ShardIndex() {
+  // Sequential thread numbering beats std::hash<thread::id>: consecutive
+  // pool lanes land in distinct shards instead of colliding by chance.
+  static std::atomic<size_t> next{0};
+  thread_local size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+size_t Histogram::BucketOf(uint64_t value) {
+  if (value == 0) return 0;
+  size_t b = static_cast<size_t>(std::bit_width(value));
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t b) {
+  if (b == 0) return 0;
+  if (b >= 63) return std::numeric_limits<uint64_t>::max();
+  return (uint64_t{1} << b) - 1;
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot out;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+uint64_t Histogram::Snapshot::PercentileUpperBound(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > rank) return BucketUpperBound(b);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "counter " + name + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "gauge " + name + " " + std::to_string(gauge->Value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot s = histogram->Snap();
+    out += "histogram " + name + " count=" + std::to_string(s.count) +
+           " sum=" + std::to_string(s.sum) + " mean=" + Num(s.Mean()) +
+           " p50<=" + std::to_string(s.PercentileUpperBound(0.50)) +
+           " p99<=" + std::to_string(s.PercentileUpperBound(0.99)) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += std::string(first ? "" : ",") + "\n    " + JsonQuote(name) + ": " +
+           std::to_string(counter->Value());
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += std::string(first ? "" : ",") + "\n    " + JsonQuote(name) + ": " +
+           std::to_string(gauge->Value());
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot s = histogram->Snap();
+    out += std::string(first ? "" : ",") + "\n    " + JsonQuote(name) +
+           ": {\"count\": " + std::to_string(s.count) +
+           ", \"sum\": " + std::to_string(s.sum) +
+           ", \"mean\": " + Num(s.Mean()) +
+           ", \"p50_le\": " + std::to_string(s.PercentileUpperBound(0.50)) +
+           ", \"p90_le\": " + std::to_string(s.PercentileUpperBound(0.90)) +
+           ", \"p99_le\": " + std::to_string(s.PercentileUpperBound(0.99)) +
+           "}";
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+void Registry::ResetForTesting() {
+  // Instruments must outlive references already handed out; park them in a
+  // process-lifetime graveyard instead of destroying them.
+  static std::vector<std::unique_ptr<Counter>>* counter_graveyard =
+      new std::vector<std::unique_ptr<Counter>>();
+  static std::vector<std::unique_ptr<Gauge>>* gauge_graveyard =
+      new std::vector<std::unique_ptr<Gauge>>();
+  static std::vector<std::unique_ptr<Histogram>>* histogram_graveyard =
+      new std::vector<std::unique_ptr<Histogram>>();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter_graveyard->push_back(std::move(counter));
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge_graveyard->push_back(std::move(gauge));
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram_graveyard->push_back(std::move(histogram));
+  }
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace frappe::obs

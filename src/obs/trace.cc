@@ -1,0 +1,185 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace frappe::obs {
+
+std::atomic<bool> Trace::enabled_{false};
+
+namespace {
+
+// One ring per thread that ever recorded a span. The owning thread is the
+// only writer; ExportJson/Clear/EventCount from other threads take the same
+// per-ring mutex, so access is race-free. Rings are shared_ptr-held by both
+// the thread_local handle and the global list, surviving thread exit until
+// the next export picks up the remains.
+struct ThreadRing {
+  std::mutex mu;
+  uint32_t tid = 0;
+  std::vector<TraceEvent> events;  // ring storage, capacity-bounded
+  size_t next = 0;                 // ring write cursor
+  bool wrapped = false;
+  uint64_t dropped = 0;
+
+  void Append(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < Trace::kRingCapacity) {
+      events.push_back(event);
+      return;
+    }
+    events[next] = event;
+    next = (next + 1) % Trace::kRingCapacity;
+    wrapped = true;
+    ++dropped;
+  }
+};
+
+struct RingList {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  uint32_t next_tid = 1;
+};
+
+RingList& Rings() {
+  static RingList* list = new RingList();  // never destroyed
+  return *list;
+}
+
+ThreadRing& LocalRing() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    RingList& list = Rings();
+    std::lock_guard<std::mutex> lock(list.mu);
+    r->tid = list.next_tid++;
+    list.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+uint64_t Trace::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+void Trace::Record(const char* name, uint64_t start_us, uint64_t dur_us) {
+  ThreadRing& ring = LocalRing();
+  TraceEvent event;
+  event.name = name;
+  event.tid = ring.tid;
+  event.start_us = start_us;
+  event.dur_us = dur_us;
+  ring.Append(event);
+}
+
+void Trace::Clear() {
+  RingList& list = Rings();
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (const std::shared_ptr<ThreadRing>& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+    ring->wrapped = false;
+    ring->dropped = 0;
+  }
+}
+
+size_t Trace::EventCount() {
+  RingList& list = Rings();
+  std::lock_guard<std::mutex> lock(list.mu);
+  size_t total = 0;
+  for (const std::shared_ptr<ThreadRing>& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->events.size();
+  }
+  return total;
+}
+
+uint64_t Trace::DroppedCount() {
+  RingList& list = Rings();
+  std::lock_guard<std::mutex> lock(list.mu);
+  uint64_t total = 0;
+  for (const std::shared_ptr<ThreadRing>& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+std::string Trace::ExportJson() {
+  // Snapshot every ring in time order (ring order within a thread, merged
+  // by start time across threads).
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  {
+    RingList& list = Rings();
+    std::lock_guard<std::mutex> lock(list.mu);
+    for (const std::shared_ptr<ThreadRing>& ring : list.rings) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      if (ring->wrapped) {
+        events.insert(events.end(), ring->events.begin() + ring->next,
+                      ring->events.end());
+        events.insert(events.end(), ring->events.begin(),
+                      ring->events.begin() + ring->next);
+      } else {
+        events.insert(events.end(), ring->events.begin(),
+                      ring->events.end());
+      }
+      dropped += ring->dropped;
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+
+  std::string out = "{\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"frappe\", "
+                  "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                  "\"ts\": %llu, \"dur\": %llu}",
+                  i == 0 ? "" : ",", e.name, e.tid,
+                  static_cast<unsigned long long>(e.start_us),
+                  static_cast<unsigned long long>(e.dur_us));
+    out += buf;
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+         "{\"dropped_events\": \"" +
+         std::to_string(dropped) + "\"}}\n";
+  return out;
+}
+
+Status Trace::ExportJsonToFile(const std::string& path) {
+  std::string json = ExportJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace output file '" + path + "'");
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace output file '" + path +
+                            "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace frappe::obs

@@ -1,0 +1,100 @@
+#ifndef FRAPPE_OBS_TRACE_H_
+#define FRAPPE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace frappe::obs {
+
+// Span tracing for the query/analytics/extractor stack, exportable as
+// Chrome trace-event JSON (open chrome://tracing or https://ui.perfetto.dev
+// and load the file).
+//
+// The fast path is the *disabled* path: a Span constructor is one relaxed
+// atomic load and a branch, no clock read, no allocation — cheap enough to
+// leave in per-BFS-level and per-clause code permanently (bench_obs_overhead
+// keeps this honest: < 5% executor overhead with tracing off).
+//
+// When enabled, completed spans are appended to a fixed-capacity per-thread
+// ring buffer (oldest events overwritten), each ring guarded by its own
+// mutex so a concurrent ExportJson is race-free (TSan-clean). Span names
+// must be string literals (they are stored as const char*).
+
+struct TraceEvent {
+  const char* name = nullptr;  // static string
+  uint32_t tid = 0;            // sequential thread number, not the OS tid
+  uint64_t start_us = 0;       // microseconds since the process trace epoch
+  uint64_t dur_us = 0;
+};
+
+class Trace {
+ public:
+  // Capacity of each thread's ring. Exceeding it drops the oldest events
+  // (the export notes how many were dropped).
+  static constexpr size_t kRingCapacity = 16384;
+
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  static void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  // Drops every buffered event (rings stay allocated).
+  static void Clear();
+
+  // Total buffered events across all thread rings.
+  static size_t EventCount();
+  // Events overwritten by ring wrap-around since the last Clear.
+  static uint64_t DroppedCount();
+
+  // Chrome trace-event JSON: {"traceEvents": [{"name", "ph": "X", "pid",
+  // "tid", "ts", "dur"}, ...]}. Safe to call while other threads trace.
+  static std::string ExportJson();
+  static Status ExportJsonToFile(const std::string& path);
+
+  // Microseconds since the process trace epoch (first use).
+  static uint64_t NowMicros();
+
+  // Appends a completed span for the calling thread. Public for Span; call
+  // sites should use FRAPPE_TRACE_SPAN instead.
+  static void Record(const char* name, uint64_t start_us, uint64_t dur_us);
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+// RAII span: measures construction-to-destruction and records it under
+// `name` (a string literal) if tracing was enabled at construction.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Trace::enabled()) {
+      name_ = name;
+      start_us_ = Trace::NowMicros();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      Trace::Record(name_, start_us_, Trace::NowMicros() - start_us_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_us_ = 0;
+};
+
+#define FRAPPE_TRACE_CONCAT_(a, b) a##b
+#define FRAPPE_TRACE_CONCAT(a, b) FRAPPE_TRACE_CONCAT_(a, b)
+// Usage: FRAPPE_TRACE_SPAN("query.execute");
+#define FRAPPE_TRACE_SPAN(name) \
+  ::frappe::obs::Span FRAPPE_TRACE_CONCAT(frappe_trace_span_, __LINE__)(name)
+
+}  // namespace frappe::obs
+
+#endif  // FRAPPE_OBS_TRACE_H_

@@ -198,7 +198,17 @@ struct ReturnClause {
 using Clause = std::variant<StartClause, MatchClause, WhereClause, WithClause,
                             ReturnClause>;
 
+// Prefix keyword ahead of the first clause: `EXPLAIN <query>` renders the
+// plan without executing; `PROFILE <query>` executes for real and annotates
+// the same plan with per-operator runtime stats.
+enum class QueryMode {
+  kNormal,
+  kExplain,
+  kProfile,
+};
+
 struct Query {
+  QueryMode mode = QueryMode::kNormal;
   std::vector<Clause> clauses;
 };
 

@@ -10,6 +10,8 @@
 #include "common/string_util.h"
 #include "graph/analytics.h"
 #include "graph/traversal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/fast_path.h"
 
 namespace frappe::query {
@@ -211,12 +213,41 @@ class Engine {
   }
 
   Result<QueryResult> Run() {
+    const auto run_start = std::chrono::steady_clock::now();
     rows_.push_back(Row(width_));
     QueryResult out;
     bool returned = false;
     for (size_t clause_index = 0; clause_index < query_.clauses.size();
          ++clause_index) {
       const Clause& clause = query_.clauses[clause_index];
+      // Span names are literals, picked by clause kind ahead of the visit.
+      const char* span_name = std::visit(
+          [](const auto& c) -> const char* {
+            using T = std::decay_t<decltype(c)>;
+            if constexpr (std::is_same_v<T, StartClause>) {
+              return "executor.start";
+            } else if constexpr (std::is_same_v<T, MatchClause>) {
+              return "executor.match";
+            } else if constexpr (std::is_same_v<T, WhereClause>) {
+              return "executor.where";
+            } else if constexpr (std::is_same_v<T, WithClause>) {
+              return "executor.with";
+            } else {
+              return "executor.return";
+            }
+          },
+          clause);
+      obs::Span clause_span(span_name);
+      const bool profile = options_.profile;
+      const uint64_t steps_before = steps_;
+      const DbHits hits_before = hits_;
+      std::chrono::steady_clock::time_point clause_start;
+      if (profile) {
+        fast_path_op_ = false;
+        fp_frontier_sizes_.clear();
+        fp_lanes_ = 0;
+        clause_start = std::chrono::steady_clock::now();
+      }
       Status status = std::visit(
           [&](const auto& c) -> Status {
             using T = std::decay_t<decltype(c)>;
@@ -235,16 +266,45 @@ class Engine {
           },
           clause);
       FRAPPE_RETURN_IF_ERROR(status);
+      if (profile) {
+        OperatorStats op;
+        op.clause_index = clause_index;
+        // After RETURN ran, `rows_` is stale — the projected rows moved
+        // into the result.
+        op.rows = returned ? out.rows.size() : rows_.size();
+        op.steps = steps_ - steps_before;
+        op.db_hits = hits_ - hits_before;
+        op.time_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - clause_start)
+                         .count();
+        op.fast_path = fast_path_op_;
+        op.frontier_sizes = fp_frontier_sizes_;
+        op.lanes = fp_lanes_;
+        out.stats.operators.push_back(std::move(op));
+      }
     }
     if (!returned) {
       return Status::InvalidArgument("query has no RETURN clause");
     }
     out.steps = steps_;
+    out.stats.steps = steps_;
+    out.stats.db_hits = hits_;
+    out.stats.fast_path_taken = fast_path_taken_;
+    out.stats.elapsed_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - run_start)
+                               .count();
     return out;
   }
 
  private:
   // --- budget ---
+
+  // The deadline clock is read once every this many steps, not per
+  // candidate row — steady_clock::now() is far too expensive for the inner
+  // match loop. Power of two so the test is a mask, and small enough that
+  // enforcement lags the deadline by at most one interval of cheap work
+  // (the regression test pins the observed tolerance).
+  static constexpr uint64_t kDeadlineCheckInterval = 1024;
 
   Status Tick() {
     ++steps_;
@@ -253,7 +313,7 @@ class Engine {
           "query exceeded step budget of " +
           std::to_string(options_.max_steps));
     }
-    if (has_deadline_ && (steps_ & 1023) == 0 &&
+    if (has_deadline_ && (steps_ & (kDeadlineCheckInterval - 1)) == 0 &&
         std::chrono::steady_clock::now() > deadline_) {
       return Status::DeadlineExceeded("query exceeded deadline of " +
                                       std::to_string(options_.deadline_ms) +
@@ -306,6 +366,7 @@ class Engine {
           db_.view->ForEachNode([&](NodeId id) { nodes.push_back(id); });
           break;
       }
+      hits_.nodes += nodes.size();
       int slot = SlotOf(item.var);
       std::vector<Row> next;
       next.reserve(rows_.size() * nodes.size());
@@ -424,9 +485,21 @@ class Engine {
 
     const graph::CsrView& csr = db_.csr->Get(*db_.view);
     graph::analytics::Metrics metrics;
-    auto members = graph::analytics::ParallelClosure(csr, {seed}, filter,
-                                                     opt, &metrics);
+    auto members = [&] {
+      FRAPPE_TRACE_SPAN("executor.csr_closure");
+      return graph::analytics::ParallelClosure(csr, {seed}, filter, opt,
+                                               &metrics);
+    }();
     steps_ += metrics.steps;
+    hits_.edges += metrics.steps;  // each kernel step scans one edge
+    fast_path_taken_ = true;
+    fast_path_op_ = true;
+    // Frontier trajectory of the widest run this clause dispatched (one
+    // kernel call per input row; typically exactly one).
+    if (metrics.frontier_sizes.size() > fp_frontier_sizes_.size()) {
+      fp_frontier_sizes_ = metrics.frontier_sizes;
+    }
+    fp_lanes_ = std::max(fp_lanes_, metrics.lanes_used);
     if (!members.ok()) {
       // Re-phrase kernel budget errors in the executor's vocabulary.
       if (members.status().code() == StatusCode::kResourceExhausted) {
@@ -827,6 +900,7 @@ class Engine {
 
   bool NodeSatisfies(const BoundNodePattern& pattern, NodeId node) const {
     if (pattern.impossible) return false;
+    ++hits_.nodes;
     if (!pattern.any_type) {
       TypeId type = db_.view->NodeType(node);
       bool ok = false;
@@ -839,6 +913,7 @@ class Engine {
       if (!ok) return false;
     }
     for (const auto& [key, value] : pattern.props) {
+      ++hits_.properties;
       if (!(db_.view->GetNodeProperty(node, key) == value)) return false;
     }
     return true;
@@ -846,8 +921,10 @@ class Engine {
 
   bool EdgeSatisfies(const BoundRelPattern& pattern, EdgeId edge) const {
     if (pattern.impossible) return false;
+    ++hits_.edges;
     if (!pattern.AllowsType(db_.view->GetEdge(edge).type)) return false;
     for (const auto& [key, value] : pattern.props) {
+      ++hits_.properties;
       if (!(db_.view->GetEdgeProperty(edge, key) == value)) return false;
     }
     return true;
@@ -1403,6 +1480,7 @@ class Engine {
     std::optional<KeyId> key_id =
         db_.resolve_property ? db_.resolve_property(key) : std::nullopt;
     if (!key_id.has_value()) return ResultValue::Null();
+    ++hits_.properties;
     if (base.kind == ResultValue::Kind::kNode &&
         db_.view->NodeExists(base.node)) {
       return ResultValue::Scalar(db_.view->GetNodeProperty(base.node,
@@ -1427,6 +1505,17 @@ class Engine {
   uint64_t steps_ = 0;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_;
+
+  // Db-hit accounting. Mutable: NodeSatisfies/EdgeSatisfies/GetPropertyOf
+  // are logically const reads whose cost we still want on the books.
+  mutable DbHits hits_;
+  // Set when any MATCH dispatched to the CSR closure kernel, plus the
+  // per-operator detail the current clause accumulated (reset per clause
+  // by Run when profiling).
+  bool fast_path_taken_ = false;
+  bool fast_path_op_ = false;
+  std::vector<uint64_t> fp_frontier_sizes_;
+  size_t fp_lanes_ = 0;
 };
 
 }  // namespace
@@ -1436,8 +1525,28 @@ Result<QueryResult> Execute(const Database& db, const Query& query,
   if (db.view == nullptr) {
     return Status::InvalidArgument("database has no graph view");
   }
+  FRAPPE_TRACE_SPAN("query.execute");
   Engine engine(db, query, options);
-  return engine.Run();
+  Result<QueryResult> result = engine.Run();
+  static obs::Counter& executions =
+      obs::Registry::Global().GetCounter("query.executions");
+  static obs::Counter& failures =
+      obs::Registry::Global().GetCounter("query.failures");
+  static obs::Counter& fast_paths =
+      obs::Registry::Global().GetCounter("query.fast_path_taken");
+  static obs::Histogram& latency =
+      obs::Registry::Global().GetHistogram("query.latency_us");
+  static obs::Histogram& db_hits =
+      obs::Registry::Global().GetHistogram("query.db_hits");
+  executions.Add();
+  if (result.ok()) {
+    latency.Record(static_cast<uint64_t>(result->stats.elapsed_ms * 1000.0));
+    db_hits.Record(result->stats.db_hits.Total());
+    if (result->stats.fast_path_taken) fast_paths.Add();
+  } else {
+    failures.Add();
+  }
+  return result;
 }
 
 }  // namespace frappe::query

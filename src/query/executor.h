@@ -28,6 +28,51 @@ struct ExecOptions {
   // edge-distinct path — the difference between Figure 6 aborting and
   // finishing. Off = always enumerate (the paper's measured behaviour).
   bool use_csr_fast_path = true;
+  // Collect per-operator runtime stats (rows, db-hits, steps, wall time)
+  // into QueryResult::stats.operators. Set by `PROFILE <query>`; adds two
+  // clock reads and a couple of counter subtractions per clause.
+  bool profile = false;
+};
+
+// Storage accesses the executor performed, split by what was touched. One
+// "db hit" is one node record, edge record, or property read — the unit
+// Neo4j's PROFILE reports, and the denominator the paper lacked when
+// diagnosing Figure 6.
+struct DbHits {
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  uint64_t properties = 0;
+
+  uint64_t Total() const { return nodes + edges + properties; }
+  DbHits operator-(const DbHits& o) const {
+    return DbHits{nodes - o.nodes, edges - o.edges,
+                  properties - o.properties};
+  }
+};
+
+// Per-clause runtime stats collected under PROFILE. `clause_index` keys the
+// entry back to the plan operator rendered for that clause.
+struct OperatorStats {
+  size_t clause_index = 0;
+  uint64_t rows = 0;     // rows alive after the clause ran
+  DbHits db_hits;        // storage accesses attributable to the clause
+  uint64_t steps = 0;    // step-budget units the clause consumed
+  double time_ms = 0.0;  // wall time inside the clause
+  // CSR fast-path detail (variable-length MATCH answered by the parallel
+  // closure kernel): frontier size per BFS level and lanes used.
+  bool fast_path = false;
+  std::vector<uint64_t> frontier_sizes;
+  size_t lanes = 0;
+};
+
+// Always-on execution summary: populated for every query (two clock reads
+// plus counters the executor maintains anyway), independent of PROFILE.
+struct ExecStats {
+  double elapsed_ms = 0.0;
+  uint64_t steps = 0;
+  DbHits db_hits;
+  bool fast_path_taken = false;
+  std::vector<OperatorStats> operators;  // non-empty only under PROFILE
 };
 
 // A value in a result row: a node, an edge, a scalar, or the edge list a
@@ -81,6 +126,10 @@ struct QueryResult {
   std::vector<std::string> columns;
   std::vector<std::vector<ResultValue>> rows;
   uint64_t steps = 0;  // work units the executor spent
+  ExecStats stats;     // always populated (operators only under PROFILE)
+  // Rendered plan: set for EXPLAIN (instead of rows) and PROFILE
+  // (alongside rows, annotated with per-operator stats).
+  std::string plan;
 
   size_t size() const { return rows.size(); }
 };

@@ -1,5 +1,6 @@
 #include "query/explain.h"
 
+#include <cstdio>
 #include <set>
 #include <sstream>
 
@@ -182,19 +183,28 @@ std::string DescribeExpr(const Expr& expr) {
   return "?";
 }
 
-Result<std::string> Explain(const Database& db, const Query& query) {
+Result<std::vector<PlanStep>> BuildPlan(const Database& db,
+                                        const Query& query) {
   if (db.view == nullptr) {
     return Status::InvalidArgument("database has no graph view");
   }
-  std::string out;
+  std::vector<PlanStep> out;
   std::set<std::string> bound;
-  int step = 1;
+  size_t current_clause = 0;
+  bool first_in_clause = true;
   auto line = [&](const std::string& text) {
-    out += std::to_string(step++) + ". " + text + "\n";
+    PlanStep step;
+    step.text = text;
+    step.clause_index = current_clause;
+    step.primary = first_in_clause;
+    first_in_clause = false;
+    out.push_back(std::move(step));
   };
 
   for (size_t clause_index = 0; clause_index < query.clauses.size();
        ++clause_index) {
+    current_clause = clause_index;
+    first_in_clause = true;
     const Clause& clause = query.clauses[clause_index];
     if (const auto* start = std::get_if<StartClause>(&clause)) {
       for (const StartItem& item : start->items) {
@@ -321,6 +331,49 @@ Result<std::string> Explain(const Database& db, const Query& query) {
     }
   }
   return out;
+}
+
+std::string RenderPlan(const std::vector<PlanStep>& steps,
+                       const ExecStats* stats) {
+  std::string out;
+  int number = 1;
+  for (const PlanStep& step : steps) {
+    out += std::to_string(number++) + ". " + step.text;
+    if (stats != nullptr && step.primary) {
+      for (const OperatorStats& op : stats->operators) {
+        if (op.clause_index != step.clause_index) continue;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      " // rows=%llu db_hits=%llu steps=%llu time=%.3fms",
+                      static_cast<unsigned long long>(op.rows),
+                      static_cast<unsigned long long>(op.db_hits.Total()),
+                      static_cast<unsigned long long>(op.steps), op.time_ms);
+        out += buf;
+        if (op.fast_path) {
+          out += " frontier=[";
+          for (size_t i = 0; i < op.frontier_sizes.size(); ++i) {
+            if (i > 0) out += ",";
+            out += std::to_string(op.frontier_sizes[i]);
+          }
+          out += "] lanes=" + std::to_string(op.lanes);
+        }
+        break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::string> Explain(const Database& db, const Query& query) {
+  FRAPPE_ASSIGN_OR_RETURN(std::vector<PlanStep> steps, BuildPlan(db, query));
+  return RenderPlan(steps, nullptr);
+}
+
+Result<std::string> ProfilePlan(const Database& db, const Query& query,
+                                const ExecStats& stats) {
+  FRAPPE_ASSIGN_OR_RETURN(std::vector<PlanStep> steps, BuildPlan(db, query));
+  return RenderPlan(steps, &stats);
 }
 
 Result<std::string> ExplainText(const Database& db, std::string_view text) {

@@ -2,12 +2,39 @@
 #define FRAPPE_QUERY_EXPLAIN_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "query/ast.h"
 #include "query/database.h"
+#include "query/executor.h"
 
 namespace frappe::query {
+
+// One rendered plan operator. EXPLAIN and PROFILE share this structure —
+// PROFILE is the identical operator tree with runtime stats appended — so
+// the two renderings can never drift.
+struct PlanStep {
+  std::string text;
+  size_t clause_index = 0;  // AST clause this operator came from
+  // First operator emitted for its clause: the anchor PROFILE hangs the
+  // clause's OperatorStats on (secondary steps like Sort/Limit share the
+  // clause's execution and carry no separate stats).
+  bool primary = false;
+};
+
+// Builds the operator tree for `query` against `db`'s indexes/statistics.
+Result<std::vector<PlanStep>> BuildPlan(const Database& db,
+                                        const Query& query);
+
+// Renders steps as numbered lines ("1. <operator>\n"). With `stats`
+// (PROFILE), each clause's primary step gains a " // rows=... db_hits=...
+// steps=... time=...ms" suffix, plus "frontier=[...] lanes=N" when the
+// operator ran on the CSR closure fast path. Stats never alter operator
+// text — strip everything from " // " to end-of-line to recover the
+// EXPLAIN rendering exactly.
+std::string RenderPlan(const std::vector<PlanStep>& steps,
+                       const ExecStats* stats);
 
 // Renders the execution plan the engine will follow for `query`: start
 // operators (index seek / id seek / all-nodes scan), the anchor and
@@ -23,6 +50,11 @@ Result<std::string> Explain(const Database& db, const Query& query);
 
 // Parses and explains in one step.
 Result<std::string> ExplainText(const Database& db, std::string_view text);
+
+// PROFILE rendering: the EXPLAIN operator tree annotated with the stats a
+// real execution produced (QueryResult::stats with operators populated).
+Result<std::string> ProfilePlan(const Database& db, const Query& query,
+                                const ExecStats& stats);
 
 // Renders an expression back to FQL-ish text (used by Explain and handy
 // for diagnostics).

@@ -2,17 +2,25 @@
 
 #include <variant>
 
+#include "obs/metrics.h"
+
 namespace frappe::query {
 
 namespace {
 
 FastPathDecision No(const char* reason) {
+  static obs::Counter& rejected =
+      obs::Registry::Global().GetCounter("fast_path.rejected");
+  rejected.Add();
   FastPathDecision d;
   d.reason = reason;
   return d;
 }
 
 FastPathDecision Yes() {
+  static obs::Counter& eligible =
+      obs::Registry::Global().GetCounter("fast_path.eligible");
+  eligible.Add();
   FastPathDecision d;
   d.eligible = true;
   return d;

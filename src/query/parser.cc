@@ -30,6 +30,14 @@ class Parser {
 
   Result<Query> ParseQuery() {
     Query query;
+    // EXPLAIN / PROFILE prefix keywords (at most one, before any clause).
+    if (Peek().IsKeyword("explain")) {
+      query.mode = QueryMode::kExplain;
+      Advance();
+    } else if (Peek().IsKeyword("profile")) {
+      query.mode = QueryMode::kProfile;
+      Advance();
+    }
     while (!At(TokenType::kEnd)) {
       const Token& t = Peek();
       if (t.IsKeyword("start")) {

@@ -1,9 +1,50 @@
 #include "query/session.h"
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/explain.h"
 #include "query/parser.h"
 
 namespace frappe::query {
+
+namespace {
+
+std::function<void(const std::string&)>& SlowQuerySink() {
+  static std::function<void(const std::string&)>* sink =
+      new std::function<void(const std::string&)>();  // never destroyed
+  return *sink;
+}
+
+// Threshold in ms, or -1 when unset/invalid. Read per call so tests (and
+// operators) can flip it at runtime via setenv.
+int64_t SlowQueryThresholdMs() {
+  const char* env = std::getenv("FRAPPE_SLOW_QUERY_MS");
+  if (env == nullptr || *env == '\0') return -1;
+  char* end = nullptr;
+  long long value = std::strtoll(env, &end, 10);
+  if (end == env || value < 0) return -1;
+  return static_cast<int64_t>(value);
+}
+
+void EmitSlowQueryLog(const std::string& message) {
+  if (SlowQuerySink()) {
+    SlowQuerySink()(message);
+  } else {
+    std::fputs(message.c_str(), stderr);
+  }
+}
+
+}  // namespace
+
+void SetSlowQueryLogSinkForTesting(
+    std::function<void(const std::string&)> sink) {
+  SlowQuerySink() = std::move(sink);
+}
 
 Database MakeFrappeDatabase(const graph::GraphView& view,
                             const model::Schema& schema,
@@ -58,8 +99,65 @@ Session::Session(const model::CodeGraph& code_graph)
 
 Result<QueryResult> Session::Run(std::string_view query_text,
                                  const ExecOptions& options) const {
-  FRAPPE_ASSIGN_OR_RETURN(Query query, Parse(query_text));
-  return Execute(db_, query, options);
+  FRAPPE_TRACE_SPAN("session.run");
+  static obs::Counter& queries =
+      obs::Registry::Global().GetCounter("session.queries");
+  static obs::Counter& slow_queries =
+      obs::Registry::Global().GetCounter("session.slow_queries");
+  queries.Add();
+
+  Query query;
+  {
+    FRAPPE_TRACE_SPAN("session.parse");
+    FRAPPE_ASSIGN_OR_RETURN(query, Parse(query_text));
+  }
+
+  if (query.mode == QueryMode::kExplain) {
+    FRAPPE_TRACE_SPAN("session.plan");
+    QueryResult result;
+    FRAPPE_ASSIGN_OR_RETURN(result.plan, Explain(db_, query));
+    return result;
+  }
+
+  ExecOptions exec_options = options;
+  if (query.mode == QueryMode::kProfile) exec_options.profile = true;
+
+  const auto exec_start = std::chrono::steady_clock::now();
+  Result<QueryResult> result = [&] {
+    FRAPPE_TRACE_SPAN("session.execute");
+    return Execute(db_, query, exec_options);
+  }();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - exec_start)
+          .count();
+
+  if (result.ok() && query.mode == QueryMode::kProfile) {
+    FRAPPE_TRACE_SPAN("session.plan");
+    FRAPPE_ASSIGN_OR_RETURN(result->plan,
+                            ProfilePlan(db_, query, result->stats));
+  }
+
+  // Slow-query log: fires for successes and budget breaches alike — the
+  // aborted Figure 6 run is exactly the query an operator wants logged.
+  int64_t threshold_ms = SlowQueryThresholdMs();
+  if (threshold_ms >= 0 && elapsed_ms >= static_cast<double>(threshold_ms)) {
+    slow_queries.Add();
+    std::string message = "[frappe] slow query (" +
+                          std::to_string(elapsed_ms) + " ms >= " +
+                          std::to_string(threshold_ms) + " ms): " +
+                          std::string(query_text) + "\n";
+    if (result.ok() && !result->plan.empty()) {
+      message += result->plan;
+    } else if (Result<std::string> plan = Explain(db_, query); plan.ok()) {
+      message += *plan;
+    }
+    if (!result.ok()) {
+      message += "status: " + result.status().ToString() + "\n";
+    }
+    EmitSlowQueryLog(message);
+  }
+  return result;
 }
 
 }  // namespace frappe::query

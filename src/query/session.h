@@ -1,7 +1,9 @@
 #ifndef FRAPPE_QUERY_SESSION_H_
 #define FRAPPE_QUERY_SESSION_H_
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "common/status.h"
@@ -24,7 +26,12 @@ class Session {
  public:
   explicit Session(const model::CodeGraph& code_graph);
 
-  // Parses and executes `query_text`.
+  // Parses and executes `query_text`. `EXPLAIN <query>` returns the plan
+  // in QueryResult::plan without executing; `PROFILE <query>` executes for
+  // real and returns rows plus the plan annotated with per-operator stats.
+  // When the FRAPPE_SLOW_QUERY_MS environment variable is set (read per
+  // call), any execution at or over that many milliseconds is logged with
+  // its plan — to stderr, or to the sink installed below.
   Result<QueryResult> Run(std::string_view query_text,
                           const ExecOptions& options = {}) const;
 
@@ -47,6 +54,12 @@ Database MakeFrappeDatabase(const graph::GraphView& view,
                             const model::Schema& schema,
                             const graph::NameIndex* name_index,
                             const graph::LabelIndex* label_index);
+
+// Redirects the slow-query log (FRAPPE_SLOW_QUERY_MS) from stderr into
+// `sink`; pass nullptr to restore stderr. Not thread-safe with concurrent
+// Session::Run — install before running queries (test hook).
+void SetSlowQueryLogSinkForTesting(
+    std::function<void(const std::string&)> sink);
 
 }  // namespace frappe::query
 

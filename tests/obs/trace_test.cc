@@ -1,0 +1,136 @@
+// Span tracing: ring capture on/off, per-thread tids, Chrome trace-event
+// JSON export — including the exported file for a real Figure 6 query run
+// that the `trace_check` ctest entry validates with tools/trace_check.py.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/session.h"
+#include "tests/query/fixture.h"
+
+namespace frappe::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() {
+    Trace::Disable();
+    Trace::Clear();
+  }
+  ~TraceTest() override {
+    Trace::Disable();
+    Trace::Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    FRAPPE_TRACE_SPAN("test.disabled");
+  }
+  EXPECT_EQ(Trace::EventCount(), 0u);
+}
+
+TEST_F(TraceTest, EnabledSpanIsCaptured) {
+  Trace::Enable();
+  {
+    FRAPPE_TRACE_SPAN("test.captured");
+  }
+  Trace::Disable();
+  EXPECT_EQ(Trace::EventCount(), 1u);
+  std::string json = Trace::ExportJson();
+  EXPECT_NE(json.find("\"test.captured\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, ClearDropsBufferedEvents) {
+  Trace::Enable();
+  {
+    FRAPPE_TRACE_SPAN("test.cleared");
+  }
+  Trace::Clear();
+  EXPECT_EQ(Trace::EventCount(), 0u);
+  EXPECT_EQ(Trace::DroppedCount(), 0u);
+}
+
+TEST_F(TraceTest, SpansNestAndAllRecord) {
+  Trace::Enable();
+  {
+    FRAPPE_TRACE_SPAN("test.outer");
+    {
+      FRAPPE_TRACE_SPAN("test.inner");
+    }
+  }
+  Trace::Disable();
+  EXPECT_EQ(Trace::EventCount(), 2u);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  Trace::Enable();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      FRAPPE_TRACE_SPAN("test.thread");
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  Trace::Disable();
+  EXPECT_EQ(Trace::EventCount(), static_cast<size_t>(kThreads));
+
+  // Each thread's ring carries its own tid: count distinct "tid": values.
+  std::string json = Trace::ExportJson();
+  std::set<std::string> tids;
+  size_t pos = 0;
+  while ((pos = json.find("\"tid\": ", pos)) != std::string::npos) {
+    pos += 7;
+    size_t end = json.find_first_of(",}", pos);
+    tids.insert(json.substr(pos, end - pos));
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads)) << json;
+}
+
+// Runs the paper's Figure 6 transitive-closure query (both execution
+// paths) under tracing and exports the trace next to the test binary; the
+// `trace_check` ctest entry validates that file with tools/trace_check.py.
+TEST_F(TraceTest, Figure6QueryTraceExportsValidFile) {
+  query::testing::PaperFixture fixture;
+  query::Session session(fixture.graph);
+  const std::string fig6 =
+      "START n=node:node_auto_index('short_name: sr_media_change') "
+      "MATCH n -[:calls*]-> m RETURN distinct m";
+
+  Trace::Enable();
+  for (bool fast_path : {true, false}) {
+    query::ExecOptions options;
+    options.use_csr_fast_path = fast_path;
+    auto result = session.Run(fig6, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->rows.size(), 4u);
+  }
+  Trace::Disable();
+  ASSERT_GT(Trace::EventCount(), 0u);
+
+  // Session, executor and (fast path only) analytics layers must all have
+  // contributed spans.
+  std::string json = Trace::ExportJson();
+  for (const char* name :
+       {"session.run", "session.parse", "session.execute", "query.execute",
+        "executor.start", "executor.match", "executor.return",
+        "executor.csr_closure", "analytics.run"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << "missing span " << name;
+  }
+
+  Status status = Trace::ExportJsonToFile("trace_export.json");
+  ASSERT_TRUE(status.ok()) << status;
+}
+
+}  // namespace
+}  // namespace frappe::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 
 #include "query/parser.h"
@@ -311,6 +312,31 @@ TEST_F(ExecutorTest, StepBudgetAborts) {
                              options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ExecutorTest, DeadlineFiresWithinTolerance) {
+  // The deadline is only checked every kDeadlineCheckInterval (1024) steps
+  // to keep Tick() a mask test on the hot path. This regression test pins
+  // the consequence: on a query with millions of cheap candidate steps
+  // (a 5-way cartesian product over all nodes), the deadline must still
+  // abort execution promptly — 1024 cheap steps are microseconds, so the
+  // enforcement lag stays far under the test's tolerance.
+  ExecOptions options;
+  options.deadline_ms = 50;
+  auto start = std::chrono::steady_clock::now();
+  auto result = session_.Run(
+      "START a=node(*), b=node(*), c=node(*), d=node(*), e=node(*) "
+      "RETURN count(*)",
+      options);
+  double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Generous bound (10x the deadline) so sanitizer builds pass, yet tight
+  // enough to catch the interval degenerating into seconds of lag.
+  EXPECT_LT(elapsed_ms, 500.0);
 }
 
 TEST_F(ExecutorTest, StepsReportedOnSuccess) {

@@ -1,0 +1,280 @@
+// PROFILE mode: executes for real, returns rows plus a plan annotated with
+// per-operator stats. The db-hit and row counts must be deterministic
+// across lane counts (only timings may differ), the annotated tree must be
+// the EXPLAIN tree modulo the stats columns, and the slow-query log must
+// fire when FRAPPE_SLOW_QUERY_MS says everything is slow.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/executor.h"
+#include "query/session.h"
+#include "tests/query/fixture.h"
+
+namespace frappe::query {
+namespace {
+
+using graph::NodeId;
+using testing::PaperFixture;
+
+// The paper's query set: Figures 3-6 plus the Table 6 variants, the corpus
+// every observability claim is checked against.
+std::vector<std::string> PaperQueries(const PaperFixture& fixture) {
+  return {
+      // Figure 3: symbol search constrained by module.
+      "START m=node:node_auto_index('short_name: wakeup.elf') "
+      "MATCH m -[:compiled_from|linked_from*]-> f "
+      "WITH distinct f "
+      "MATCH f -[:file_contains]-> (n:field{short_name: 'id'}) "
+      "RETURN n",
+      // Figure 4: go-to-definition.
+      "START n=node:node_auto_index('short_name: id') "
+      "WHERE (n) <-[{NAME_FILE_ID: " +
+          std::to_string(fixture.NodeFile()) +
+          ", NAME_START_LINE: 104, NAME_START_COLUMN: 16}]- () RETURN n",
+      // Figure 5: debugging — writers of packet_command.cmd.
+      "START from=node:node_auto_index('short_name: sr_media_change'), "
+      "to=node:node_auto_index('short_name: get_sectorsize'), "
+      "b=node:node_auto_index('short_name: packet_command') "
+      "MATCH writer -[write:writes_member]-> ({SHORT_NAME:'cmd'}) "
+      "<-[:contains]- b "
+      "WITH to, from, writer, write "
+      "MATCH direct <-[s:calls]- from -[r:calls{use_start_line: 236}]-> to "
+      "WHERE r.use_start_line >= s.use_start_line AND "
+      "direct -[:calls*]-> writer "
+      "RETURN distinct writer, write.use_start_line",
+      // Figure 6: transitive closure of outgoing calls.
+      "START n=node:node_auto_index('short_name: sr_media_change') "
+      "MATCH n -[:calls*]-> m RETURN distinct m",
+      // Table 6: group labels (Cypher 2.x syntax).
+      "MATCH (n:container:symbol {short_name: 'packet_command'}) RETURN n",
+      "MATCH (n:container:symbol {short_name: 'helper_a'}) RETURN n",
+      // Table 6: lucene type alternation (Cypher 1.x syntax).
+      "START n=node:node_auto_index('(type: struct OR type: union OR "
+      "type: enum_def) AND short_name: packet_command') RETURN n",
+  };
+}
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  ProfileTest() : session_(fixture_.graph) {}
+
+  QueryResult Run(const std::string& text, const ExecOptions& options = {}) {
+    auto result = session_.Run(text, options);
+    EXPECT_TRUE(result.ok()) << text << " => " << result.status();
+    return result.ok() ? std::move(*result) : QueryResult{};
+  }
+
+  // Canonical, timing-free digest of a result: sorted row renderings.
+  std::vector<std::string> RowDigest(const QueryResult& result) {
+    std::vector<std::string> rows;
+    for (const auto& row : result.rows) {
+      std::string line;
+      for (const auto& value : row) {
+        line += value.ToString(session_.database()) + "|";
+      }
+      rows.push_back(std::move(line));
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+
+  // Per-operator stats with the timing fields zeroed out.
+  static std::string OperatorDigest(const ExecStats& stats) {
+    std::string out;
+    for (const OperatorStats& op : stats.operators) {
+      out += "clause=" + std::to_string(op.clause_index) +
+             " rows=" + std::to_string(op.rows) +
+             " hits=" + std::to_string(op.db_hits.nodes) + "/" +
+             std::to_string(op.db_hits.edges) + "/" +
+             std::to_string(op.db_hits.properties) +
+             " steps=" + std::to_string(op.steps) +
+             " fp=" + std::to_string(op.fast_path) + "\n";
+    }
+    return out;
+  }
+
+  // Strips the " // rows=..." stats suffix PROFILE appends to plan lines,
+  // recovering the bare EXPLAIN rendering.
+  static std::string StripStats(const std::string& plan) {
+    std::string out;
+    size_t pos = 0;
+    while (pos < plan.size()) {
+      size_t eol = plan.find('\n', pos);
+      if (eol == std::string::npos) eol = plan.size();
+      std::string line = plan.substr(pos, eol - pos);
+      size_t cut = line.find(" // ");
+      if (cut != std::string::npos) line.resize(cut);
+      out += line + "\n";
+      pos = eol + 1;
+    }
+    return out;
+  }
+
+  PaperFixture fixture_;
+  Session session_;
+};
+
+TEST_F(ProfileTest, ExplainReturnsPlanWithoutExecuting) {
+  QueryResult r = Run(
+      "EXPLAIN START n=node:node_auto_index('short_name: cmd') RETURN n");
+  EXPECT_TRUE(r.rows.empty());
+  EXPECT_TRUE(r.columns.empty());
+  EXPECT_NE(r.plan.find("NodeByIndexSeek n"), std::string::npos) << r.plan;
+  EXPECT_TRUE(r.stats.operators.empty());
+}
+
+TEST_F(ProfileTest, ProfileReturnsRowsAndAnnotatedPlan) {
+  QueryResult r = Run(
+      "PROFILE START n=node:node_auto_index('short_name: cmd') RETURN n");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].node, fixture_.cmd_field);
+  EXPECT_NE(r.plan.find("NodeByIndexSeek n"), std::string::npos) << r.plan;
+  EXPECT_NE(r.plan.find(" // rows="), std::string::npos) << r.plan;
+  EXPECT_NE(r.plan.find("db_hits="), std::string::npos) << r.plan;
+  EXPECT_NE(r.plan.find("time="), std::string::npos) << r.plan;
+  ASSERT_FALSE(r.stats.operators.empty());
+  EXPECT_GT(r.stats.db_hits.Total(), 0u);
+}
+
+// Acceptance bar: PROFILE works on every paper query, on both execution
+// paths, with non-zero db-hits and a stats entry per clause.
+TEST_F(ProfileTest, EveryPaperQueryProfilesOnBothPaths) {
+  for (const std::string& query : PaperQueries(fixture_)) {
+    for (bool fast_path : {true, false}) {
+      ExecOptions options;
+      options.use_csr_fast_path = fast_path;
+      QueryResult profiled = Run("PROFILE " + query, options);
+      SCOPED_TRACE(query + (fast_path ? " [fast path]" : " [enumerate]"));
+      EXPECT_FALSE(profiled.plan.empty());
+      ASSERT_FALSE(profiled.stats.operators.empty());
+      EXPECT_GT(profiled.stats.db_hits.Total(), 0u);
+      EXPECT_NE(profiled.plan.find(" // rows="), std::string::npos)
+          << profiled.plan;
+      // Rows and columns must match the unprofiled run exactly.
+      QueryResult plain = Run(query, options);
+      EXPECT_EQ(RowDigest(profiled), RowDigest(plain));
+      EXPECT_EQ(profiled.columns, plain.columns);
+      // The final operator's row count is the result cardinality.
+      EXPECT_EQ(profiled.stats.operators.back().rows, profiled.rows.size());
+    }
+  }
+}
+
+// db-hits and per-operator rows are execution facts, not timing artifacts:
+// they must be identical across lane counts 1, 2 and 8.
+TEST_F(ProfileTest, StatsDeterministicAcrossThreadCounts) {
+  for (const std::string& query : PaperQueries(fixture_)) {
+    SCOPED_TRACE(query);
+    std::string baseline_ops;
+    std::vector<std::string> baseline_rows;
+    uint64_t baseline_hits = 0;
+    bool first = true;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      ExecOptions options;
+      options.threads = threads;
+      QueryResult r = Run("PROFILE " + query, options);
+      std::string ops = OperatorDigest(r.stats);
+      if (first) {
+        baseline_ops = ops;
+        baseline_rows = RowDigest(r);
+        baseline_hits = r.stats.db_hits.Total();
+        first = false;
+        continue;
+      }
+      EXPECT_EQ(ops, baseline_ops) << "threads=" << threads;
+      EXPECT_EQ(RowDigest(r), baseline_rows) << "threads=" << threads;
+      EXPECT_EQ(r.stats.db_hits.Total(), baseline_hits)
+          << "threads=" << threads;
+    }
+  }
+}
+
+// The PROFILE tree is the EXPLAIN tree: stripping the " // ..." stats
+// columns must recover the EXPLAIN rendering byte for byte.
+TEST_F(ProfileTest, ProfilePlanMatchesExplainModuloStats) {
+  for (const std::string& query : PaperQueries(fixture_)) {
+    SCOPED_TRACE(query);
+    QueryResult explained = Run("EXPLAIN " + query);
+    QueryResult profiled = Run("PROFILE " + query);
+    EXPECT_EQ(StripStats(profiled.plan), StripStats(explained.plan));
+    // EXPLAIN plans carry no stats columns to strip in the first place.
+    EXPECT_EQ(StripStats(explained.plan),
+              explained.plan.back() == '\n' ? explained.plan
+                                            : explained.plan + "\n");
+  }
+}
+
+TEST_F(ProfileTest, Figure6FastPathReportsFrontiersAndLanes) {
+  const std::string fig6 =
+      "START n=node:node_auto_index('short_name: sr_media_change') "
+      "MATCH n -[:calls*]-> m RETURN distinct m";
+  QueryResult r = Run("PROFILE " + fig6);
+  EXPECT_TRUE(r.stats.fast_path_taken);
+  const OperatorStats* fp = nullptr;
+  for (const OperatorStats& op : r.stats.operators) {
+    if (op.fast_path) fp = &op;
+  }
+  ASSERT_NE(fp, nullptr) << r.plan;
+  // sr_media_change reaches {helper_a, get_sectorsize, helper_b} then
+  // {sr_do_ioctl}: two BFS levels past the seed, non-empty frontiers.
+  EXPECT_GE(fp->frontier_sizes.size(), 2u);
+  for (uint64_t f : fp->frontier_sizes) EXPECT_GT(f, 0u);
+  EXPECT_GE(fp->lanes, 1u);
+  EXPECT_NE(r.plan.find("frontier=["), std::string::npos) << r.plan;
+  EXPECT_NE(r.plan.find("lanes="), std::string::npos) << r.plan;
+
+  // Forcing enumeration must produce the same rows without the fast path.
+  ExecOptions options;
+  options.use_csr_fast_path = false;
+  QueryResult slow = Run("PROFILE " + fig6, options);
+  EXPECT_FALSE(slow.stats.fast_path_taken);
+  EXPECT_EQ(RowDigest(slow), RowDigest(r));
+}
+
+TEST_F(ProfileTest, ExecStatsAlwaysPopulated) {
+  QueryResult r = Run("MATCH (n:module) RETURN n");
+  EXPECT_GT(r.stats.db_hits.Total(), 0u);
+  EXPECT_GT(r.stats.steps, 0u);
+  EXPECT_GE(r.stats.elapsed_ms, 0.0);
+  EXPECT_TRUE(r.stats.operators.empty());  // only PROFILE collects these
+}
+
+TEST_F(ProfileTest, SlowQueryLogFiresAtThresholdZero) {
+  ::setenv("FRAPPE_SLOW_QUERY_MS", "0", 1);
+  std::vector<std::string> logged;
+  SetSlowQueryLogSinkForTesting(
+      [&logged](const std::string& line) { logged.push_back(line); });
+  auto result = session_.Run(
+      "START n=node:node_auto_index('short_name: cmd') RETURN n");
+  SetSlowQueryLogSinkForTesting(nullptr);
+  ::unsetenv("FRAPPE_SLOW_QUERY_MS");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(logged.size(), 1u);
+  EXPECT_NE(logged[0].find("slow query"), std::string::npos) << logged[0];
+  EXPECT_NE(logged[0].find("short_name: cmd"), std::string::npos)
+      << logged[0];
+  // The log carries the plan so the on-call reader sees *why* it was slow.
+  EXPECT_NE(logged[0].find("NodeByIndexSeek"), std::string::npos)
+      << logged[0];
+}
+
+TEST_F(ProfileTest, SlowQueryLogSilentWhenUnset) {
+  ::unsetenv("FRAPPE_SLOW_QUERY_MS");
+  std::vector<std::string> logged;
+  SetSlowQueryLogSinkForTesting(
+      [&logged](const std::string& line) { logged.push_back(line); });
+  auto result = session_.Run(
+      "START n=node:node_auto_index('short_name: cmd') RETURN n");
+  SetSlowQueryLogSinkForTesting(nullptr);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(logged.empty());
+}
+
+}  // namespace
+}  // namespace frappe::query

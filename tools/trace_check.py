@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Validates an exported frappe::obs trace file.
+
+Checks that the file is well-formed Chrome trace-event JSON (the format
+chrome://tracing and ui.perfetto.dev load): a top-level object with a
+"traceEvents" array whose entries are complete duration ("ph": "X") events
+with numeric, non-negative ts/dur and integer pid/tid.
+
+Usage: trace_check.py <trace.json> [--min-events N]
+Exit code 0 when valid, 1 with a diagnostic otherwise.
+
+Run from ctest as the `trace_check` entry (label `obs`), against the file
+the trace_test fixture exports.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_EVENT_KEYS = {"name", "ph", "pid", "tid", "ts", "dur"}
+
+
+def fail(message):
+    print(f"trace_check: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace_file")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum number of trace events required")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace_file, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        return fail(f"cannot read {args.trace_file}: {e}")
+    except json.JSONDecodeError as e:
+        return fail(f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail('missing or non-array "traceEvents"')
+    if len(events) < args.min_events:
+        return fail(f"only {len(events)} events, need >= {args.min_events}")
+
+    prev_ts = None
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            return fail(f"event {i} is not an object")
+        missing = REQUIRED_EVENT_KEYS - event.keys()
+        if missing:
+            return fail(f"event {i} missing keys: {sorted(missing)}")
+        if event["ph"] != "X":
+            return fail(f"event {i} has ph={event['ph']!r}, expected 'X'")
+        if not isinstance(event["name"], str) or not event["name"]:
+            return fail(f"event {i} has an empty or non-string name")
+        for key in ("ts", "dur"):
+            value = event[key]
+            if not isinstance(value, (int, float)) or value < 0:
+                return fail(f"event {i} has invalid {key}={value!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event[key], int):
+                return fail(f"event {i} has non-integer {key}")
+        if prev_ts is not None and event["ts"] < prev_ts:
+            return fail(f"event {i} not sorted by ts")
+        prev_ts = event["ts"]
+
+    print(f"trace_check: OK: {len(events)} events in {args.trace_file}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

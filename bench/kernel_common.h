@@ -106,6 +106,9 @@ inline std::unique_ptr<OpenedKernel> OpenKernel(const std::string& path) {
     std::fprintf(stderr, "FATAL: %s\n", loaded.status().ToString().c_str());
     std::exit(1);
   }
+  for (const std::string& warning : loaded->warnings) {
+    std::fprintf(stderr, "[kernel_common] %s\n", warning.c_str());
+  }
   auto out = std::make_unique<OpenedKernel>();
   out->store = std::move(loaded->store);
   if (loaded->index.has_value()) {

@@ -21,7 +21,7 @@
 
 #include "common/string_util.h"
 #include "extractor/build_model.h"
-#include "graph/snapshot.h"
+#include "graph/snapshot_manager.h"
 #include "graph/stats.h"
 #include "model/code_graph.h"
 
@@ -113,8 +113,13 @@ int main(int argc, char** argv) {
   }
 
   graph::NameIndex index = graph.BuildNameIndex();
-  auto sizes = graph::SaveSnapshot(graph.view(), output, &index);
+  // Crash-safe save: temp file + fsync + rename, with rotated generations
+  // (<output>.1, <output>.2) kept as fallbacks for corrupted snapshots.
+  graph::SnapshotManager manager(output);
+  auto sizes = manager.Save(graph.view(), &index);
   if (!sizes.ok()) {
+    // A Corruption status here names the failing section and byte offset;
+    // I/O failures carry the errno text.
     std::fprintf(stderr, "save: %s\n", sizes.status().ToString().c_str());
     return 1;
   }

@@ -14,7 +14,7 @@
 #include <string>
 
 #include "extractor/synthetic.h"
-#include "graph/snapshot.h"
+#include "graph/snapshot_manager.h"
 #include "graph/stats.h"
 #include "model/code_graph.h"
 #include "query/explain.h"
@@ -26,39 +26,46 @@ namespace {
 using namespace frappe;
 
 struct Shell {
-  std::unique_ptr<graph::GraphStore> store;
-  std::unique_ptr<model::CodeGraph> owned_graph;  // --generate mode
+  std::unique_ptr<query::SnapshotSession> session;  // snapshot mode
+  std::unique_ptr<model::CodeGraph> owned_graph;    // --generate mode
   graph::NameIndex name_index;
   graph::LabelIndex label_index;
   model::Schema schema;
   query::Database db;
 
   const graph::GraphView& view() const {
-    return owned_graph ? owned_graph->view()
-                       : static_cast<const graph::GraphView&>(*store);
+    return owned_graph ? owned_graph->view() : session->view();
+  }
+  const query::Database& database() const {
+    return owned_graph ? db : session->database();
+  }
+  const graph::NameIndex& index() const {
+    return owned_graph ? name_index : session->name_index();
+  }
+  const model::Schema& schema_ref() const {
+    return owned_graph ? schema : session->schema();
   }
 };
 
 bool OpenSnapshot(const std::string& path, Shell* shell) {
-  auto loaded = graph::LoadSnapshot(path);
-  if (!loaded.ok()) {
+  auto session = query::SnapshotSession::Open(path);
+  if (!session.ok()) {
+    // Corruption statuses carry the failing section and byte offset.
     std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
-                 loaded.status().ToString().c_str());
+                 session.status().ToString().c_str());
     return false;
   }
-  shell->store = std::move(loaded->store);
-  if (loaded->index.has_value()) {
-    shell->name_index = std::move(*loaded->index);
-  } else {
-    model::CodeGraph scratch;
-    shell->name_index =
-        graph::NameIndex::Build(*shell->store, scratch.IndexFields());
+  shell->session = std::move(*session);
+  for (const std::string& warning : shell->session->warnings()) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
   }
-  shell->label_index = graph::LabelIndex::Build(*shell->store);
-  shell->schema = model::Schema::Install(shell->store.get());
-  shell->db = query::MakeFrappeDatabase(*shell->store, shell->schema,
-                                        &shell->name_index,
-                                        &shell->label_index);
+  if (shell->session->generation() > 0) {
+    std::fprintf(stderr,
+                 "warning: %s was unusable; loaded fallback generation %d"
+                 " (%s)\n",
+                 path.c_str(), shell->session->generation(),
+                 shell->session->loaded_path().c_str());
+  }
   return true;
 }
 
@@ -87,7 +94,7 @@ void PrintStats(const Shell& shell) {
 void PrintHubs(const Shell& shell) {
   for (const auto& hub : graph::TopDegreeNodes(
            shell.view(), 10,
-           shell.schema.key(model::PropKey::kShortName))) {
+           shell.schema_ref().key(model::PropKey::kShortName))) {
     std::printf("  %-30s %-14s degree %llu\n", hub.short_name.c_str(),
                 hub.type_name.c_str(),
                 static_cast<unsigned long long>(hub.degree));
@@ -151,20 +158,22 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line.rfind("\\explain ", 0) == 0) {
-      auto plan = query::ExplainText(shell.db, line.substr(9));
+      auto plan = query::ExplainText(shell.database(), line.substr(9));
       std::printf("%s", plan.ok() ? plan->c_str()
                                   : (plan.status().ToString() + "\n").c_str());
       continue;
     }
     if (line.rfind("\\save ", 0) == 0) {
       std::string path = line.substr(6);
-      auto sizes = graph::SaveSnapshot(shell.view(), path,
-                                       &shell.name_index);
+      // Crash-safe save with rotated generations (<path>.1, <path>.2).
+      graph::SnapshotManager manager(path);
+      auto sizes = manager.Save(shell.view(), &shell.index());
       if (sizes.ok()) {
         std::printf("wrote %s (%.1f MB)\n", path.c_str(),
                     sizes->total() / 1048576.0);
       } else {
-        std::printf("error: %s\n", sizes.status().ToString().c_str());
+        std::fprintf(stderr, "save failed: %s\n",
+                     sizes.status().ToString().c_str());
       }
       continue;
     }
@@ -178,7 +187,7 @@ int main(int argc, char** argv) {
     // \explain); `PROFILE <query>` executes and prints the annotated plan
     // above the rows.
     if (parsed->mode == query::QueryMode::kExplain) {
-      auto plan = query::Explain(shell.db, *parsed);
+      auto plan = query::Explain(shell.database(), *parsed);
       std::printf("%s", plan.ok() ? plan->c_str()
                                   : (plan.status().ToString() + "\n").c_str());
       continue;
@@ -188,7 +197,7 @@ int main(int argc, char** argv) {
     options.deadline_ms = 30'000;
     options.profile = parsed->mode == query::QueryMode::kProfile;
     auto start = std::chrono::steady_clock::now();
-    auto result = query::Execute(shell.db, *parsed, options);
+    auto result = query::Execute(shell.database(), *parsed, options);
     double ms = std::chrono::duration_cast<std::chrono::microseconds>(
                     std::chrono::steady_clock::now() - start)
                     .count() /
@@ -198,7 +207,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (options.profile) {
-      auto plan = query::ProfilePlan(shell.db, *parsed, result->stats);
+      auto plan = query::ProfilePlan(shell.database(), *parsed, result->stats);
       if (plan.ok()) std::printf("%s", plan->c_str());
     }
     // Header.
@@ -213,7 +222,7 @@ int main(int argc, char** argv) {
         break;
       }
       for (const auto& value : row) {
-        std::printf("%-28s", value.ToString(shell.db).c_str());
+        std::printf("%-28s", value.ToString(shell.database()).c_str());
       }
       std::printf("\n");
     }

@@ -1,0 +1,163 @@
+#include "common/crc32c.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace frappe::common {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+uint32_t table[8][256];
+std::once_flag table_once;
+
+void InitTables() {
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    for (int t = 1; t < 8; ++t) {
+      table[t][i] = (table[t - 1][i] >> 8) ^ table[0][table[t - 1][i] & 0xFF];
+    }
+  }
+}
+
+// Slice-by-8: consumes 8 bytes per step through 8 parallel tables.
+// Assumes little-endian (everything we target).
+uint32_t SoftExtend(uint32_t state, const uint8_t* p, size_t n) {
+  std::call_once(table_once, InitTables);
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    w ^= state;
+    state = table[7][w & 0xFF] ^ table[6][(w >> 8) & 0xFF] ^
+            table[5][(w >> 16) & 0xFF] ^ table[4][(w >> 24) & 0xFF] ^
+            table[3][(w >> 32) & 0xFF] ^ table[2][(w >> 40) & 0xFF] ^
+            table[1][(w >> 48) & 0xFF] ^ table[0][(w >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    state = (state >> 8) ^ table[0][(state ^ *p++) & 0xFF];
+  }
+  return state;
+}
+
+#if defined(__x86_64__)
+// The crc32 instruction has 3-cycle latency but single-cycle throughput: a
+// sequential chain caps at ~2.5 GB/s while three independent chains keep
+// the unit saturated. We run three lanes over kLane-byte stripes and merge
+// them with a precomputed GF(2) operator that advances a CRC register over
+// kLane zero bytes (the standard zlib crc32_combine construction).
+constexpr size_t kLane = 2048;
+constexpr size_t kBlock = 3 * kLane;
+
+using Gf2Matrix = uint32_t[32];
+
+uint32_t Gf2Times(const Gf2Matrix mat, uint32_t vec) {
+  uint32_t sum = 0;
+  for (int bit = 0; vec != 0; ++bit, vec >>= 1) {
+    if (vec & 1) sum ^= mat[bit];
+  }
+  return sum;
+}
+
+void Gf2Square(Gf2Matrix square, const Gf2Matrix mat) {
+  for (int bit = 0; bit < 32; ++bit) square[bit] = Gf2Times(mat, mat[bit]);
+}
+
+// lane_shift[b][v] advances the register by kLane zero bytes for the crc
+// byte v at position b: apply as XOR of the four byte lookups.
+uint32_t lane_shift[4][256];
+std::once_flag lane_once;
+
+void InitLaneShift() {
+  // Operator for one zero bit (reflected polynomial), squared repeatedly
+  // up to kLane * 8 bits.
+  Gf2Matrix odd, even;
+  odd[0] = kPoly;
+  for (int bit = 1; bit < 32; ++bit) odd[bit] = 1u << (bit - 1);
+  Gf2Square(even, odd);   // 2 bits
+  Gf2Square(odd, even);   // 4 bits
+  Gf2Matrix* cur = &odd;
+  Gf2Matrix* next = &even;
+  for (size_t bits = 4; bits < kLane * 8; bits *= 2) {
+    Gf2Square(*next, *cur);
+    std::swap(cur, next);
+  }
+  for (int b = 0; b < 4; ++b) {
+    for (uint32_t v = 0; v < 256; ++v) {
+      lane_shift[b][v] = Gf2Times(*cur, v << (8 * b));
+    }
+  }
+}
+
+uint32_t LaneShift(uint32_t crc) {
+  return lane_shift[0][crc & 0xFF] ^ lane_shift[1][(crc >> 8) & 0xFF] ^
+         lane_shift[2][(crc >> 16) & 0xFF] ^ lane_shift[3][crc >> 24];
+}
+
+__attribute__((target("sse4.2"))) uint32_t HwExtend(uint32_t state,
+                                                    const uint8_t* p,
+                                                    size_t n) {
+  uint64_t c = state;
+  if (n >= kBlock) {
+    std::call_once(lane_once, InitLaneShift);
+    do {
+      uint64_t c1 = 0, c2 = 0;
+      for (size_t i = 0; i < kLane; i += 8) {
+        uint64_t w0, w1, w2;
+        std::memcpy(&w0, p + i, 8);
+        std::memcpy(&w1, p + kLane + i, 8);
+        std::memcpy(&w2, p + 2 * kLane + i, 8);
+        c = __builtin_ia32_crc32di(c, w0);
+        c1 = __builtin_ia32_crc32di(c1, w1);
+        c2 = __builtin_ia32_crc32di(c2, w2);
+      }
+      c = LaneShift(static_cast<uint32_t>(c)) ^ c1;
+      c = LaneShift(static_cast<uint32_t>(c)) ^ c2;
+      p += kBlock;
+      n -= kBlock;
+    } while (n >= kBlock);
+  }
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = __builtin_ia32_crc32di(c, w);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n-- > 0) {
+    c32 = __builtin_ia32_crc32qi(c32, *p++);
+  }
+  return c32;
+}
+
+bool HasHardwareCrc() { return __builtin_cpu_supports("sse4.2"); }
+#endif
+
+uint32_t Extend(uint32_t state, const uint8_t* p, size_t n) {
+#if defined(__x86_64__)
+  static const bool hw = HasHardwareCrc();
+  if (hw) return HwExtend(state, p, n);
+#endif
+  return SoftExtend(state, p, n);
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size) {
+  return ~Extend(~0u, static_cast<const uint8_t*>(data), size);
+}
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  return ~Extend(~crc, static_cast<const uint8_t*>(data), size);
+}
+
+}  // namespace frappe::common

@@ -1,0 +1,29 @@
+#ifndef FRAPPE_COMMON_CRC32C_H_
+#define FRAPPE_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace frappe::common {
+
+// CRC32C (Castagnoli polynomial, the checksum RocksDB/LevelDB/ext4 use for
+// block integrity). Hardware-accelerated via SSE4.2 when the CPU has it
+// (detected once at runtime); slice-by-8 table fallback otherwise, so the
+// result is identical everywhere.
+//
+// Crc32c("123456789") == 0xE3069283 (the standard check value).
+uint32_t Crc32c(const void* data, size_t size);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32c(data.data(), data.size());
+}
+
+// Streaming form: extends a previously returned (finalized) CRC as if the
+// two buffers had been checksummed in one call:
+//   Crc32cExtend(Crc32c(a), b) == Crc32c(a + b).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+}  // namespace frappe::common
+
+#endif  // FRAPPE_COMMON_CRC32C_H_

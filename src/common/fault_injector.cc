@@ -1,0 +1,124 @@
+#include "common/fault_injector.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace frappe::common {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = [] {
+    auto* injector = new FaultInjector();
+    const char* env = std::getenv("FRAPPE_FAULT");
+    if (env != nullptr && *env != '\0') {
+      Status s = injector->Parse(env);
+      if (!s.ok()) {
+        std::fprintf(stderr, "[fault_injector] ignoring FRAPPE_FAULT: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+void FaultInjector::Arm(std::string_view site, uint64_t countdown,
+                        int64_t times) {
+  if (countdown == 0) countdown = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[std::string(site)];
+  s.remaining_skip = countdown - 1;
+  s.times = times;
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) sites_.erase(it);
+  active_.store(!sites_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  active_.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Parse(std::string_view spec) {
+  // Validate the whole spec before arming anything.
+  std::vector<std::pair<std::string, uint64_t>> parsed;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string_view entry = spec.substr(
+        pos, comma == std::string_view::npos ? spec.size() - pos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (entry.empty()) {
+      if (comma == std::string_view::npos && parsed.empty()) break;
+      return Status::InvalidArgument("fault spec: empty entry in '" +
+                                     std::string(spec) + "'");
+    }
+    size_t colon = entry.rfind(':');
+    std::string_view site = entry.substr(0, colon);
+    uint64_t countdown = 1;
+    if (colon != std::string_view::npos) {
+      int64_t n = 0;
+      if (!ParseInt64(entry.substr(colon + 1), &n) || n < 1) {
+        return Status::InvalidArgument("fault spec: bad countdown in '" +
+                                       std::string(entry) + "'");
+      }
+      countdown = static_cast<uint64_t>(n);
+    }
+    if (site.empty()) {
+      return Status::InvalidArgument("fault spec: empty site name in '" +
+                                     std::string(entry) + "'");
+    }
+    parsed.emplace_back(std::string(site), countdown);
+  }
+  for (const auto& [site, countdown] : parsed) Arm(site, countdown);
+  return Status::OK();
+}
+
+bool FaultInjector::ShouldFail(std::string_view site) {
+  if (!active_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  ++s.hits;
+  if (s.remaining_skip > 0) {
+    --s.remaining_skip;
+    return false;
+  }
+  if (s.times == 0) return false;
+  if (s.times > 0) --s.times;
+  ++s.fires;
+  return true;
+}
+
+uint64_t FaultInjector::HitCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::FireCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultInjector::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    if (site.times != 0) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace frappe::common

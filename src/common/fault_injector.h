@@ -1,0 +1,91 @@
+#ifndef FRAPPE_COMMON_FAULT_INJECTOR_H_
+#define FRAPPE_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace frappe::common {
+
+// Deterministic fault injection for durability testing, modeled on
+// LevelDB's fault-injection Env / RocksDB's sync points. A *site* is a
+// named failure point in library code (`snapshot.fsync`,
+// `snapshot.write_enospc`); call sites ask `ShouldFail(site)` and translate
+// `true` into that site's failure mode (short write, ENOSPC, fsync error,
+// simulated crash, ...).
+//
+// Arming is programmatic (Arm/Disarm/Reset — the test API) or via the
+// FRAPPE_FAULT environment variable, parsed once at first Global() use:
+//
+//   FRAPPE_FAULT="snapshot.fsync:1"        fail the first fsync
+//   FRAPPE_FAULT="snapshot.write_short:3"  fail the 3rd data write
+//   FRAPPE_FAULT="a:1,b:2"                 several sites at once
+//   FRAPPE_FAULT="snapshot.rename"         countdown defaults to 1
+//
+// The countdown n means the n-th ShouldFail call at that site fires. A site
+// fires `times` consecutive calls starting there (default 1; times < 0 =
+// every call from the countdown on).
+//
+// The disarmed fast path is one relaxed atomic load and no allocation, so
+// the hooks stay compiled into release builds.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Process-wide instance; reads FRAPPE_FAULT on first use (a malformed
+  // spec is reported to stderr and ignored).
+  static FaultInjector& Global();
+
+  // Arms `site` so the `countdown`-th ShouldFail call fires (1 = the next
+  // call), and the following `times - 1` calls fire too (times < 0 = keep
+  // firing forever). Re-arming a site replaces its state.
+  void Arm(std::string_view site, uint64_t countdown = 1, int64_t times = 1);
+  void Disarm(std::string_view site);
+  // Disarms every site and forgets all hit/fire counts.
+  void Reset();
+
+  // Parses a FRAPPE_FAULT-style spec ("site[:n][,site[:n]]...") and arms
+  // each entry. Returns InvalidArgument on malformed input (no sites armed
+  // in that case).
+  Status Parse(std::string_view spec);
+
+  // True if the fault at `site` fires now; call sites decide what failing
+  // means. Counts a hit when the site is armed.
+  bool ShouldFail(std::string_view site);
+
+  // ShouldFail calls observed at `site` while it was armed.
+  uint64_t HitCount(std::string_view site) const;
+  // Times `site` actually fired.
+  uint64_t FireCount(std::string_view site) const;
+
+  // Cheap "anything armed?" probe for hot paths that want to skip even the
+  // site-name construction.
+  bool AnyArmed() const { return active_.load(std::memory_order_relaxed); }
+
+  // Names of currently armed sites (diagnostics).
+  std::vector<std::string> ArmedSites() const;
+
+ private:
+  struct Site {
+    uint64_t remaining_skip = 0;  // hits to swallow before firing
+    int64_t times = 1;            // fires left; < 0 = unlimited
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_;
+  std::atomic<bool> active_{false};
+};
+
+}  // namespace frappe::common
+
+#endif  // FRAPPE_COMMON_FAULT_INJECTOR_H_

@@ -1,0 +1,196 @@
+#include "common/file_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/fault_injector.h"
+
+namespace frappe::common {
+
+namespace {
+
+// Data writes go out in bounded chunks so an injected short write can stop
+// partway through a large buffer, like a real torn write would.
+constexpr size_t kWriteChunk = 1 << 20;
+
+Status ErrnoStatus(int err, const std::string& what) {
+  std::string msg = what + ": " + std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT) return Status::ResourceExhausted(msg);
+  if (err == ENOENT) return Status::NotFound(msg);
+  return Status::Internal(msg);
+}
+
+std::string Site(std::string_view prefix, const char* suffix) {
+  return std::string(prefix) + suffix;
+}
+
+// True when the injector fires for `<prefix><suffix>`. The AnyArmed probe
+// keeps the disarmed path free of string construction.
+bool Fires(std::string_view prefix, const char* suffix) {
+  FaultInjector& inj = FaultInjector::Global();
+  return inj.AnyArmed() && inj.ShouldFail(Site(prefix, suffix));
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path, std::string_view fault_prefix) {
+  size_t written = 0;
+  while (written < size) {
+    size_t chunk = std::min(kWriteChunk, size - written);
+    if (Fires(fault_prefix, ".write_enospc")) {
+      return Status::ResourceExhausted("injected ENOSPC writing " + path +
+                                       " after " + std::to_string(written) +
+                                       " bytes");
+    }
+    if (Fires(fault_prefix, ".write_short")) {
+      // Emit half the chunk, then fail — the file is left torn.
+      size_t half = chunk / 2;
+      if (half > 0) {
+        ssize_t ignored = ::write(fd, data + written, half);
+        (void)ignored;
+      }
+      return Status::Internal("injected short write to " + path + " after " +
+                              std::to_string(written + chunk / 2) + " bytes");
+    }
+    ssize_t n = ::write(fd, data + written, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus(errno, "write failed: " + path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string TempPathFor(const std::string& path) {
+  return path + ".tmp." + std::to_string(::getpid());
+}
+
+Status ReadFile(const std::string& path, std::string* out,
+                std::string_view fault_prefix) {
+  if (Fires(fault_prefix, ".read")) {
+    return Status::Internal("injected read failure: " + path);
+  }
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus(errno, "cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = ErrnoStatus(errno, "cannot stat " + path);
+    ::close(fd);
+    return s;
+  }
+  out->clear();
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < out->size()) {
+    ssize_t n = ::read(fd, out->data() + off, out->size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = ErrnoStatus(errno, "read failed: " + path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;  // file shrank under us; keep what we got
+    off += static_cast<size_t>(n);
+  }
+  out->resize(off);
+  ::close(fd);
+  return Status::OK();
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view data,
+                        std::string_view fault_prefix) {
+  if (Fires(fault_prefix, ".open")) {
+    return Status::Internal("injected open failure: " + path);
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus(errno, "cannot open for write: " + path);
+  Status s = WriteAll(fd, data.data(), data.size(), path, fault_prefix);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  if (Fires(fault_prefix, ".fsync")) {
+    ::close(fd);
+    return Status::Internal("injected fsync failure: " + path);
+  }
+  if (::fsync(fd) != 0) {
+    Status es = ErrnoStatus(errno, "fsync failed: " + path);
+    ::close(fd);
+    return es;
+  }
+  if (::close(fd) != 0) {
+    return ErrnoStatus(errno, "close failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status SyncParentDir(const std::string& path, std::string_view fault_prefix) {
+  if (Fires(fault_prefix, ".dirsync")) {
+    return Status::Internal("injected directory fsync failure: " + path);
+  }
+  std::string dir = ParentDir(path);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus(errno, "cannot open directory " + dir);
+  if (::fsync(fd) != 0) {
+    Status s = ErrnoStatus(errno, "fsync failed on directory " + dir);
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to,
+                  std::string_view fault_prefix) {
+  if (Fires(fault_prefix, ".rename")) {
+    return Status::Internal("injected rename failure: " + from + " -> " + to);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus(errno, "rename failed: " + from + " -> " + to);
+  }
+  return SyncParentDir(to, fault_prefix);
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus(errno, "unlink failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data,
+                       std::string_view fault_prefix) {
+  std::string tmp = TempPathFor(path);
+  Status s = WriteFileDurable(tmp, data, fault_prefix);
+  if (!s.ok()) {
+    RemoveFileIfExists(tmp);
+    return s;
+  }
+  if (Fires(fault_prefix, ".crash_rename")) {
+    // Simulated crash: no cleanup, no rename — exactly the debris a real
+    // crash would leave. `path` still holds the previous complete file.
+    return Status::Internal("injected crash before rename: " + path +
+                            " (temp left at " + tmp + ")");
+  }
+  s = RenameFile(tmp, path, fault_prefix);
+  if (!s.ok()) {
+    RemoveFileIfExists(tmp);
+    return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace frappe::common

@@ -1,0 +1,67 @@
+#ifndef FRAPPE_COMMON_FILE_IO_H_
+#define FRAPPE_COMMON_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace frappe::common {
+
+// Durable POSIX file helpers for the snapshot persistence layer. All
+// operations map errno into the Status vocabulary (ENOSPC/EDQUOT →
+// ResourceExhausted, ENOENT → NotFound, everything else → Internal) and are
+// threaded through FaultInjector so tests can simulate short writes,
+// ENOSPC, fsync failures and crashes. The fault sites, relative to
+// `fault_prefix` (default "file"):
+//
+//   <prefix>.open           open() of the output file fails
+//   <prefix>.write_short    a data write stops halfway, then errors
+//   <prefix>.write_enospc   a data write fails with simulated ENOSPC
+//   <prefix>.fsync          fsync() of the file fails
+//   <prefix>.crash_rename   simulated crash after the temp file is durable
+//                           but before rename (AtomicWriteFile only; the
+//                           temp file is left behind, as a real crash would)
+//   <prefix>.rename         rename() fails
+//   <prefix>.dirsync        fsync() of the parent directory fails
+//   <prefix>.read           read path fails (ReadFile)
+
+// "<path>.tmp.<pid>" — the scratch name AtomicWriteFile and SnapshotManager
+// write to before renaming into place.
+std::string TempPathFor(const std::string& path);
+
+// Reads the whole file into `*out` (replacing its contents).
+Status ReadFile(const std::string& path, std::string* out,
+                std::string_view fault_prefix = "file");
+
+// Writes `data` to `path` (truncating) and fsyncs the file before closing,
+// so the bytes are durable once this returns OK. Does NOT fsync the parent
+// directory — the file itself may not survive a crash until its directory
+// entry is synced (RenameFile / SyncParentDir do that).
+Status WriteFileDurable(const std::string& path, std::string_view data,
+                        std::string_view fault_prefix = "file");
+
+// rename(from, to) followed by an fsync of `to`'s parent directory, making
+// the swap itself durable. POSIX rename is atomic: readers see either the
+// old or the new file, never a mix.
+Status RenameFile(const std::string& from, const std::string& to,
+                  std::string_view fault_prefix = "file");
+
+// fsync of the directory containing `path` (persists create/rename entries).
+Status SyncParentDir(const std::string& path,
+                     std::string_view fault_prefix = "file");
+
+// Best-effort unlink; missing file is OK.
+Status RemoveFileIfExists(const std::string& path);
+
+// The crash-safe save primitive: write to TempPathFor(path), fsync, rename
+// over `path`, fsync the parent directory. A crash (or injected fault) at
+// any point leaves `path` as either the complete old file or the complete
+// new file — never a torn mix. On failure the temp file is removed, except
+// for the injected crash site, which leaves it behind like a real crash.
+Status AtomicWriteFile(const std::string& path, std::string_view data,
+                       std::string_view fault_prefix = "file");
+
+}  // namespace frappe::common
+
+#endif  // FRAPPE_COMMON_FILE_IO_H_

@@ -356,10 +356,20 @@ void NameIndex::Serialize(std::string* out) const {
 }
 
 Result<NameIndex> NameIndex::Deserialize(std::string_view data) {
+  auto corrupt = [](std::string what, size_t offset) {
+    return Status::Corruption("name index: " + std::move(what) +
+                              " at offset " + std::to_string(offset));
+  };
   Reader r{data};
   uint32_t field_count;
   if (!r.ReadU32(&field_count)) {
-    return Status::Corruption("name index: truncated header");
+    return corrupt("truncated header", r.pos);
+  }
+  // Each field header needs at least 20 bytes; anything bigger than the
+  // remaining data is a corrupted count, not a real index.
+  if (field_count > (data.size() - r.pos) / 20) {
+    return corrupt("implausible field count " + std::to_string(field_count),
+                   r.pos);
   }
   NameIndex index;
   for (uint32_t i = 0; i < field_count; ++i) {
@@ -368,25 +378,47 @@ Result<NameIndex> NameIndex::Deserialize(std::string_view data) {
     uint64_t term_count;
     if (!r.ReadString(&spec.name) || !r.ReadU32(&key) ||
         !r.ReadU32(&is_type) || !r.ReadU64(&term_count)) {
-      return Status::Corruption("name index: truncated field header");
+      return corrupt("truncated field header", r.pos);
     }
     spec.key = static_cast<KeyId>(key);
     spec.is_type_field = is_type != 0;
     index.specs_.push_back(spec);
     Postings postings;
+    std::string prev_term;
     for (uint64_t t = 0; t < term_count; ++t) {
+      size_t entry_pos = r.pos;
       std::string term;
       uint32_t count;
       if (!r.ReadString(&term) || !r.ReadU32(&count) ||
-          r.pos + count * sizeof(NodeId) > data.size()) {
-        return Status::Corruption("name index: truncated postings");
+          count * sizeof(NodeId) > data.size() - r.pos) {
+        return corrupt("truncated postings", r.pos);
+      }
+      // Serialize emits map order, so terms must be strictly increasing;
+      // equal terms would silently collapse in the map and a wrong order
+      // means the bytes were tampered with.
+      if (t > 0 && term <= prev_term) {
+        return corrupt("term order violation in field '" + spec.name + "'",
+                       entry_pos);
       }
       std::vector<NodeId> nodes(count);
       std::memcpy(nodes.data(), data.data() + r.pos, count * sizeof(NodeId));
       r.pos += count * sizeof(NodeId);
+      // Lookups intersect/merge posting lists assuming sorted, deduplicated
+      // ids — enforce strictly ascending here rather than trusting disk.
+      for (uint32_t n = 1; n < count; ++n) {
+        if (nodes[n] <= nodes[n - 1]) {
+          return corrupt("unsorted posting list for term '" + term + "'",
+                         entry_pos);
+        }
+      }
       postings.emplace(std::move(term), std::move(nodes));
+      prev_term = postings.rbegin()->first;
     }
     index.postings_.push_back(std::move(postings));
+  }
+  if (r.pos != data.size()) {
+    return corrupt(std::to_string(data.size() - r.pos) + " trailing bytes",
+                   r.pos);
   }
   return index;
 }

@@ -97,8 +97,42 @@ Session::Session(const model::CodeGraph& code_graph)
       db_(MakeFrappeDatabase(code_graph.view(), code_graph.schema(),
                              &name_index_, &label_index_)) {}
 
+Result<std::unique_ptr<SnapshotSession>> SnapshotSession::Open(
+    const std::string& path, const graph::SnapshotManager::Options& options) {
+  FRAPPE_TRACE_SPAN("session.open_snapshot");
+  graph::SnapshotManager manager(path, options);
+  FRAPPE_ASSIGN_OR_RETURN(graph::SnapshotManager::Loaded loaded,
+                          manager.Load());
+  // `new` rather than make_unique: the constructor is private.
+  std::unique_ptr<SnapshotSession> session(new SnapshotSession());
+  session->store_ = std::move(loaded.snapshot.store);
+  session->warnings_ = std::move(loaded.snapshot.warnings);
+  session->generation_ = loaded.generation;
+  session->loaded_path_ = std::move(loaded.path);
+  if (loaded.snapshot.index.has_value()) {
+    session->name_index_ = std::move(*loaded.snapshot.index);
+  } else {
+    // Index-less snapshot (or one whose index section was dropped as
+    // unrecoverable): build the standard Frappé auto-index fields.
+    model::CodeGraph scratch;
+    session->name_index_ =
+        graph::NameIndex::Build(*session->store_, scratch.IndexFields());
+  }
+  session->label_index_ = graph::LabelIndex::Build(*session->store_);
+  session->schema_ = model::Schema::Install(session->store_.get());
+  session->db_ =
+      MakeFrappeDatabase(*session->store_, session->schema_,
+                         &session->name_index_, &session->label_index_);
+  return session;
+}
+
 Result<QueryResult> Session::Run(std::string_view query_text,
                                  const ExecOptions& options) const {
+  return RunQuery(db_, query_text, options);
+}
+
+Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
+                             const ExecOptions& options) {
   FRAPPE_TRACE_SPAN("session.run");
   static obs::Counter& queries =
       obs::Registry::Global().GetCounter("session.queries");
@@ -115,7 +149,7 @@ Result<QueryResult> Session::Run(std::string_view query_text,
   if (query.mode == QueryMode::kExplain) {
     FRAPPE_TRACE_SPAN("session.plan");
     QueryResult result;
-    FRAPPE_ASSIGN_OR_RETURN(result.plan, Explain(db_, query));
+    FRAPPE_ASSIGN_OR_RETURN(result.plan, Explain(db, query));
     return result;
   }
 
@@ -125,7 +159,7 @@ Result<QueryResult> Session::Run(std::string_view query_text,
   const auto exec_start = std::chrono::steady_clock::now();
   Result<QueryResult> result = [&] {
     FRAPPE_TRACE_SPAN("session.execute");
-    return Execute(db_, query, exec_options);
+    return Execute(db, query, exec_options);
   }();
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(
@@ -135,7 +169,7 @@ Result<QueryResult> Session::Run(std::string_view query_text,
   if (result.ok() && query.mode == QueryMode::kProfile) {
     FRAPPE_TRACE_SPAN("session.plan");
     FRAPPE_ASSIGN_OR_RETURN(result->plan,
-                            ProfilePlan(db_, query, result->stats));
+                            ProfilePlan(db, query, result->stats));
   }
 
   // Slow-query log: fires for successes and budget breaches alike — the
@@ -149,7 +183,7 @@ Result<QueryResult> Session::Run(std::string_view query_text,
                           std::string(query_text) + "\n";
     if (result.ok() && !result->plan.empty()) {
       message += result->plan;
-    } else if (Result<std::string> plan = Explain(db_, query); plan.ok()) {
+    } else if (Result<std::string> plan = Explain(db, query); plan.ok()) {
       message += *plan;
     }
     if (!result.ok()) {

@@ -6,13 +6,23 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "common/status.h"
 #include "graph/indexes.h"
+#include "graph/snapshot_manager.h"
 #include "model/code_graph.h"
 #include "query/database.h"
 #include "query/executor.h"
 
 namespace frappe::query {
+
+// Parses and executes `query_text` against a wired Database: EXPLAIN
+// returns the plan without executing, PROFILE annotates it with operator
+// stats, and the FRAPPE_SLOW_QUERY_MS slow-query log applies. Session and
+// SnapshotSession both run queries through this.
+Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
+                             const ExecOptions& options = {});
 
 // End-to-end query session over a Frappé code graph: owns the auto name
 // index and label index, wires schema-aware label/property resolution
@@ -44,6 +54,51 @@ class Session {
   graph::NameIndex name_index_;
   graph::LabelIndex label_index_;
   Database db_;
+};
+
+// A query session over a snapshot family on disk: loads the newest
+// verifying generation through graph::SnapshotManager (falling back past a
+// corrupt current file), rebuilds the name index when the snapshot didn't
+// embed one (or embedded a corrupt one — see LoadedSnapshot::warnings),
+// installs the Frappé schema, and wires a Database.
+//
+// Heap-allocated via Open() because Database captures raw pointers into
+// the owned store/indexes; the unique_ptr keeps those addresses stable.
+class SnapshotSession {
+ public:
+  static Result<std::unique_ptr<SnapshotSession>> Open(
+      const std::string& path,
+      const graph::SnapshotManager::Options& options = {});
+
+  Result<QueryResult> Run(std::string_view query_text,
+                          const ExecOptions& options = {}) const {
+    return RunQuery(db_, query_text, options);
+  }
+
+  const Database& database() const { return db_; }
+  const graph::GraphView& view() const { return *store_; }
+  const graph::NameIndex& name_index() const { return name_index_; }
+  const model::Schema& schema() const { return schema_; }
+
+  // Which file actually loaded: generation 0 is `path` itself, higher
+  // generations mean the current snapshot was unusable.
+  int generation() const { return generation_; }
+  const std::string& loaded_path() const { return loaded_path_; }
+  // Non-fatal degradations from the load (checksum fallbacks, index
+  // rebuilds). Callers should surface these to the operator.
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
+ private:
+  SnapshotSession() = default;
+
+  std::unique_ptr<graph::GraphStore> store_;
+  graph::NameIndex name_index_;
+  graph::LabelIndex label_index_;
+  model::Schema schema_;
+  Database db_;
+  std::vector<std::string> warnings_;
+  int generation_ = 0;
+  std::string loaded_path_;
 };
 
 // Wires a schema-aware Database over arbitrary components (used when the

@@ -104,6 +104,14 @@ Result<std::unique_ptr<VersionView>> VersionStore::ViewAt(
   return std::make_unique<VersionView>(this, version);
 }
 
+Result<graph::SnapshotSizes> VersionStore::SaveVersion(
+    Version version, const std::string& path,
+    const graph::SnapshotOptions& options) const {
+  FRAPPE_ASSIGN_OR_RETURN(std::unique_ptr<VersionView> view,
+                          ViewAt(version));
+  return graph::SaveSnapshot(*view, path, /*index=*/nullptr, options);
+}
+
 const graph::PropertyMap& VersionStore::PropsAt(bool is_edge, uint32_t id,
                                                 Version version) const {
   const auto& histories = is_edge ? edge_prop_history_ : node_prop_history_;

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "graph/graph_store.h"
 #include "graph/graph_view.h"
+#include "graph/snapshot.h"
 
 namespace frappe::temporal {
 
@@ -67,6 +68,14 @@ class VersionStore {
   // Point-in-time view of a committed version. The view borrows this
   // store; it stays valid while the store lives (append-only design).
   Result<std::unique_ptr<VersionView>> ViewAt(Version version) const;
+
+  // Materializes one committed version as a crash-safe on-disk snapshot
+  // (the v2 checksummed format — see graph/snapshot.h). The saved file
+  // reloads as a plain GraphStore; dead id slots become tombstones, so ids
+  // survive the round trip. Returns the per-section byte sizes.
+  Result<graph::SnapshotSizes> SaveVersion(
+      Version version, const std::string& path,
+      const graph::SnapshotOptions& options = {}) const;
 
   // --- change analysis ---
 

@@ -1,0 +1,109 @@
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace frappe::common {
+namespace {
+
+// Each test uses its own injector instance: Global() is reserved for
+// cross-library wiring (file_io) and touched only via Reset-guarded tests.
+TEST(FaultInjectorTest, UnarmedNeverFires) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.AnyArmed());
+  EXPECT_FALSE(inj.ShouldFail("snapshot.fsync"));
+  EXPECT_EQ(inj.HitCount("snapshot.fsync"), 0u);
+}
+
+TEST(FaultInjectorTest, CountdownFiresNthCall) {
+  FaultInjector inj;
+  inj.Arm("site", /*countdown=*/3);
+  EXPECT_TRUE(inj.AnyArmed());
+  EXPECT_FALSE(inj.ShouldFail("site"));
+  EXPECT_FALSE(inj.ShouldFail("site"));
+  EXPECT_TRUE(inj.ShouldFail("site"));   // third call fires
+  EXPECT_FALSE(inj.ShouldFail("site"));  // times=1: spent
+  EXPECT_EQ(inj.HitCount("site"), 4u);
+  EXPECT_EQ(inj.FireCount("site"), 1u);
+}
+
+TEST(FaultInjectorTest, TimesFiresConsecutively) {
+  FaultInjector inj;
+  inj.Arm("site", /*countdown=*/1, /*times=*/2);
+  EXPECT_TRUE(inj.ShouldFail("site"));
+  EXPECT_TRUE(inj.ShouldFail("site"));
+  EXPECT_FALSE(inj.ShouldFail("site"));
+  EXPECT_EQ(inj.FireCount("site"), 2u);
+}
+
+TEST(FaultInjectorTest, NegativeTimesFiresForever) {
+  FaultInjector inj;
+  inj.Arm("site", 1, /*times=*/-1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(inj.ShouldFail("site"));
+}
+
+TEST(FaultInjectorTest, SitesAreIndependent) {
+  FaultInjector inj;
+  inj.Arm("a");
+  inj.Arm("b", 2);
+  EXPECT_TRUE(inj.ShouldFail("a"));
+  EXPECT_FALSE(inj.ShouldFail("b"));
+  EXPECT_TRUE(inj.ShouldFail("b"));
+  EXPECT_FALSE(inj.ShouldFail("c"));
+}
+
+TEST(FaultInjectorTest, DisarmAndReset) {
+  FaultInjector inj;
+  inj.Arm("a");
+  inj.Disarm("a");
+  EXPECT_FALSE(inj.ShouldFail("a"));
+  inj.Arm("b");
+  inj.Reset();
+  EXPECT_FALSE(inj.AnyArmed());
+  EXPECT_FALSE(inj.ShouldFail("b"));
+  EXPECT_EQ(inj.HitCount("b"), 0u);
+}
+
+TEST(FaultInjectorTest, RearmReplacesState) {
+  FaultInjector inj;
+  inj.Arm("a", 5);
+  EXPECT_FALSE(inj.ShouldFail("a"));
+  inj.Arm("a", 1);  // re-arm: fire immediately
+  EXPECT_TRUE(inj.ShouldFail("a"));
+}
+
+TEST(FaultInjectorTest, ParsesEnvStyleSpecs) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Parse("snapshot.fsync:1,snapshot.rename:3").ok());
+  EXPECT_TRUE(inj.ShouldFail("snapshot.fsync"));
+  EXPECT_FALSE(inj.ShouldFail("snapshot.rename"));
+  EXPECT_FALSE(inj.ShouldFail("snapshot.rename"));
+  EXPECT_TRUE(inj.ShouldFail("snapshot.rename"));
+}
+
+TEST(FaultInjectorTest, ParseDefaultsCountdownToOne) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Parse("snapshot.write_short").ok());
+  EXPECT_TRUE(inj.ShouldFail("snapshot.write_short"));
+}
+
+TEST(FaultInjectorTest, ParseRejectsMalformedSpecsAtomically) {
+  FaultInjector inj;
+  // The second entry is bad, so the first must not arm either.
+  EXPECT_FALSE(inj.Parse("good:1,bad:zero").ok());
+  EXPECT_FALSE(inj.Parse("site:0").ok());
+  EXPECT_FALSE(inj.Parse(":3").ok());
+  EXPECT_FALSE(inj.Parse(",").ok());
+  EXPECT_FALSE(inj.AnyArmed());
+  EXPECT_FALSE(inj.ShouldFail("good"));
+}
+
+TEST(FaultInjectorTest, ArmedSitesListsNames) {
+  FaultInjector inj;
+  inj.Arm("x");
+  inj.Arm("y");
+  auto sites = inj.ArmedSites();
+  EXPECT_EQ(sites.size(), 2u);
+}
+
+}  // namespace
+}  // namespace frappe::common

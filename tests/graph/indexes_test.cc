@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -166,14 +167,66 @@ TEST_F(NameIndexTest, SerializeDeserializeRoundTrip) {
   EXPECT_EQ(restored->TermCount(), index_.TermCount());
 }
 
-TEST_F(NameIndexTest, DeserializeRejectsTruncation) {
+TEST_F(NameIndexTest, DeserializeRejectsTruncationAtEveryByte) {
   std::string blob;
   index_.Serialize(&blob);
-  for (size_t cut : {size_t{0}, size_t{2}, blob.size() / 2, blob.size() - 1}) {
+  // Every proper prefix must be rejected as Corruption — never accepted,
+  // never a crash (the storage ASan lane runs this).
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
     auto truncated = NameIndex::Deserialize(
         std::string_view(blob).substr(0, cut));
-    EXPECT_FALSE(truncated.ok()) << "cut=" << cut;
+    ASSERT_FALSE(truncated.ok()) << "cut=" << cut;
+    EXPECT_EQ(truncated.status().code(), StatusCode::kCorruption)
+        << "cut=" << cut;
   }
+}
+
+TEST_F(NameIndexTest, DeserializeRejectsTrailingGarbage) {
+  std::string blob;
+  index_.Serialize(&blob);
+  blob += "junk";
+  auto result = NameIndex::Deserialize(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("trailing"), std::string::npos);
+}
+
+TEST_F(NameIndexTest, DeserializeRejectsUnsortedPostings) {
+  // Two nodes share a term; swapping their serialized ids breaks the
+  // sorted-postings invariant lookups rely on.
+  NodeId a = AddNamed(fn_type_, "dup");
+  NodeId b = AddNamed(fn_type_, "dup");
+  NameIndex index = NameIndex::Build(
+      store_, {{"short_name", store_.keys().Find("short_name"), false}});
+  ASSERT_EQ(index.Lookup("short_name", "dup"), (std::vector<NodeId>{a, b}));
+
+  std::string blob;
+  index.Serialize(&blob);
+  // The two ids sit back-to-back right after the term "dup" + u32 count.
+  size_t term_pos = blob.find("dup");
+  ASSERT_NE(term_pos, std::string::npos);
+  size_t ids_pos = term_pos + 3 + sizeof(uint32_t);
+  std::string swapped = blob;
+  std::memcpy(&swapped[ids_pos], &b, sizeof(NodeId));
+  std::memcpy(&swapped[ids_pos + sizeof(NodeId)], &a, sizeof(NodeId));
+  auto result = NameIndex::Deserialize(swapped);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("unsorted"), std::string::npos);
+
+  // Duplicated ids are rejected too (strictly ascending required).
+  std::string duped = blob;
+  std::memcpy(&duped[ids_pos + sizeof(NodeId)], &a, sizeof(NodeId));
+  EXPECT_FALSE(NameIndex::Deserialize(duped).ok());
+}
+
+TEST_F(NameIndexTest, DeserializeRejectsImplausibleFieldCount) {
+  std::string blob;
+  index_.Serialize(&blob);
+  uint32_t huge = 0x40000000;
+  std::memcpy(&blob[0], &huge, sizeof(huge));
+  auto result = NameIndex::Deserialize(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("field count"), std::string::npos);
 }
 
 TEST_F(NameIndexTest, IncrementalIndexNode) {

@@ -1,0 +1,223 @@
+#include "graph/snapshot_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/file_io.h"
+#include "obs/metrics.h"
+
+namespace frappe::graph {
+namespace {
+
+GraphStore GraphWithName(const std::string& name) {
+  GraphStore store;
+  NodeId a = store.AddNode("function");
+  store.SetNodeProperty(a, "short_name", store.StringValue(name));
+  return store;
+}
+
+std::string LoadedName(const LoadedSnapshot& snapshot) {
+  const GraphStore& store = *snapshot.store;
+  return std::string(
+      store.GetNodeString(0, store.keys().Find("short_name")));
+}
+
+class SnapshotManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/frappe_mgr_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".db";
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    std::remove(path_.c_str());
+    std::remove(common::TempPathFor(path_).c_str());
+    for (int g = 1; g <= 5; ++g) {
+      std::remove((path_ + "." + std::to_string(g)).c_str());
+    }
+  }
+
+  bool Exists(const std::string& p) {
+    if (FILE* f = std::fopen(p.c_str(), "rb")) {
+      std::fclose(f);
+      return true;
+    }
+    return false;
+  }
+
+  std::string path_;
+};
+
+TEST_F(SnapshotManagerTest, SavesRotateGenerations) {
+  SnapshotManager manager(path_);
+  ASSERT_TRUE(manager.Save(GraphWithName("v1")).ok());
+  EXPECT_TRUE(Exists(path_));
+  EXPECT_FALSE(Exists(manager.GenerationPath(1)));
+
+  ASSERT_TRUE(manager.Save(GraphWithName("v2")).ok());
+  EXPECT_TRUE(Exists(manager.GenerationPath(1)));
+
+  ASSERT_TRUE(manager.Save(GraphWithName("v3")).ok());
+  EXPECT_TRUE(Exists(manager.GenerationPath(2)));
+
+  // retain=2: a fourth save must not grow a third generation.
+  ASSERT_TRUE(manager.Save(GraphWithName("v4")).ok());
+  EXPECT_FALSE(Exists(manager.GenerationPath(3)));
+
+  // Generations hold successive states, newest first.
+  auto cur = LoadSnapshot(path_);
+  auto g1 = LoadSnapshot(manager.GenerationPath(1));
+  auto g2 = LoadSnapshot(manager.GenerationPath(2));
+  ASSERT_TRUE(cur.ok() && g1.ok() && g2.ok());
+  EXPECT_EQ(LoadedName(*cur), "v4");
+  EXPECT_EQ(LoadedName(*g1), "v3");
+  EXPECT_EQ(LoadedName(*g2), "v2");
+}
+
+TEST_F(SnapshotManagerTest, RetainZeroKeepsSingleFile) {
+  SnapshotManagerOptions options;
+  options.retain = 0;
+  SnapshotManager manager(path_, options);
+  ASSERT_TRUE(manager.Save(GraphWithName("v1")).ok());
+  ASSERT_TRUE(manager.Save(GraphWithName("v2")).ok());
+  EXPECT_FALSE(Exists(manager.GenerationPath(1)));
+  auto loaded = manager.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(LoadedName(loaded->snapshot), "v2");
+}
+
+TEST_F(SnapshotManagerTest, LoadPrefersGenerationZero) {
+  SnapshotManager manager(path_);
+  ASSERT_TRUE(manager.Save(GraphWithName("old")).ok());
+  ASSERT_TRUE(manager.Save(GraphWithName("new")).ok());
+  auto loaded = manager.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->generation, 0);
+  EXPECT_EQ(loaded->path, path_);
+  EXPECT_TRUE(loaded->generation_errors.empty());
+  EXPECT_EQ(LoadedName(loaded->snapshot), "new");
+}
+
+TEST_F(SnapshotManagerTest, LoadFallsBackPastCorruptCurrent) {
+  obs::Counter& fallbacks =
+      obs::Registry::Global().GetCounter("snapshot.load.fallbacks");
+  uint64_t before = fallbacks.Value();
+
+  SnapshotManager manager(path_);
+  ASSERT_TRUE(manager.Save(GraphWithName("old")).ok());
+  ASSERT_TRUE(manager.Save(GraphWithName("new")).ok());
+
+  // Corrupt the current generation in the middle of the file.
+  std::string bytes;
+  ASSERT_TRUE(common::ReadFile(path_, &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x40;
+  ASSERT_TRUE(common::WriteFileDurable(path_, bytes).ok());
+
+  auto loaded = manager.Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->generation, 1);
+  EXPECT_EQ(loaded->path, manager.GenerationPath(1));
+  ASSERT_EQ(loaded->generation_errors.size(), 1u);
+  EXPECT_NE(loaded->generation_errors[0].find(path_), std::string::npos);
+  EXPECT_EQ(LoadedName(loaded->snapshot), "old");
+  // The fallback is counted and surfaced as a warning.
+  EXPECT_EQ(fallbacks.Value(), before + 1);
+  ASSERT_FALSE(loaded->snapshot.warnings.empty());
+  EXPECT_NE(loaded->snapshot.warnings.back().find("generation 1"),
+            std::string::npos);
+}
+
+TEST_F(SnapshotManagerTest, LoadTruncatedCurrentFallsBack) {
+  SnapshotManager manager(path_);
+  ASSERT_TRUE(manager.Save(GraphWithName("old")).ok());
+  ASSERT_TRUE(manager.Save(GraphWithName("new")).ok());
+  std::string bytes;
+  ASSERT_TRUE(common::ReadFile(path_, &bytes).ok());
+  ASSERT_TRUE(
+      common::WriteFileDurable(path_, bytes.substr(0, bytes.size() / 3))
+          .ok());
+  auto loaded = manager.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->generation, 1);
+  EXPECT_EQ(LoadedName(loaded->snapshot), "old");
+}
+
+TEST_F(SnapshotManagerTest, MissingFamilyIsNotFound) {
+  SnapshotManager manager(path_);
+  auto loaded = manager.Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotManagerTest, AllGenerationsCorruptIsCorruption) {
+  SnapshotManager manager(path_);
+  ASSERT_TRUE(manager.Save(GraphWithName("v1")).ok());
+  ASSERT_TRUE(manager.Save(GraphWithName("v2")).ok());
+  for (int g = 0; g <= 1; ++g) {
+    std::string p = manager.GenerationPath(g);
+    std::string bytes;
+    ASSERT_TRUE(common::ReadFile(p, &bytes).ok());
+    bytes[bytes.size() / 2] ^= 0x01;
+    ASSERT_TRUE(common::WriteFileDurable(p, bytes).ok());
+  }
+  auto loaded = manager.Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  // The combined message names every failed generation.
+  EXPECT_NE(loaded.status().message().find(path_), std::string::npos);
+  EXPECT_NE(loaded.status().message().find(manager.GenerationPath(1)),
+            std::string::npos);
+}
+
+TEST_F(SnapshotManagerTest, SaveCleansStaleTempFiles) {
+  // Simulate debris from a crashed save of another process.
+  std::string stale = path_ + ".tmp.99999";
+  ASSERT_TRUE(common::WriteFileDurable(stale, "garbage").ok());
+  SnapshotManager manager(path_);
+  ASSERT_TRUE(manager.Save(GraphWithName("v1")).ok());
+  EXPECT_FALSE(Exists(stale));
+}
+
+TEST_F(SnapshotManagerTest, SaveCountsMetrics) {
+  obs::Counter& saves =
+      obs::Registry::Global().GetCounter("snapshot.save.count");
+  uint64_t before = saves.Value();
+  SnapshotManager manager(path_);
+  ASSERT_TRUE(manager.Save(GraphWithName("v1")).ok());
+  EXPECT_EQ(saves.Value(), before + 1);
+}
+
+TEST_F(SnapshotManagerTest, IndexDegradationSurvivesManagerLoad) {
+  // Corrupt only the embedded index postings: load succeeds on generation
+  // 0 with a rebuilt index and a warning, no fallback needed.
+  GraphStore store = GraphWithName("indexed");
+  NameIndex index = NameIndex::Build(
+      store, {{"short_name", store.keys().Find("short_name"), false}});
+  SnapshotManager manager(path_);
+  ASSERT_TRUE(manager.Save(store, &index).ok());
+
+  std::string bytes;
+  ASSERT_TRUE(common::ReadFile(path_, &bytes).ok());
+  // The serialized term "indexed" lives only in the index postings blob.
+  size_t pos = bytes.rfind("indexed");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] ^= 0x20;
+  ASSERT_TRUE(common::WriteFileDurable(path_, bytes).ok());
+
+  auto loaded = manager.Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->generation, 0);
+  ASSERT_FALSE(loaded->snapshot.warnings.empty());
+  EXPECT_NE(loaded->snapshot.warnings[0].find("rebuilt"),
+            std::string::npos);
+  ASSERT_TRUE(loaded->snapshot.index.has_value());
+  EXPECT_EQ(loaded->snapshot.index->Lookup("short_name", "indexed"),
+            std::vector<NodeId>{0});
+}
+
+}  // namespace
+}  // namespace frappe::graph

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "graph/graph_store.h"
@@ -158,6 +160,307 @@ TEST(SnapshotTest, LoadMissingFileIsNotFound) {
   auto result = LoadSnapshot("/nonexistent/path/to.db");
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// --- v2 format: checksums, trailer, corruption reporting ---
+
+struct Frame {
+  uint32_t id = 0;
+  size_t payload_off = 0;
+  uint64_t payload_len = 0;
+};
+
+// Walks the v2 section framing: [20-byte header][id|len|payload|crc]*[16-byte
+// trailer]. Mirrors the layout documented in snapshot.h.
+std::vector<Frame> WalkFrames(const std::string& blob) {
+  std::vector<Frame> frames;
+  size_t pos = 20;
+  size_t body_end = blob.size() - 16;
+  while (pos < body_end) {
+    Frame f;
+    std::memcpy(&f.id, blob.data() + pos, 4);
+    std::memcpy(&f.payload_len, blob.data() + pos + 4, 8);
+    f.payload_off = pos + 12;
+    frames.push_back(f);
+    pos = f.payload_off + f.payload_len + 4;
+  }
+  return frames;
+}
+
+std::string SerializedFixture(bool with_index, GraphStore* out_store) {
+  *out_store = BuildFixture();
+  std::string blob;
+  if (with_index) {
+    NameIndex index = NameIndex::Build(
+        *out_store,
+        {{"short_name", out_store->keys().Find("short_name"), false}});
+    EXPECT_TRUE(SerializeSnapshot(*out_store, &blob, &index).ok());
+  } else {
+    EXPECT_TRUE(SerializeSnapshot(*out_store, &blob).ok());
+  }
+  return blob;
+}
+
+TEST(SnapshotV2Test, ReportsFormatVersion) {
+  GraphStore store;
+  std::string blob = SerializedFixture(false, &store);
+  auto loaded = DeserializeSnapshot(blob);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->format_version, 2u);
+  EXPECT_TRUE(loaded->warnings.empty());
+}
+
+TEST(SnapshotV2Test, IndexlessGraphRoundTrips) {
+  GraphStore store;
+  std::string blob = SerializedFixture(false, &store);
+  auto loaded = DeserializeSnapshot(blob);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->index.has_value());
+  EXPECT_EQ(loaded->store->NodeCount(), store.NodeCount());
+}
+
+TEST(SnapshotV2Test, ChecksumsOffStillRoundTrips) {
+  GraphStore original = BuildFixture();
+  SnapshotOptions options;
+  options.checksums = false;
+  std::string blob;
+  auto sizes = SerializeSnapshot(original, &blob, nullptr, options);
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_EQ(sizes->total(), blob.size());
+  auto loaded = DeserializeSnapshot(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->store->NodeCount(), original.NodeCount());
+}
+
+TEST(SnapshotV2Test, TruncationAtEverySectionBoundaryIsCorruption) {
+  GraphStore store;
+  std::string blob = SerializedFixture(true, &store);
+  std::vector<size_t> cuts = {20};  // end of header
+  for (const Frame& f : WalkFrames(blob)) {
+    cuts.push_back(f.payload_off - 12);           // frame start
+    cuts.push_back(f.payload_off);                // after id+len
+    cuts.push_back(f.payload_off + f.payload_len);  // before section crc
+    cuts.push_back(f.payload_off + f.payload_len + 4);  // frame end
+  }
+  cuts.push_back(blob.size() - 16);  // body end (trailer gone)
+  cuts.push_back(blob.size() - 8);   // half the trailer
+  cuts.push_back(blob.size() - 1);
+  for (size_t cut : cuts) {
+    auto result = DeserializeSnapshot(std::string_view(blob).substr(0, cut));
+    ASSERT_FALSE(result.ok()) << "cut=" << cut;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption)
+        << "cut=" << cut << ": " << result.status();
+  }
+}
+
+TEST(SnapshotV2Test, CorruptionNamesSectionAndOffset) {
+  GraphStore store;
+  std::string blob = SerializedFixture(false, &store);
+  // Flip one byte inside the nodes section payload.
+  for (const Frame& f : WalkFrames(blob)) {
+    if (f.id != 3) continue;  // nodes
+    std::string bad = blob;
+    bad[f.payload_off + 2] ^= 0x10;
+    auto result = DeserializeSnapshot(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+    EXPECT_NE(result.status().message().find("'nodes'"), std::string::npos)
+        << result.status();
+    EXPECT_NE(result.status().message().find("offset"), std::string::npos);
+    return;
+  }
+  FAIL() << "nodes section not found";
+}
+
+TEST(SnapshotV2Test, HeaderFlagBitFlipIsDetected) {
+  // Clearing the checksummed flag by a bit flip must not silently disable
+  // verification: the trailer CRC covers the header.
+  GraphStore store;
+  std::string blob = SerializedFixture(false, &store);
+  std::string bad = blob;
+  bad[12] ^= 0x01;  // flags field, bit 0
+  auto result = DeserializeSnapshot(bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("header"), std::string::npos);
+}
+
+TEST(SnapshotV2Test, TrailerLengthMismatchIsCorruption) {
+  GraphStore store;
+  std::string blob = SerializedFixture(false, &store);
+  // Append garbage while keeping the old trailer bytes at the old place:
+  // the trailer magic no longer sits at EOF.
+  auto grown = DeserializeSnapshot(blob + std::string(32, 'x'));
+  ASSERT_FALSE(grown.ok());
+  EXPECT_EQ(grown.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SnapshotV2Test, CorruptIndexPostingsDegradesToRebuild) {
+  GraphStore store;
+  std::string blob = SerializedFixture(true, &store);
+  std::string bad = blob;
+  bool found = false;
+  for (const Frame& f : WalkFrames(blob)) {
+    if (f.id != 7) continue;  // index
+    bad[f.payload_off + f.payload_len - 1] ^= 0x01;  // inside postings
+    found = true;
+  }
+  ASSERT_TRUE(found);
+  auto loaded = DeserializeSnapshot(bad);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_FALSE(loaded->warnings.empty());
+  EXPECT_NE(loaded->warnings[0].find("rebuilt"), std::string::npos);
+  // The rebuilt index answers queries like the original would have.
+  ASSERT_TRUE(loaded->index.has_value());
+  EXPECT_EQ(loaded->index->Lookup("short_name", "main"),
+            std::vector<NodeId>{0});
+}
+
+TEST(SnapshotV2Test, CorruptIndexSpecsDropsIndexButLoads) {
+  GraphStore store;
+  std::string blob = SerializedFixture(true, &store);
+  std::string bad = blob;
+  bool found = false;
+  for (const Frame& f : WalkFrames(blob)) {
+    if (f.id != 7) continue;
+    bad[f.payload_off] ^= 0x04;  // spec_count: field specs unrecoverable
+    found = true;
+  }
+  ASSERT_TRUE(found);
+  auto loaded = DeserializeSnapshot(bad);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_FALSE(loaded->index.has_value());
+  ASSERT_FALSE(loaded->warnings.empty());
+  EXPECT_NE(loaded->warnings[0].find("dropped"), std::string::npos);
+  // The graph data itself is intact.
+  EXPECT_EQ(loaded->store->NodeCount(), store.NodeCount());
+}
+
+// 256 seeded single-bit corruptions: every flip must either surface as
+// Status::Corruption or — only when it lands in the degradable index
+// section — load with an explicit warning. Never a crash, never a silent
+// wrong load (run under ASan/UBSan via the storage label lane).
+class SnapshotBitFlipTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotBitFlipTest, SingleBitFlipNeverLoadsSilently) {
+  GraphStore store;
+  static const std::string blob = [] {
+    GraphStore s;
+    return SerializedFixture(true, &s);
+  }();
+  frappe::Rng rng(GetParam() * 7919 + 1);
+  std::string bad = blob;
+  size_t bit = rng.Uniform(blob.size() * 8);
+  bad[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+
+  auto result = DeserializeSnapshot(bad);
+  if (result.ok()) {
+    EXPECT_FALSE(result->warnings.empty())
+        << "bit " << bit << " loaded with no warning";
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption)
+        << "bit " << bit << ": " << result.status();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotBitFlipTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{256}));
+
+// --- v1 compatibility ---
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// A v1 snapshot (no framing, no checksums, no trailer), byte-for-byte what
+// the pre-v2 writer produced: one function node named "main", one dead
+// node, one edge.
+std::string HandWrittenV1Blob(size_t* string_ref_offset = nullptr) {
+  std::string blob = "FRAPPEDB";
+  PutU32(&blob, 1);  // version
+  PutU32(&blob, 6);  // section count
+  PutU32(&blob, 1);  // schema
+  PutU32(&blob, 2);  // node types
+  PutStr(&blob, "function");
+  PutStr(&blob, "file");
+  PutU32(&blob, 1);  // edge types
+  PutStr(&blob, "calls");
+  PutU32(&blob, 1);  // keys
+  PutStr(&blob, "short_name");
+  PutU32(&blob, 2);  // strings
+  PutU32(&blob, 1);
+  PutStr(&blob, "main");
+  PutU32(&blob, 3);  // nodes
+  PutU32(&blob, 3);
+  PutU16(&blob, 0);       // function node
+  PutU16(&blob, 0xFFFF);  // tombstone
+  PutU16(&blob, 1);       // file node
+  PutU32(&blob, 4);  // node props (one map per live node)
+  PutU32(&blob, 1);
+  PutU16(&blob, 0);  // short_name
+  PutU8(&blob, 4);   // ValueType::kString
+  if (string_ref_offset != nullptr) *string_ref_offset = blob.size();
+  PutU64(&blob, 0);  // string ref 0
+  PutU32(&blob, 0);  // second live node: empty map
+  PutU32(&blob, 5);  // edges
+  PutU32(&blob, 1);
+  PutU16(&blob, 0);  // calls
+  PutU32(&blob, 0);
+  PutU32(&blob, 2);
+  PutU32(&blob, 6);  // edge props
+  PutU32(&blob, 0);  // empty map
+  return blob;
+}
+
+TEST(SnapshotV1CompatTest, V1BlobStillLoads) {
+  auto loaded = DeserializeSnapshot(HandWrittenV1Blob());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->format_version, 1u);
+  const GraphStore& store = *loaded->store;
+  EXPECT_EQ(store.NodeCount(), 2u);
+  EXPECT_EQ(store.EdgeCount(), 1u);
+  EXPECT_FALSE(store.NodeExists(1));  // tombstone preserved
+  EXPECT_EQ(store.GetNodeString(0, store.keys().Find("short_name")), "main");
+  Edge e = store.GetEdge(0);
+  EXPECT_EQ(e.src, 0u);
+  EXPECT_EQ(e.dst, 2u);
+}
+
+TEST(SnapshotV1CompatTest, TruncatedV1IsCorruption) {
+  std::string blob = HandWrittenV1Blob();
+  for (size_t frac = 1; frac < 8; ++frac) {
+    size_t cut = blob.size() * frac / 8;
+    auto result = DeserializeSnapshot(std::string_view(blob).substr(0, cut));
+    ASSERT_FALSE(result.ok()) << cut;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption) << cut;
+  }
+}
+
+TEST(SnapshotV1CompatTest, V1DanglingStringRefIsCorruption) {
+  // v1 had no checksums; the strict property validation must still catch a
+  // string ref pointing past the pool.
+  size_t ref_pos = 0;
+  std::string blob = HandWrittenV1Blob(&ref_pos);
+  uint64_t bogus = 999;
+  blob.replace(ref_pos, sizeof(bogus),
+               reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  auto result = DeserializeSnapshot(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("string ref"), std::string::npos);
 }
 
 // Property test: random graphs round-trip exactly.

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
+#include <string>
 
+#include "common/file_io.h"
 #include "common/rng.h"
 #include "graph/snapshot.h"
 #include "graph/stats.h"
@@ -281,6 +284,62 @@ TEST_F(VersionStoreTest, FqlQueriesRunAgainstOldVersions) {
         result->rows[0][0].value.AsString());
     EXPECT_EQ(callee, v == 0 ? "old_impl" : "new_impl");
   }
+}
+
+TEST_F(VersionStoreTest, SaveVersionRoundTrips) {
+  graph::TypeId nt = store_.raw_store().InternNodeType("function");
+  graph::KeyId key = store_.raw_store().InternKey("short_name");
+  NodeId a = store_.AddNode(nt);
+  store_.SetNodeProperty(a, key, store_.raw_store().StringValue("v0_name"));
+  store_.CommitVersion();
+  NodeId b = store_.AddNode(nt);
+  store_.AddEdge(a, b, store_.raw_store().InternEdgeType("calls"));
+  store_.RemoveNode(a);
+  store_.CommitVersion();
+
+  std::string path = ::testing::TempDir() + "/frappe_version_save.db";
+  // Version 0: only node `a`, with its v0 property value.
+  auto sizes = store_.SaveVersion(0, path);
+  ASSERT_TRUE(sizes.ok()) << sizes.status();
+  auto loaded = graph::LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->format_version, 2u);
+  EXPECT_EQ(loaded->store->NodeCount(), 1u);
+  EXPECT_EQ(loaded->store->EdgeCount(), 0u);
+  EXPECT_EQ(loaded->store->GetNodeString(
+                a, loaded->store->keys().Find("short_name")),
+            "v0_name");
+
+  // Version 1: `a` removed (tombstone keeps `b`'s id), edge gone with it.
+  ASSERT_TRUE(store_.SaveVersion(1, path).ok());
+  auto v1 = graph::LoadSnapshot(path);
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_FALSE(v1->store->NodeExists(a));
+  EXPECT_TRUE(v1->store->NodeExists(b));
+  EXPECT_EQ(v1->store->EdgeCount(), 0u);
+
+  std::remove(path.c_str());
+}
+
+TEST_F(VersionStoreTest, SaveVersionRejectsUncommitted) {
+  std::string path = ::testing::TempDir() + "/frappe_version_bad.db";
+  EXPECT_FALSE(store_.SaveVersion(0, path).ok());
+}
+
+TEST_F(VersionStoreTest, SavedVersionDetectsCorruption) {
+  store_.AddNode(store_.raw_store().InternNodeType("function"));
+  store_.CommitVersion();
+  std::string path = ::testing::TempDir() + "/frappe_version_corrupt.db";
+  ASSERT_TRUE(store_.SaveVersion(0, path).ok());
+
+  std::string bytes;
+  ASSERT_TRUE(common::ReadFile(path, &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x08;
+  ASSERT_TRUE(common::WriteFileDurable(path, bytes).ok());
+  auto loaded = graph::LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -12,6 +12,11 @@
 //      derive: overhead_pct = spans_per_query * span_ns / query_ns * 100.
 //   4. For reference, also measure the query with tracing *enabled* (ring
 //      writes included) — the worst case an operator can switch on.
+//   5. Workload-telemetry lane: run the Table 5-ish query mix (Figure 6
+//      closure + index seek + label scan) with the structured query log
+//      off, then enabled (ring push + background writer), and require the
+//      enabled path to stay under the same 5% bar — Record() must never
+//      block the query path.
 //
 // Emits BENCH_obs_overhead.json through the shared bench_json.h path (git
 // SHA + timestamp stamped). Exits non-zero when the derived disabled-path
@@ -19,6 +24,7 @@
 //
 // Env knobs: FRAPPE_OBS_SCALE (0.1), FRAPPE_OBS_ITERS (30).
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +34,7 @@
 #include "bench/bench_json.h"
 #include "bench/kernel_common.h"
 #include "model/code_graph.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "query/session.h"
 
@@ -156,9 +163,88 @@ int main() {
       .Samples(on_ms)
       .Extra("spans_per_query", static_cast<double>(spans_per_query))
       .Extra("tracing_on_overhead_pct", tracing_on_pct);
+
+  // --- 4. query-log lane: the Table 5 mix with the structured log on ---
+  // Three shapes spanning the executor's main paths: the Figure 6
+  // transitive closure, an index seek, and a label scan with a property
+  // filter.
+  std::vector<std::string> mix = {
+      fig6,
+      "START n=node:node_auto_index('short_name: " + seed_name +
+          "') RETURN n",
+      "MATCH (f:function) WHERE f.short_name = '" + seed_name +
+          "' RETURN f",
+  };
+  auto run_mix = [&]() {
+    for (const std::string& q : mix) {
+      auto result = session.Run(q);
+      if (!result.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+  };
+  // Interleaved A/B sampling: each iteration takes one log-off and one
+  // log-on sample back to back, so scheduler drift and thermal throttling
+  // hit both lanes equally (on a 1-core CI box, two-block sampling swings
+  // several percent between runs). Compared by median, which sheds the
+  // scheduler-preemption outliers a mean would absorb.
+  const std::string qlog_path = "bench_obs_overhead_qlog.jsonl";
+  std::vector<double> mix_off_ms, mix_on_ms;
+  run_mix();  // warm
+  for (int i = 0; i < iters; ++i) {
+    Clock::time_point start = Clock::now();
+    run_mix();
+    mix_off_ms.push_back(MsSince(start));
+
+    obs::QueryLog::Options qlog_options;
+    qlog_options.path = qlog_path;
+    if (Status enabled = obs::QueryLog::Global().Enable(qlog_options);
+        !enabled.ok()) {
+      std::fprintf(stderr, "FATAL: query log: %s\n",
+                   enabled.ToString().c_str());
+      return 1;
+    }
+    run_mix();  // warm the log path
+    start = Clock::now();
+    run_mix();
+    mix_on_ms.push_back(MsSince(start));
+    obs::QueryLog::Global().Disable();
+  }
+  uint64_t qlog_written = obs::QueryLog::Global().written();
+  uint64_t qlog_dropped = obs::QueryLog::Global().dropped();
+  std::remove(qlog_path.c_str());
+  std::remove((qlog_path + ".1").c_str());
+
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    size_t mid = v.size() / 2;
+    return v.size() % 2 != 0 ? v[mid] : (v[mid - 1] + v[mid]) / 2.0;
+  };
+  double mix_off_med = median(mix_off_ms);
+  double mix_on_med = median(mix_on_ms);
+  double qlog_pct = 100.0 * (mix_on_med - mix_off_med) / mix_off_med;
+  bool qlog_pass = qlog_pct < 5.0;
+
+  std::printf("query mix (log off): %.3f ms median over %d iters\n",
+              mix_off_med, iters);
+  std::printf("query mix (log on):  %.3f ms median (%+.2f%%), %" PRIu64
+              " records written, %" PRIu64 " dropped -> %s (< 5%%"
+              " required)\n",
+              mix_on_med, qlog_pct, qlog_written, qlog_dropped,
+              qlog_pass ? "PASS" : "FAIL");
+
+  report.Add("mix_qlog_off").Samples(mix_off_ms);
+  report.Add("mix_qlog_on")
+      .Samples(mix_on_ms)
+      .Extra("qlog_overhead_pct", qlog_pct)
+      .Extra("qlog_written", static_cast<double>(qlog_written))
+      .Extra("qlog_dropped", static_cast<double>(qlog_dropped));
   report.Add("overhead")
       .Extra("derived_disabled_overhead_pct", derived_pct)
-      .Extra("pass", pass ? 1 : 0);
+      .Extra("qlog_overhead_pct", qlog_pct)
+      .Extra("pass", pass && qlog_pass ? 1 : 0);
   report.Write();
-  return pass ? 0 : 1;
+  return pass && qlog_pass ? 0 : 1;
 }

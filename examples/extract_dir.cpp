@@ -21,6 +21,7 @@
 
 #include "common/string_util.h"
 #include "extractor/build_model.h"
+#include "obs/stats_server.h"
 #include "graph/snapshot_manager.h"
 #include "graph/stats.h"
 #include "model/code_graph.h"
@@ -38,6 +39,14 @@ int main(int argc, char** argv) {
   if (!fs::is_directory(root)) {
     std::fprintf(stderr, "%s is not a directory\n", argv[1]);
     return 2;
+  }
+
+  // FRAPPE_STATS_PORT: expose /metrics while a long extraction runs.
+  std::unique_ptr<obs::StatsServer> stats_server =
+      obs::StatsServer::MaybeStartFromEnv();
+  if (stats_server != nullptr) {
+    std::fprintf(stderr, "stats server on http://127.0.0.1:%u\n",
+                 stats_server->port());
   }
 
   // Load the tree.

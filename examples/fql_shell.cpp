@@ -4,7 +4,13 @@
 //   fql_shell <snapshot.db>        open an existing database
 //   fql_shell --generate [factor]  generate a synthetic kernel (default 0.05)
 //
-// Meta commands: \stats  \hubs  \schema  \save <path>  \quit
+// Meta commands: \stats  \hubs  \schema  \top  \save <path>  \quit
+//
+// Workload telemetry (opt-in via environment):
+//   FRAPPE_STATS_PORT=9090   serve /metrics, /stats, /healthz on localhost
+//   FRAPPE_QUERY_LOG=q.jsonl log every query as JSONL (replayable with
+//                            replay_qlog)
+//   FRAPPE_SLOW_QUERY_MS=50  log queries at/over the threshold with plans
 
 #include <chrono>
 #include <cstdio>
@@ -17,6 +23,9 @@
 #include "graph/snapshot_manager.h"
 #include "graph/stats.h"
 #include "model/code_graph.h"
+#include "obs/fingerprint.h"
+#include "obs/query_log.h"
+#include "obs/stats_server.h"
 #include "query/explain.h"
 #include "query/parser.h"
 #include "query/session.h"
@@ -101,6 +110,30 @@ void PrintHubs(const Shell& shell) {
   }
 }
 
+// \top: the per-fingerprint workload table, ordered by where the time
+// went — the offline twin of the stats server's /stats endpoint.
+void PrintTopQueries() {
+  auto top = obs::QueryStats::Global().Top(10, obs::QueryStats::Order::kTotalLatency);
+  if (top.empty()) {
+    std::printf("no queries recorded yet\n");
+    return;
+  }
+  std::printf("%-16s %8s %6s %10s %10s %10s  query\n", "fingerprint", "calls",
+              "errors", "total_ms", "avg_ms", "p99_ms");
+  for (const auto& s : top) {
+    double avg_ms =
+        s.calls > 0
+            ? static_cast<double>(s.total_latency_us) / s.calls / 1000.0
+            : 0.0;
+    std::printf("%-16s %8llu %6llu %10.1f %10.2f %10.2f  %s\n",
+                obs::FingerprintHex(s.fingerprint).c_str(),
+                static_cast<unsigned long long>(s.calls),
+                static_cast<unsigned long long>(s.errors),
+                static_cast<double>(s.total_latency_us) / 1000.0, avg_ms,
+                s.latency.Quantile(0.99) / 1000.0, s.normalized.c_str());
+  }
+}
+
 void PrintSchema() {
   std::printf("node types:");
   for (size_t i = 0; i < static_cast<size_t>(model::NodeKind::kCount); ++i) {
@@ -134,9 +167,27 @@ int main(int argc, char** argv) {
     Generate(0.02, &shell);
   }
   PrintStats(shell);
+
+  // Workload telemetry, both opt-in: the embedded stats server
+  // (FRAPPE_STATS_PORT) and the structured query log (FRAPPE_QUERY_LOG).
+  std::unique_ptr<obs::StatsServer> stats_server =
+      obs::StatsServer::MaybeStartFromEnv();
+  if (stats_server != nullptr) {
+    std::printf("stats server on http://127.0.0.1:%u  (/metrics /stats"
+                " /healthz)\n",
+                stats_server->port());
+  }
+  if (auto enabled = obs::QueryLog::Global().EnableFromEnv();
+      enabled.ok() && *enabled) {
+    std::printf("query log -> %s\n", std::getenv("FRAPPE_QUERY_LOG"));
+  } else if (!enabled.ok()) {
+    std::fprintf(stderr, "query log disabled: %s\n",
+                 enabled.status().ToString().c_str());
+  }
+
   std::printf("type FQL queries (prefix EXPLAIN or PROFILE for plans), or"
-              " \\stats \\hubs \\schema \\explain <query> \\save <path>"
-              " \\quit\n");
+              " \\stats \\hubs \\schema \\top \\explain <query>"
+              " \\save <path> \\quit\n");
 
   std::string line;
   while (true) {
@@ -155,6 +206,10 @@ int main(int argc, char** argv) {
     }
     if (line == "\\schema") {
       PrintSchema();
+      continue;
+    }
+    if (line == "\\top") {
+      PrintTopQueries();
       continue;
     }
     if (line.rfind("\\explain ", 0) == 0) {
@@ -178,26 +233,15 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    auto parsed = query::Parse(line);
-    if (!parsed.ok()) {
-      std::printf("parse error: %s\n", parsed.status().message().c_str());
-      continue;
-    }
-    // `EXPLAIN <query>` renders the plan without executing (same as
-    // \explain); `PROFILE <query>` executes and prints the annotated plan
-    // above the rows.
-    if (parsed->mode == query::QueryMode::kExplain) {
-      auto plan = query::Explain(shell.database(), *parsed);
-      std::printf("%s", plan.ok() ? plan->c_str()
-                                  : (plan.status().ToString() + "\n").c_str());
-      continue;
-    }
+    // RunQuery is the telemetry-instrumented entry point: EXPLAIN renders
+    // the plan without executing, PROFILE annotates it, and every
+    // execution lands in the fingerprint stats table / query log / slow
+    // log — exactly what an embedder gets.
     query::ExecOptions options;
     options.max_steps = 50'000'000;
     options.deadline_ms = 30'000;
-    options.profile = parsed->mode == query::QueryMode::kProfile;
     auto start = std::chrono::steady_clock::now();
-    auto result = query::Execute(shell.database(), *parsed, options);
+    auto result = query::RunQuery(shell.database(), line, options);
     double ms = std::chrono::duration_cast<std::chrono::microseconds>(
                     std::chrono::steady_clock::now() - start)
                     .count() /
@@ -206,10 +250,9 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
-    if (options.profile) {
-      auto plan = query::ProfilePlan(shell.database(), *parsed, result->stats);
-      if (plan.ok()) std::printf("%s", plan->c_str());
-    }
+    if (!result->plan.empty()) std::printf("%s", result->plan.c_str());
+    // EXPLAIN produces only a plan — no row table to print.
+    if (result->columns.empty() && result->rows.empty()) continue;
     // Header.
     for (const std::string& column : result->columns) {
       std::printf("%-28s", column.c_str());
@@ -230,5 +273,7 @@ int main(int argc, char** argv) {
                 result->rows.size(), ms,
                 static_cast<unsigned long long>(result->steps));
   }
+  // Drain + close the query log so the last records hit disk.
+  obs::QueryLog::Global().Disable();
   return 0;
 }

@@ -1,0 +1,166 @@
+// Replay a structured query log (FRAPPE_QUERY_LOG JSONL) against a
+// snapshot — the load-testing / regression half of the workload-telemetry
+// loop: record production traffic once, then re-execute it against a new
+// snapshot (or a new build) and diff row counts and latency.
+//
+//   replay_qlog <qlog.jsonl> <snapshot.db>
+//   replay_qlog <qlog.jsonl> --generate [factor]
+//
+// For every record the tool re-runs the raw query text, checks the row
+// count against the recorded one (for records that succeeded), and sums
+// recorded vs. replayed latency. Results print as a table and land in
+// BENCH_replay.json (git SHA + timestamp stamped, like every bench).
+// Exit code: 0 when every row count matched, 1 otherwise, 2 on usage or
+// load errors.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "extractor/synthetic.h"
+#include "model/code_graph.h"
+#include "obs/fingerprint.h"
+#include "obs/query_log.h"
+#include "query/session.h"
+
+namespace {
+
+using namespace frappe;
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct ReplayTarget {
+  std::unique_ptr<query::SnapshotSession> session;  // snapshot mode
+  std::unique_ptr<model::CodeGraph> graph;          // --generate mode
+  graph::NameIndex name_index;
+  graph::LabelIndex label_index;
+  model::Schema schema;
+  query::Database db;
+
+  Result<query::QueryResult> Run(std::string_view text,
+                                 const query::ExecOptions& options) const {
+    return session ? session->Run(text, options)
+                   : query::RunQuery(db, text, options);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <qlog.jsonl> <snapshot.db>\n"
+                 "       %s <qlog.jsonl> --generate [factor]\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  auto records = obs::ReadQueryLogFile(argv[1]);
+  if (!records.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
+                 records.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("loaded %zu records from %s\n", records->size(), argv[1]);
+
+  ReplayTarget target;
+  if (std::strcmp(argv[2], "--generate") == 0) {
+    double factor = argc >= 4 ? std::atof(argv[3]) : 0.05;
+    std::printf("generating synthetic kernel at scale %g...\n", factor);
+    target.graph = std::make_unique<model::CodeGraph>(
+        model::CodeGraph::Validation::kOff);
+    extractor::GraphScale scale;
+    scale.factor = factor;
+    extractor::GenerateKernelGraph(scale, target.graph.get());
+    target.name_index = target.graph->BuildNameIndex();
+    target.label_index = graph::LabelIndex::Build(target.graph->view());
+    target.schema = target.graph->schema();
+    target.db = query::MakeFrappeDatabase(target.graph->view(), target.schema,
+                                          &target.name_index,
+                                          &target.label_index);
+  } else {
+    auto session = query::SnapshotSession::Open(argv[2]);
+    if (!session.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", argv[2],
+                   session.status().ToString().c_str());
+      return 2;
+    }
+    target.session = std::move(*session);
+  }
+
+  query::ExecOptions options;
+  options.max_steps = 50'000'000;
+  options.deadline_ms = 30'000;
+
+  bench::JsonReport report("replay");
+  std::vector<double> replayed_ms;
+  uint64_t row_matches = 0, row_mismatches = 0;
+  uint64_t replay_errors = 0, skipped = 0;
+  double recorded_total_ms = 0, replayed_total_ms = 0;
+  uint64_t replayed_rows = 0;
+
+  for (const obs::QueryLogRecord& record : *records) {
+    const std::string& text = record.raw.empty() ? record.query : record.raw;
+    if (record.status != "ok") {
+      ++skipped;  // recorded failures have no row count to check
+      continue;
+    }
+    auto start = Clock::now();
+    auto result = target.Run(text, options);
+    double ms = MsSince(start);
+    replayed_ms.push_back(ms);
+    recorded_total_ms += static_cast<double>(record.latency_us) / 1000.0;
+    replayed_total_ms += ms;
+    if (!result.ok()) {
+      ++replay_errors;
+      std::printf("  ERROR fp=%s: %s\n",
+                  obs::FingerprintHex(record.fingerprint).c_str(),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    replayed_rows += result->rows.size();
+    if (result->rows.size() == record.rows) {
+      ++row_matches;
+    } else {
+      ++row_mismatches;
+      std::printf("  MISMATCH fp=%s: recorded %" PRIu64
+                  " rows, replayed %zu\n    %s\n",
+                  obs::FingerprintHex(record.fingerprint).c_str(),
+                  record.rows, result->rows.size(), record.query.c_str());
+    }
+  }
+
+  std::printf("\nreplayed %zu records: %" PRIu64 " row-count matches, %" PRIu64
+              " mismatches, %" PRIu64 " errors, %" PRIu64 " skipped\n",
+              replayed_ms.size(), row_matches, row_mismatches, replay_errors,
+              skipped);
+  std::printf("latency: recorded %.1f ms total, replayed %.1f ms total"
+              " (%.2fx)\n",
+              recorded_total_ms, replayed_total_ms,
+              recorded_total_ms > 0 ? replayed_total_ms / recorded_total_ms
+                                    : 0.0);
+
+  report.Add("replay")
+      .Samples(replayed_ms)
+      .Results(static_cast<int64_t>(replayed_rows))
+      .Extra("records", static_cast<double>(records->size()))
+      .Extra("row_matches", static_cast<double>(row_matches))
+      .Extra("row_mismatches", static_cast<double>(row_mismatches))
+      .Extra("replay_errors", static_cast<double>(replay_errors))
+      .Extra("skipped", static_cast<double>(skipped))
+      .Extra("recorded_total_ms", recorded_total_ms)
+      .Extra("replayed_total_ms", replayed_total_ms);
+  report.Write();
+
+  return row_mismatches == 0 && replay_errors == 0 ? 0 : 1;
+}

@@ -49,6 +49,12 @@ bool ParseInt64(std::string_view s, int64_t* out);
 // Formats `bytes` as a human-readable quantity ("1.23 MB").
 std::string HumanBytes(uint64_t bytes);
 
+// Escapes `s` for embedding inside a JSON string literal (quotes,
+// backslashes, control characters as \uXXXX). Does NOT add surrounding
+// quotes; JsonQuote does.
+std::string JsonEscape(std::string_view s);
+std::string JsonQuote(std::string_view s);
+
 }  // namespace frappe
 
 #endif  // FRAPPE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,342 @@
+#include "obs/fingerprint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace frappe::obs {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Tokens that glue to their neighbours (no space on either side) when the
+// normalized text is reassembled. Everything else gets single-space
+// separation, which keeps `START n = node:...` and `a <= b` readable.
+bool Glues(std::string_view tok) {
+  return tok == "(" || tok == ")" || tok == "[" || tok == "]" ||
+         tok == "{" || tok == "}" || tok == ":" || tok == "," ||
+         tok == "." || tok == ".." || tok == "*" || tok == "-" ||
+         tok == "->" || tok == "<-";
+}
+
+// `'short_name: sr_media_change'` keeps its field and drops its value:
+// the auto-index lookup string is half shape, half parameter.
+std::string NormalizeStringLiteral(std::string_view body) {
+  size_t i = 0;
+  while (i < body.size() &&
+         std::isspace(static_cast<unsigned char>(body[i]))) {
+    ++i;
+  }
+  size_t field_start = i;
+  if (i < body.size() && IsIdentStart(body[i])) {
+    while (i < body.size() && IsIdentChar(body[i])) ++i;
+    size_t field_end = i;
+    while (i < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    if (i < body.size() && body[i] == ':') {
+      return "'" +
+             ToLower(body.substr(field_start, field_end - field_start)) +
+             ": ?'";
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+uint64_t Fingerprint64(std::string_view text) {
+  // FNV-1a 64-bit.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+NormalizedQuery NormalizeQuery(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  bool prev_glued = true;  // suppress the leading space
+  auto emit = [&](std::string_view tok) {
+    bool glue = Glues(tok);
+    if (!out.empty() && !glue && !prev_glued) out += ' ';
+    out += tok;
+    prev_glued = glue;
+  };
+
+  size_t pos = 0;
+  while (pos < input.size()) {
+    char c = input[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '/' && pos + 1 < input.size() && input[pos + 1] == '/') {
+      while (pos < input.size() && input[pos] != '\n') ++pos;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = pos;
+      while (pos < input.size() && IsIdentChar(input[pos])) ++pos;
+      emit(ToLower(input.substr(start, pos - start)));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (pos < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[pos]))) {
+        ++pos;
+      }
+      // Match the lexer's float rule: '.' only consumed when a digit
+      // follows, so `1..3` stays two ints around a range.
+      if (pos + 1 < input.size() && input[pos] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[pos + 1]))) {
+        ++pos;
+        while (pos < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[pos]))) {
+          ++pos;
+        }
+      }
+      emit("?");
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t body_start = ++pos;
+      while (pos < input.size() && input[pos] != quote) {
+        if (input[pos] == '\\' && pos + 1 < input.size()) ++pos;
+        ++pos;
+      }
+      std::string_view body = input.substr(body_start, pos - body_start);
+      if (pos < input.size()) ++pos;  // closing quote (absent: best-effort)
+      emit(NormalizeStringLiteral(body));
+      continue;
+    }
+    // Punctuation; fuse the two-character operators the grammar uses.
+    auto two = [&](char a, char b) {
+      return c == a && pos + 1 < input.size() && input[pos + 1] == b;
+    };
+    if (two('-', '>')) {
+      emit("->");
+      pos += 2;
+    } else if (two('<', '-')) {
+      emit("<-");
+      pos += 2;
+    } else if (two('<', '=')) {
+      emit("<=");
+      pos += 2;
+    } else if (two('>', '=')) {
+      emit(">=");
+      pos += 2;
+    } else if (two('<', '>')) {
+      emit("<>");
+      pos += 2;
+    } else if (two('.', '.')) {
+      emit("..");
+      pos += 2;
+    } else {
+      emit(std::string_view(&input[pos], 1));
+      ++pos;
+    }
+  }
+
+  NormalizedQuery result;
+  result.text = std::move(out);
+  result.fingerprint = Fingerprint64(result.text);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// QueryStats
+
+QueryStats& QueryStats::Global() {
+  static QueryStats* table = new QueryStats();  // never destroyed
+  return *table;
+}
+
+void QueryStats::Entry::Record(bool ok, uint64_t latency, uint64_t row_count,
+                               uint64_t hit_count) {
+  calls.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) errors.fetch_add(1, std::memory_order_relaxed);
+  total_latency_us.fetch_add(latency, std::memory_order_relaxed);
+  rows.fetch_add(row_count, std::memory_order_relaxed);
+  db_hits.fetch_add(hit_count, std::memory_order_relaxed);
+  latency_us.Record(latency);
+  uint64_t seen = max_latency_us.load(std::memory_order_relaxed);
+  while (latency > seen &&
+         !max_latency_us.compare_exchange_weak(seen, latency,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+QueryStats::Entry& QueryStats::GetOrCreate(uint64_t fingerprint,
+                                           std::string_view normalized) {
+  Shard& shard = shards_[fingerprint % kTableShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(fingerprint);
+  if (it == shard.entries.end()) {
+    auto entry = std::make_unique<Entry>();
+    entry->fingerprint = fingerprint;
+    entry->normalized = std::string(normalized);
+    it = shard.entries.emplace(fingerprint, std::move(entry)).first;
+  }
+  return *it->second;
+}
+
+std::vector<QueryStats::Snapshot> QueryStats::SnapshotAll() const {
+  std::vector<Snapshot> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [fp, entry] : shard.entries) {
+      Snapshot s;
+      s.fingerprint = entry->fingerprint;
+      s.normalized = entry->normalized;
+      s.calls = entry->calls.load(std::memory_order_relaxed);
+      s.errors = entry->errors.load(std::memory_order_relaxed);
+      s.total_latency_us =
+          entry->total_latency_us.load(std::memory_order_relaxed);
+      s.max_latency_us = entry->max_latency_us.load(std::memory_order_relaxed);
+      s.rows = entry->rows.load(std::memory_order_relaxed);
+      s.db_hits = entry->db_hits.load(std::memory_order_relaxed);
+      s.latency = entry->latency_us.Snap();
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::vector<QueryStats::Snapshot> QueryStats::Top(size_t n,
+                                                  Order order) const {
+  std::vector<Snapshot> all = SnapshotAll();
+  auto key = [order](const Snapshot& s) {
+    return order == Order::kTotalLatency ? s.total_latency_us : s.calls;
+  };
+  std::sort(all.begin(), all.end(),
+            [&](const Snapshot& a, const Snapshot& b) {
+              if (key(a) != key(b)) return key(a) > key(b);
+              return a.fingerprint < b.fingerprint;  // deterministic ties
+            });
+  if (n > 0 && all.size() > n) all.resize(n);
+  return all;
+}
+
+std::string QueryStats::DumpJson(size_t top_n) const {
+  std::vector<Snapshot> top = Top(top_n, Order::kTotalLatency);
+  std::string out = "[";
+  for (size_t i = 0; i < top.size(); ++i) {
+    const Snapshot& s = top[i];
+    uint64_t avg = s.calls == 0 ? 0 : s.total_latency_us / s.calls;
+    out += std::string(i == 0 ? "" : ",") + "\n    {\"fp\": " +
+           JsonQuote(FingerprintHex(s.fingerprint)) +
+           ", \"query\": " + JsonQuote(s.normalized) +
+           ", \"calls\": " + std::to_string(s.calls) +
+           ", \"errors\": " + std::to_string(s.errors) +
+           ", \"total_latency_us\": " + std::to_string(s.total_latency_us) +
+           ", \"avg_latency_us\": " + std::to_string(avg) +
+           ", \"max_latency_us\": " + std::to_string(s.max_latency_us) +
+           ", \"p99_latency_us\": " +
+           std::to_string(
+               static_cast<uint64_t>(s.latency.Quantile(0.99))) +
+           ", \"rows\": " + std::to_string(s.rows) +
+           ", \"db_hits\": " + std::to_string(s.db_hits) + "}";
+  }
+  out += top.empty() ? "]" : "\n  ]";
+  return out;
+}
+
+size_t QueryStats::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+void QueryStats::ResetForTesting() {
+  static std::vector<std::unique_ptr<Entry>>* graveyard =
+      new std::vector<std::unique_ptr<Entry>>();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [fp, entry] : shard.entries) {
+      graveyard->push_back(std::move(entry));
+    }
+    shard.entries.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SlowQueryRing
+
+SlowQueryRing& SlowQueryRing::Global() {
+  static SlowQueryRing* ring = new SlowQueryRing();  // never destroyed
+  return *ring;
+}
+
+void SlowQueryRing::Push(Record record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+  }
+  next_ = (next_ + 1) % kCapacity;
+}
+
+std::vector<SlowQueryRing::Record> SlowQueryRing::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Record> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < kCapacity) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < kCapacity; ++i) {
+      out.push_back(ring_[(next_ + i) % kCapacity]);
+    }
+  }
+  return out;
+}
+
+std::string SlowQueryRing::DumpJson() const {
+  std::vector<Record> records = SnapshotAll();
+  std::string out = "[";
+  char num[32];
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::snprintf(num, sizeof(num), "%.3f", r.latency_ms);
+    out += std::string(i == 0 ? "" : ",") + "\n    {\"ts_us\": " +
+           std::to_string(r.ts_us) +
+           ", \"fp\": " + JsonQuote(FingerprintHex(r.fingerprint)) +
+           ", \"query\": " + JsonQuote(r.normalized) +
+           ", \"latency_ms\": " + num +
+           ", \"threshold_ms\": " + std::to_string(r.threshold_ms) +
+           ", \"status\": " + JsonQuote(r.status) + "}";
+  }
+  out += records.empty() ? "]" : "\n  ]";
+  return out;
+}
+
+void SlowQueryRing::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+}  // namespace frappe::obs

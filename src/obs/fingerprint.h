@@ -1,0 +1,167 @@
+#ifndef FRAPPE_OBS_FINGERPRINT_H_
+#define FRAPPE_OBS_FINGERPRINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace frappe::obs {
+
+// Workload fingerprinting: collapse every FQL query the process executes
+// into its *shape* — literals and whitespace stripped, case folded — so
+// that "the same query with different parameters" aggregates into one
+// per-fingerprint stats row. This is the unit a live service reasons
+// about ("which query shape burns the p99?"), exposed via /stats on the
+// embedded stats server and carried by the structured query log.
+//
+// Normalization is deliberately self-contained (no dependency on
+// query/lexer.h — frappe_query links frappe_obs, not the other way
+// around) but mirrors the FQL lexical rules: `//` comments, '\''/'"'
+// strings with backslash escapes, integer/float literals.
+
+// The normalized shape of one query plus its stable 64-bit fingerprint
+// (FNV-1a over the normalized text — stable across runs and machines).
+struct NormalizedQuery {
+  std::string text;
+  uint64_t fingerprint = 0;
+};
+
+// Rules:
+//  * whitespace runs and `// ...` comments collapse to single separators;
+//  * identifiers/keywords fold to lower case;
+//  * numeric literals become `?`;
+//  * string literals become `?` — except index-lookup strings shaped like
+//    `'field: value'`, which keep the field: `'field: ?'` (so lookups on
+//    different index fields stay distinct shapes);
+//  * `->`, `<-`, `<=`, `>=`, `<>`, `..` stay fused.
+// Never fails: text that the real lexer would reject normalizes
+// best-effort, so parse errors still aggregate by shape.
+NormalizedQuery NormalizeQuery(std::string_view query_text);
+
+// FNV-1a 64-bit over `text` (the fingerprint primitive, exposed for
+// tests/tools).
+uint64_t Fingerprint64(std::string_view text);
+
+// "0011aabbccddeeff" — fixed-width lower-case hex, the rendering used in
+// the query log and /stats.
+std::string FingerprintHex(uint64_t fingerprint);
+
+// Per-fingerprint statistics, updated on every Session::Run from the
+// always-on ExecStats. Lock-cheap: the fingerprint interns an Entry once
+// (short sharded-mutex lookup), after which all updates are relaxed
+// atomics; entries live for the process lifetime so references never
+// dangle. Readers may race with writers and see monotone approximations —
+// exact once writers quiesce (same contract as the metrics Registry).
+class QueryStats {
+ public:
+  static QueryStats& Global();
+
+  struct Entry {
+    uint64_t fingerprint = 0;
+    std::string normalized;  // immutable after interning
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> total_latency_us{0};
+    std::atomic<uint64_t> max_latency_us{0};
+    std::atomic<uint64_t> rows{0};
+    std::atomic<uint64_t> db_hits{0};
+    Histogram latency_us;  // pow2-bucket latency distribution
+
+    void Record(bool ok, uint64_t latency, uint64_t row_count,
+                uint64_t hit_count);
+  };
+
+  // Interns (on first use) and returns the process-lifetime entry for
+  // `fingerprint`.
+  Entry& GetOrCreate(uint64_t fingerprint, std::string_view normalized);
+
+  // Point-in-time copy of one entry (readable without atomics).
+  struct Snapshot {
+    uint64_t fingerprint = 0;
+    std::string normalized;
+    uint64_t calls = 0;
+    uint64_t errors = 0;
+    uint64_t total_latency_us = 0;
+    uint64_t max_latency_us = 0;
+    uint64_t rows = 0;
+    uint64_t db_hits = 0;
+    Histogram::Snapshot latency;
+  };
+
+  // Every fingerprint, unordered.
+  std::vector<Snapshot> SnapshotAll() const;
+
+  // The top-N view an operator actually wants: order by cumulative
+  // latency (where the time goes) or by call count (what the workload
+  // is). n == 0 returns everything.
+  enum class Order { kTotalLatency, kCalls };
+  std::vector<Snapshot> Top(size_t n, Order order) const;
+
+  // JSON array of the top-N by total latency (0 = all): [{"fp": "..",
+  // "query": "..", "calls": .., "errors": .., "total_latency_us": ..,
+  // "max_latency_us": .., "avg_latency_us": .., "p99_latency_us": ..,
+  // "rows": .., "db_hits": ..}, ...].
+  std::string DumpJson(size_t top_n = 0) const;
+
+  size_t size() const;
+
+  // Forgets all fingerprints (entries are parked, not freed, so
+  // references handed out earlier stay valid — the Registry idiom).
+  void ResetForTesting();
+
+ private:
+  QueryStats() = default;
+
+  static constexpr size_t kTableShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::unique_ptr<Entry>> entries;
+  };
+  Shard shards_[kTableShards];
+};
+
+// Fixed-capacity ring of the most recent slow queries (the
+// FRAPPE_SLOW_QUERY_MS hits), served by /stats so an operator sees the
+// offenders without grepping stderr. Mutex-guarded: slow queries are rare
+// by definition.
+class SlowQueryRing {
+ public:
+  static constexpr size_t kCapacity = 64;
+
+  struct Record {
+    int64_t ts_us = 0;  // unix epoch microseconds
+    uint64_t fingerprint = 0;
+    std::string normalized;
+    double latency_ms = 0.0;
+    int64_t threshold_ms = 0;
+    std::string status;  // "ok" or the Status code name
+  };
+
+  static SlowQueryRing& Global();
+
+  void Push(Record record);
+  // Oldest-first copy of the buffered records.
+  std::vector<Record> SnapshotAll() const;
+  // JSON array, oldest first.
+  std::string DumpJson() const;
+
+  void ResetForTesting();
+
+ private:
+  SlowQueryRing() = default;
+
+  mutable std::mutex mu_;
+  std::vector<Record> ring_;  // ring_[next_] is the oldest once wrapped
+  size_t next_ = 0;
+};
+
+}  // namespace frappe::obs
+
+#endif  // FRAPPE_OBS_FINGERPRINT_H_

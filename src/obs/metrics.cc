@@ -6,6 +6,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/string_util.h"
+
 namespace frappe::obs {
 
 size_t ShardIndex() {
@@ -41,6 +43,28 @@ Histogram::Snapshot Histogram::Snap() const {
   return out;
 }
 
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Continuous rank in [0, count]: the sample the q-quantile "lands on".
+  double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    double in_bucket = static_cast<double>(buckets[b]);
+    if (static_cast<double>(seen) + in_bucket >= target) {
+      double lower = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (b - 1));
+      double upper = static_cast<double>(BucketUpperBound(b));
+      double fraction = (target - static_cast<double>(seen)) / in_bucket;
+      if (fraction < 0) fraction = 0;
+      return lower + fraction * (upper - lower);
+    }
+    seen += buckets[b];
+  }
+  return static_cast<double>(BucketUpperBound(kBuckets - 1));
+}
+
 uint64_t Histogram::Snapshot::PercentileUpperBound(double p) const {
   if (count == 0) return 0;
   if (p < 0) p = 0;
@@ -61,16 +85,6 @@ Registry& Registry::Global() {
 }
 
 namespace {
-
-std::string JsonQuote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
 
 std::string Num(double v) {
   char buf[32];
@@ -122,6 +136,9 @@ std::string Registry::DumpText() const {
     Histogram::Snapshot s = histogram->Snap();
     out += "histogram " + name + " count=" + std::to_string(s.count) +
            " sum=" + std::to_string(s.sum) + " mean=" + Num(s.Mean()) +
+           " p50=" + Num(s.Quantile(0.50)) +
+           " p95=" + Num(s.Quantile(0.95)) +
+           " p99=" + Num(s.Quantile(0.99)) +
            " p50<=" + std::to_string(s.PercentileUpperBound(0.50)) +
            " p99<=" + std::to_string(s.PercentileUpperBound(0.99)) + "\n";
   }
@@ -154,6 +171,9 @@ std::string Registry::DumpJson() const {
            ": {\"count\": " + std::to_string(s.count) +
            ", \"sum\": " + std::to_string(s.sum) +
            ", \"mean\": " + Num(s.Mean()) +
+           ", \"p50\": " + Num(s.Quantile(0.50)) +
+           ", \"p95\": " + Num(s.Quantile(0.95)) +
+           ", \"p99\": " + Num(s.Quantile(0.99)) +
            ", \"p50_le\": " + std::to_string(s.PercentileUpperBound(0.50)) +
            ", \"p90_le\": " + std::to_string(s.PercentileUpperBound(0.90)) +
            ", \"p99_le\": " + std::to_string(s.PercentileUpperBound(0.99)) +
@@ -162,6 +182,38 @@ std::string Registry::DumpJson() const {
   }
   out += first ? "}" : "\n  }";
   out += "\n}\n";
+  return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::SnapshotCounters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> Registry::SnapshotGauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+Registry::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->Snap());
+  }
   return out;
 }
 

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace frappe::obs {
 
@@ -96,11 +98,21 @@ class Histogram {
     }
     // Upper bound of the bucket holding the p-quantile (p in [0,1]).
     uint64_t PercentileUpperBound(double p) const;
+    // Interpolated q-quantile (q in [0,1]): finds the bucket holding the
+    // q*count-th sample and interpolates linearly across that bucket's
+    // value range [2^(b-1), 2^b - 1] (bucket 0 is exactly {0}). Exact for
+    // single-valued buckets, deterministic everywhere — regression tests
+    // pin the values (tests/obs/metrics_test.cc).
+    double Quantile(double q) const;
   };
 
   // Merges every shard. May race with concurrent Record calls (sees a
   // monotone approximation); exact once writers quiesce.
   Snapshot Snap() const;
+
+  // Convenience: Snap().Quantile(q). Prefer taking one Snapshot when
+  // reading several quantiles.
+  double Quantile(double q) const { return Snap().Quantile(q); }
 
   static size_t BucketOf(uint64_t value);
   // Inclusive upper bound of bucket b's value range.
@@ -132,8 +144,16 @@ class Registry {
   //   histogram query.latency_us count=42 sum=1234 mean=29.4 p50<=32 p99<=128
   std::string DumpText() const;
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
-  //  mean, p50_le, p90_le, p99_le}}}
+  //  mean, p50, p95, p99, p50_le, p90_le, p99_le}}}
   std::string DumpJson() const;
+
+  // Point-in-time copies for exporters (the /metrics Prometheus
+  // exposition), sorted by name. Values are the usual merged-shard reads:
+  // exact once writers quiesce.
+  std::vector<std::pair<std::string, uint64_t>> SnapshotCounters() const;
+  std::vector<std::pair<std::string, int64_t>> SnapshotGauges() const;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> SnapshotHistograms()
+      const;
 
   // Zeroes nothing — instruments are process-lifetime — but forgets all
   // names so tests start from an empty registry. References handed out

@@ -1,0 +1,292 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "obs/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+
+namespace frappe::obs {
+
+namespace {
+
+// "query.latency_us" -> "frappe_query_latency_us" (Prometheus name rules:
+// [a-zA-Z_:][a-zA-Z0-9_:]*).
+std::string PromName(std::string_view name) {
+  std::string out = "frappe_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string ResolveBuildSha(std::string_view from_options) {
+  if (!from_options.empty()) return std::string(from_options);
+  if (const char* env = std::getenv("FRAPPE_GIT_SHA");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+#ifdef FRAPPE_GIT_SHA_DEFAULT
+  return FRAPPE_GIT_SHA_DEFAULT;
+#else
+  return "unknown";
+#endif
+}
+
+// Reads until the blank line ending the request head (or 4 KB, or 5 s —
+// whichever comes first) and returns the first line.
+std::string ReadRequestLine(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < 4096 && head.find("\r\n") == std::string::npos &&
+         head.find('\n') == std::string::npos) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (poll(&pfd, 1, 5000) <= 0) break;
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+  }
+  size_t eol = head.find_first_of("\r\n");
+  return eol == std::string::npos ? head : head.substr(0, eol);
+}
+
+void SendAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, std::string_view reason,
+                         std::string_view content_type,
+                         std::string_view body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " +
+                    std::string(reason) + "\r\nContent-Type: " +
+                    std::string(content_type) +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+std::string StatsServer::MetricsText(std::string_view build_sha,
+                                     double uptime_seconds) {
+  Registry& registry = Registry::Global();
+  std::string out;
+
+  out += "# TYPE frappe_build_info gauge\nfrappe_build_info{sha=\"" +
+         JsonEscape(build_sha) + "\"} 1\n";
+  out += "# TYPE frappe_uptime_seconds gauge\nfrappe_uptime_seconds " +
+         Num(uptime_seconds) + "\n";
+
+  for (const auto& [name, value] : registry.SnapshotCounters()) {
+    std::string prom = PromName(name);
+    if (!EndsWith(prom, "_total")) prom += "_total";
+    out += "# TYPE " + prom + " counter\n" + prom + " " +
+           std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : registry.SnapshotGauges()) {
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n" + prom + " " +
+           std::to_string(value) + "\n";
+  }
+  // Histograms as summaries: quantiles interpolated from the pow2 buckets.
+  for (const auto& [name, snap] : registry.SnapshotHistograms()) {
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " summary\n";
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+      out += prom + "{quantile=\"" + Num(q) + "\"} " +
+             Num(snap.Quantile(q)) + "\n";
+    }
+    out += prom + "_sum " + std::to_string(snap.sum) + "\n";
+    out += prom + "_count " + std::to_string(snap.count) + "\n";
+  }
+
+  const QueryLog& qlog = QueryLog::Global();
+  out += "# TYPE frappe_qlog_written_total counter\n"
+         "frappe_qlog_written_total " + std::to_string(qlog.written()) + "\n";
+  out += "# TYPE frappe_qlog_dropped_total counter\n"
+         "frappe_qlog_dropped_total " + std::to_string(qlog.dropped()) + "\n";
+  out += "# TYPE frappe_qlog_rotations_total counter\n"
+         "frappe_qlog_rotations_total " + std::to_string(qlog.rotations()) +
+         "\n";
+  out += "# TYPE frappe_query_fingerprints gauge\n"
+         "frappe_query_fingerprints " +
+         std::to_string(QueryStats::Global().size()) + "\n";
+  return out;
+}
+
+std::string StatsServer::StatsJson(std::string_view build_sha,
+                                   double uptime_seconds) {
+  const QueryLog& qlog = QueryLog::Global();
+  std::string out = "{\n  \"build_sha\": " + JsonQuote(build_sha) +
+                    ",\n  \"uptime_seconds\": " + Num(uptime_seconds) +
+                    ",\n  \"fingerprints\": " +
+                    QueryStats::Global().DumpJson(/*top_n=*/50) +
+                    ",\n  \"slow_queries\": " +
+                    SlowQueryRing::Global().DumpJson() +
+                    ",\n  \"query_log\": {\"written\": " +
+                    std::to_string(qlog.written()) +
+                    ", \"dropped\": " + std::to_string(qlog.dropped()) +
+                    ", \"rotations\": " + std::to_string(qlog.rotations()) +
+                    "}\n}\n";
+  return out;
+}
+
+Result<std::unique_ptr<StatsServer>> StatsServer::Start(Options options) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options.bind_address);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal("bind " + options.bind_address + ":" +
+                                     std::to_string(options.port) + ": " +
+                                     std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  if (listen(fd, 16) != 0) {
+    Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+
+  // `new`: the constructor is private.
+  std::unique_ptr<StatsServer> server(new StatsServer());
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(addr.sin_port);
+  server->build_sha_ = ResolveBuildSha(options.build_sha);
+  server->started_ = std::chrono::steady_clock::now();
+  server->thread_ = std::thread([s = server.get()] { s->Serve(); });
+  return server;
+}
+
+std::unique_ptr<StatsServer> StatsServer::MaybeStartFromEnv() {
+  const char* env = std::getenv("FRAPPE_STATS_PORT");
+  if (env == nullptr || *env == '\0') return nullptr;
+  int64_t port = 0;
+  if (!ParseInt64(env, &port) || port < 0 || port > 65535) {
+    std::fprintf(stderr, "[frappe] bad FRAPPE_STATS_PORT '%s'; stats server"
+                 " disabled\n", env);
+    return nullptr;
+  }
+  Options options;
+  options.port = static_cast<uint16_t>(port);
+  Result<std::unique_ptr<StatsServer>> server = Start(std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "[frappe] stats server failed to start: %s\n",
+                 server.status().ToString().c_str());
+    return nullptr;
+  }
+  std::fprintf(stderr, "[frappe] stats server on http://127.0.0.1:%u"
+               " (/metrics /stats /healthz)\n",
+               static_cast<unsigned>((*server)->port()));
+  return std::move(*server);
+}
+
+StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::Stop() {
+  if (stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+double StatsServer::UptimeSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_)
+      .count();
+}
+
+void StatsServer::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Poll with a timeout so Stop() is observed promptly — close()ing a
+    // blocked accept() is not reliably wakeful on all platforms.
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    int ready = poll(&pfd, 1, 200);
+    if (ready <= 0) continue;
+    int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    std::string request_line = ReadRequestLine(client);
+    std::string response = HandleRequest(request_line);
+    SendAll(client, response);
+    close(client);
+  }
+}
+
+std::string StatsServer::HandleRequest(std::string_view request_line) const {
+  // "GET /metrics HTTP/1.0"
+  size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return HttpResponse(400, "Bad Request", "text/plain", "bad request\n");
+  }
+  std::string_view method = request_line.substr(0, sp1);
+  size_t sp2 = request_line.find(' ', sp1 + 1);
+  std::string_view target = sp2 == std::string_view::npos
+                                ? request_line.substr(sp1 + 1)
+                                : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (size_t q = target.find('?'); q != std::string_view::npos) {
+    target = target.substr(0, q);
+  }
+  if (method != "GET") {
+    return HttpResponse(405, "Method Not Allowed", "text/plain",
+                        "GET only\n");
+  }
+  if (target == "/healthz") {
+    return HttpResponse(200, "OK", "text/plain", "ok\n");
+  }
+  if (target == "/metrics") {
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4",
+                        MetricsText(build_sha_, UptimeSeconds()));
+  }
+  if (target == "/stats") {
+    return HttpResponse(200, "OK", "application/json",
+                        StatsJson(build_sha_, UptimeSeconds()));
+  }
+  return HttpResponse(404, "Not Found", "text/plain",
+                      "unknown path; try /metrics /stats /healthz\n");
+}
+
+}  // namespace frappe::obs

@@ -1,0 +1,86 @@
+#ifndef FRAPPE_OBS_STATS_SERVER_H_
+#define FRAPPE_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/status.h"
+
+namespace frappe::obs {
+
+// Embedded, dependency-free stats endpoint: a blocking-accept POSIX-socket
+// HTTP/1.0 server on a background thread, serving
+//
+//   /metrics  Prometheus text exposition of the metrics Registry —
+//             counters as *_total, gauges, histograms as summaries with
+//             interpolated quantiles — plus uptime, build info, and the
+//             query-log drop/write counters
+//   /stats    JSON operator view: per-fingerprint query stats (top by
+//             cumulative latency), recent slow queries, build SHA, uptime
+//   /healthz  "ok" liveness probe
+//
+// Opt-in: production binaries call MaybeStartFromEnv() and get a server
+// only when FRAPPE_STATS_PORT is set. Responses are built per request from
+// registry snapshots; connections are served sequentially (the responses
+// are small and the consumer is a scraper, not user traffic). Binds
+// 127.0.0.1 by default — this is an operator port, not a public one.
+class StatsServer {
+ public:
+  struct Options {
+    uint16_t port = 0;  // 0 = kernel-assigned (tests); port() tells which
+    std::string bind_address = "127.0.0.1";
+    std::string build_sha;  // empty = FRAPPE_GIT_SHA env / compiled default
+  };
+
+  // Binds, listens, and starts the accept thread. Fails with Internal on
+  // bind/listen errors (port taken, bad address).
+  static Result<std::unique_ptr<StatsServer>> Start(Options options);
+  static Result<std::unique_ptr<StatsServer>> Start() {
+    return Start(Options());
+  }
+
+  // FRAPPE_STATS_PORT unset/empty -> nullptr (and no error); set ->
+  // started server, or nullptr with a stderr diagnostic when startup
+  // fails (an observability port must never take the process down).
+  static std::unique_ptr<StatsServer> MaybeStartFromEnv();
+
+  ~StatsServer();
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  // The bound port (the kernel's pick when Options::port was 0).
+  uint16_t port() const { return port_; }
+
+  // Stops accepting and joins the thread. Idempotent.
+  void Stop();
+
+  // The response bodies, exposed so tests and tools can validate the
+  // formats without a socket in the loop.
+  static std::string MetricsText(std::string_view build_sha,
+                                 double uptime_seconds);
+  static std::string StatsJson(std::string_view build_sha,
+                               double uptime_seconds);
+
+ private:
+  StatsServer() = default;
+
+  void Serve();
+  std::string HandleRequest(std::string_view request_line) const;
+  double UptimeSeconds() const;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::string build_sha_;
+  std::chrono::steady_clock::time_point started_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace frappe::obs
+
+#endif  // FRAPPE_OBS_STATS_SERVER_H_

@@ -5,7 +5,9 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "obs/fingerprint.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "query/explain.h"
 #include "query/parser.h"
@@ -36,6 +38,41 @@ void EmitSlowQueryLog(const std::string& message) {
     SlowQuerySink()(message);
   } else {
     std::fputs(message.c_str(), stderr);
+  }
+}
+
+int64_t NowUnixMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Workload telemetry for one finished (or parse-failed) execution: the
+// per-fingerprint stats table always, the structured query log when
+// enabled. Both are fire-and-forget — neither blocks the query path.
+void RecordWorkloadTelemetry(const obs::NormalizedQuery& normalized,
+                             std::string_view raw_text, bool ok,
+                             std::string_view status_name, double elapsed_ms,
+                             uint64_t rows, uint64_t db_hits,
+                             bool fast_path) {
+  uint64_t latency_us =
+      elapsed_ms > 0 ? static_cast<uint64_t>(elapsed_ms * 1000.0) : 0;
+  obs::QueryStats::Global()
+      .GetOrCreate(normalized.fingerprint, normalized.text)
+      .Record(ok, latency_us, rows, db_hits);
+  obs::QueryLog& qlog = obs::QueryLog::Global();
+  if (qlog.enabled()) {
+    obs::QueryLogRecord record;
+    record.ts_us = NowUnixMicros();
+    record.fingerprint = normalized.fingerprint;
+    record.query = normalized.text;
+    record.raw = std::string(raw_text);
+    record.status = std::string(status_name);
+    record.latency_us = latency_us;
+    record.rows = rows;
+    record.db_hits = db_hits;
+    record.fast_path = fast_path;
+    qlog.Record(std::move(record));
   }
 }
 
@@ -140,10 +177,22 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
       obs::Registry::Global().GetCounter("session.slow_queries");
   queries.Add();
 
+  // The workload identity of this query: literals stripped, case folded,
+  // hashed. Computed up front so parse failures aggregate by shape too.
+  const obs::NormalizedQuery normalized = obs::NormalizeQuery(query_text);
+
   Query query;
   {
     FRAPPE_TRACE_SPAN("session.parse");
-    FRAPPE_ASSIGN_OR_RETURN(query, Parse(query_text));
+    Result<Query> parsed = Parse(query_text);
+    if (!parsed.ok()) {
+      RecordWorkloadTelemetry(normalized, query_text, /*ok=*/false,
+                              StatusCodeName(parsed.status().code()),
+                              /*elapsed_ms=*/0.0, /*rows=*/0, /*db_hits=*/0,
+                              /*fast_path=*/false);
+      return parsed.status();
+    }
+    query = std::move(*parsed);
   }
 
   if (query.mode == QueryMode::kExplain) {
@@ -172,15 +221,27 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
                             ProfilePlan(db, query, result->stats));
   }
 
+  const char* status_name =
+      result.ok() ? "ok" : StatusCodeName(result.status().code());
+  RecordWorkloadTelemetry(
+      normalized, query_text, result.ok(), status_name, elapsed_ms,
+      result.ok() ? result->rows.size() : 0,
+      result.ok() ? result->stats.db_hits.Total() : 0,
+      result.ok() && result->stats.fast_path_taken);
+
   // Slow-query log: fires for successes and budget breaches alike — the
   // aborted Figure 6 run is exactly the query an operator wants logged.
+  // Identified by fingerprint + normalized text (not the raw query):
+  // that's the key the /stats fingerprint table and the query log use, so
+  // the three views join on `fp` — and literals stay out of the log.
   int64_t threshold_ms = SlowQueryThresholdMs();
   if (threshold_ms >= 0 && elapsed_ms >= static_cast<double>(threshold_ms)) {
     slow_queries.Add();
     std::string message = "[frappe] slow query (" +
                           std::to_string(elapsed_ms) + " ms >= " +
-                          std::to_string(threshold_ms) + " ms): " +
-                          std::string(query_text) + "\n";
+                          std::to_string(threshold_ms) + " ms) fp=" +
+                          obs::FingerprintHex(normalized.fingerprint) + ": " +
+                          normalized.text + "\n";
     if (result.ok() && !result->plan.empty()) {
       message += result->plan;
     } else if (Result<std::string> plan = Explain(db, query); plan.ok()) {
@@ -190,6 +251,14 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
       message += "status: " + result.status().ToString() + "\n";
     }
     EmitSlowQueryLog(message);
+    obs::SlowQueryRing::Record slow;
+    slow.ts_us = NowUnixMicros();
+    slow.fingerprint = normalized.fingerprint;
+    slow.normalized = normalized.text;
+    slow.latency_ms = elapsed_ms;
+    slow.threshold_ms = threshold_ms;
+    slow.status = status_name;
+    obs::SlowQueryRing::Global().Push(std::move(slow));
   }
   return result;
 }

@@ -76,6 +76,46 @@ TEST_F(MetricsTest, HistogramSnapshotStats) {
   EXPECT_EQ(s.PercentileUpperBound(1.0), 127u);
 }
 
+// Regression pins for the interpolated quantile: the stats server's
+// Prometheus summaries and the fingerprint table's p99 are built on these
+// exact values — drift here is drift in every exported quantile.
+TEST_F(MetricsTest, QuantileInterpolatesWithinBuckets) {
+  Histogram& h = Registry::Global().GetHistogram("test.quantile");
+  for (uint64_t v : {1u, 2u, 3u, 100u}) h.Record(v);
+  Histogram::Snapshot s = h.Snap();
+  // Rank q*count walks the pow2 buckets; interpolation is linear across
+  // the landing bucket's [2^(b-1), 2^b - 1] value range.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.25), 1.0);   // rank 1 in bucket [1,1]
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 2.5);    // rank 2 is 1/2 into [2,3]
+  EXPECT_DOUBLE_EQ(s.Quantile(0.75), 3.0);   // rank 3 tops out [2,3]
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 127.0);  // rank 4 tops out [64,127]
+  // Convenience overload reads the same snapshot.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.5);
+  // Degenerate inputs stay in range.
+  EXPECT_DOUBLE_EQ(s.Quantile(-1.0), s.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(s.Quantile(2.0), 127.0);
+  Histogram::Snapshot empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.99), 0.0);
+}
+
+TEST_F(MetricsTest, QuantileOfZeroOnlyDistributionIsZero) {
+  Histogram& h = Registry::Global().GetHistogram("test.quantile.zero");
+  for (int i = 0; i < 5; ++i) h.Record(0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);  // bucket 0 is exactly {0}
+}
+
+TEST_F(MetricsTest, DumpsCarryInterpolatedPercentiles) {
+  Registry::Global().GetHistogram("test.pct.hist").Record(10);
+  std::string text = Registry::Global().DumpText();
+  EXPECT_NE(text.find("p50="), std::string::npos) << text;
+  EXPECT_NE(text.find("p95="), std::string::npos) << text;
+  EXPECT_NE(text.find("p99="), std::string::npos) << text;
+  std::string json = Registry::Global().DumpJson();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+}
+
 // The ctest `parallel`-label target: N threads hammer the same counter and
 // histogram; after join the merged totals must be exact (no lost updates,
 // no torn shard reads). Runs TSan-clean under FRAPPE_SANITIZE=thread.

@@ -1,0 +1,177 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/fingerprint.h"
+#include "query/session.h"
+#include "tests/query/fixture.h"
+
+namespace frappe::obs {
+namespace {
+
+// Minimal HTTP/1.0 client: one request, read to EOF (the server closes).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
+
+class StatsServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    QueryStats::Global().ResetForTesting();
+    SlowQueryRing::Global().ResetForTesting();
+    // Port 0: the kernel picks a free ephemeral port — no collisions
+    // across parallel ctest jobs.
+    auto server = StatsServer::Start();
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  std::unique_ptr<StatsServer> server_;
+};
+
+TEST_F(StatsServerTest, HealthzAnswersOk) {
+  std::string response = HttpGet(server_->port(), "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_EQ(Body(response), "ok\n");
+}
+
+TEST_F(StatsServerTest, UnknownPathIs404) {
+  EXPECT_NE(HttpGet(server_->port(), "/nope").find("404"),
+            std::string::npos);
+}
+
+TEST_F(StatsServerTest, MetricsServesPrometheusExposition) {
+  // Run real queries so the session counters and latency histogram carry
+  // data, not just declarations.
+  query::testing::PaperFixture fixture;
+  query::Session session(fixture.graph);
+  ASSERT_TRUE(session.Run("MATCH (f:function) RETURN f").ok());
+  ASSERT_TRUE(
+      session.Run("START n=node:node_auto_index('short_name: cmd')"
+                  " MATCH s -[:contains]-> n RETURN s")
+          .ok());
+
+  std::string body = Body(HttpGet(server_->port(), "/metrics"));
+  EXPECT_NE(body.find("# TYPE frappe_session_queries_total counter"),
+            std::string::npos)
+      << body;
+  // Any positive value: the Registry is process-lifetime (resetting it
+  // would orphan the static counter references in RunQuery), so the exact
+  // count depends on what ran before this test.
+  EXPECT_NE(body.find("frappe_session_queries_total "), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("# TYPE frappe_query_latency_us summary"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("frappe_query_latency_us{quantile=\"0.99\"}"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("frappe_query_latency_us_count "), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("frappe_query_latency_us_sum "), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("frappe_build_info{sha=\""), std::string::npos) << body;
+  EXPECT_NE(body.find("frappe_query_fingerprints 2"), std::string::npos)
+      << body;
+
+  // Content type is the Prometheus text exposition version.
+  std::string response = HttpGet(server_->port(), "/metrics");
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+
+  // Export the fixture tools/qlog_check.py --metrics validates from ctest.
+  std::FILE* f = std::fopen("metrics_export.txt", "w");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+TEST_F(StatsServerTest, StatsServesFingerprintTableJson) {
+  query::testing::PaperFixture fixture;
+  query::Session session(fixture.graph);
+  ASSERT_TRUE(session.Run("MATCH (f:function) RETURN f").ok());
+  ASSERT_TRUE(session.Run("MATCH (s:struct) RETURN s").ok());
+
+  std::string response = HttpGet(server_->port(), "/stats");
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  std::string body = Body(response);
+  EXPECT_NE(body.find("\"fingerprints\": ["), std::string::npos) << body;
+  EXPECT_NE(body.find("\"build_sha\": \""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"uptime_seconds\":"), std::string::npos) << body;
+  EXPECT_NE(body.find("match(f:function)return f"), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"slow_queries\": ["), std::string::npos) << body;
+  EXPECT_NE(body.find("\"query_log\":"), std::string::npos) << body;
+}
+
+TEST_F(StatsServerTest, ServesSequentialRequests) {
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(Body(HttpGet(server_->port(), "/healthz")), "ok\n");
+  }
+}
+
+TEST_F(StatsServerTest, StopIsIdempotentAndPromptlyFreesThePort) {
+  uint16_t port = server_->port();
+  server_->Stop();
+  server_->Stop();
+  // The listener is closed: a fresh server can bind the same port.
+  StatsServer::Options options;
+  options.port = port;
+  auto again = StatsServer::Start(options);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*again)->port(), port);
+}
+
+TEST(StatsServerEnvTest, MaybeStartFromEnvIsOffByDefault) {
+  ::unsetenv("FRAPPE_STATS_PORT");
+  EXPECT_EQ(StatsServer::MaybeStartFromEnv(), nullptr);
+}
+
+TEST(StatsServerEnvTest, MaybeStartFromEnvHonorsPort) {
+  ::setenv("FRAPPE_STATS_PORT", "0", 1);
+  auto server = StatsServer::MaybeStartFromEnv();
+  ASSERT_NE(server, nullptr);
+  EXPECT_GT(server->port(), 0);
+  ::unsetenv("FRAPPE_STATS_PORT");
+}
+
+TEST(StatsServerEnvTest, MaybeStartFromEnvToleratesGarbage) {
+  ::setenv("FRAPPE_STATS_PORT", "not-a-port", 1);
+  EXPECT_EQ(StatsServer::MaybeStartFromEnv(), nullptr);  // stderr warning
+  ::unsetenv("FRAPPE_STATS_PORT");
+}
+
+}  // namespace
+}  // namespace frappe::obs

@@ -35,6 +35,7 @@
 #include "bench/kernel_common.h"
 #include "model/code_graph.h"
 #include "obs/query_log.h"
+#include "obs/query_registry.h"
 #include "obs/trace.h"
 #include "query/session.h"
 
@@ -241,10 +242,49 @@ int main() {
       .Extra("qlog_overhead_pct", qlog_pct)
       .Extra("qlog_written", static_cast<double>(qlog_written))
       .Extra("qlog_dropped", static_cast<double>(qlog_dropped));
+
+  // --- 5. registry + cancel-token lane: the live-diagnostics control
+  // plane on the same Table 5 mix. Enabled adds per-query registration
+  // (mutex map insert/erase + entry alloc) and the per-1024-step progress
+  // publication + cancel poll in the executor; disabled runs the same
+  // queries with the registry's kill switch off. Same interleaved-median
+  // protocol as the qlog lane.
+  obs::QueryRegistry& registry = obs::QueryRegistry::Global();
+  std::vector<double> reg_off_ms, reg_on_ms;
+  for (int i = 0; i < iters; ++i) {
+    registry.set_enabled(false);
+    run_mix();  // warm this mode
+    Clock::time_point start = Clock::now();
+    run_mix();
+    reg_off_ms.push_back(MsSince(start));
+
+    registry.set_enabled(true);
+    run_mix();
+    start = Clock::now();
+    run_mix();
+    reg_on_ms.push_back(MsSince(start));
+  }
+  registry.set_enabled(true);  // leave the default state behind
+  double reg_off_med = median(reg_off_ms);
+  double reg_on_med = median(reg_on_ms);
+  double registry_pct = 100.0 * (reg_on_med - reg_off_med) / reg_off_med;
+  bool registry_pass = registry_pct < 5.0;
+
+  std::printf("query mix (registry off): %.3f ms median over %d iters\n",
+              reg_off_med, iters);
+  std::printf("query mix (registry on):  %.3f ms median (%+.2f%%) -> %s"
+              " (< 5%% required)\n",
+              reg_on_med, registry_pct, registry_pass ? "PASS" : "FAIL");
+
+  report.Add("mix_registry_off").Samples(reg_off_ms);
+  report.Add("mix_registry_on")
+      .Samples(reg_on_ms)
+      .Extra("registry_overhead_pct", registry_pct);
   report.Add("overhead")
       .Extra("derived_disabled_overhead_pct", derived_pct)
       .Extra("qlog_overhead_pct", qlog_pct)
-      .Extra("pass", pass && qlog_pass ? 1 : 0);
+      .Extra("registry_overhead_pct", registry_pct)
+      .Extra("pass", pass && qlog_pass && registry_pass ? 1 : 0);
   report.Write();
-  return pass && qlog_pass ? 0 : 1;
+  return pass && qlog_pass && registry_pass ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 
 #include "common/string_util.h"
 #include "extractor/build_model.h"
+#include "obs/query_registry.h"
 #include "obs/stats_server.h"
 #include "graph/snapshot_manager.h"
 #include "graph/stats.h"
@@ -41,13 +42,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // FRAPPE_STATS_PORT: expose /metrics while a long extraction runs.
+  // FRAPPE_STATS_PORT: expose /metrics and the /debug/* control plane
+  // while a long extraction runs; FRAPPE_STUCK_QUERY_MS arms the watchdog.
   std::unique_ptr<obs::StatsServer> stats_server =
       obs::StatsServer::MaybeStartFromEnv();
   if (stats_server != nullptr) {
     std::fprintf(stderr, "stats server on http://127.0.0.1:%u\n",
                  stats_server->port());
   }
+  obs::QueryRegistry::Global().MaybeStartWatchdogFromEnv();
 
   // Load the tree.
   extractor::Vfs vfs;
@@ -81,6 +84,15 @@ int main(int argc, char** argv) {
   // Compile every unit; skip (but report) files the C-subset parser
   // rejects.
   model::CodeGraph graph;
+  // /debug/storagez (and frappe_storage_bytes) track the growing graph
+  // live while units compile.
+  obs::StatsServer::SetStorageStatsProvider(
+      [&graph]() -> obs::StatsServer::StorageSections {
+        graph::GraphStore::MemoryBreakdown m = graph.store().EstimateMemory();
+        return {{"nodes", m.nodes},
+                {"relationships", m.relationships},
+                {"properties", m.properties}};
+      });
   extractor::BuildDriver driver(&vfs, &graph);
   extractor::PreprocessOptions options;
   options.include_dirs.assign(include_dirs.begin(), include_dirs.end());
@@ -134,5 +146,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\nwrote %s (%.2f MB) — open it with: fql_shell %s\n",
               output.c_str(), sizes->total() / 1048576.0, output.c_str());
+  obs::QueryRegistry::Global().StopWatchdog();
+  obs::StatsServer::SetStorageStatsProvider(nullptr);
   return 0;
 }

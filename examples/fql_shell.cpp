@@ -4,13 +4,20 @@
 //   fql_shell <snapshot.db>        open an existing database
 //   fql_shell --generate [factor]  generate a synthetic kernel (default 0.05)
 //
-// Meta commands: \stats  \hubs  \schema  \top  \save <path>  \quit
+// Meta commands: \stats  \hubs  \schema  \top  \queries  \cancel <id>
+//                \save <path>  \quit
 //
 // Workload telemetry (opt-in via environment):
-//   FRAPPE_STATS_PORT=9090   serve /metrics, /stats, /healthz on localhost
+//   FRAPPE_STATS_PORT=9090   serve /metrics, /stats, /healthz plus the
+//                            /debug/* control plane (queryz, cancel,
+//                            tracez, storagez, logz) on localhost
 //   FRAPPE_QUERY_LOG=q.jsonl log every query as JSONL (replayable with
 //                            replay_qlog)
 //   FRAPPE_SLOW_QUERY_MS=50  log queries at/over the threshold with plans
+//   FRAPPE_LOG_LEVEL=debug   structured-log threshold (debug|info|warn|
+//                            error|off; default info)
+//   FRAPPE_STUCK_QUERY_MS=60000  warn (component=watchdog) when a query
+//                            runs past the threshold
 
 #include <chrono>
 #include <cstdio>
@@ -25,6 +32,7 @@
 #include "model/code_graph.h"
 #include "obs/fingerprint.h"
 #include "obs/query_log.h"
+#include "obs/query_registry.h"
 #include "obs/stats_server.h"
 #include "query/explain.h"
 #include "query/parser.h"
@@ -53,6 +61,9 @@ struct Shell {
   }
   const model::Schema& schema_ref() const {
     return owned_graph ? schema : session->schema();
+  }
+  const graph::GraphStore& store() const {
+    return owned_graph ? owned_graph->store() : session->store();
   }
 };
 
@@ -134,6 +145,42 @@ void PrintTopQueries() {
   }
 }
 
+// \queries: the in-flight table /debug/queryz serves. With the shell's
+// synchronous prompt this usually only shows work started elsewhere (the
+// stats server's /debug/cancel can kill entries from here too).
+void PrintActiveQueries() {
+  auto active = obs::QueryRegistry::Global().SnapshotAll();
+  if (active.empty()) {
+    std::printf("no queries in flight\n");
+    return;
+  }
+  std::printf("%6s %-16s %10s %12s %10s %-18s query\n", "id", "fingerprint",
+              "elapsed_ms", "steps", "rows", "operator");
+  for (const auto& q : active) {
+    std::printf("%6llu %-16s %10.1f %12llu %10llu %-18s %s%s\n",
+                static_cast<unsigned long long>(q.id),
+                obs::FingerprintHex(q.fingerprint).c_str(), q.elapsed_ms,
+                static_cast<unsigned long long>(q.steps),
+                static_cast<unsigned long long>(q.rows),
+                q.op != nullptr ? q.op : "-", q.normalized.c_str(),
+                q.cancel_requested ? "  [cancelling]" : "");
+  }
+}
+
+void CancelQuery(const std::string& arg) {
+  char* end = nullptr;
+  unsigned long long id = std::strtoull(arg.c_str(), &end, 10);
+  if (end == arg.c_str() || id == 0) {
+    std::printf("usage: \\cancel <id>   (ids from \\queries)\n");
+    return;
+  }
+  if (obs::QueryRegistry::Global().Cancel(id)) {
+    std::printf("cancel requested for query %llu\n", id);
+  } else {
+    std::printf("no in-flight query with id %llu\n", id);
+  }
+}
+
 void PrintSchema() {
   std::printf("node types:");
   for (size_t i = 0; i < static_cast<size_t>(model::NodeKind::kCount); ++i) {
@@ -168,13 +215,29 @@ int main(int argc, char** argv) {
   }
   PrintStats(shell);
 
+  // Live diagnostics: the /debug/storagez + frappe_storage_bytes provider
+  // (re-queried on every scrape) and the stuck-query watchdog — before the
+  // stats server so the endpoints are never up without their data sources.
+  {
+    const graph::GraphStore* store = &shell.store();
+    obs::StatsServer::SetStorageStatsProvider(
+        [store]() -> obs::StatsServer::StorageSections {
+          graph::GraphStore::MemoryBreakdown m = store->EstimateMemory();
+          return {{"nodes", m.nodes},
+                  {"relationships", m.relationships},
+                  {"properties", m.properties}};
+        });
+  }
+  obs::QueryRegistry::Global().MaybeStartWatchdogFromEnv();
+
   // Workload telemetry, both opt-in: the embedded stats server
   // (FRAPPE_STATS_PORT) and the structured query log (FRAPPE_QUERY_LOG).
   std::unique_ptr<obs::StatsServer> stats_server =
       obs::StatsServer::MaybeStartFromEnv();
   if (stats_server != nullptr) {
     std::printf("stats server on http://127.0.0.1:%u  (/metrics /stats"
-                " /healthz)\n",
+                " /healthz /debug/queryz /debug/cancel /debug/tracez"
+                " /debug/storagez /debug/logz)\n",
                 stats_server->port());
   }
   if (auto enabled = obs::QueryLog::Global().EnableFromEnv();
@@ -186,8 +249,12 @@ int main(int argc, char** argv) {
   }
 
   std::printf("type FQL queries (prefix EXPLAIN or PROFILE for plans), or"
-              " \\stats \\hubs \\schema \\top \\explain <query>"
-              " \\save <path> \\quit\n");
+              " \\stats \\hubs \\schema \\top \\queries \\cancel <id>"
+              " \\explain <query> \\save <path> \\quit\n"
+              "  \\queries      list in-flight queries (id, elapsed,"
+              " progress) — the \\cancel ids\n"
+              "  \\cancel <id>  request cooperative cancellation of an"
+              " in-flight query\n");
 
   std::string line;
   while (true) {
@@ -210,6 +277,14 @@ int main(int argc, char** argv) {
     }
     if (line == "\\top") {
       PrintTopQueries();
+      continue;
+    }
+    if (line == "\\queries") {
+      PrintActiveQueries();
+      continue;
+    }
+    if (line.rfind("\\cancel ", 0) == 0) {
+      CancelQuery(line.substr(8));
       continue;
     }
     if (line.rfind("\\explain ", 0) == 0) {
@@ -273,7 +348,10 @@ int main(int argc, char** argv) {
                 result->rows.size(), ms,
                 static_cast<unsigned long long>(result->steps));
   }
-  // Drain + close the query log so the last records hit disk.
+  // Drain + close the query log so the last records hit disk; stop the
+  // watchdog and drop the storage provider before `shell` goes away.
+  obs::QueryRegistry::Global().StopWatchdog();
+  obs::StatsServer::SetStorageStatsProvider(nullptr);
   obs::QueryLog::Global().Disable();
   return 0;
 }

@@ -1,8 +1,8 @@
 #include "common/fault_injector.h"
 
-#include <cstdio>
 #include <cstdlib>
 
+#include "common/log_hook.h"
 #include "common/string_util.h"
 
 namespace frappe::common {
@@ -14,8 +14,8 @@ FaultInjector& FaultInjector::Global() {
     if (env != nullptr && *env != '\0') {
       Status s = injector->Parse(env);
       if (!s.ok()) {
-        std::fprintf(stderr, "[fault_injector] ignoring FRAPPE_FAULT: %s\n",
-                     s.ToString().c_str());
+        LogMessage(kLogWarn, "fault_injector",
+                   "ignoring FRAPPE_FAULT: " + s.ToString());
       }
     }
     return injector;

@@ -1,0 +1,34 @@
+#include "common/log_hook.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace frappe::common {
+namespace {
+
+void DefaultHandler(int severity, const char* component,
+                    const char* message) {
+  const char* level = severity >= kLogError  ? "error"
+                      : severity == kLogWarn ? "warn"
+                      : severity == kLogInfo ? "info"
+                                             : "debug";
+  std::fprintf(stderr, "level=%s component=%s msg=\"%s\"\n", level, component,
+               message);
+}
+
+std::atomic<LogHandler> g_handler{&DefaultHandler};
+
+}  // namespace
+
+void SetLogHandler(LogHandler handler) {
+  g_handler.store(handler != nullptr ? handler : &DefaultHandler,
+                  std::memory_order_release);
+}
+
+void LogMessage(int severity, const char* component,
+                const std::string& message) {
+  g_handler.load(std::memory_order_acquire)(severity, component,
+                                            message.c_str());
+}
+
+}  // namespace frappe::common

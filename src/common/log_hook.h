@@ -1,0 +1,35 @@
+#ifndef FRAPPE_COMMON_LOG_HOOK_H_
+#define FRAPPE_COMMON_LOG_HOOK_H_
+
+#include <string>
+
+namespace frappe::common {
+
+// Indirection that lets the common layer emit diagnostics without linking
+// against the obs logging subsystem (obs depends on common, not the other
+// way around). By default messages go to stderr in the structured
+// "level=... component=... msg=..." shape; obs/log.cc installs a handler
+// at static-init time that routes them through the full logging pipeline
+// (threshold, sinks, in-memory ring).
+//
+// Severity values match obs::LogLevel numerically: 0=debug, 1=info,
+// 2=warn, 3=error.
+
+inline constexpr int kLogDebug = 0;
+inline constexpr int kLogInfo = 1;
+inline constexpr int kLogWarn = 2;
+inline constexpr int kLogError = 3;
+
+using LogHandler = void (*)(int severity, const char* component,
+                            const char* message);
+
+// Replaces the process-wide handler; nullptr restores the stderr default.
+void SetLogHandler(LogHandler handler);
+
+// Emits one message through the installed handler.
+void LogMessage(int severity, const char* component,
+                const std::string& message);
+
+}  // namespace frappe::common
+
+#endif  // FRAPPE_COMMON_LOG_HOOK_H_

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

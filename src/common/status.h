@@ -24,6 +24,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kParseError,  // FQL or C-source syntax error
+  kCancelled,   // cooperative cancellation (operator kill switch)
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -71,6 +72,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

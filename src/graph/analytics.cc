@@ -53,7 +53,8 @@ using Clock = std::chrono::steady_clock;
 // shared atomic stays out of the hot loop.
 constexpr uint64_t kFlushInterval = 4096;
 
-enum CancelReason : int { kNone = 0, kSteps = 1, kDeadline = 2 };
+enum CancelReason : int { kNone = 0, kSteps = 1, kDeadline = 2,
+                          kExternal = 3 };
 
 struct SharedState {
   std::atomic<uint64_t> steps{0};
@@ -76,6 +77,8 @@ Status StatusFor(int reason, const Options& options) {
       return Status::DeadlineExceeded("traversal exceeded deadline of " +
                                       std::to_string(options.deadline_ms) +
                                       "ms");
+    case kExternal:
+      return Status::Cancelled("traversal cancelled");
     default:
       return Status::OK();
   }
@@ -119,6 +122,13 @@ Status FrontierEngine::Run(const CsrView& csr,
   while (!frontier_.empty() && depth < options.max_depth &&
          !shared.cancelled.load(std::memory_order_relaxed)) {
     FRAPPE_TRACE_SPAN("analytics.level");
+    // Poll the external token once per level as well: small frontiers may
+    // run many levels between step-counter flushes.
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      shared.Cancel(kExternal);
+      break;
+    }
     if (metrics != nullptr) {
       metrics->frontier_peak = std::max(metrics->frontier_peak,
                                         frontier_.size());
@@ -140,7 +150,10 @@ Status FrontierEngine::Run(const CsrView& csr,
                              local_steps, std::memory_order_relaxed) +
                          local_steps;
         local_steps = 0;
-        if (options.max_steps > 0 && total > options.max_steps) {
+        if (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed)) {
+          shared.Cancel(kExternal);
+        } else if (options.max_steps > 0 && total > options.max_steps) {
           shared.Cancel(kSteps);
         } else if (has_deadline && Clock::now() > deadline) {
           shared.Cancel(kDeadline);

@@ -87,6 +87,10 @@ struct Options {
   // thousand edges, so a breach is detected within one flush interval.
   uint64_t max_steps = 0;   // 0 = unlimited
   int64_t deadline_ms = 0;  // 0 = none
+  // External cancel token, polled on the same flush cadence as the budgets;
+  // reading true aborts the traversal with Status::Cancelled. The kernel
+  // never writes the token.
+  std::atomic<bool>* cancel = nullptr;
   // Pool to run on; null uses ThreadPool::Shared().
   ThreadPool* pool = nullptr;
 };

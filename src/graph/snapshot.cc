@@ -7,6 +7,7 @@
 
 #include "common/crc32c.h"
 #include "common/file_io.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -388,6 +389,7 @@ void ParseIndexSectionV2(std::string_view payload, size_t abs_base,
         "; dropped embedded name index (field specs unrecoverable)");
     obs::Registry::Global().GetCounter("snapshot.load.index_drops").Add();
   }
+  obs::LogWarn("snapshot", loaded->warnings.back());
 }
 
 uint64_t SnapshotSizes::* SizeFieldFor(uint32_t section) {

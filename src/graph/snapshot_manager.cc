@@ -5,6 +5,7 @@
 
 #include "common/fault_injector.h"
 #include "common/file_io.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -123,6 +124,7 @@ Result<SnapshotManager::Loaded> SnapshotManager::Load() const {
         result.snapshot.warnings.push_back(
             "snapshot: generation 0 unusable; fell back to generation " +
             std::to_string(g) + " (" + result.path + ")");
+        obs::LogWarn("snapshot", result.snapshot.warnings.back());
       }
       return result;
     }

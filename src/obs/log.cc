@@ -1,0 +1,244 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+#include "common/log_hook.h"
+#include "common/string_util.h"
+
+namespace frappe::obs {
+namespace {
+
+constexpr int kThresholdUnset = -1;
+
+struct LogState {
+  std::mutex mu;
+  // Fixed-capacity ring of recent entries for /debug/logz.
+  std::vector<LogEntry> ring;
+  size_t ring_next = 0;  // slot the next entry lands in
+  uint64_t total = 0;    // entries ever appended (ring + overwritten)
+  std::FILE* file = nullptr;  // FRAPPE_LOG_FILE sink, nullptr => stderr
+  bool file_probed = false;
+  std::function<void(const LogEntry&)> test_sink;
+};
+
+LogState& State() {
+  static LogState* state = new LogState();
+  return *state;
+}
+
+// kThresholdUnset until the first Threshold() call reads the env.
+std::atomic<int> g_threshold{kThresholdUnset};
+
+LogLevel ThresholdFromEnv() {
+  const char* env = std::getenv("FRAPPE_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr && *env != '\0' && !ParseLogLevel(env, &level)) {
+    std::fprintf(stderr,
+                 "level=warn component=log msg=\"ignoring FRAPPE_LOG_LEVEL: "
+                 "unknown level '%s'\"\n",
+                 env);
+  }
+  return level;
+}
+
+std::FILE* SinkLocked(LogState& state) {
+  if (!state.file_probed) {
+    state.file_probed = true;
+    const char* path = std::getenv("FRAPPE_LOG_FILE");
+    if (path != nullptr && *path != '\0') {
+      state.file = std::fopen(path, "a");
+      if (state.file == nullptr) {
+        std::fprintf(stderr,
+                     "level=warn component=log msg=\"cannot open "
+                     "FRAPPE_LOG_FILE '%s'; logging to stderr\"\n",
+                     path);
+      }
+    }
+  }
+  return state.file != nullptr ? state.file : stderr;
+}
+
+uint64_t NowUnixMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// Routes common-layer diagnostics (fault injector, file I/O) through the
+// full pipeline. Installed by a static registrar below so any binary that
+// links obs gets structured common-layer logs for free.
+void CommonLayerHandler(int severity, const char* component,
+                        const char* message) {
+  LogLevel level = severity >= common::kLogError  ? LogLevel::kError
+                   : severity == common::kLogWarn ? LogLevel::kWarn
+                   : severity == common::kLogInfo ? LogLevel::kInfo
+                                                  : LogLevel::kDebug;
+  Log::Write(level, component, message);
+}
+
+struct HandlerRegistrar {
+  HandlerRegistrar() { common::SetLogHandler(&CommonLayerHandler); }
+};
+HandlerRegistrar g_registrar;
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "info";
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string lower = ToLower(text);
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "off" || lower == "none") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogLevel Log::Threshold() {
+  int cached = g_threshold.load(std::memory_order_relaxed);
+  if (cached == kThresholdUnset) {
+    cached = static_cast<int>(ThresholdFromEnv());
+    g_threshold.store(cached, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(cached);
+}
+
+void Log::SetThreshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::string FormatLogLine(const LogEntry& entry) {
+  std::time_t secs = static_cast<std::time_t>(entry.ts_us / 1000000);
+  std::tm tm_utc = {};
+  gmtime_r(&secs, &tm_utc);
+  char ts[40];
+  std::snprintf(ts, sizeof(ts), "%04d-%02d-%02dT%02d:%02d:%02d.%06uZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<unsigned>(entry.ts_us % 1000000));
+  std::string line = "ts=";
+  line += ts;
+  line += " level=";
+  line += LogLevelName(entry.level);
+  line += " component=";
+  line += entry.component;
+  line += " msg=";
+  line += JsonQuote(entry.message);  // quoted + escaped, key=value friendly
+  return line;
+}
+
+void Log::Write(LogLevel level, const std::string& component,
+                const std::string& message) {
+  if (!Enabled(level)) return;
+  LogEntry entry;
+  entry.ts_us = NowUnixMicros();
+  entry.level = level;
+  entry.component = component;
+  entry.message = message;
+  std::string line = FormatLogLine(entry);
+
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::FILE* sink = SinkLocked(state);
+  std::fprintf(sink, "%s\n", line.c_str());
+  if (sink != stderr) std::fflush(sink);
+  if (state.ring.size() < kRingCapacity) {
+    state.ring.push_back(entry);
+  } else {
+    state.ring[state.ring_next] = entry;
+  }
+  state.ring_next = (state.ring_next + 1) % kRingCapacity;
+  ++state.total;
+  if (state.test_sink) state.test_sink(entry);
+}
+
+std::vector<LogEntry> Log::Recent() {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<LogEntry> out;
+  out.reserve(state.ring.size());
+  if (state.ring.size() < kRingCapacity) {
+    out = state.ring;  // not yet wrapped: stored oldest-first already
+  } else {
+    for (size_t i = 0; i < kRingCapacity; ++i) {
+      out.push_back(state.ring[(state.ring_next + i) % kRingCapacity]);
+    }
+  }
+  return out;
+}
+
+uint64_t Log::Dropped() {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.total > state.ring.size() ? state.total - state.ring.size()
+                                         : 0;
+}
+
+std::string Log::DumpJson() {
+  std::vector<LogEntry> entries = Recent();
+  uint64_t dropped = Dropped();
+  std::string out = "{\n  \"entries\": [";
+  bool first = true;
+  for (const LogEntry& e : entries) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"ts_us\": " + std::to_string(e.ts_us);
+    out += ", \"level\": \"";
+    out += LogLevelName(e.level);
+    out += "\", \"component\": " + JsonQuote(e.component);
+    out += ", \"message\": " + JsonQuote(e.message) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"dropped\": " + std::to_string(dropped) + "\n}\n";
+  return out;
+}
+
+void Log::ResetForTesting() {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.ring.clear();
+  state.ring_next = 0;
+  state.total = 0;
+  state.test_sink = nullptr;
+  if (state.file != nullptr) std::fclose(state.file);
+  state.file = nullptr;
+  state.file_probed = false;
+  g_threshold.store(kThresholdUnset, std::memory_order_relaxed);
+}
+
+void Log::SetSinkForTesting(std::function<void(const LogEntry&)> sink) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.test_sink = std::move(sink);
+}
+
+}  // namespace frappe::obs

@@ -9,6 +9,7 @@
 #include "common/file_io.h"
 #include "common/string_util.h"
 #include "obs/fingerprint.h"
+#include "obs/log.h"
 
 namespace frappe::obs {
 
@@ -400,8 +401,7 @@ void QueryLog::Rotate() {
     file_bytes_ = 0;
   } else {
     // Degraded mode: keep appending past the cap rather than lose records.
-    std::fprintf(stderr, "[frappe] query log rotation failed: %s\n",
-                 renamed.ToString().c_str());
+    LogWarn("qlog", "query log rotation failed: " + renamed.ToString());
     file_ = std::fopen(options_.path.c_str(), "ab");
     std::fseek(file_, 0, SEEK_END);
   }

@@ -6,19 +6,46 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 #include "common/string_util.h"
 #include "obs/fingerprint.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
+#include "obs/query_registry.h"
+#include "obs/trace.h"
 
 namespace frappe::obs {
 
 namespace {
+
+std::mutex& StorageProviderMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::function<StatsServer::StorageSections()>& StorageProviderRef() {
+  static auto* fn = new std::function<StatsServer::StorageSections()>();
+  return *fn;
+}
+
+// Copies the provider under the lock, invokes it outside (the provider may
+// walk a graph store; holding the registration lock that long is rude).
+StatsServer::StorageSections QueryStorageSections(bool* registered) {
+  std::function<StatsServer::StorageSections()> fn;
+  {
+    std::lock_guard<std::mutex> lock(StorageProviderMutex());
+    fn = StorageProviderRef();
+  }
+  *registered = static_cast<bool>(fn);
+  return fn ? fn() : StatsServer::StorageSections{};
+}
 
 // "query.latency_us" -> "frappe_query_latency_us" (Prometheus name rules:
 // [a-zA-Z_:][a-zA-Z0-9_:]*).
@@ -89,6 +116,32 @@ std::string HttpResponse(int code, std::string_view reason,
   return out;
 }
 
+// Every error leaves the server in the same shape: a JSON body with the
+// status code echoed, and an explicit Content-Type (a bare 404 used to be
+// easy to emit without one).
+std::string ErrorResponse(int code, std::string_view reason,
+                          std::string_view detail) {
+  std::string body = "{\"error\": " + JsonQuote(detail) +
+                     ", \"status\": " + std::to_string(code) + "}\n";
+  return HttpResponse(code, reason, "application/json", body);
+}
+
+// Value of `key` in a query string like "id=3&ms=100"; empty when absent.
+std::string_view QueryParam(std::string_view query, std::string_view key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    std::string_view pair = query.substr(
+        pos, amp == std::string_view::npos ? query.size() - pos : amp - pos);
+    pos = amp == std::string_view::npos ? query.size() : amp + 1;
+    size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 std::string StatsServer::MetricsText(std::string_view build_sha,
@@ -135,7 +188,45 @@ std::string StatsServer::MetricsText(std::string_view build_sha,
   out += "# TYPE frappe_query_fingerprints gauge\n"
          "frappe_query_fingerprints " +
          std::to_string(QueryStats::Global().size()) + "\n";
+  out += "# TYPE frappe_active_queries gauge\n"
+         "frappe_active_queries " +
+         std::to_string(QueryRegistry::Global().size()) + "\n";
+  // Table 4 storage breakdown, re-queried per scrape so Prometheus sees
+  // what /debug/storagez sees.
+  bool have_storage = false;
+  StatsServer::StorageSections sections = QueryStorageSections(&have_storage);
+  if (have_storage) {
+    out += "# TYPE frappe_storage_bytes gauge\n";
+    for (const auto& [section, bytes] : sections) {
+      out += "frappe_storage_bytes{section=\"" + JsonEscape(section) +
+             "\"} " + std::to_string(bytes) + "\n";
+    }
+  }
   return out;
+}
+
+std::string StatsServer::StorageJson() {
+  bool have_storage = false;
+  StorageSections sections = QueryStorageSections(&have_storage);
+  if (!have_storage) return "";
+  uint64_t total = 0;
+  std::string out = "{\n  \"sections\": {";
+  bool first = true;
+  for (const auto& [section, bytes] : sections) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonQuote(section) + ": " + std::to_string(bytes);
+    total += bytes;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"total\": " + std::to_string(total) + "\n}\n";
+  return out;
+}
+
+void StatsServer::SetStorageStatsProvider(
+    std::function<StorageSections()> fn) {
+  std::lock_guard<std::mutex> lock(StorageProviderMutex());
+  StorageProviderRef() = std::move(fn);
 }
 
 std::string StatsServer::StatsJson(std::string_view build_sha,
@@ -202,21 +293,23 @@ std::unique_ptr<StatsServer> StatsServer::MaybeStartFromEnv() {
   if (env == nullptr || *env == '\0') return nullptr;
   int64_t port = 0;
   if (!ParseInt64(env, &port) || port < 0 || port > 65535) {
-    std::fprintf(stderr, "[frappe] bad FRAPPE_STATS_PORT '%s'; stats server"
-                 " disabled\n", env);
+    LogWarn("statsz", std::string("bad FRAPPE_STATS_PORT '") + env +
+                          "'; stats server disabled");
     return nullptr;
   }
   Options options;
   options.port = static_cast<uint16_t>(port);
   Result<std::unique_ptr<StatsServer>> server = Start(std::move(options));
   if (!server.ok()) {
-    std::fprintf(stderr, "[frappe] stats server failed to start: %s\n",
-                 server.status().ToString().c_str());
+    LogWarn("statsz", "stats server failed to start: " +
+                          server.status().ToString());
     return nullptr;
   }
-  std::fprintf(stderr, "[frappe] stats server on http://127.0.0.1:%u"
-               " (/metrics /stats /healthz)\n",
-               static_cast<unsigned>((*server)->port()));
+  LogInfo("statsz",
+          "stats server on http://127.0.0.1:" +
+              std::to_string((*server)->port()) +
+              " (/metrics /stats /healthz /debug/queryz /debug/storagez "
+              "/debug/logz /debug/tracez /debug/cancel)");
   return std::move(*server);
 }
 
@@ -260,19 +353,22 @@ std::string StatsServer::HandleRequest(std::string_view request_line) const {
   // "GET /metrics HTTP/1.0"
   size_t sp1 = request_line.find(' ');
   if (sp1 == std::string_view::npos) {
-    return HttpResponse(400, "Bad Request", "text/plain", "bad request\n");
+    return ErrorResponse(400, "Bad Request", "bad request line");
   }
   std::string_view method = request_line.substr(0, sp1);
   size_t sp2 = request_line.find(' ', sp1 + 1);
   std::string_view target = sp2 == std::string_view::npos
                                 ? request_line.substr(sp1 + 1)
                                 : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view params;
   if (size_t q = target.find('?'); q != std::string_view::npos) {
+    params = target.substr(q + 1);
     target = target.substr(0, q);
   }
-  if (method != "GET") {
-    return HttpResponse(405, "Method Not Allowed", "text/plain",
-                        "GET only\n");
+  if (method != "GET" && method != "POST") {
+    return ErrorResponse(405, "Method Not Allowed",
+                         "method not allowed; use GET (POST for "
+                         "/debug/cancel)");
   }
   if (target == "/healthz") {
     return HttpResponse(200, "OK", "text/plain", "ok\n");
@@ -285,8 +381,64 @@ std::string StatsServer::HandleRequest(std::string_view request_line) const {
     return HttpResponse(200, "OK", "application/json",
                         StatsJson(build_sha_, UptimeSeconds()));
   }
-  return HttpResponse(404, "Not Found", "text/plain",
-                      "unknown path; try /metrics /stats /healthz\n");
+  if (target == "/debug/queryz") {
+    return HttpResponse(200, "OK", "application/json",
+                        QueryRegistry::Global().DumpJson());
+  }
+  if (target == "/debug/cancel") {
+    // Cancellation mutates the query's state: POST only, so an accidental
+    // crawl or browser prefetch cannot kill a query.
+    if (method != "POST") {
+      return ErrorResponse(405, "Method Not Allowed",
+                           "cancel requires POST");
+    }
+    int64_t id = 0;
+    std::string_view raw = QueryParam(params, "id");
+    if (raw.empty() || !ParseInt64(raw, &id) || id <= 0) {
+      return ErrorResponse(400, "Bad Request",
+                           "missing or bad id parameter");
+    }
+    if (!QueryRegistry::Global().Cancel(static_cast<uint64_t>(id))) {
+      return ErrorResponse(404, "Not Found",
+                           "no in-flight query with id " +
+                               std::to_string(id));
+    }
+    return HttpResponse(200, "OK", "application/json",
+                        "{\"cancelled\": " + std::to_string(id) + "}\n");
+  }
+  if (target == "/debug/tracez") {
+    int64_t window_ms = 100;
+    std::string_view raw = QueryParam(params, "ms");
+    if (!raw.empty() && (!ParseInt64(raw, &window_ms) || window_ms < 0)) {
+      return ErrorResponse(400, "Bad Request", "bad ms parameter");
+    }
+    window_ms = std::min<int64_t>(window_ms, 10000);  // bound the capture
+    // On-demand capture: clear the rings, trace for the window, export.
+    // Restores the previous enable state, so a process running with
+    // tracing permanently on keeps it on (its buffered spans are gone —
+    // the rings are shared; documented in DESIGN.md).
+    bool was_enabled = Trace::enabled();
+    Trace::Clear();
+    Trace::Enable();
+    std::this_thread::sleep_for(std::chrono::milliseconds(window_ms));
+    if (!was_enabled) Trace::Disable();
+    return HttpResponse(200, "OK", "application/json", Trace::ExportJson());
+  }
+  if (target == "/debug/storagez") {
+    std::string body = StorageJson();
+    if (body.empty()) {
+      return ErrorResponse(404, "Not Found",
+                           "no storage stats provider registered");
+    }
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  if (target == "/debug/logz") {
+    return HttpResponse(200, "OK", "application/json", Log::DumpJson());
+  }
+  return ErrorResponse(404, "Not Found",
+                       "unknown path; try /metrics /stats /healthz "
+                       "/debug/queryz /debug/storagez /debug/logz "
+                       "/debug/tracez /debug/cancel");
 }
 
 }  // namespace frappe::obs

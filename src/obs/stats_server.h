@@ -4,10 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -18,17 +21,31 @@ namespace frappe::obs {
 //
 //   /metrics  Prometheus text exposition of the metrics Registry —
 //             counters as *_total, gauges, histograms as summaries with
-//             interpolated quantiles — plus uptime, build info, and the
-//             query-log drop/write counters
+//             interpolated quantiles — plus uptime, build info, the
+//             query-log drop/write counters, and (when a storage provider
+//             is registered) frappe_storage_bytes{section=...} gauges
 //   /stats    JSON operator view: per-fingerprint query stats (top by
 //             cumulative latency), recent slow queries, build SHA, uptime
 //   /healthz  "ok" liveness probe
 //
+// plus the live-diagnostics control plane:
+//
+//   /debug/queryz        in-flight queries: id, fingerprint, elapsed time,
+//                        live progress (steps, db-hits, rows, operator)
+//   /debug/cancel?id=N   POST: trips query N's cancel token
+//   /debug/tracez?ms=N   on-demand capture window over the span rings,
+//                        returned as Chrome trace-event JSON
+//   /debug/storagez      per-section storage byte breakdown (Table 4)
+//   /debug/logz          recent structured-log entries (the in-memory ring)
+//
 // Opt-in: production binaries call MaybeStartFromEnv() and get a server
 // only when FRAPPE_STATS_PORT is set. Responses are built per request from
 // registry snapshots; connections are served sequentially (the responses
-// are small and the consumer is a scraper, not user traffic). Binds
-// 127.0.0.1 by default — this is an operator port, not a public one.
+// are small and the consumer is a scraper, not user traffic) — note a
+// /debug/tracez capture blocks the serving thread for its window. Errors
+// are uniform JSON bodies {"error": ..., "status": N} with a Content-Type,
+// and only GET/POST are accepted. Binds 127.0.0.1 by default — this is an
+// operator port, not a public one.
 class StatsServer {
  public:
   struct Options {
@@ -65,6 +82,15 @@ class StatsServer {
                                  double uptime_seconds);
   static std::string StatsJson(std::string_view build_sha,
                                double uptime_seconds);
+  static std::string StorageJson();
+
+  // Storage byte breakdown served by /debug/storagez and exported as
+  // frappe_storage_bytes{section=...} gauges: ordered (section, bytes)
+  // pairs, re-queried on every scrape. The server cannot know about graph
+  // stores (obs sits below graph), so the owning binary registers a
+  // provider; nullptr unregisters. The provider must be thread-safe.
+  using StorageSections = std::vector<std::pair<std::string, uint64_t>>;
+  static void SetStorageStatsProvider(std::function<StorageSections()> fn);
 
  private:
   StatsServer() = default;

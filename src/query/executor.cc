@@ -11,6 +11,7 @@
 #include "graph/analytics.h"
 #include "graph/traversal.h"
 #include "obs/metrics.h"
+#include "obs/query_registry.h"
 #include "obs/trace.h"
 #include "query/fast_path.h"
 
@@ -238,6 +239,10 @@ class Engine {
           },
           clause);
       obs::Span clause_span(span_name);
+      if (options_.progress != nullptr) {
+        options_.progress->op.store(span_name, std::memory_order_relaxed);
+        PublishProgress();
+      }
       const bool profile = options_.profile;
       const uint64_t steps_before = steps_;
       const DbHits hits_before = hits_;
@@ -313,13 +318,28 @@ class Engine {
           "query exceeded step budget of " +
           std::to_string(options_.max_steps));
     }
-    if (has_deadline_ && (steps_ & (kDeadlineCheckInterval - 1)) == 0 &&
-        std::chrono::steady_clock::now() > deadline_) {
-      return Status::DeadlineExceeded("query exceeded deadline of " +
-                                      std::to_string(options_.deadline_ms) +
-                                      "ms");
+    // Progress publication, the cancel token, and the deadline clock all
+    // share one cadence: cheap inner-loop work pays only the mask test.
+    if ((steps_ & (kDeadlineCheckInterval - 1)) == 0) {
+      if (options_.progress != nullptr) PublishProgress();
+      if (options_.cancel != nullptr &&
+          options_.cancel->load(std::memory_order_relaxed)) {
+        return Status::Cancelled("query cancelled");
+      }
+      if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+        return Status::DeadlineExceeded(
+            "query exceeded deadline of " +
+            std::to_string(options_.deadline_ms) + "ms");
+      }
     }
     return Status::OK();
+  }
+
+  void PublishProgress() {
+    obs::QueryProgress& p = *options_.progress;
+    p.steps.store(steps_, std::memory_order_relaxed);
+    p.db_hits.store(hits_.Total(), std::memory_order_relaxed);
+    p.rows.store(rows_.size(), std::memory_order_relaxed);
   }
 
   // --- variable slots ---
@@ -468,6 +488,7 @@ class Engine {
 
     graph::analytics::Options opt;
     opt.threads = options_.threads;
+    opt.cancel = options_.cancel;
     if (rel.max_length != kUnboundedLength) opt.max_depth = rel.max_length;
     // Hand the kernel the remaining budget so a breach surfaces with the
     // same codes (and comparable timing) as the enumerating path.
@@ -511,6 +532,9 @@ class Engine {
         return Status::DeadlineExceeded(
             "query exceeded deadline of " +
             std::to_string(options_.deadline_ms) + "ms");
+      }
+      if (members.status().code() == StatusCode::kCancelled) {
+        return Status::Cancelled("query cancelled");
       }
       return members.status();
     }

@@ -1,6 +1,7 @@
 #ifndef FRAPPE_QUERY_EXECUTOR_H_
 #define FRAPPE_QUERY_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -8,6 +9,10 @@
 #include "common/status.h"
 #include "query/ast.h"
 #include "query/database.h"
+
+namespace frappe::obs {
+struct QueryProgress;
+}  // namespace frappe::obs
 
 namespace frappe::query {
 
@@ -32,6 +37,15 @@ struct ExecOptions {
   // into QueryResult::stats.operators. Set by `PROFILE <query>`; adds two
   // clock reads and a couple of counter subtractions per clause.
   bool profile = false;
+  // Cooperative cancellation: when set, the executor polls the token on the
+  // kDeadlineCheckInterval cadence (and forwards it to the analytics
+  // kernel) and returns Status::Cancelled once it reads true. The token
+  // outlives the call; the executor never writes it.
+  std::atomic<bool>* cancel = nullptr;
+  // Live progress counters (steps, db-hits, rows, current operator)
+  // published on the same cadence for /debug/queryz and the stuck-query
+  // watchdog. Owned by the caller (normally the active-query registry).
+  obs::QueryProgress* progress = nullptr;
 };
 
 // Storage accesses the executor performed, split by what was touched. One

@@ -8,6 +8,7 @@
 #include "obs/fingerprint.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
+#include "obs/query_registry.h"
 #include "obs/trace.h"
 #include "query/explain.h"
 #include "query/parser.h"
@@ -181,6 +182,13 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
   // hashed. Computed up front so parse failures aggregate by shape too.
   const obs::NormalizedQuery normalized = obs::NormalizeQuery(query_text);
 
+  // Active-query registry: this query is visible on /debug/queryz (and
+  // cancellable) for the whole call; the RAII handle removes the entry on
+  // every exit path — parse failure, EXPLAIN, success, or abort.
+  obs::QueryRegistry::Handle active = obs::QueryRegistry::Global().Register(
+      normalized.fingerprint, normalized.text, std::string(query_text),
+      options.cancel);
+
   Query query;
   {
     FRAPPE_TRACE_SPAN("session.parse");
@@ -204,6 +212,14 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
 
   ExecOptions exec_options = options;
   if (query.mode == QueryMode::kProfile) exec_options.profile = true;
+  if (active.entry() != nullptr) {
+    // The registry's token aliases the caller's when one was supplied, so
+    // both /debug/cancel and the caller can trip the same switch.
+    exec_options.cancel = active.entry()->cancel_token;
+    if (exec_options.progress == nullptr) {
+      exec_options.progress = &active.entry()->progress;
+    }
+  }
 
   const auto exec_start = std::chrono::steady_clock::now();
   Result<QueryResult> result = [&] {

@@ -77,6 +77,9 @@ class SnapshotSession {
 
   const Database& database() const { return db_; }
   const graph::GraphView& view() const { return *store_; }
+  // The owned store itself, e.g. for EstimateMemory() (Table 4 sections on
+  // /debug/storagez).
+  const graph::GraphStore& store() const { return *store_; }
   const graph::NameIndex& name_index() const { return name_index_; }
   const model::Schema& schema() const { return schema_; }
 

@@ -18,7 +18,10 @@ namespace frappe::obs {
 namespace {
 
 // Minimal HTTP/1.0 client: one request, read to EOF (the server closes).
-std::string HttpGet(uint16_t port, const std::string& path) {
+// The method is caller-supplied so tests can exercise the server's
+// method-not-allowed path with raw requests.
+std::string HttpRequest(uint16_t port, const std::string& method,
+                        const std::string& path) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return "";
   sockaddr_in addr = {};
@@ -29,7 +32,7 @@ std::string HttpGet(uint16_t port, const std::string& path) {
     ::close(fd);
     return "";
   }
-  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::string request = method + " " + path + " HTTP/1.0\r\n\r\n";
   ::send(fd, request.data(), request.size(), 0);
   std::string response;
   char buffer[4096];
@@ -39,6 +42,10 @@ std::string HttpGet(uint16_t port, const std::string& path) {
   }
   ::close(fd);
   return response;
+}
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  return HttpRequest(port, "GET", path);
 }
 
 std::string Body(const std::string& response) {
@@ -68,9 +75,55 @@ TEST_F(StatsServerTest, HealthzAnswersOk) {
   EXPECT_EQ(Body(response), "ok\n");
 }
 
-TEST_F(StatsServerTest, UnknownPathIs404) {
-  EXPECT_NE(HttpGet(server_->port(), "/nope").find("404"),
-            std::string::npos);
+TEST_F(StatsServerTest, UnknownPathIs404WithJsonBody) {
+  std::string response = HttpGet(server_->port(), "/nope");
+  EXPECT_NE(response.find("404 Not Found"), std::string::npos) << response;
+  // Regression: 404s used to go out without a Content-Type at all.
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos)
+      << response;
+  std::string body = Body(response);
+  EXPECT_NE(body.find("\"error\": "), std::string::npos) << body;
+  EXPECT_NE(body.find("\"status\": 404"), std::string::npos) << body;
+}
+
+TEST_F(StatsServerTest, NonGetOrPostMethodsAreRejectedCleanly) {
+  for (const char* method : {"DELETE", "PUT", "HEAD"}) {
+    std::string response = HttpRequest(server_->port(), method, "/metrics");
+    EXPECT_NE(response.find("405 Method Not Allowed"), std::string::npos)
+        << method << ": " << response;
+    EXPECT_NE(response.find("Content-Type: application/json"),
+              std::string::npos)
+        << method << ": " << response;
+    EXPECT_NE(Body(response).find("\"status\": 405"), std::string::npos)
+        << method;
+  }
+}
+
+TEST_F(StatsServerTest, GarbageRequestLineIs400) {
+  // No space in the request line at all: the parser can't split off a
+  // method, and must still answer with a well-formed JSON error.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char raw[] = "GARBAGE\r\n\r\n";
+  ::send(fd, raw, sizeof(raw) - 1, 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos)
+      << response;
 }
 
 TEST_F(StatsServerTest, MetricsServesPrometheusExposition) {

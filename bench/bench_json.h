@@ -28,6 +28,8 @@ struct JsonEntry {
   std::string note;                // e.g. "ABORTED: ..."; empty = omit
   // Extra numeric facts (counts, sizes, ratios) specific to one bench.
   std::vector<std::pair<std::string, double>> extra;
+  // Extra string facts (e.g. per-level push/pull decisions).
+  std::vector<std::pair<std::string, std::string>> extra_str;
 
   JsonEntry& Sample(double ms) {
     samples_ms.push_back(ms);
@@ -51,6 +53,10 @@ struct JsonEntry {
   }
   JsonEntry& Extra(std::string key, double value) {
     extra.emplace_back(std::move(key), value);
+    return *this;
+  }
+  JsonEntry& ExtraStr(std::string key, std::string value) {
+    extra_str.emplace_back(std::move(key), std::move(value));
     return *this;
   }
 };
@@ -112,6 +118,10 @@ class JsonReport {
       if (e.threads >= 0) std::fprintf(f, ", \"threads\": %d", e.threads);
       for (const auto& [key, value] : e.extra) {
         std::fprintf(f, ", %s: %s", Quoted(key).c_str(), Num(value).c_str());
+      }
+      for (const auto& [key, value] : e.extra_str) {
+        std::fprintf(f, ", %s: %s", Quoted(key).c_str(),
+                     Quoted(value).c_str());
       }
       if (!e.note.empty()) {
         std::fprintf(f, ", \"note\": %s", Quoted(e.note).c_str());

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "extractor/synthetic.h"
+#include "graph/csr_view.h"
 #include "graph/snapshot_manager.h"
 #include "graph/stats.h"
 #include "model/code_graph.h"
@@ -220,12 +221,22 @@ int main(int argc, char** argv) {
   // stats server so the endpoints are never up without their data sources.
   {
     const graph::GraphStore* store = &shell.store();
+    std::shared_ptr<graph::CsrCache> csr = shell.database().csr;
     obs::StatsServer::SetStorageStatsProvider(
-        [store]() -> obs::StatsServer::StorageSections {
+        [store, csr]() -> obs::StatsServer::StorageSections {
           graph::GraphStore::MemoryBreakdown m = store->EstimateMemory();
-          return {{"nodes", m.nodes},
-                  {"relationships", m.relationships},
-                  {"properties", m.properties}};
+          obs::StatsServer::StorageSections sections = {
+              {"nodes", m.nodes},
+              {"relationships", m.relationships},
+              {"properties", m.properties}};
+          if (csr != nullptr) {
+            // Packed-adjacency bytes: the transpose section stays 0 until
+            // the first pull-direction traversal lazily builds it.
+            graph::CsrCache::Stats cs = csr->GetStats();
+            sections.emplace_back("csr_forward", cs.forward_bytes);
+            sections.emplace_back("csr_reverse", cs.reverse_bytes);
+          }
+          return sections;
         });
   }
   obs::QueryRegistry::Global().MaybeStartWatchdogFromEnv();

@@ -1,5 +1,10 @@
 #include "graph/csr_view.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace frappe::graph {
 
 CsrView CsrView::Build(const GraphView& base) {
@@ -10,42 +15,79 @@ CsrView CsrView::Build(const GraphView& base) {
 
   view.edges_.assign(edge_upper, Edge{});
   std::vector<uint32_t> out_counts(node_upper, 0);
-  std::vector<uint32_t> in_counts(node_upper, 0);
   for (EdgeId e = 0; e < edge_upper; ++e) {
     if (!base.EdgeExists(e)) continue;
     Edge edge = base.GetEdge(e);
     view.edges_[e] = edge;
     ++out_counts[edge.src];
-    ++in_counts[edge.dst];
   }
 
   view.out_offsets_.assign(node_upper + 1, 0);
-  view.in_offsets_.assign(node_upper + 1, 0);
   for (size_t n = 0; n < node_upper; ++n) {
     view.out_offsets_[n + 1] = view.out_offsets_[n] + out_counts[n];
-    view.in_offsets_[n + 1] = view.in_offsets_[n] + in_counts[n];
   }
   size_t live_edges = view.out_offsets_[node_upper];
   view.out_edges_.resize(live_edges);
   view.out_targets_.resize(live_edges);
-  view.in_edges_.resize(live_edges);
-  view.in_sources_.resize(live_edges);
+  view.out_types_.resize(live_edges);
 
   std::vector<uint64_t> out_cursor(view.out_offsets_.begin(),
                                    view.out_offsets_.end() - 1);
-  std::vector<uint64_t> in_cursor(view.in_offsets_.begin(),
-                                  view.in_offsets_.end() - 1);
   for (EdgeId e = 0; e < edge_upper; ++e) {
     if (!base.EdgeExists(e)) continue;
     const Edge& edge = view.edges_[e];
     uint64_t out_pos = out_cursor[edge.src]++;
     view.out_edges_[out_pos] = e;
     view.out_targets_[out_pos] = edge.dst;
-    uint64_t in_pos = in_cursor[edge.dst]++;
-    view.in_edges_[in_pos] = e;
-    view.in_sources_[in_pos] = edge.src;
+    view.out_types_[out_pos] = edge.type;
+    if (edge.type >= view.type_counts_.size()) {
+      view.type_counts_.resize(edge.type + 1, 0);
+    }
+    ++view.type_counts_[edge.type];
   }
   return view;
+}
+
+void CsrView::EnsureReverse() const {
+  ReverseCsr& rev = *reverse_;
+  if (rev.built.load(std::memory_order_acquire)) return;
+  std::call_once(rev.once, [&] {
+    FRAPPE_TRACE_SPAN("csr.build_reverse");
+    auto start = std::chrono::steady_clock::now();
+    size_t node_upper = out_offsets_.size() - 1;
+    std::vector<uint32_t> in_counts(node_upper, 0);
+    for (NodeId dst : out_targets_) ++in_counts[dst];
+    rev.offsets.assign(node_upper + 1, 0);
+    for (size_t n = 0; n < node_upper; ++n) {
+      rev.offsets[n + 1] = rev.offsets[n] + in_counts[n];
+    }
+    size_t live_edges = out_edges_.size();
+    rev.edges.resize(live_edges);
+    rev.sources.resize(live_edges);
+    rev.types.resize(live_edges);
+    std::vector<uint64_t> cursor(rev.offsets.begin(), rev.offsets.end() - 1);
+    // Walking the forward CSR in ascending source order leaves every
+    // destination bucket sorted by source id — the pull phase scans each
+    // bucket front-to-back probing the frontier bitmap, so sorted sources
+    // turn those probes into a monotonic walk over the bitmap words.
+    for (NodeId src = 0; src < node_upper; ++src) {
+      for (uint64_t pos = out_offsets_[src]; pos < out_offsets_[src + 1];
+           ++pos) {
+        NodeId dst = out_targets_[pos];
+        uint64_t in_pos = cursor[dst]++;
+        rev.edges[in_pos] = out_edges_[pos];
+        rev.sources[in_pos] = src;
+        rev.types[in_pos] = out_types_[pos];
+      }
+    }
+    rev.build_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    static obs::Histogram& build_hist =
+        obs::Registry::Global().GetHistogram("csr.reverse_build_ms");
+    build_hist.Record(static_cast<uint64_t>(rev.build_ms));
+    rev.built.store(true, std::memory_order_release);
+  });
 }
 
 void CsrView::ForEachEdge(NodeId id, Direction dir,
@@ -67,11 +109,21 @@ void CsrView::ForEachEdge(NodeId id, Direction dir,
   }
 }
 
-uint64_t CsrView::ByteSize() const {
+uint64_t CsrView::ForwardByteSize() const {
   return edges_.size() * sizeof(Edge) +
-         (out_offsets_.size() + in_offsets_.size()) * sizeof(uint64_t) +
-         (out_edges_.size() + in_edges_.size()) * sizeof(EdgeId) +
-         (out_targets_.size() + in_sources_.size()) * sizeof(NodeId);
+         out_offsets_.size() * sizeof(uint64_t) +
+         out_edges_.size() * sizeof(EdgeId) +
+         out_targets_.size() * sizeof(NodeId) +
+         out_types_.size() * sizeof(TypeId);
+}
+
+uint64_t CsrView::ReverseByteSize() const {
+  if (!ReverseBuilt()) return 0;
+  const ReverseCsr& rev = *reverse_;
+  return rev.offsets.size() * sizeof(uint64_t) +
+         rev.edges.size() * sizeof(EdgeId) +
+         rev.sources.size() * sizeof(NodeId) +
+         rev.types.size() * sizeof(TypeId);
 }
 
 const CsrView& CsrCache::Get(const GraphView& base) {
@@ -87,6 +139,17 @@ void CsrCache::Invalidate() {
   std::lock_guard<std::mutex> lock(mu_);
   view_.reset();
   base_ = nullptr;
+}
+
+CsrCache::Stats CsrCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  if (view_ != nullptr) {
+    stats.forward_bytes = view_->ForwardByteSize();
+    stats.reverse_bytes = view_->ReverseByteSize();
+    stats.reverse_build_ms = view_->ReverseBuildMs();
+  }
+  return stats;
 }
 
 }  // namespace frappe::graph

@@ -250,6 +250,9 @@ class Engine {
       if (profile) {
         fast_path_op_ = false;
         fp_frontier_sizes_.clear();
+        fp_level_pull_.clear();
+        fp_level_bitmap_.clear();
+        fp_direction_switches_ = 0;
         fp_lanes_ = 0;
         clause_start = std::chrono::steady_clock::now();
       }
@@ -284,6 +287,9 @@ class Engine {
                          .count();
         op.fast_path = fast_path_op_;
         op.frontier_sizes = fp_frontier_sizes_;
+        op.level_pull = fp_level_pull_;
+        op.level_bitmap = fp_level_bitmap_;
+        op.direction_switches = fp_direction_switches_;
         op.lanes = fp_lanes_;
         out.stats.operators.push_back(std::move(op));
       }
@@ -519,6 +525,11 @@ class Engine {
     // kernel call per input row; typically exactly one).
     if (metrics.frontier_sizes.size() > fp_frontier_sizes_.size()) {
       fp_frontier_sizes_ = metrics.frontier_sizes;
+      // Direction decisions ride with the frontier trajectory they
+      // annotate, so PROFILE shows one consistent run.
+      fp_level_pull_ = metrics.level_pull;
+      fp_level_bitmap_ = metrics.level_bitmap;
+      fp_direction_switches_ = metrics.direction_switches;
     }
     fp_lanes_ = std::max(fp_lanes_, metrics.lanes_used);
     if (!members.ok()) {
@@ -1539,6 +1550,9 @@ class Engine {
   bool fast_path_taken_ = false;
   bool fast_path_op_ = false;
   std::vector<uint64_t> fp_frontier_sizes_;
+  std::vector<uint8_t> fp_level_pull_;
+  std::vector<uint8_t> fp_level_bitmap_;
+  size_t fp_direction_switches_ = 0;
   size_t fp_lanes_ = 0;
 };
 

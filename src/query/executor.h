@@ -73,9 +73,14 @@ struct OperatorStats {
   uint64_t steps = 0;    // step-budget units the clause consumed
   double time_ms = 0.0;  // wall time inside the clause
   // CSR fast-path detail (variable-length MATCH answered by the parallel
-  // closure kernel): frontier size per BFS level and lanes used.
+  // closure kernel): frontier size per BFS level, the direction-optimizing
+  // kernel's per-level choices (parallel to frontier_sizes: pull vs push,
+  // bitmap vs array frontier), switch count, and lanes used.
   bool fast_path = false;
   std::vector<uint64_t> frontier_sizes;
+  std::vector<uint8_t> level_pull;
+  std::vector<uint8_t> level_bitmap;
+  size_t direction_switches = 0;
   size_t lanes = 0;
 };
 

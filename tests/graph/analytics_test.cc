@@ -74,6 +74,81 @@ TEST(VisitedBitmapTest, SurvivesEpochWraparound) {
   EXPECT_TRUE(bitmap.TestAndSet(10));
 }
 
+TEST(VisitedBitmapTest, TestAndSetStaysExactAcrossEpochWraparound) {
+  // Keep bits set while the epoch wraps: right after the hard clear,
+  // TestAndSet must still report first-set exactly once per id — a stale
+  // tag surviving the wrap would make it report false for a clear bit (or
+  // true twice).
+  VisitedBitmap bitmap;
+  const size_t kUniverse = 100;
+  for (int round = 0; round < 70000; ++round) {
+    bitmap.Reset(kUniverse);
+    if (round % 9973 != 0 && round < 65540) continue;  // keep the loop fast
+    EXPECT_TRUE(bitmap.TestAndSet(3)) << "round " << round;
+    EXPECT_FALSE(bitmap.TestAndSet(3)) << "round " << round;
+    EXPECT_TRUE(bitmap.TestAndSetSeq(90)) << "round " << round;
+    EXPECT_FALSE(bitmap.TestAndSetSeq(90)) << "round " << round;
+    EXPECT_FALSE(bitmap.Test(4)) << "round " << round;
+  }
+}
+
+TEST(VisitedBitmapTest, WordPackingBoundaries) {
+  // 48 payload bits per word: ids 47/48 and 95/96 straddle word borders,
+  // and the last id of the universe must stay in bounds.
+  VisitedBitmap bitmap;
+  bitmap.Reset(97);
+  EXPECT_TRUE(bitmap.TestAndSet(47));
+  EXPECT_TRUE(bitmap.TestAndSet(48));
+  EXPECT_FALSE(bitmap.TestAndSet(47));
+  EXPECT_FALSE(bitmap.TestAndSet(48));
+  EXPECT_FALSE(bitmap.Test(46));
+  EXPECT_FALSE(bitmap.Test(49));
+  EXPECT_TRUE(bitmap.TestAndSet(96));  // first id of the third word
+  EXPECT_FALSE(bitmap.Test(95));
+  std::vector<NodeId> out;
+  bitmap.AppendSetBits(&out);
+  EXPECT_EQ(out, (std::vector<NodeId>{47, 48, 96}));
+
+  // A universe ending exactly on a word boundary.
+  bitmap.Reset(96);
+  EXPECT_TRUE(bitmap.TestAndSet(95));
+  out.clear();
+  bitmap.AppendSetBits(&out);
+  EXPECT_EQ(out, (std::vector<NodeId>{95}));
+}
+
+TEST(VisitedBitmapTest, SeqVariantsMatchAtomicSemantics) {
+  VisitedBitmap bitmap;
+  bitmap.Reset(100);
+  EXPECT_TRUE(bitmap.TestAndSetSeq(0));   // stale-word refresh path
+  EXPECT_FALSE(bitmap.TestAndSetSeq(0));  // already set
+  EXPECT_TRUE(bitmap.TestAndSetSeq(1));   // fresh-word set path
+  bitmap.SetSeq(2);
+  EXPECT_TRUE(bitmap.Test(0));
+  EXPECT_TRUE(bitmap.Test(1));
+  EXPECT_TRUE(bitmap.Test(2));
+  // Seq and atomic writes interoperate on the same words.
+  EXPECT_FALSE(bitmap.TestAndSet(2));
+  EXPECT_TRUE(bitmap.TestAndSet(3));
+  EXPECT_FALSE(bitmap.TestAndSetSeq(3));
+  bitmap.Reset(100);
+  EXPECT_FALSE(bitmap.Test(0));
+  EXPECT_TRUE(bitmap.TestAndSetSeq(0));
+}
+
+TEST(VisitedBitmapTest, WordPayloadReflectsEpochAndBits) {
+  VisitedBitmap bitmap;
+  bitmap.Reset(96);
+  EXPECT_EQ(bitmap.WordPayload(0), 0u);  // stale word reads as empty
+  bitmap.Set(0);
+  bitmap.Set(47);
+  EXPECT_EQ(bitmap.WordPayload(13),  // any id in the first word
+            (uint64_t{1} << 0) | (uint64_t{1} << 47));
+  EXPECT_EQ(bitmap.WordPayload(48), 0u);
+  bitmap.Reset(96);
+  EXPECT_EQ(bitmap.WordPayload(0), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // ThreadPool
 // ---------------------------------------------------------------------------
@@ -283,6 +358,48 @@ TEST(FrontierEngineTest, MetricsReportWork) {
     EXPECT_GT(metrics.levels, 0u);
     EXPECT_GT(metrics.frontier_peak, 0u);
   }
+}
+
+TEST(FrontierEngineTest, MetricsFullyResetBetweenRuns) {
+  // Regression: frontier_sizes (and the parallel direction vectors) were
+  // appended to across runs when the caller reused one Metrics struct, so a
+  // second traversal reported the concatenation of both frontier
+  // trajectories. Every field must describe the latest run only.
+  RandomGraph g = MakeRandomGraph(13, 150, 4);
+  CsrView csr = CsrView::Build(g.store);
+  FrontierEngine engine;
+  Metrics metrics;
+  auto first = engine.Closure(csr, {g.nodes[0]}, EdgeFilter::Any(), {},
+                              &metrics);
+  ASSERT_TRUE(first.ok());
+  Metrics first_metrics = metrics;
+  ASSERT_EQ(first_metrics.frontier_sizes.size(), first_metrics.levels);
+  ASSERT_EQ(first_metrics.level_pull.size(), first_metrics.levels);
+  ASSERT_EQ(first_metrics.level_bitmap.size(), first_metrics.levels);
+
+  // Same query, same struct: every field must come out identical, not
+  // doubled.
+  auto second = engine.Closure(csr, {g.nodes[0]}, EdgeFilter::Any(), {},
+                               &metrics);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(metrics.steps, first_metrics.steps);
+  EXPECT_EQ(metrics.levels, first_metrics.levels);
+  EXPECT_EQ(metrics.frontier_peak, first_metrics.frontier_peak);
+  EXPECT_EQ(metrics.frontier_sizes, first_metrics.frontier_sizes);
+  EXPECT_EQ(metrics.level_pull, first_metrics.level_pull);
+  EXPECT_EQ(metrics.level_bitmap, first_metrics.level_bitmap);
+  EXPECT_EQ(metrics.direction_switches, first_metrics.direction_switches);
+
+  // A smaller follow-up query must shrink the vectors, not append to them.
+  Options shallow;
+  shallow.max_depth = 1;
+  auto third = engine.Closure(csr, {g.nodes[0]}, EdgeFilter::Any(), shallow,
+                              &metrics);
+  ASSERT_TRUE(third.ok());
+  EXPECT_LE(metrics.levels, 1u);
+  EXPECT_EQ(metrics.frontier_sizes.size(), metrics.levels);
+  EXPECT_EQ(metrics.level_pull.size(), metrics.levels);
+  EXPECT_EQ(metrics.level_bitmap.size(), metrics.levels);
 }
 
 // ---------------------------------------------------------------------------

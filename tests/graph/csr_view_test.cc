@@ -102,6 +102,78 @@ TEST(CsrViewTest, PackedAccessorsMatchCallbacks) {
   });
 }
 
+TEST(CsrViewTest, ReverseCsrBuildsLazily) {
+  GraphStore store;
+  NodeId a = store.AddNode("n");
+  NodeId b = store.AddNode("n");
+  NodeId c = store.AddNode("n");
+  store.AddEdge(a, b, "e");
+  store.AddEdge(c, b, "e");
+  CsrView view = CsrView::Build(store);
+
+  // Forward-only use keeps the transpose unbuilt and free.
+  EXPECT_FALSE(view.ReverseBuilt());
+  EXPECT_EQ(view.ReverseByteSize(), 0u);
+  EXPECT_EQ(view.ReverseBuildMs(), 0.0);
+  EXPECT_GT(view.ForwardByteSize(), 0u);
+  EXPECT_EQ(view.OutDegree(a), 1u);
+  EXPECT_FALSE(view.ReverseBuilt());
+
+  // First in-direction access materializes it.
+  EXPECT_EQ(view.InDegree(b), 2u);
+  EXPECT_TRUE(view.ReverseBuilt());
+  EXPECT_GT(view.ReverseByteSize(), 0u);
+  EXPECT_EQ(view.ByteSize(),
+            view.ForwardByteSize() + view.ReverseByteSize());
+}
+
+TEST(CsrViewTest, ReverseBucketsSortedBySourceWithMatchingTypes) {
+  GraphStore store;
+  TypeId nt = store.InternNodeType("n");
+  TypeId e1 = store.InternEdgeType("e1");
+  TypeId e2 = store.InternEdgeType("e2");
+  const NodeId kTarget = 0;
+  store.AddNode(nt);  // kTarget
+  // Edges into kTarget inserted from high source ids first: the transpose
+  // must still list sources ascending (built in forward-CSR order).
+  std::vector<NodeId> sources;
+  for (int i = 0; i < 20; ++i) sources.push_back(store.AddNode(nt));
+  for (auto it = sources.rbegin(); it != sources.rend(); ++it) {
+    store.AddEdge(*it, kTarget, (*it % 2) == 0 ? e1 : e2);
+  }
+  CsrView view = CsrView::Build(store);
+  CsrView::Neighbors in = view.In(kTarget);
+  ASSERT_EQ(in.count, sources.size());
+  for (size_t i = 0; i < in.count; ++i) {
+    if (i > 0) EXPECT_LT(in.begin_nodes[i - 1], in.begin_nodes[i]);
+    // The packed type lane is the edge's type, in both directions.
+    EXPECT_EQ(in.begin_types[i], view.GetEdge(in.begin_edges[i]).type);
+    EXPECT_EQ(view.GetEdge(in.begin_edges[i]).src, in.begin_nodes[i]);
+  }
+  CsrView::Neighbors out = view.Out(sources[0]);
+  ASSERT_EQ(out.count, 1u);
+  EXPECT_EQ(out.begin_types[0], view.GetEdge(out.begin_edges[0]).type);
+}
+
+TEST(CsrViewTest, EdgeTypeCountsMatchLiveEdges) {
+  GraphStore store;
+  TypeId nt = store.InternNodeType("n");
+  TypeId e1 = store.InternEdgeType("e1");
+  TypeId e2 = store.InternEdgeType("e2");
+  NodeId a = store.AddNode(nt);
+  NodeId b = store.AddNode(nt);
+  store.AddEdge(a, b, e1);
+  store.AddEdge(a, b, e1);
+  EdgeId dead = store.AddEdge(a, b, e2);
+  store.AddEdge(b, a, e2);
+  store.RemoveEdge(dead);
+  CsrView view = CsrView::Build(store);
+  EXPECT_EQ(view.EdgeTypeCount(e1), 2u);
+  EXPECT_EQ(view.EdgeTypeCount(e2), 1u);  // dead edge excluded
+  EXPECT_EQ(view.EdgeTypeCount(static_cast<TypeId>(999)), 0u);
+  EXPECT_EQ(view.LiveEdgeCount(), 3u);
+}
+
 // Property sweep: traversal over a CSR view agrees with the store.
 class CsrRandomTest : public ::testing::TestWithParam<uint64_t> {};
 

@@ -228,6 +228,12 @@ TEST_F(ProfileTest, Figure6FastPathReportsFrontiersAndLanes) {
   EXPECT_GE(fp->lanes, 1u);
   EXPECT_NE(r.plan.find("frontier=["), std::string::npos) << r.plan;
   EXPECT_NE(r.plan.find("lanes="), std::string::npos) << r.plan;
+  // Direction-optimizing kernel: each level's push/pull decision and the
+  // switch count are annotated next to the frontier trajectory.
+  EXPECT_EQ(fp->level_pull.size(), fp->frontier_sizes.size());
+  EXPECT_EQ(fp->level_bitmap.size(), fp->frontier_sizes.size());
+  EXPECT_NE(r.plan.find("direction=["), std::string::npos) << r.plan;
+  EXPECT_NE(r.plan.find("switches="), std::string::npos) << r.plan;
 
   // Forcing enumeration must produce the same rows without the fast path.
   ExecOptions options;

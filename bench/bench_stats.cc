@@ -1,0 +1,207 @@
+// Micro-bench for the cardinality-observability acceptance bars:
+//
+//   1. ANALYZE lane: what a full BuildStatsCatalog pass over the generated
+//      kernel graph costs (the command is an explicit operator action, so
+//      this is a budget number, not a < 5% bar) and how many bytes the
+//      resulting catalog adds to a snapshot — cross-checked against the
+//      /debug/storagez section breakdown the shell registers.
+//   2. Estimator A/B lane: the per-query cost of the estimate + q-error
+//      telemetry that runs after every successful query. Interleaved
+//      FRAPPE_ESTIMATOR=off / on sampling over the Table 5-ish mix,
+//      compared by median, must stay under the 5% observability bar.
+//
+// Emits BENCH_stats.json through the shared bench_json.h path (git SHA +
+// timestamp stamped). Exits non-zero when the estimator overhead breaches
+// 5%.
+//
+// Env knobs: FRAPPE_OBS_SCALE (0.1), FRAPPE_OBS_ITERS (30).
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/kernel_common.h"
+#include "graph/stats_catalog.h"
+#include "model/code_graph.h"
+#include "obs/stats_server.h"
+#include "query/session.h"
+
+namespace {
+
+using namespace frappe;
+using bench::Clock;
+using bench::MsSince;
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  double v = std::atof(env);
+  return v > 0 ? v : fallback;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("stats: ANALYZE cost, catalog size, estimator overhead");
+  bench::JsonReport report("stats");
+
+  double scale = EnvDouble("FRAPPE_OBS_SCALE", 0.1);
+  const int iters = static_cast<int>(EnvDouble("FRAPPE_OBS_ITERS", 30));
+  auto graph = bench::GenerateKernel(scale);
+  query::Session session(*graph);
+  const graph::GraphView& view = graph->view();
+  ::unsetenv("FRAPPE_MISESTIMATE_QERROR");
+
+  // --- 1. ANALYZE lane ---
+  auto run_analyze = [&]() {
+    auto result = session.Run("ANALYZE");
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: ANALYZE: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+  run_analyze();  // warm (interns, allocator)
+  std::vector<double> analyze_ms;
+  for (int i = 0; i < iters; ++i) {
+    Clock::time_point start = Clock::now();
+    run_analyze();
+    analyze_ms.push_back(MsSince(start));
+  }
+  double analyze_avg = 0;
+  for (double s : analyze_ms) analyze_avg += s;
+  analyze_avg /= static_cast<double>(analyze_ms.size());
+
+  std::shared_ptr<const graph::StatsCatalog> catalog =
+      session.database().stats->Get();
+  if (catalog == nullptr) {
+    std::fprintf(stderr, "FATAL: ANALYZE left no catalog behind\n");
+    return 1;
+  }
+  uint64_t catalog_bytes = catalog->ByteSize();
+  double bytes_per_node =
+      static_cast<double>(catalog_bytes) /
+      static_cast<double>(catalog->node_count ? catalog->node_count : 1);
+
+  // The shell's /debug/storagez wiring: the catalog must show up as its
+  // own section so operators can see what ANALYZE added to the snapshot.
+  obs::StatsServer::SetStorageStatsProvider(
+      [&]() -> obs::StatsServer::StorageSections {
+        return {{"stats_catalog", catalog_bytes}};
+      });
+  std::string storagez = obs::StatsServer::StorageJson();
+  obs::StatsServer::SetStorageStatsProvider(nullptr);
+  if (storagez.find("stats_catalog") == std::string::npos) {
+    std::fprintf(stderr, "FATAL: /debug/storagez lost the stats_catalog"
+                 " section:\n%s\n", storagez.c_str());
+    return 1;
+  }
+
+  std::printf("ANALYZE: %.3f ms avg over %d iters (%" PRIu64 " nodes, %"
+              PRIu64 " edges)\n",
+              analyze_avg, iters, catalog->node_count, catalog->edge_count);
+  std::printf("catalog: %" PRIu64 " bytes (%.2f bytes/node, %zu edge types,"
+              " %zu hubs) — in /debug/storagez as stats_catalog\n",
+              catalog_bytes, bytes_per_node, catalog->edge_types.size(),
+              catalog->hubs.size());
+
+  report.Add("analyze")
+      .Samples(analyze_ms)
+      .Results(static_cast<int64_t>(catalog->node_count))
+      .Extra("edge_count", static_cast<double>(catalog->edge_count));
+  report.Add("catalog_size")
+      .Extra("bytes", static_cast<double>(catalog_bytes))
+      .Extra("bytes_per_node", bytes_per_node)
+      .Extra("edge_types", static_cast<double>(catalog->edge_types.size()))
+      .Extra("hubs", static_cast<double>(catalog->hubs.size()));
+
+  // --- 2. estimator A/B lane ---
+  // Seed: a function with outgoing calls, so the closure shape does real
+  // work (same protocol as bench_obs_overhead).
+  const model::Schema& schema = graph->schema();
+  graph::TypeId calls = schema.edge_type(model::EdgeKind::kCalls);
+  graph::KeyId short_name = schema.key(model::PropKey::kShortName);
+  std::string seed_name;
+  for (graph::EdgeId e = 0; e < view.EdgeIdUpperBound(); ++e) {
+    if (!view.EdgeExists(e) || view.GetEdge(e).type != calls) continue;
+    std::string_view name =
+        view.GetNodeString(view.GetEdge(e).src, short_name);
+    if (!name.empty()) {
+      seed_name = std::string(name);
+      break;
+    }
+  }
+  if (seed_name.empty()) {
+    std::fprintf(stderr, "FATAL: no seed function found\n");
+    return 1;
+  }
+  std::vector<std::string> mix = {
+      "START n=node:node_auto_index('short_name: " + seed_name +
+          "') MATCH n -[:calls*]-> m RETURN distinct m",
+      "START n=node:node_auto_index('short_name: " + seed_name +
+          "') RETURN n",
+      "MATCH (f:function) WHERE f.short_name = '" + seed_name +
+          "' RETURN f",
+  };
+  auto run_mix = [&]() {
+    for (const std::string& q : mix) {
+      auto result = session.Run(q);
+      if (!result.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+  };
+  // Interleaved A/B sampling, compared by median (the
+  // bench_obs_overhead protocol): each iteration takes one estimator-off
+  // and one estimator-on sample back to back so scheduler drift hits both
+  // lanes equally.
+  std::vector<double> est_off_ms, est_on_ms;
+  run_mix();  // warm caches (CSR build, allocator)
+  for (int i = 0; i < iters; ++i) {
+    ::setenv("FRAPPE_ESTIMATOR", "off", 1);
+    run_mix();  // warm this mode
+    Clock::time_point start = Clock::now();
+    run_mix();
+    est_off_ms.push_back(MsSince(start));
+
+    ::unsetenv("FRAPPE_ESTIMATOR");
+    run_mix();
+    start = Clock::now();
+    run_mix();
+    est_on_ms.push_back(MsSince(start));
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    size_t mid = v.size() / 2;
+    return v.size() % 2 != 0 ? v[mid] : (v[mid - 1] + v[mid]) / 2.0;
+  };
+  double est_off_med = median(est_off_ms);
+  double est_on_med = median(est_on_ms);
+  double estimator_pct = 100.0 * (est_on_med - est_off_med) / est_off_med;
+  bool pass = estimator_pct < 5.0;
+
+  std::printf("query mix (estimator off): %.3f ms median over %d iters\n",
+              est_off_med, iters);
+  std::printf("query mix (estimator on):  %.3f ms median (%+.2f%%) -> %s"
+              " (< 5%% required)\n",
+              est_on_med, estimator_pct, pass ? "PASS" : "FAIL");
+
+  report.Add("mix_estimator_off").Samples(est_off_ms);
+  report.Add("mix_estimator_on")
+      .Samples(est_on_ms)
+      .Extra("estimator_overhead_pct", estimator_pct);
+  report.Add("overhead")
+      .Extra("estimator_overhead_pct", estimator_pct)
+      .Extra("analyze_ms_avg", analyze_avg)
+      .Extra("catalog_bytes", static_cast<double>(catalog_bytes))
+      .Extra("pass", pass ? 1 : 0);
+  report.Write();
+  return pass ? 0 : 1;
+}

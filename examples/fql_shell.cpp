@@ -5,7 +5,7 @@
 //   fql_shell --generate [factor]  generate a synthetic kernel (default 0.05)
 //
 // Meta commands: \stats  \hubs  \schema  \top  \queries  \cancel <id>
-//                \save <path>  \quit
+//                \analyze  \statz  \save <path>  \quit
 //
 // Workload telemetry (opt-in via environment):
 //   FRAPPE_STATS_PORT=9090   serve /metrics, /stats, /healthz plus the
@@ -18,6 +18,10 @@
 //                            error|off; default info)
 //   FRAPPE_STUCK_QUERY_MS=60000  warn (component=watchdog) when a query
 //                            runs past the threshold
+//   FRAPPE_MISESTIMATE_QERROR=10 record queries whose plan q-error
+//                            (est vs actual rows) crosses the threshold
+//                            on /debug/statz and the structured log
+//   FRAPPE_ESTIMATOR=off     disable the cardinality estimator entirely
 
 #include <chrono>
 #include <cstdio>
@@ -130,19 +134,21 @@ void PrintTopQueries() {
     std::printf("no queries recorded yet\n");
     return;
   }
-  std::printf("%-16s %8s %6s %10s %10s %10s  query\n", "fingerprint", "calls",
-              "errors", "total_ms", "avg_ms", "p99_ms");
+  std::printf("%-16s %8s %6s %10s %10s %10s %8s  query\n", "fingerprint",
+              "calls", "errors", "total_ms", "avg_ms", "p99_ms", "worst_q");
   for (const auto& s : top) {
     double avg_ms =
         s.calls > 0
             ? static_cast<double>(s.total_latency_us) / s.calls / 1000.0
             : 0.0;
-    std::printf("%-16s %8llu %6llu %10.1f %10.2f %10.2f  %s\n",
+    std::printf("%-16s %8llu %6llu %10.1f %10.2f %10.2f %8.2f  %s\n",
                 obs::FingerprintHex(s.fingerprint).c_str(),
                 static_cast<unsigned long long>(s.calls),
                 static_cast<unsigned long long>(s.errors),
                 static_cast<double>(s.total_latency_us) / 1000.0, avg_ms,
-                s.latency.Quantile(0.99) / 1000.0, s.normalized.c_str());
+                s.latency.Quantile(0.99) / 1000.0,
+                static_cast<double>(s.worst_qerror_x100) / 100.0,
+                s.normalized.c_str());
   }
 }
 
@@ -222,8 +228,9 @@ int main(int argc, char** argv) {
   {
     const graph::GraphStore* store = &shell.store();
     std::shared_ptr<graph::CsrCache> csr = shell.database().csr;
+    std::shared_ptr<graph::StatsCatalogCache> stats = shell.database().stats;
     obs::StatsServer::SetStorageStatsProvider(
-        [store, csr]() -> obs::StatsServer::StorageSections {
+        [store, csr, stats]() -> obs::StatsServer::StorageSections {
           graph::GraphStore::MemoryBreakdown m = store->EstimateMemory();
           obs::StatsServer::StorageSections sections = {
               {"nodes", m.nodes},
@@ -236,8 +243,21 @@ int main(int argc, char** argv) {
             sections.emplace_back("csr_forward", cs.forward_bytes);
             sections.emplace_back("csr_reverse", cs.reverse_bytes);
           }
+          if (stats != nullptr) {
+            // 0 until ANALYZE runs (or a snapshot carried a catalog).
+            auto catalog = stats->Get();
+            sections.emplace_back(
+                "stats_catalog", catalog != nullptr ? catalog->ByteSize() : 0);
+          }
           return sections;
         });
+    // /debug/statz serves whatever catalog the shared cache holds —
+    // refreshed live by ANALYZE through the same pointer.
+    obs::StatsServer::SetCatalogStatsProvider([stats]() -> std::string {
+      if (stats == nullptr) return std::string();
+      auto catalog = stats->Get();
+      return catalog != nullptr ? catalog->ToJson() : std::string();
+    });
   }
   obs::QueryRegistry::Global().MaybeStartWatchdogFromEnv();
 
@@ -248,7 +268,7 @@ int main(int argc, char** argv) {
   if (stats_server != nullptr) {
     std::printf("stats server on http://127.0.0.1:%u  (/metrics /stats"
                 " /healthz /debug/queryz /debug/cancel /debug/tracez"
-                " /debug/storagez /debug/logz)\n",
+                " /debug/storagez /debug/statz /debug/logz)\n",
                 stats_server->port());
   }
   if (auto enabled = obs::QueryLog::Global().EnableFromEnv();
@@ -261,11 +281,15 @@ int main(int argc, char** argv) {
 
   std::printf("type FQL queries (prefix EXPLAIN or PROFILE for plans), or"
               " \\stats \\hubs \\schema \\top \\queries \\cancel <id>"
-              " \\explain <query> \\save <path> \\quit\n"
+              " \\explain <query> \\analyze \\statz \\save <path> \\quit\n"
               "  \\queries      list in-flight queries (id, elapsed,"
               " progress) — the \\cancel ids\n"
               "  \\cancel <id>  request cooperative cancellation of an"
-              " in-flight query\n");
+              " in-flight query\n"
+              "  \\analyze      rebuild the cardinality stats catalog"
+              " (same as the ANALYZE query)\n"
+              "  \\statz        print the /debug/statz JSON (catalog +"
+              " misestimates)\n");
 
   std::string line;
   while (true) {
@@ -290,6 +314,13 @@ int main(int argc, char** argv) {
       PrintTopQueries();
       continue;
     }
+    if (line == "\\analyze") {
+      line = "ANALYZE";  // alias: falls through to RunQuery below
+    }
+    if (line == "\\statz") {
+      std::printf("%s", obs::StatsServer::StatzJson().c_str());
+      continue;
+    }
     if (line == "\\queries") {
       PrintActiveQueries();
       continue;
@@ -307,8 +338,13 @@ int main(int argc, char** argv) {
     if (line.rfind("\\save ", 0) == 0) {
       std::string path = line.substr(6);
       // Crash-safe save with rotated generations (<path>.1, <path>.2).
+      // The current stats catalog (if ANALYZE ran) rides along as its own
+      // CRC-framed section, so the next open starts with warm estimates.
       graph::SnapshotManager manager(path);
-      auto sizes = manager.Save(shell.view(), &shell.index());
+      std::shared_ptr<const graph::StatsCatalog> catalog =
+          shell.database().stats != nullptr ? shell.database().stats->Get()
+                                            : nullptr;
+      auto sizes = manager.Save(shell.view(), &shell.index(), catalog.get());
       if (sizes.ok()) {
         std::printf("wrote %s (%.1f MB)\n", path.c_str(),
                     sizes->total() / 1048576.0);
@@ -363,6 +399,7 @@ int main(int argc, char** argv) {
   // watchdog and drop the storage provider before `shell` goes away.
   obs::QueryRegistry::Global().StopWatchdog();
   obs::StatsServer::SetStorageStatsProvider(nullptr);
+  obs::StatsServer::SetCatalogStatsProvider(nullptr);
   obs::QueryLog::Global().Disable();
   return 0;
 }

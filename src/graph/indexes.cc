@@ -282,6 +282,15 @@ size_t NameIndex::TermCount() const {
   return n;
 }
 
+NameIndex::FieldStats NameIndex::StatsForField(size_t field_idx) const {
+  FieldStats stats;
+  if (field_idx >= postings_.size()) return stats;
+  const Postings& p = postings_[field_idx];
+  stats.distinct_terms = p.size();
+  for (const auto& [term, nodes] : p) stats.postings += nodes.size();
+  return stats;
+}
+
 uint64_t NameIndex::ByteSize() const {
   uint64_t bytes = 0;
   for (const Postings& p : postings_) {

@@ -56,6 +56,14 @@ class NameIndex {
   const std::vector<FieldSpec>& fields() const { return specs_; }
   size_t TermCount() const;
 
+  // Per-field cardinalities for the stats catalog: distinct indexed terms
+  // and total postings (term, node) pairs. `field_idx` indexes fields().
+  struct FieldStats {
+    uint64_t distinct_terms = 0;
+    uint64_t postings = 0;
+  };
+  FieldStats StatsForField(size_t field_idx) const;
+
   // Approximate resident bytes (terms + postings), for Table 4 accounting.
   uint64_t ByteSize() const;
 

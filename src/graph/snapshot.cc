@@ -39,6 +39,7 @@ enum SectionId : uint32_t {
   kSectionEdges = 5,
   kSectionEdgeProps = 6,
   kSectionIndex = 7,
+  kSectionStats = 8,
 };
 
 const char* SectionName(uint32_t id) {
@@ -50,6 +51,7 @@ const char* SectionName(uint32_t id) {
     case kSectionEdges: return "edges";
     case kSectionEdgeProps: return "edge_props";
     case kSectionIndex: return "index";
+    case kSectionStats: return "stats";
     default: return "unknown";
   }
 }
@@ -392,6 +394,26 @@ void ParseIndexSectionV2(std::string_view payload, size_t abs_base,
   obs::LogWarn("snapshot", loaded->warnings.back());
 }
 
+// The stats section is advisory: a catalog that fails its checksum or its
+// own structural validation is dropped (with a warning) rather than
+// failing the load — ANALYZE rebuilds it on demand.
+void ParseStatsSectionV2(std::string_view payload, size_t abs_base,
+                         bool payload_verified, LoadedSnapshot* loaded) {
+  if (payload_verified) {
+    auto catalog = StatsCatalog::Deserialize(payload);
+    if (catalog.ok()) {
+      loaded->catalog = std::move(*catalog);
+      return;
+    }
+  }
+  loaded->warnings.push_back(
+      "snapshot: stats section failed verification at offset " +
+      std::to_string(abs_base) +
+      "; dropped stats catalog (run ANALYZE to rebuild)");
+  obs::Registry::Global().GetCounter("snapshot.load.stats_drops").Add();
+  obs::LogWarn("snapshot", loaded->warnings.back());
+}
+
 uint64_t SnapshotSizes::* SizeFieldFor(uint32_t section) {
   switch (section) {
     case kSectionSchema: return &SnapshotSizes::schema;
@@ -401,6 +423,7 @@ uint64_t SnapshotSizes::* SizeFieldFor(uint32_t section) {
     case kSectionEdges: return &SnapshotSizes::relationships;
     case kSectionEdgeProps: return &SnapshotSizes::edge_properties;
     case kSectionIndex: return &SnapshotSizes::indexes;
+    case kSectionStats: return &SnapshotSizes::stats;
     default: return nullptr;
   }
 }
@@ -513,7 +536,7 @@ Result<LoadedSnapshot> DeserializeV2(std::string_view data) {
 
   const size_t body_end = data.size() - kV2TrailerSize;
   constexpr size_t kFrameOverhead = 2 * sizeof(uint32_t) + sizeof(uint64_t);
-  std::array<bool, 8> seen{};
+  std::array<bool, 9> seen{};
   uint32_t prev_section = 0;
 
   for (uint32_t s = 0; s < section_count; ++s) {
@@ -554,7 +577,8 @@ Result<LoadedSnapshot> DeserializeV2(std::string_view data) {
               Clock::now() - t0)
               .count());
       payload_verified = actual == stored_crc;
-      if (!payload_verified && section != kSectionIndex) {
+      if (!payload_verified && section != kSectionIndex &&
+          section != kSectionStats) {
         return CorruptAt(name, payload_off,
                          "checksum mismatch (stored " +
                              std::to_string(stored_crc) + ", computed " +
@@ -565,6 +589,8 @@ Result<LoadedSnapshot> DeserializeV2(std::string_view data) {
     if (section == kSectionIndex) {
       ParseIndexSectionV2(payload, payload_off, payload_verified, st,
                           &loaded);
+    } else if (section == kSectionStats) {
+      ParseStatsSectionV2(payload, payload_off, payload_verified, &loaded);
     } else {
       Reader sub(payload, payload_off);
       FRAPPE_RETURN_IF_ERROR(ParseSectionBody(section, &sub, &st));
@@ -604,13 +630,23 @@ Result<SnapshotSizes> SerializeSnapshot(const GraphView& view,
                                         const SnapshotOptions& options) {
   FRAPPE_TRACE_SPAN("snapshot.serialize");
   SnapshotSizes sizes;
+  // A caller-provided catalog wins; otherwise build one from the view when
+  // asked (the temporal store's per-version catalog path).
+  std::optional<StatsCatalog> built_catalog;
+  const StatsCatalog* catalog = options.catalog;
+  if (catalog == nullptr && options.build_stats_catalog) {
+    built_catalog = BuildStatsCatalog(view);
+    catalog = &*built_catalog;
+  }
   Writer w(out);
   const size_t base = out->size();
   const uint32_t flags = options.checksums ? kFlagChecksummed : 0;
   w.Raw(kMagic, sizeof(kMagic));
   w.U32(kVersion);
   w.U32(flags);
-  w.U32(index != nullptr ? 7u : 6u);  // section count
+  uint32_t section_count = 6u + (index != nullptr ? 1u : 0u) +
+                           (catalog != nullptr ? 1u : 0u);
+  w.U32(section_count);
   sizes.header = w.offset() - base;
 
   std::string payload;
@@ -694,6 +730,12 @@ Result<SnapshotSizes> SerializeSnapshot(const GraphView& view,
     payload.clear();
     WriteIndexPayload(&payload, *index);
     sizes.indexes = emit(kSectionIndex);
+  }
+  // Optional cardinality stats catalog.
+  if (catalog != nullptr) {
+    payload.clear();
+    catalog->Serialize(&payload);
+    sizes.stats = emit(kSectionStats);
   }
 
   // Trailer: total size + CRC over header and size field. The CRC is

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "graph/graph_store.h"
 #include "graph/indexes.h"
+#include "graph/stats_catalog.h"
 
 namespace frappe::graph {
 
@@ -43,6 +44,7 @@ struct SnapshotSizes {
   uint64_t node_properties = 0;
   uint64_t edge_properties = 0;
   uint64_t indexes = 0;
+  uint64_t stats = 0;          // cardinality stats catalog (ANALYZE output)
   uint64_t trailer = 0;        // length/CRC trailer (v2 only)
 
   uint64_t properties() const {
@@ -50,7 +52,7 @@ struct SnapshotSizes {
   }
   uint64_t total() const {
     return header + schema + strings + nodes + relationships +
-           node_properties + edge_properties + indexes + trailer;
+           node_properties + edge_properties + indexes + stats + trailer;
   }
 };
 
@@ -59,6 +61,13 @@ struct SnapshotOptions {
   // this off exists so bench_snapshot_io can price the checksum work; real
   // deployments should never clear it.
   bool checksums = true;
+  // Optional cardinality stats catalog to embed as its own section (the
+  // pointer is only read during Save/Serialize). When null and
+  // `build_stats_catalog` is set, a catalog is built from the view at save
+  // time — this is how the temporal store versions the catalog alongside
+  // each snapshot without threading one through every call site.
+  const StatsCatalog* catalog = nullptr;
+  bool build_stats_catalog = false;
 };
 
 // Writes `view` (and optionally a prebuilt name index) to `path` as a
@@ -81,6 +90,10 @@ Result<SnapshotSizes> SerializeSnapshot(const GraphView& view,
 struct LoadedSnapshot {
   std::unique_ptr<GraphStore> store;
   std::optional<NameIndex> index;  // present if the snapshot embedded one
+  // Present if the snapshot embedded a stats catalog. A corrupted stats
+  // section never fails the load: statistics are advisory, so it is
+  // dropped with a warning (run ANALYZE to rebuild).
+  std::optional<StatsCatalog> catalog;
   SnapshotSizes sizes;
   uint32_t format_version = 0;  // 1 or 2
   // Non-fatal degradations, e.g. "index section checksum mismatch ...;

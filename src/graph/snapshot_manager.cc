@@ -57,7 +57,8 @@ std::string SnapshotManager::GenerationPath(int generation) const {
 }
 
 Result<SnapshotSizes> SnapshotManager::Save(const GraphView& view,
-                                            const NameIndex* index) {
+                                            const NameIndex* index,
+                                            const StatsCatalog* catalog) {
   FRAPPE_TRACE_SPAN("snapshot.manager.save");
   obs::Registry& reg = obs::Registry::Global();
   auto fail = [&reg](Status s) -> Status {
@@ -66,7 +67,9 @@ Result<SnapshotSizes> SnapshotManager::Save(const GraphView& view,
   };
 
   std::string buffer;
-  auto sizes = SerializeSnapshot(view, &buffer, index, options_.snapshot);
+  SnapshotOptions snapshot_options = options_.snapshot;
+  if (catalog != nullptr) snapshot_options.catalog = catalog;
+  auto sizes = SerializeSnapshot(view, &buffer, index, snapshot_options);
   if (!sizes.ok()) return fail(sizes.status());
 
   CleanStaleTemps(path_);

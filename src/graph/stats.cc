@@ -26,8 +26,8 @@ std::map<uint64_t, uint64_t> DegreeDistribution(const GraphView& view) {
   return hist;
 }
 
-std::vector<DegreeBin> LogBinnedDegrees(const GraphView& view) {
-  std::map<uint64_t, uint64_t> hist = DegreeDistribution(view);
+std::vector<DegreeBin> LogBinHistogram(
+    const std::map<uint64_t, uint64_t>& hist) {
   std::vector<DegreeBin> bins;
   for (const auto& [degree, count] : hist) {
     uint64_t lo = 1, hi = 1;
@@ -45,6 +45,10 @@ std::vector<DegreeBin> LogBinnedDegrees(const GraphView& view) {
     }
   }
   return bins;
+}
+
+std::vector<DegreeBin> LogBinnedDegrees(const GraphView& view) {
+  return LogBinHistogram(DegreeDistribution(view));
 }
 
 std::vector<HubNode> TopDegreeNodes(const GraphView& view, size_t k,

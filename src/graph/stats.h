@@ -35,6 +35,12 @@ struct DegreeBin {
 };
 std::vector<DegreeBin> LogBinnedDegrees(const GraphView& view);
 
+// Log-bins an already-computed degree -> count histogram (the building
+// block behind LogBinnedDegrees, reused by the stats catalog for per-edge-
+// type directional histograms).
+std::vector<DegreeBin> LogBinHistogram(
+    const std::map<uint64_t, uint64_t>& hist);
+
 // The k highest-degree nodes with their degree — in the paper these are
 // hubs like `int` (degree ~79K) and `NULL` (~19K).
 struct HubNode {

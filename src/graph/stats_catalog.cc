@@ -1,0 +1,349 @@
+#include "graph/stats_catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace frappe::graph {
+
+namespace {
+
+// Defense against absurd counts in corrupted payloads; the snapshot
+// section CRC should catch flips first.
+constexpr uint32_t kMaxCatalogEntries = 1u << 20;
+
+// Minimal length-prefixed writer/reader for the catalog payload (the
+// snapshot layer adds the CRC framing around it).
+class Writer {
+ public:
+  explicit Writer(std::string* out) : out_(out) {}
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+  void Raw(const void* data, size_t size) {
+    out_->append(static_cast<const char*>(data), size);
+  }
+
+ private:
+  std::string* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    uint32_t len;
+    if (!U32(&len) || len > data_.size() - pos_) return false;
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool Raw(void* out, size_t size) {
+    if (size > data_.size() - pos_) return false;
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+void WriteBins(Writer* w, const std::vector<DegreeBin>& bins) {
+  w->U32(static_cast<uint32_t>(bins.size()));
+  for (const DegreeBin& b : bins) {
+    w->U64(b.min_degree);
+    w->U64(b.max_degree);
+    w->U64(b.node_count);
+  }
+}
+
+bool ReadBins(Reader* r, std::vector<DegreeBin>* bins) {
+  uint32_t count;
+  if (!r->U32(&count) || count > kMaxCatalogEntries) return false;
+  bins->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DegreeBin b;
+    if (!r->U64(&b.min_degree) || !r->U64(&b.max_degree) ||
+        !r->U64(&b.node_count)) {
+      return false;
+    }
+    bins->push_back(b);
+  }
+  return true;
+}
+
+std::string BinsJson(const std::vector<DegreeBin>& bins) {
+  std::string out = "[";
+  for (size_t i = 0; i < bins.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "[" + std::to_string(bins[i].min_degree) + ", " +
+           std::to_string(bins[i].max_degree) + ", " +
+           std::to_string(bins[i].node_count) + "]";
+  }
+  return out + "]";
+}
+
+// %g-style but locale-independent and stable across platforms.
+std::string DoubleJson(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+double StatsCatalog::StalenessRatio(uint64_t nodes_now,
+                                    uint64_t edges_now) const {
+  auto drift = [](uint64_t now, uint64_t then) {
+    uint64_t delta = now > then ? now - then : then - now;
+    return static_cast<double>(delta) /
+           static_cast<double>(std::max<uint64_t>(then, 1));
+  };
+  return std::max(drift(nodes_now, node_count),
+                  drift(edges_now, edge_count));
+}
+
+uint64_t StatsCatalog::ByteSize() const {
+  std::string tmp;
+  Serialize(&tmp);
+  return tmp.size();
+}
+
+void StatsCatalog::Serialize(std::string* out) const {
+  Writer w(out);
+  w.U32(kFormatVersion);
+  w.U64(node_count);
+  w.U64(edge_count);
+  w.U32(static_cast<uint32_t>(node_types.size()));
+  for (const NodeTypeStats& nt : node_types) {
+    w.Str(nt.name);
+    w.U64(nt.count);
+  }
+  w.U32(static_cast<uint32_t>(edge_types.size()));
+  for (const EdgeTypeStats& et : edge_types) {
+    w.Str(et.name);
+    w.U64(et.count);
+    w.U64(et.distinct_sources);
+    w.U64(et.distinct_targets);
+    WriteBins(&w, et.out_degrees);
+    WriteBins(&w, et.in_degrees);
+  }
+  w.U32(static_cast<uint32_t>(hubs.size()));
+  for (const HubNode& hub : hubs) {
+    w.U32(hub.id);
+    w.U64(hub.degree);
+    w.Str(hub.short_name);
+    w.Str(hub.type_name);
+  }
+  w.U32(static_cast<uint32_t>(index_fields.size()));
+  for (const IndexFieldStats& f : index_fields) {
+    w.Str(f.field);
+    w.U64(f.distinct_terms);
+    w.U64(f.postings);
+  }
+}
+
+Result<StatsCatalog> StatsCatalog::Deserialize(std::string_view data) {
+  auto corrupt = [](const char* what) {
+    return Status::Corruption(std::string("stats catalog: ") + what);
+  };
+  Reader r(data);
+  StatsCatalog cat;
+  uint32_t version;
+  if (!r.U32(&version)) return corrupt("truncated header");
+  if (version != kFormatVersion) return corrupt("unsupported version");
+  if (!r.U64(&cat.node_count) || !r.U64(&cat.edge_count)) {
+    return corrupt("truncated totals");
+  }
+  uint32_t count;
+  if (!r.U32(&count) || count > kMaxCatalogEntries) {
+    return corrupt("bad node-type count");
+  }
+  cat.node_types.resize(count);
+  for (NodeTypeStats& nt : cat.node_types) {
+    if (!r.Str(&nt.name) || !r.U64(&nt.count)) {
+      return corrupt("truncated node-type entry");
+    }
+  }
+  if (!r.U32(&count) || count > kMaxCatalogEntries) {
+    return corrupt("bad edge-type count");
+  }
+  cat.edge_types.resize(count);
+  for (EdgeTypeStats& et : cat.edge_types) {
+    if (!r.Str(&et.name) || !r.U64(&et.count) ||
+        !r.U64(&et.distinct_sources) || !r.U64(&et.distinct_targets) ||
+        !ReadBins(&r, &et.out_degrees) || !ReadBins(&r, &et.in_degrees)) {
+      return corrupt("truncated edge-type entry");
+    }
+  }
+  if (!r.U32(&count) || count > kMaxCatalogEntries) {
+    return corrupt("bad hub count");
+  }
+  cat.hubs.resize(count);
+  for (HubNode& hub : cat.hubs) {
+    if (!r.U32(&hub.id) || !r.U64(&hub.degree) || !r.Str(&hub.short_name) ||
+        !r.Str(&hub.type_name)) {
+      return corrupt("truncated hub entry");
+    }
+  }
+  if (!r.U32(&count) || count > kMaxCatalogEntries) {
+    return corrupt("bad index-field count");
+  }
+  cat.index_fields.resize(count);
+  for (IndexFieldStats& f : cat.index_fields) {
+    if (!r.Str(&f.field) || !r.U64(&f.distinct_terms) ||
+        !r.U64(&f.postings)) {
+      return corrupt("truncated index-field entry");
+    }
+  }
+  if (!r.AtEnd()) return corrupt("trailing bytes");
+  return cat;
+}
+
+std::string StatsCatalog::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"node_count\": " + std::to_string(node_count) + ",\n";
+  out += "  \"edge_count\": " + std::to_string(edge_count) + ",\n";
+  out += "  \"bytes\": " + std::to_string(ByteSize()) + ",\n";
+  out += "  \"node_types\": {";
+  for (size_t i = 0; i < node_types.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += JsonQuote(node_types[i].name) + ": " +
+           std::to_string(node_types[i].count);
+  }
+  out += "},\n  \"edge_types\": [\n";
+  for (size_t i = 0; i < edge_types.size(); ++i) {
+    const EdgeTypeStats& et = edge_types[i];
+    out += "    {\"name\": " + JsonQuote(et.name) +
+           ", \"count\": " + std::to_string(et.count) +
+           ", \"distinct_sources\": " + std::to_string(et.distinct_sources) +
+           ", \"distinct_targets\": " + std::to_string(et.distinct_targets) +
+           ", \"avg_out_fanout\": " + DoubleJson(et.AvgOutFanout()) +
+           ", \"avg_in_fanout\": " + DoubleJson(et.AvgInFanout()) +
+           ", \"out_degree_bins\": " + BinsJson(et.out_degrees) +
+           ", \"in_degree_bins\": " + BinsJson(et.in_degrees) + "}";
+    out += i + 1 < edge_types.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"hubs\": [\n";
+  for (size_t i = 0; i < hubs.size(); ++i) {
+    out += "    {\"id\": " + std::to_string(hubs[i].id) +
+           ", \"degree\": " + std::to_string(hubs[i].degree) +
+           ", \"name\": " + JsonQuote(hubs[i].short_name) +
+           ", \"type\": " + JsonQuote(hubs[i].type_name) + "}";
+    out += i + 1 < hubs.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"index_fields\": [\n";
+  for (size_t i = 0; i < index_fields.size(); ++i) {
+    out += "    {\"field\": " + JsonQuote(index_fields[i].field) +
+           ", \"distinct_terms\": " +
+           std::to_string(index_fields[i].distinct_terms) +
+           ", \"postings\": " + std::to_string(index_fields[i].postings) +
+           "}";
+    out += i + 1 < index_fields.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}";
+  return out;
+}
+
+StatsCatalog BuildStatsCatalog(const GraphView& view,
+                               const NameIndex* name_index,
+                               size_t hub_count) {
+  FRAPPE_TRACE_SPAN("stats.build_catalog");
+  StatsCatalog cat;
+  cat.node_count = view.NodeCount();
+  cat.edge_count = view.EdgeCount();
+
+  const NameRegistry& ntypes = view.node_types();
+  cat.node_types.resize(ntypes.size());
+  for (uint16_t t = 0; t < ntypes.size(); ++t) {
+    cat.node_types[t].name = std::string(ntypes.Name(t));
+  }
+  view.ForEachNode([&](NodeId id) {
+    TypeId t = view.NodeType(id);
+    if (t < cat.node_types.size()) ++cat.node_types[t].count;
+  });
+
+  const NameRegistry& etypes = view.edge_types();
+  cat.edge_types.resize(etypes.size());
+  // One edge pass accumulating per-type per-endpoint degrees; the map size
+  // per type *is* the distinct source/target count.
+  std::vector<std::unordered_map<NodeId, uint64_t>> out_deg(etypes.size());
+  std::vector<std::unordered_map<NodeId, uint64_t>> in_deg(etypes.size());
+  view.ForEachEdgeGlobal([&](EdgeId id) {
+    Edge e = view.GetEdge(id);
+    if (e.type >= cat.edge_types.size()) return;
+    ++cat.edge_types[e.type].count;
+    ++out_deg[e.type][e.src];
+    ++in_deg[e.type][e.dst];
+  });
+  for (uint16_t t = 0; t < etypes.size(); ++t) {
+    StatsCatalog::EdgeTypeStats& et = cat.edge_types[t];
+    et.name = std::string(etypes.Name(t));
+    et.distinct_sources = out_deg[t].size();
+    et.distinct_targets = in_deg[t].size();
+    std::map<uint64_t, uint64_t> hist;
+    for (const auto& [node, degree] : out_deg[t]) ++hist[degree];
+    et.out_degrees = LogBinHistogram(hist);
+    hist.clear();
+    for (const auto& [node, degree] : in_deg[t]) ++hist[degree];
+    et.in_degrees = LogBinHistogram(hist);
+  }
+
+  KeyId name_key = view.keys().Find("short_name");
+  cat.hubs = TopDegreeNodes(view, hub_count, name_key);
+
+  if (name_index != nullptr) {
+    const std::vector<NameIndex::FieldSpec>& fields = name_index->fields();
+    cat.index_fields.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      NameIndex::FieldStats fs = name_index->StatsForField(i);
+      cat.index_fields.push_back(StatsCatalog::IndexFieldStats{
+          fields[i].name, fs.distinct_terms, fs.postings});
+    }
+  }
+  return cat;
+}
+
+std::shared_ptr<const StatsCatalog> StatsCatalogCache::Get() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_;
+}
+
+void StatsCatalogCache::Set(StatsCatalog catalog) {
+  auto fresh = std::make_shared<const StatsCatalog>(std::move(catalog));
+  std::lock_guard<std::mutex> lock(mu_);
+  catalog_ = std::move(fresh);
+}
+
+void StatsCatalogCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  catalog_.reset();
+}
+
+bool StatsCatalogCache::RefreshIfStale(const GraphView& view,
+                                       const NameIndex* name_index,
+                                       double max_drift) {
+  std::shared_ptr<const StatsCatalog> current = Get();
+  if (current == nullptr) return false;
+  if (current->StalenessRatio(view.NodeCount(), view.EdgeCount()) <=
+      max_drift) {
+    return false;
+  }
+  Set(BuildStatsCatalog(view, name_index));
+  return true;
+}
+
+}  // namespace frappe::graph

@@ -186,6 +186,14 @@ void QueryStats::Entry::Record(bool ok, uint64_t latency, uint64_t row_count,
   }
 }
 
+void QueryStats::Entry::RecordQError(uint64_t qerror_x100) {
+  uint64_t seen = worst_qerror_x100.load(std::memory_order_relaxed);
+  while (qerror_x100 > seen &&
+         !worst_qerror_x100.compare_exchange_weak(
+             seen, qerror_x100, std::memory_order_relaxed)) {
+  }
+}
+
 QueryStats::Entry& QueryStats::GetOrCreate(uint64_t fingerprint,
                                            std::string_view normalized) {
   Shard& shard = shards_[fingerprint % kTableShards];
@@ -215,6 +223,8 @@ std::vector<QueryStats::Snapshot> QueryStats::SnapshotAll() const {
       s.max_latency_us = entry->max_latency_us.load(std::memory_order_relaxed);
       s.rows = entry->rows.load(std::memory_order_relaxed);
       s.db_hits = entry->db_hits.load(std::memory_order_relaxed);
+      s.worst_qerror_x100 =
+          entry->worst_qerror_x100.load(std::memory_order_relaxed);
       s.latency = entry->latency_us.Snap();
       out.push_back(std::move(s));
     }
@@ -226,7 +236,12 @@ std::vector<QueryStats::Snapshot> QueryStats::Top(size_t n,
                                                   Order order) const {
   std::vector<Snapshot> all = SnapshotAll();
   auto key = [order](const Snapshot& s) {
-    return order == Order::kTotalLatency ? s.total_latency_us : s.calls;
+    switch (order) {
+      case Order::kTotalLatency: return s.total_latency_us;
+      case Order::kCalls: return s.calls;
+      case Order::kWorstQError: return s.worst_qerror_x100;
+    }
+    return s.total_latency_us;
   };
   std::sort(all.begin(), all.end(),
             [&](const Snapshot& a, const Snapshot& b) {
@@ -237,12 +252,15 @@ std::vector<QueryStats::Snapshot> QueryStats::Top(size_t n,
   return all;
 }
 
-std::string QueryStats::DumpJson(size_t top_n) const {
-  std::vector<Snapshot> top = Top(top_n, Order::kTotalLatency);
+std::string QueryStats::DumpJson(size_t top_n, Order order) const {
+  std::vector<Snapshot> top = Top(top_n, order);
   std::string out = "[";
+  char qbuf[32];
   for (size_t i = 0; i < top.size(); ++i) {
     const Snapshot& s = top[i];
     uint64_t avg = s.calls == 0 ? 0 : s.total_latency_us / s.calls;
+    std::snprintf(qbuf, sizeof(qbuf), "%.2f",
+                  static_cast<double>(s.worst_qerror_x100) / 100.0);
     out += std::string(i == 0 ? "" : ",") + "\n    {\"fp\": " +
            JsonQuote(FingerprintHex(s.fingerprint)) +
            ", \"query\": " + JsonQuote(s.normalized) +
@@ -255,7 +273,8 @@ std::string QueryStats::DumpJson(size_t top_n) const {
            std::to_string(
                static_cast<uint64_t>(s.latency.Quantile(0.99))) +
            ", \"rows\": " + std::to_string(s.rows) +
-           ", \"db_hits\": " + std::to_string(s.db_hits) + "}";
+           ", \"db_hits\": " + std::to_string(s.db_hits) +
+           ", \"worst_qerror\": " + qbuf + "}";
   }
   out += top.empty() ? "]" : "\n  ]";
   return out;
@@ -334,6 +353,64 @@ std::string SlowQueryRing::DumpJson() const {
 }
 
 void SlowQueryRing::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// MisestimateRing
+
+MisestimateRing& MisestimateRing::Global() {
+  static MisestimateRing* ring = new MisestimateRing();  // never destroyed
+  return *ring;
+}
+
+void MisestimateRing::Push(Record record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+  }
+  next_ = (next_ + 1) % kCapacity;
+}
+
+std::vector<MisestimateRing::Record> MisestimateRing::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Record> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < kCapacity) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < kCapacity; ++i) {
+      out.push_back(ring_[(next_ + i) % kCapacity]);
+    }
+  }
+  return out;
+}
+
+std::string MisestimateRing::DumpJson() const {
+  std::vector<Record> records = SnapshotAll();
+  std::string out = "[";
+  char est[32], q[32];
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::snprintf(est, sizeof(est), "%.1f", r.est_rows);
+    std::snprintf(q, sizeof(q), "%.2f", r.qerror);
+    out += std::string(i == 0 ? "" : ",") + "\n    {\"ts_us\": " +
+           std::to_string(r.ts_us) +
+           ", \"fp\": " + JsonQuote(FingerprintHex(r.fingerprint)) +
+           ", \"query\": " + JsonQuote(r.normalized) +
+           ", \"est_rows\": " + est +
+           ", \"actual_rows\": " + std::to_string(r.actual_rows) +
+           ", \"qerror\": " + q + "}";
+  }
+  out += records.empty() ? "]" : "\n  ]";
+  return out;
+}
+
+void MisestimateRing::ResetForTesting() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   next_ = 0;

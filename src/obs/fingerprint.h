@@ -72,10 +72,15 @@ class QueryStats {
     std::atomic<uint64_t> max_latency_us{0};
     std::atomic<uint64_t> rows{0};
     std::atomic<uint64_t> db_hits{0};
+    // Worst plan q-error seen for this shape, in hundredths (q x 100 —
+    // atomics are integral; 250 means q = 2.50). 0 = never estimated.
+    std::atomic<uint64_t> worst_qerror_x100{0};
     Histogram latency_us;  // pow2-bucket latency distribution
 
     void Record(bool ok, uint64_t latency, uint64_t row_count,
                 uint64_t hit_count);
+    // CAS-max update from the per-query estimate-vs-actual comparison.
+    void RecordQError(uint64_t qerror_x100);
   };
 
   // Interns (on first use) and returns the process-lifetime entry for
@@ -92,6 +97,7 @@ class QueryStats {
     uint64_t max_latency_us = 0;
     uint64_t rows = 0;
     uint64_t db_hits = 0;
+    uint64_t worst_qerror_x100 = 0;
     Histogram::Snapshot latency;
   };
 
@@ -99,16 +105,18 @@ class QueryStats {
   std::vector<Snapshot> SnapshotAll() const;
 
   // The top-N view an operator actually wants: order by cumulative
-  // latency (where the time goes) or by call count (what the workload
-  // is). n == 0 returns everything.
-  enum class Order { kTotalLatency, kCalls };
+  // latency (where the time goes), by call count (what the workload is),
+  // or by worst q-error (where the planner is most wrong). n == 0 returns
+  // everything.
+  enum class Order { kTotalLatency, kCalls, kWorstQError };
   std::vector<Snapshot> Top(size_t n, Order order) const;
 
-  // JSON array of the top-N by total latency (0 = all): [{"fp": "..",
+  // JSON array of the top-N (0 = all), ordered by `order`: [{"fp": "..",
   // "query": "..", "calls": .., "errors": .., "total_latency_us": ..,
   // "max_latency_us": .., "avg_latency_us": .., "p99_latency_us": ..,
-  // "rows": .., "db_hits": ..}, ...].
-  std::string DumpJson(size_t top_n = 0) const;
+  // "rows": .., "db_hits": .., "worst_qerror": ..}, ...].
+  std::string DumpJson(size_t top_n = 0,
+                       Order order = Order::kTotalLatency) const;
 
   size_t size() const;
 
@@ -159,6 +167,41 @@ class SlowQueryRing {
 
   mutable std::mutex mu_;
   std::vector<Record> ring_;  // ring_[next_] is the oldest once wrapped
+  size_t next_ = 0;
+};
+
+// Fixed-capacity ring of the worst recent plan misestimates (queries whose
+// q-error crossed FRAPPE_MISESTIMATE_QERROR), served by /debug/statz.
+// Structured like SlowQueryRing: misestimates worth recording are rare, a
+// mutex is fine.
+class MisestimateRing {
+ public:
+  static constexpr size_t kCapacity = 64;
+
+  struct Record {
+    int64_t ts_us = 0;  // unix epoch microseconds
+    uint64_t fingerprint = 0;
+    std::string normalized;
+    double est_rows = 0.0;
+    uint64_t actual_rows = 0;
+    double qerror = 0.0;
+  };
+
+  static MisestimateRing& Global();
+
+  void Push(Record record);
+  // Oldest-first copy of the buffered records.
+  std::vector<Record> SnapshotAll() const;
+  // JSON array, oldest first.
+  std::string DumpJson() const;
+
+  void ResetForTesting();
+
+ private:
+  MisestimateRing() = default;
+
+  mutable std::mutex mu_;
+  std::vector<Record> ring_;
   size_t next_ = 0;
 };
 

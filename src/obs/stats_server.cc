@@ -47,6 +47,41 @@ StatsServer::StorageSections QueryStorageSections(bool* registered) {
   return fn ? fn() : StatsServer::StorageSections{};
 }
 
+std::mutex& CatalogProviderMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::function<std::string()>& CatalogProviderRef() {
+  static auto* fn = new std::function<std::string()>();
+  return *fn;
+}
+
+// Same copy-then-invoke discipline as QueryStorageSections: serializing a
+// stats catalog to JSON is not free, so it runs outside the lock. Empty
+// means "no provider or no catalog built yet".
+std::string QueryCatalogJson() {
+  std::function<std::string()> fn;
+  {
+    std::lock_guard<std::mutex> lock(CatalogProviderMutex());
+    fn = CatalogProviderRef();
+  }
+  return fn ? fn() : std::string();
+}
+
+// FRAPPE_MISESTIMATE_QERROR rendered as a JSON value ("null" when unset
+// or unparsable). Read per call, like the slow-query threshold.
+std::string MisestimateThresholdJson() {
+  const char* env = std::getenv("FRAPPE_MISESTIMATE_QERROR");
+  if (env == nullptr || *env == '\0') return "null";
+  char* end = nullptr;
+  double v = std::strtod(env, &end);
+  if (end == env || v <= 0.0) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
 // "query.latency_us" -> "frappe_query_latency_us" (Prometheus name rules:
 // [a-zA-Z_:][a-zA-Z0-9_:]*).
 std::string PromName(std::string_view name) {
@@ -229,6 +264,24 @@ void StatsServer::SetStorageStatsProvider(
   StorageProviderRef() = std::move(fn);
 }
 
+void StatsServer::SetCatalogStatsProvider(std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lock(CatalogProviderMutex());
+  CatalogProviderRef() = std::move(fn);
+}
+
+std::string StatsServer::StatzJson() {
+  std::string catalog = QueryCatalogJson();
+  std::string out = "{\n  \"catalog\": ";
+  out += catalog.empty() ? "null" : catalog;
+  out += ",\n  \"misestimate_threshold\": " + MisestimateThresholdJson() +
+         ",\n  \"worst_fingerprints\": " +
+         QueryStats::Global().DumpJson(/*top_n=*/20,
+                                       QueryStats::Order::kWorstQError) +
+         ",\n  \"misestimates\": " + MisestimateRing::Global().DumpJson() +
+         "\n}\n";
+  return out;
+}
+
 std::string StatsServer::StatsJson(std::string_view build_sha,
                                    double uptime_seconds) {
   const QueryLog& qlog = QueryLog::Global();
@@ -238,6 +291,8 @@ std::string StatsServer::StatsJson(std::string_view build_sha,
                     QueryStats::Global().DumpJson(/*top_n=*/50) +
                     ",\n  \"slow_queries\": " +
                     SlowQueryRing::Global().DumpJson() +
+                    ",\n  \"misestimates\": " +
+                    MisestimateRing::Global().DumpJson() +
                     ",\n  \"query_log\": {\"written\": " +
                     std::to_string(qlog.written()) +
                     ", \"dropped\": " + std::to_string(qlog.dropped()) +
@@ -309,7 +364,7 @@ std::unique_ptr<StatsServer> StatsServer::MaybeStartFromEnv() {
           "stats server on http://127.0.0.1:" +
               std::to_string((*server)->port()) +
               " (/metrics /stats /healthz /debug/queryz /debug/storagez "
-              "/debug/logz /debug/tracez /debug/cancel)");
+              "/debug/statz /debug/logz /debug/tracez /debug/cancel)");
   return std::move(*server);
 }
 
@@ -432,13 +487,18 @@ std::string StatsServer::HandleRequest(std::string_view request_line) const {
     }
     return HttpResponse(200, "OK", "application/json", body);
   }
+  if (target == "/debug/statz") {
+    // Always 200: even without a catalog provider, the misestimate view
+    // (worst fingerprints + recent offenders) is worth serving.
+    return HttpResponse(200, "OK", "application/json", StatzJson());
+  }
   if (target == "/debug/logz") {
     return HttpResponse(200, "OK", "application/json", Log::DumpJson());
   }
   return ErrorResponse(404, "Not Found",
                        "unknown path; try /metrics /stats /healthz "
-                       "/debug/queryz /debug/storagez /debug/logz "
-                       "/debug/tracez /debug/cancel");
+                       "/debug/queryz /debug/storagez /debug/statz "
+                       "/debug/logz /debug/tracez /debug/cancel");
 }
 
 }  // namespace frappe::obs

@@ -36,6 +36,8 @@ namespace frappe::obs {
 //   /debug/tracez?ms=N   on-demand capture window over the span rings,
 //                        returned as Chrome trace-event JSON
 //   /debug/storagez      per-section storage byte breakdown (Table 4)
+//   /debug/statz         cardinality stats catalog (ANALYZE output) + the
+//                        worst-misestimated query fingerprints
 //   /debug/logz          recent structured-log entries (the in-memory ring)
 //
 // Opt-in: production binaries call MaybeStartFromEnv() and get a server
@@ -83,6 +85,7 @@ class StatsServer {
   static std::string StatsJson(std::string_view build_sha,
                                double uptime_seconds);
   static std::string StorageJson();
+  static std::string StatzJson();
 
   // Storage byte breakdown served by /debug/storagez and exported as
   // frappe_storage_bytes{section=...} gauges: ordered (section, bytes)
@@ -91,6 +94,13 @@ class StatsServer {
   // provider; nullptr unregisters. The provider must be thread-safe.
   using StorageSections = std::vector<std::pair<std::string, uint64_t>>;
   static void SetStorageStatsProvider(std::function<StorageSections()> fn);
+
+  // Cardinality stats catalog served inside /debug/statz, as a JSON
+  // object string (StatsCatalog::ToJson). Same layering rule as the
+  // storage provider: the owning binary registers it, nullptr
+  // unregisters, and it must be thread-safe. An empty return means "no
+  // catalog yet — run ANALYZE".
+  static void SetCatalogStatsProvider(std::function<std::string()> fn);
 
  private:
   StatsServer() = default;

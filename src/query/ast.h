@@ -200,11 +200,14 @@ using Clause = std::variant<StartClause, MatchClause, WhereClause, WithClause,
 
 // Prefix keyword ahead of the first clause: `EXPLAIN <query>` renders the
 // plan without executing; `PROFILE <query>` executes for real and annotates
-// the same plan with per-operator runtime stats.
+// the same plan with per-operator runtime stats. `ANALYZE` is a standalone
+// command (no clauses): it rebuilds the cardinality stats catalog the
+// estimator reads.
 enum class QueryMode {
   kNormal,
   kExplain,
   kProfile,
+  kAnalyze,
 };
 
 struct Query {

@@ -32,6 +32,7 @@ Database Database::Plain(const graph::GraphView& view,
     return id;
   };
   db.csr = std::make_shared<graph::CsrCache>();
+  db.stats = std::make_shared<graph::StatsCatalogCache>();
   return db;
 }
 

@@ -1,0 +1,316 @@
+#include "query/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace frappe::query {
+
+namespace {
+
+// Textbook default selectivities (System R lineage); the catalog refines
+// start points and expansion fanouts, these cover arbitrary predicates.
+constexpr double kEqSelectivity = 0.1;
+constexpr double kNeSelectivity = 0.9;
+constexpr double kRangeSelectivity = 1.0 / 3.0;
+constexpr double kPatternSelectivity = 0.5;
+// Wildcard / fuzzy index terms match a handful of distinct terms instead
+// of one.
+constexpr double kWildcardTermFactor = 8.0;
+// Var-length expansions are estimated up to this many hops; beyond it the
+// node-count cap dominates anyway.
+constexpr uint32_t kMaxEstimatedHops = 8;
+
+struct EstimatorState {
+  const Database* db;
+  std::shared_ptr<const graph::StatsCatalog> catalog;  // may be null
+  std::set<std::string> bound;  // variables bound by earlier clauses
+};
+
+double NodeCountOf(const EstimatorState& st) {
+  return static_cast<double>(st.db->view->NodeCount());
+}
+
+// Rows produced by one lucene START lookup. With a catalog: terms in the
+// query x average postings per term for the field. Without: a single
+// exact term can be probed live (cheap, one map lookup); anything else
+// guesses 1.
+double EstimateIndexQuery(const EstimatorState& st,
+                          const std::string& index_query) {
+  std::string_view q = StripWhitespace(index_query);
+  size_t colon = q.find(':');
+  std::string field =
+      colon == std::string_view::npos
+          ? std::string("short_name")
+          : ToLower(StripWhitespace(q.substr(0, colon)));
+  // Each `field: term` pair is one term; OR combines them additively.
+  size_t term_count = 0;
+  for (char c : q) term_count += c == ':';
+  if (term_count == 0) term_count = 1;
+  bool has_wildcard = q.find('*') != std::string_view::npos ||
+                      q.find('?') != std::string_view::npos ||
+                      q.find('~') != std::string_view::npos;
+
+  if (st.catalog != nullptr) {
+    for (const auto& f : st.catalog->index_fields) {
+      if (EqualsIgnoreCase(f.field, field)) {
+        double per_term =
+            f.distinct_terms == 0
+                ? 0.0
+                : static_cast<double>(f.postings) /
+                      static_cast<double>(f.distinct_terms);
+        double terms = static_cast<double>(term_count) *
+                       (has_wildcard ? kWildcardTermFactor : 1.0);
+        return std::max(per_term, 1.0) * terms;
+      }
+    }
+  }
+  if (st.db->name_index != nullptr && term_count == 1 && !has_wildcard &&
+      colon != std::string_view::npos) {
+    std::string term = ToLower(StripWhitespace(q.substr(colon + 1)));
+    return static_cast<double>(st.db->name_index->Lookup(field, term).size());
+  }
+  return 1.0;
+}
+
+// Nodes matching a node pattern's labels (sum over resolved type ids) and
+// inline property constraints.
+double EstimateNodePattern(const EstimatorState& st,
+                           const NodePattern& node) {
+  double rows;
+  if (node.labels.empty()) {
+    rows = NodeCountOf(st);
+  } else {
+    rows = 0.0;
+    for (const std::string& label : node.labels) {
+      std::vector<graph::TypeId> types =
+          st.db->resolve_label ? st.db->resolve_label(label)
+                               : std::vector<graph::TypeId>{};
+      for (graph::TypeId t : types) {
+        if (st.catalog != nullptr && t < st.catalog->node_types.size()) {
+          rows += static_cast<double>(st.catalog->node_types[t].count);
+        } else if (st.db->label_index != nullptr) {
+          rows += static_cast<double>(st.db->label_index->Nodes(t).size());
+        } else {
+          rows += NodeCountOf(st) /
+                  std::max<double>(st.db->view->node_types().size(), 1.0);
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < node.props.size(); ++i) rows *= kEqSelectivity;
+  return std::max(rows, 0.0);
+}
+
+// Average neighbors per row for one relationship hop. Catalog fanouts are
+// per *participating* endpoint (edges / distinct endpoints of that type),
+// which models "rows already matching the pattern shape".
+double EstimateFanout(const EstimatorState& st, const RelPattern& rel) {
+  double node_count = std::max(NodeCountOf(st), 1.0);
+  double untyped =
+      static_cast<double>(st.db->view->EdgeCount()) / node_count;
+  if (st.catalog == nullptr) return std::max(untyped, 1.0);
+
+  auto type_fanout = [&](graph::TypeId t) {
+    if (t >= st.catalog->edge_types.size()) return 0.0;
+    const auto& et = st.catalog->edge_types[t];
+    switch (rel.direction) {
+      case graph::Direction::kOut: return et.AvgOutFanout();
+      case graph::Direction::kIn: return et.AvgInFanout();
+      case graph::Direction::kBoth:
+        return et.AvgOutFanout() + et.AvgInFanout();
+    }
+    return 0.0;
+  };
+
+  if (rel.types.empty()) {
+    // Any type: sum directional fanouts over every edge type, scaled by
+    // nothing — per-participant again, summed across types.
+    double total = 0.0;
+    for (graph::TypeId t = 0;
+         t < static_cast<graph::TypeId>(st.catalog->edge_types.size()); ++t) {
+      total += type_fanout(t);
+    }
+    return std::max(total, untyped);
+  }
+  double total = 0.0;
+  for (const std::string& name : rel.types) {
+    std::optional<graph::TypeId> t =
+        st.db->resolve_edge_type ? st.db->resolve_edge_type(name)
+                                 : std::nullopt;
+    if (t.has_value()) total += type_fanout(*t);
+  }
+  for (size_t i = 0; i < rel.props.size(); ++i) total *= kEqSelectivity;
+  return total;
+}
+
+double EstimateChain(const EstimatorState& st, const PatternChain& chain,
+                     double current_rows) {
+  double node_count = std::max(NodeCountOf(st), 1.0);
+  // Anchor: a bound first node continues from the current row set; an
+  // unbound one scans/seeks and joins cartesian-style.
+  const NodePattern& first = chain.nodes.front();
+  bool anchored =
+      !first.var.empty() && st.bound.count(first.var) > 0;
+  double rows = anchored
+                    ? current_rows
+                    : std::max(current_rows, 1.0) *
+                          EstimateNodePattern(st, first);
+  for (size_t i = 0; i < chain.rels.size(); ++i) {
+    const RelPattern& rel = chain.rels[i];
+    double fanout = EstimateFanout(st, rel);
+    if (rel.var_length) {
+      uint32_t hops = std::min(rel.max_length, kMaxEstimatedHops);
+      double expansion = 1.0;
+      // Sum of fanout^1 .. fanout^hops: a var-length match emits every
+      // intermediate endpoint, not just the final frontier.
+      double power = 1.0;
+      for (uint32_t h = 0; h < hops; ++h) {
+        power *= std::max(fanout, 1e-6);
+        expansion = expansion + power;
+        if (rows * expansion > node_count) break;
+      }
+      rows = std::min(rows * expansion, std::max(rows, node_count));
+    } else {
+      rows *= fanout;
+    }
+    // Shortest path binds at most one path per endpoint pair.
+    if (chain.shortest) rows = std::min(rows, std::max(current_rows, 1.0));
+    // A labeled / constrained target node filters the expansion.
+    const NodePattern& target = chain.nodes[i + 1];
+    bool target_bound =
+        !target.var.empty() && st.bound.count(target.var) > 0;
+    if (target_bound) {
+      rows *= kEqSelectivity;  // join back onto an existing binding
+    } else if (!target.labels.empty()) {
+      double label_rows = EstimateNodePattern(st, target);
+      rows *= std::clamp(label_rows / node_count, kEqSelectivity, 1.0);
+    }
+  }
+  return std::max(rows, 0.0);
+}
+
+double Selectivity(const EstimatorState& st, const Expr& expr);
+
+double CompareSelectivity(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return kEqSelectivity;
+    case CompareOp::kNe: return kNeSelectivity;
+    default: return kRangeSelectivity;
+  }
+}
+
+double Selectivity(const EstimatorState& st, const Expr& expr) {
+  if (const auto* cmp = std::get_if<CompareExpr>(&expr.node)) {
+    return CompareSelectivity(cmp->op);
+  }
+  if (const auto* b = std::get_if<BoolExpr>(&expr.node)) {
+    double l = Selectivity(st, *b->left);
+    double r = Selectivity(st, *b->right);
+    return b->op == BoolOp::kAnd ? l * r : l + r - l * r;
+  }
+  if (const auto* n = std::get_if<NotExpr>(&expr.node)) {
+    return 1.0 - Selectivity(st, *n->inner);
+  }
+  if (std::get_if<PatternExpr>(&expr.node) != nullptr) {
+    return kPatternSelectivity;
+  }
+  // has()/exists(), bare booleans, anything else.
+  return kEqSelectivity * 5;
+}
+
+bool IsAggregateItem(const ProjectionItem& item) {
+  const auto* call = std::get_if<CallExpr>(&item.expr->node);
+  return call != nullptr && call->function == "count";
+}
+
+double EstimateProjection(const EstimatorState& st, bool distinct,
+                          const std::vector<ProjectionItem>& items,
+                          double rows) {
+  size_t aggregates = 0;
+  for (const ProjectionItem& item : items) {
+    aggregates += IsAggregateItem(item) ? 1 : 0;
+  }
+  if (aggregates > 0) {
+    // All-aggregate projections collapse to one row; grouped aggregation
+    // keeps one row per distinct group (sqrt heuristic).
+    rows = aggregates == items.size() ? 1.0 : std::sqrt(std::max(rows, 1.0));
+  }
+  if (distinct) rows = std::min(rows, std::max(NodeCountOf(st), 1.0));
+  return rows;
+}
+
+void BindChainVars(EstimatorState* st, const PatternChain& chain) {
+  for (const NodePattern& n : chain.nodes) {
+    if (!n.var.empty()) st->bound.insert(n.var);
+  }
+  for (const RelPattern& r : chain.rels) {
+    if (!r.var.empty()) st->bound.insert(r.var);
+  }
+}
+
+}  // namespace
+
+double QError(double est_rows, double actual_rows) {
+  double e = std::max(est_rows, 0.0) + 1.0;
+  double a = std::max(actual_rows, 0.0) + 1.0;
+  return std::max(e / a, a / e);
+}
+
+ClauseEstimates EstimateQuery(const Database& db, const Query& query) {
+  ClauseEstimates out;
+  out.rows.reserve(query.clauses.size());
+  EstimatorState st;
+  st.db = &db;
+  if (db.stats != nullptr) st.catalog = db.stats->Get();
+  out.used_catalog = st.catalog != nullptr;
+
+  double rows = 0.0;  // no binding rows before the first clause
+  for (const Clause& clause : query.clauses) {
+    if (const auto* start = std::get_if<StartClause>(&clause)) {
+      double product = std::max(rows, 1.0);
+      for (const StartItem& item : start->items) {
+        double item_rows = 1.0;
+        switch (item.kind) {
+          case StartItem::Kind::kIndexQuery:
+            item_rows = EstimateIndexQuery(st, item.index_query);
+            break;
+          case StartItem::Kind::kByIds:
+            item_rows = static_cast<double>(item.ids.size());
+            break;
+          case StartItem::Kind::kAllNodes:
+            item_rows = NodeCountOf(st);
+            break;
+        }
+        product *= std::max(item_rows, 0.0);
+        if (!item.var.empty()) st.bound.insert(item.var);
+      }
+      rows = product;
+    } else if (const auto* match = std::get_if<MatchClause>(&clause)) {
+      for (const PatternChain& chain : match->chains) {
+        rows = EstimateChain(st, chain, rows);
+        BindChainVars(&st, chain);
+      }
+    } else if (const auto* where = std::get_if<WhereClause>(&clause)) {
+      rows *= Selectivity(st, *where->predicate);
+    } else if (const auto* with = std::get_if<WithClause>(&clause)) {
+      rows = EstimateProjection(st, with->distinct, with->items, rows);
+    } else if (const auto* ret = std::get_if<ReturnClause>(&clause)) {
+      rows = EstimateProjection(st, ret->distinct, ret->items, rows);
+      if (ret->skip > 0) {
+        rows = std::max(rows - static_cast<double>(ret->skip), 0.0);
+      }
+      if (ret->limit >= 0) {
+        rows = std::min(rows, static_cast<double>(ret->limit));
+      }
+    }
+    out.rows.push_back(rows);
+  }
+  out.final_rows = out.rows.empty() ? 0.0 : out.rows.back();
+  return out;
+}
+
+}  // namespace frappe::query

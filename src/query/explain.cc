@@ -1,9 +1,11 @@
 #include "query/explain.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <set>
 #include <sstream>
 
+#include "query/estimator.h"
 #include "query/fast_path.h"
 #include "query/parser.h"
 
@@ -190,6 +192,7 @@ Result<std::vector<PlanStep>> BuildPlan(const Database& db,
   }
   std::vector<PlanStep> out;
   std::set<std::string> bound;
+  ClauseEstimates estimates = EstimateQuery(db, query);
   size_t current_clause = 0;
   bool first_in_clause = true;
   auto line = [&](const std::string& text) {
@@ -197,6 +200,9 @@ Result<std::vector<PlanStep>> BuildPlan(const Database& db,
     step.text = text;
     step.clause_index = current_clause;
     step.primary = first_in_clause;
+    if (current_clause < estimates.rows.size()) {
+      step.est_rows = estimates.rows[current_clause];
+    }
     first_in_clause = false;
     out.push_back(std::move(step));
   };
@@ -333,40 +339,89 @@ Result<std::vector<PlanStep>> BuildPlan(const Database& db,
   return out;
 }
 
+namespace {
+
+// Compact but parseable estimate rendering: integral when large, one
+// decimal for small fractional values.
+std::string FormatEstRows(double est) {
+  char buf[32];
+  if (est >= 100.0 || est == static_cast<double>(static_cast<long long>(est))) {
+    std::snprintf(buf, sizeof(buf), "%.0f", est);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", est);
+  }
+  return buf;
+}
+
+}  // namespace
+
 std::string RenderPlan(const std::vector<PlanStep>& steps,
                        const ExecStats* stats) {
+  // Pad every line to one shared annotation column so EXPLAIN (est only)
+  // and PROFILE (est + actuals) emit the same, stably-parseable layout.
+  size_t annotation_col = 0;
+  {
+    int number = 1;
+    for (const PlanStep& step : steps) {
+      size_t width = std::to_string(number++).size() + 2 + step.text.size();
+      annotation_col = std::max(annotation_col, width);
+    }
+  }
   std::string out;
   int number = 1;
   for (const PlanStep& step : steps) {
-    out += std::to_string(number++) + ". " + step.text;
+    std::string line = std::to_string(number++) + ". " + step.text;
+    const OperatorStats* op = nullptr;
     if (stats != nullptr && step.primary) {
-      for (const OperatorStats& op : stats->operators) {
-        if (op.clause_index != step.clause_index) continue;
+      for (const OperatorStats& candidate : stats->operators) {
+        if (candidate.clause_index == step.clause_index) {
+          op = &candidate;
+          break;
+        }
+      }
+    }
+    bool annotate = step.est_rows >= 0.0 || op != nullptr;
+    if (annotate && line.size() < annotation_col) {
+      line.append(annotation_col - line.size(), ' ');
+    }
+    out += line;
+    if (annotate) {
+      out += " //";
+      if (step.est_rows >= 0.0) {
+        out += " est_rows=" + FormatEstRows(step.est_rows);
+      }
+      if (op != nullptr) {
         char buf[160];
         std::snprintf(buf, sizeof(buf),
-                      " // rows=%llu db_hits=%llu steps=%llu time=%.3fms",
-                      static_cast<unsigned long long>(op.rows),
-                      static_cast<unsigned long long>(op.db_hits.Total()),
-                      static_cast<unsigned long long>(op.steps), op.time_ms);
+                      " rows=%llu db_hits=%llu steps=%llu time=%.3fms",
+                      static_cast<unsigned long long>(op->rows),
+                      static_cast<unsigned long long>(op->db_hits.Total()),
+                      static_cast<unsigned long long>(op->steps),
+                      op->time_ms);
         out += buf;
-        if (op.fast_path) {
+        if (step.est_rows >= 0.0) {
+          std::snprintf(buf, sizeof(buf), " q=%.2f",
+                        QError(step.est_rows,
+                               static_cast<double>(op->rows)));
+          out += buf;
+        }
+        if (op->fast_path) {
           out += " frontier=[";
-          for (size_t i = 0; i < op.frontier_sizes.size(); ++i) {
+          for (size_t i = 0; i < op->frontier_sizes.size(); ++i) {
             if (i > 0) out += ",";
-            out += std::to_string(op.frontier_sizes[i]);
+            out += std::to_string(op->frontier_sizes[i]);
           }
           // Per-level push/pull decisions of the direction-optimizing
           // kernel, with the frontier representation each level consumed.
           out += "] direction=[";
-          for (size_t i = 0; i < op.level_pull.size(); ++i) {
+          for (size_t i = 0; i < op->level_pull.size(); ++i) {
             if (i > 0) out += ",";
-            out += op.level_pull[i] != 0 ? "pull" : "push";
-            out += op.level_bitmap[i] != 0 ? ":bitmap" : ":array";
+            out += op->level_pull[i] != 0 ? "pull" : "push";
+            out += op->level_bitmap[i] != 0 ? ":bitmap" : ":array";
           }
-          out += "] switches=" + std::to_string(op.direction_switches);
-          out += " lanes=" + std::to_string(op.lanes);
+          out += "] switches=" + std::to_string(op->direction_switches);
+          out += " lanes=" + std::to_string(op->lanes);
         }
-        break;
       }
     }
     out += "\n";

@@ -5,11 +5,14 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "graph/stats_catalog.h"
 #include "obs/fingerprint.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/query_registry.h"
 #include "obs/trace.h"
+#include "query/estimator.h"
 #include "query/explain.h"
 #include "query/parser.h"
 
@@ -40,6 +43,25 @@ void EmitSlowQueryLog(const std::string& message) {
   } else {
     std::fputs(message.c_str(), stderr);
   }
+}
+
+// Estimates are on unless FRAPPE_ESTIMATOR=off. Read per call (same
+// contract as the slow-query threshold): operators can flip it live, and
+// the A/B overhead bench toggles it between arms.
+bool EstimatorDisabled() {
+  const char* env = std::getenv("FRAPPE_ESTIMATOR");
+  return env != nullptr && std::string_view(env) == "off";
+}
+
+// Misestimate q-error threshold, or -1 when unset/invalid. A query whose
+// q-error meets it is pushed onto the MisestimateRing and warn-logged.
+double MisestimateQErrorThreshold() {
+  const char* env = std::getenv("FRAPPE_MISESTIMATE_QERROR");
+  if (env == nullptr || *env == '\0') return -1.0;
+  char* end = nullptr;
+  double value = std::strtod(env, &end);
+  if (end == env || value <= 0.0) return -1.0;
+  return value;
 }
 
 int64_t NowUnixMicros() {
@@ -125,6 +147,7 @@ Database MakeFrappeDatabase(const graph::GraphView& view,
     return id;
   };
   db.csr = std::make_shared<graph::CsrCache>();
+  db.stats = std::make_shared<graph::StatsCatalogCache>();
   return db;
 }
 
@@ -161,6 +184,11 @@ Result<std::unique_ptr<SnapshotSession>> SnapshotSession::Open(
   session->db_ =
       MakeFrappeDatabase(*session->store_, session->schema_,
                          &session->name_index_, &session->label_index_);
+  if (loaded.snapshot.catalog.has_value()) {
+    // The snapshot carried a verified stats catalog — the estimator is
+    // warm from the first query, no ANALYZE needed.
+    session->db_.stats->Set(std::move(*loaded.snapshot.catalog));
+  }
   return session;
 }
 
@@ -210,6 +238,60 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
     return result;
   }
 
+  if (query.mode == QueryMode::kAnalyze) {
+    // ANALYZE: rebuild the cardinality stats catalog from the live graph
+    // and swap it into the shared cache, so every reader of this database
+    // (and the next \save) gets fresh estimates.
+    FRAPPE_TRACE_SPAN("session.analyze");
+    static obs::Counter& builds =
+        obs::Registry::Global().GetCounter("catalog.builds");
+    static obs::Histogram& build_us =
+        obs::Registry::Global().GetHistogram("catalog.build_us");
+    if (db.view == nullptr || db.stats == nullptr) {
+      return Status::FailedPrecondition(
+          "ANALYZE needs a graph-backed database with a stats cache");
+    }
+    const auto build_start = std::chrono::steady_clock::now();
+    graph::StatsCatalog catalog =
+        graph::BuildStatsCatalog(*db.view, db.name_index);
+    const double analyze_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - build_start)
+            .count();
+    builds.Add();
+    build_us.Record(static_cast<uint64_t>(analyze_ms * 1000.0));
+    obs::Registry::Global().GetGauge("catalog.nodes").Set(
+        static_cast<int64_t>(catalog.node_count));
+    obs::Registry::Global().GetGauge("catalog.edges").Set(
+        static_cast<int64_t>(catalog.edge_count));
+    obs::Registry::Global().GetGauge("catalog.bytes").Set(
+        static_cast<int64_t>(catalog.ByteSize()));
+
+    QueryResult result;
+    result.columns = {"nodes",      "edges", "node_types", "edge_types",
+                      "hub_count",  "index_fields", "catalog_bytes"};
+    result.rows.push_back(
+        {ResultValue::Scalar(graph::Value::Int(
+             static_cast<int64_t>(catalog.node_count))),
+         ResultValue::Scalar(graph::Value::Int(
+             static_cast<int64_t>(catalog.edge_count))),
+         ResultValue::Scalar(graph::Value::Int(
+             static_cast<int64_t>(catalog.node_types.size()))),
+         ResultValue::Scalar(graph::Value::Int(
+             static_cast<int64_t>(catalog.edge_types.size()))),
+         ResultValue::Scalar(
+             graph::Value::Int(static_cast<int64_t>(catalog.hubs.size()))),
+         ResultValue::Scalar(graph::Value::Int(
+             static_cast<int64_t>(catalog.index_fields.size()))),
+         ResultValue::Scalar(graph::Value::Int(
+             static_cast<int64_t>(catalog.ByteSize())))});
+    db.stats->Set(std::move(catalog));
+    RecordWorkloadTelemetry(normalized, query_text, /*ok=*/true, "ok",
+                            analyze_ms, /*rows=*/1, /*db_hits=*/0,
+                            /*fast_path=*/false);
+    return result;
+  }
+
   ExecOptions exec_options = options;
   if (query.mode == QueryMode::kProfile) exec_options.profile = true;
   if (active.entry() != nullptr) {
@@ -244,6 +326,44 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
       result.ok() ? result->rows.size() : 0,
       result.ok() ? result->stats.db_hits.Total() : 0,
       result.ok() && result->stats.fast_path_taken);
+
+  // Estimate-vs-actual instrumentation: compare the planner's final-row
+  // estimate against what the execution produced, feed the q-error
+  // histogram and the per-fingerprint worst-case, and route crossings of
+  // FRAPPE_MISESTIMATE_QERROR to the misestimate ring + structured log.
+  if (result.ok() && !EstimatorDisabled()) {
+    ClauseEstimates estimates = EstimateQuery(db, query);
+    const double actual = static_cast<double>(result->rows.size());
+    const double q = QError(estimates.final_rows, actual);
+    const uint64_t q_x100 = static_cast<uint64_t>(q * 100.0);
+    static obs::Histogram& qerror_hist =
+        obs::Registry::Global().GetHistogram("plan.qerror_x100");
+    qerror_hist.Record(q_x100);
+    obs::QueryStats::Global()
+        .GetOrCreate(normalized.fingerprint, normalized.text)
+        .RecordQError(q_x100);
+    double qerror_threshold = MisestimateQErrorThreshold();
+    if (qerror_threshold > 0.0 && q >= qerror_threshold) {
+      static obs::Counter& misestimates =
+          obs::Registry::Global().GetCounter("plan.misestimates");
+      misestimates.Add();
+      obs::MisestimateRing::Record miss;
+      miss.ts_us = NowUnixMicros();
+      miss.fingerprint = normalized.fingerprint;
+      miss.normalized = normalized.text;
+      miss.est_rows = estimates.final_rows;
+      miss.actual_rows = result->rows.size();
+      miss.qerror = q;
+      obs::MisestimateRing::Global().Push(std::move(miss));
+      char detail[160];
+      std::snprintf(detail, sizeof(detail),
+                    "plan misestimate q=%.2f (est=%.1f actual=%zu) fp=",
+                    q, estimates.final_rows, result->rows.size());
+      obs::LogWarn("planner",
+                   detail + obs::FingerprintHex(normalized.fingerprint) +
+                       ": " + normalized.text);
+    }
+  }
 
   // Slow-query log: fires for successes and budget breaches alike — the
   // aborted Figure 6 run is exactly the query an operator wants logged.

@@ -1,0 +1,279 @@
+// StatsCatalog: the ANALYZE output — build correctness on a known graph,
+// byte-exact round-trip through its serializer, the advisory-section
+// contract in snapshots (a corrupt stats section degrades to "no catalog",
+// never a failed load), and the staleness/refresh cache semantics.
+
+#include "graph/stats_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/graph_store.h"
+#include "graph/snapshot.h"
+
+namespace frappe::graph {
+namespace {
+
+class StatsCatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    name_key_ = store_.InternKey("short_name");
+    fn_ = store_.InternNodeType("function");
+    prim_ = store_.InternNodeType("primitive");
+    calls_ = store_.InternEdgeType("calls");
+    isa_ = store_.InternEdgeType("isa_type");
+
+    // One hub (`int`) every function points at, plus a call chain.
+    hub_ = store_.AddNode(prim_);
+    store_.SetNodeProperty(hub_, name_key_, store_.StringValue("int"));
+    NodeId prev = kInvalidNode;
+    for (int i = 0; i < 8; ++i) {
+      NodeId f = store_.AddNode(fn_);
+      store_.SetNodeProperty(f, name_key_,
+                             store_.StringValue("f" + std::to_string(i)));
+      store_.AddEdge(f, hub_, isa_);
+      if (prev != kInvalidNode) store_.AddEdge(prev, f, calls_);
+      prev = f;
+    }
+    index_ = NameIndex::Build(
+        store_, {{"short_name", name_key_, /*is_type_field=*/false}});
+  }
+
+  GraphStore store_;
+  KeyId name_key_ = kInvalidKey;
+  TypeId fn_ = kInvalidType;
+  TypeId prim_ = kInvalidType;
+  TypeId calls_ = kInvalidType;
+  TypeId isa_ = kInvalidType;
+  NodeId hub_ = kInvalidNode;
+  NameIndex index_;
+};
+
+TEST_F(StatsCatalogTest, BuildCountsTypesAndFanouts) {
+  StatsCatalog catalog = BuildStatsCatalog(store_, &index_);
+  EXPECT_EQ(catalog.node_count, 9u);
+  EXPECT_EQ(catalog.edge_count, 15u);  // 8 isa + 7 calls
+
+  ASSERT_EQ(catalog.node_types.size(), 2u);
+  EXPECT_EQ(catalog.node_types[prim_].name, "primitive");
+  EXPECT_EQ(catalog.node_types[prim_].count, 1u);
+  EXPECT_EQ(catalog.node_types[fn_].name, "function");
+  EXPECT_EQ(catalog.node_types[fn_].count, 8u);
+
+  ASSERT_EQ(catalog.edge_types.size(), 2u);
+  const StatsCatalog::EdgeTypeStats& isa = catalog.edge_types[isa_];
+  EXPECT_EQ(isa.name, "isa_type");
+  EXPECT_EQ(isa.count, 8u);
+  EXPECT_EQ(isa.distinct_sources, 8u);  // every function
+  EXPECT_EQ(isa.distinct_targets, 1u);  // all into the hub
+  EXPECT_DOUBLE_EQ(isa.AvgOutFanout(), 1.0);
+  EXPECT_DOUBLE_EQ(isa.AvgInFanout(), 8.0);
+  EXPECT_FALSE(isa.out_degrees.empty());
+  EXPECT_FALSE(isa.in_degrees.empty());
+
+  const StatsCatalog::EdgeTypeStats& calls = catalog.edge_types[calls_];
+  EXPECT_EQ(calls.count, 7u);
+  EXPECT_EQ(calls.distinct_sources, 7u);
+  EXPECT_EQ(calls.distinct_targets, 7u);
+
+  // The hub tops the hub list with total degree 8.
+  ASSERT_FALSE(catalog.hubs.empty());
+  EXPECT_EQ(catalog.hubs[0].id, hub_);
+  EXPECT_EQ(catalog.hubs[0].degree, 8u);
+  EXPECT_EQ(catalog.hubs[0].short_name, "int");
+
+  // short_name indexes 9 distinct names, one posting each.
+  ASSERT_EQ(catalog.index_fields.size(), 1u);
+  EXPECT_EQ(catalog.index_fields[0].field, "short_name");
+  EXPECT_EQ(catalog.index_fields[0].distinct_terms, 9u);
+  EXPECT_EQ(catalog.index_fields[0].postings, 9u);
+}
+
+TEST_F(StatsCatalogTest, DegreeBinsCoverParticipantsOnly) {
+  StatsCatalog catalog = BuildStatsCatalog(store_);
+  const StatsCatalog::EdgeTypeStats& isa = catalog.edge_types[isa_];
+  uint64_t out_total = 0;
+  for (const DegreeBin& bin : isa.out_degrees) out_total += bin.node_count;
+  EXPECT_EQ(out_total, isa.distinct_sources);
+  uint64_t in_total = 0;
+  for (const DegreeBin& bin : isa.in_degrees) in_total += bin.node_count;
+  EXPECT_EQ(in_total, isa.distinct_targets);
+}
+
+TEST_F(StatsCatalogTest, SerializeRoundTrips) {
+  StatsCatalog catalog = BuildStatsCatalog(store_, &index_);
+  std::string bytes;
+  catalog.Serialize(&bytes);
+  EXPECT_EQ(bytes.size(), catalog.ByteSize());
+
+  auto back = StatsCatalog::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->node_count, catalog.node_count);
+  EXPECT_EQ(back->edge_count, catalog.edge_count);
+  ASSERT_EQ(back->node_types.size(), catalog.node_types.size());
+  for (size_t i = 0; i < catalog.node_types.size(); ++i) {
+    EXPECT_EQ(back->node_types[i].name, catalog.node_types[i].name);
+    EXPECT_EQ(back->node_types[i].count, catalog.node_types[i].count);
+  }
+  ASSERT_EQ(back->edge_types.size(), catalog.edge_types.size());
+  for (size_t i = 0; i < catalog.edge_types.size(); ++i) {
+    EXPECT_EQ(back->edge_types[i].count, catalog.edge_types[i].count);
+    EXPECT_EQ(back->edge_types[i].distinct_sources,
+              catalog.edge_types[i].distinct_sources);
+    EXPECT_EQ(back->edge_types[i].out_degrees.size(),
+              catalog.edge_types[i].out_degrees.size());
+  }
+  ASSERT_EQ(back->hubs.size(), catalog.hubs.size());
+  EXPECT_EQ(back->hubs[0].id, catalog.hubs[0].id);
+  EXPECT_EQ(back->hubs[0].short_name, catalog.hubs[0].short_name);
+  ASSERT_EQ(back->index_fields.size(), 1u);
+  EXPECT_EQ(back->index_fields[0].postings, 9u);
+
+  // Re-serializing the deserialized catalog is byte-identical.
+  std::string again;
+  back->Serialize(&again);
+  EXPECT_EQ(again, bytes);
+}
+
+TEST_F(StatsCatalogTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(StatsCatalog::Deserialize("").ok());
+  EXPECT_FALSE(StatsCatalog::Deserialize("nonsense").ok());
+  std::string bytes;
+  BuildStatsCatalog(store_).Serialize(&bytes);
+  EXPECT_FALSE(StatsCatalog::Deserialize(
+                   std::string_view(bytes).substr(0, bytes.size() / 2))
+                   .ok());
+}
+
+TEST_F(StatsCatalogTest, EmptyGraphCatalog) {
+  GraphStore empty;
+  StatsCatalog catalog = BuildStatsCatalog(empty);
+  EXPECT_EQ(catalog.node_count, 0u);
+  EXPECT_EQ(catalog.edge_count, 0u);
+  EXPECT_TRUE(catalog.hubs.empty());
+  std::string bytes;
+  catalog.Serialize(&bytes);
+  auto back = StatsCatalog::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->node_count, 0u);
+}
+
+TEST_F(StatsCatalogTest, ToJsonCarriesTheSections) {
+  std::string json = BuildStatsCatalog(store_, &index_).ToJson();
+  EXPECT_NE(json.find("\"node_count\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"edge_types\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hubs\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"index_fields\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"int\""), std::string::npos) << json;
+}
+
+TEST_F(StatsCatalogTest, StalenessRatioTracksDrift) {
+  StatsCatalog catalog = BuildStatsCatalog(store_);
+  EXPECT_DOUBLE_EQ(catalog.StalenessRatio(9, 15), 0.0);
+  // +9 nodes on a 9-node catalog = 100% node drift.
+  EXPECT_NEAR(catalog.StalenessRatio(18, 15), 1.0, 1e-9);
+  // Edge drift dominates when larger.
+  EXPECT_NEAR(catalog.StalenessRatio(9, 30), 1.0, 1e-9);
+  // An empty catalog treats any growth as infinite-ish drift (den >= 1).
+  StatsCatalog empty;
+  EXPECT_GE(empty.StalenessRatio(5, 0), 5.0);
+}
+
+TEST_F(StatsCatalogTest, CacheSetGetClearAndRefresh) {
+  StatsCatalogCache cache;
+  EXPECT_EQ(cache.Get(), nullptr);
+  // RefreshIfStale on an empty cache is a no-op: ANALYZE is an explicit
+  // opt-in the first time.
+  EXPECT_FALSE(cache.RefreshIfStale(store_, &index_));
+  EXPECT_EQ(cache.Get(), nullptr);
+
+  cache.Set(BuildStatsCatalog(store_, &index_));
+  auto snap = cache.Get();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->node_count, 9u);
+
+  // No drift -> no rebuild (same pointer).
+  EXPECT_FALSE(cache.RefreshIfStale(store_, &index_));
+  EXPECT_EQ(cache.Get(), snap);
+
+  // Grow the graph past 10% and the refresh hook rebuilds.
+  for (int i = 0; i < 4; ++i) store_.AddNode(fn_);
+  EXPECT_TRUE(cache.RefreshIfStale(store_, &index_));
+  auto fresh = cache.Get();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->node_count, 13u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.Get(), nullptr);
+}
+
+TEST_F(StatsCatalogTest, SnapshotEmbedsCatalogSection) {
+  StatsCatalog catalog = BuildStatsCatalog(store_, &index_);
+  SnapshotOptions options;
+  options.catalog = &catalog;
+  std::string bytes;
+  auto sizes = SerializeSnapshot(store_, &bytes, &index_, options);
+  ASSERT_TRUE(sizes.ok()) << sizes.status();
+  EXPECT_GT(sizes->stats, 0u);
+
+  auto loaded = DeserializeSnapshot(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->catalog.has_value());
+  EXPECT_EQ(loaded->catalog->node_count, 9u);
+  EXPECT_EQ(loaded->catalog->edge_count, 15u);
+  EXPECT_TRUE(loaded->warnings.empty());
+}
+
+TEST_F(StatsCatalogTest, SnapshotBuildsCatalogOnDemand) {
+  SnapshotOptions options;
+  options.build_stats_catalog = true;
+  std::string bytes;
+  auto sizes = SerializeSnapshot(store_, &bytes, nullptr, options);
+  ASSERT_TRUE(sizes.ok()) << sizes.status();
+  auto loaded = DeserializeSnapshot(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->catalog.has_value());
+  EXPECT_EQ(loaded->catalog->node_count, 9u);
+}
+
+TEST_F(StatsCatalogTest, SnapshotWithoutCatalogLoadsWithoutOne) {
+  std::string bytes;
+  auto sizes = SerializeSnapshot(store_, &bytes);
+  ASSERT_TRUE(sizes.ok()) << sizes.status();
+  EXPECT_EQ(sizes->stats, 0u);
+  auto loaded = DeserializeSnapshot(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_FALSE(loaded->catalog.has_value());
+}
+
+// The stats section is advisory: flip a byte in its payload and the load
+// must still succeed — store and index intact, catalog dropped, and a
+// warning telling the operator to re-run ANALYZE.
+TEST_F(StatsCatalogTest, CorruptStatsSectionDegradesGracefully) {
+  StatsCatalog catalog = BuildStatsCatalog(store_, &index_);
+  SnapshotOptions options;
+  options.catalog = &catalog;
+  std::string clean;
+  auto clean_sizes = SerializeSnapshot(store_, &clean, &index_, options);
+  ASSERT_TRUE(clean_sizes.ok()) << clean_sizes.status();
+
+  // The stats section is the last section before the 16-byte trailer; its
+  // 4-byte CRC sits immediately before it. Flip a payload byte.
+  std::string corrupt = clean;
+  size_t payload_byte = corrupt.size() - 16 - 4 - 8;
+  corrupt[payload_byte] ^= 0x5A;
+
+  auto loaded = DeserializeSnapshot(corrupt);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_FALSE(loaded->catalog.has_value());
+  EXPECT_EQ(loaded->store->NodeCount(), 9u);
+  bool warned = false;
+  for (const std::string& w : loaded->warnings) {
+    if (w.find("stats") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
+}
+
+}  // namespace
+}  // namespace frappe::graph

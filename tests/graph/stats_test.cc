@@ -107,6 +107,68 @@ TEST_F(StatsTest, TypeHistograms) {
   EXPECT_EQ(edges.at("calls"), 9u);
 }
 
+TEST_F(StatsTest, TopDegreeNodesBreaksTiesDeterministically) {
+  // Nine functions tie at degree 2; a k that cuts through the tie must
+  // return exactly k hubs, ordered by degree then ascending id, so two
+  // runs (or two replicas) render the same hub list.
+  auto hubs = TopDegreeNodes(store_, 5, name_key_);
+  ASSERT_EQ(hubs.size(), 5u);
+  for (size_t i = 1; i < hubs.size(); ++i) {
+    EXPECT_TRUE(hubs[i - 1].degree > hubs[i].degree ||
+                (hubs[i - 1].degree == hubs[i].degree &&
+                 hubs[i - 1].id < hubs[i].id))
+        << "i=" << i;
+  }
+  auto again = TopDegreeNodes(store_, 5, name_key_);
+  for (size_t i = 0; i < hubs.size(); ++i) {
+    EXPECT_EQ(hubs[i].id, again[i].id) << "i=" << i;
+  }
+}
+
+TEST_F(StatsTest, EmptyGraphHelpers) {
+  GraphStore empty;
+  EXPECT_TRUE(DegreeDistribution(empty).empty());
+  EXPECT_TRUE(LogBinnedDegrees(empty).empty());
+  EXPECT_TRUE(TopDegreeNodes(empty, 10, kInvalidKey).empty());
+  EXPECT_TRUE(NodeTypeHistogram(empty).empty());
+  EXPECT_TRUE(EdgeTypeHistogram(empty).empty());
+}
+
+TEST_F(StatsTest, SingleNodeGraph) {
+  GraphStore single;
+  TypeId t = single.InternNodeType("function");
+  single.AddNode(t);
+  GraphMetrics m = ComputeMetrics(single);
+  EXPECT_EQ(m.node_count, 1u);
+  EXPECT_EQ(m.edge_count, 0u);
+  EXPECT_EQ(m.density, 0.0);  // density over 0 possible edges is defined 0
+  auto bins = LogBinnedDegrees(single);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].min_degree, 0u);
+  EXPECT_EQ(bins[0].max_degree, 0u);
+  EXPECT_EQ(bins[0].node_count, 1u);
+  auto hubs = TopDegreeNodes(single, 3, kInvalidKey);
+  ASSERT_EQ(hubs.size(), 1u);
+  EXPECT_EQ(hubs[0].degree, 0u);
+}
+
+TEST_F(StatsTest, LogBinHistogramBinsByPowersOfTwo) {
+  std::map<uint64_t, uint64_t> hist = {{0, 3}, {1, 2}, {2, 1},
+                                       {3, 1}, {4, 5}, {7, 2}};
+  auto bins = LogBinHistogram(hist);
+  // Expected bins: [0,0]=3, [1,1]=2, [2,3]=2, [4,7]=7.
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins[0].node_count, 3u);
+  EXPECT_EQ(bins[1].node_count, 2u);
+  EXPECT_EQ(bins[2].min_degree, 2u);
+  EXPECT_EQ(bins[2].max_degree, 3u);
+  EXPECT_EQ(bins[2].node_count, 2u);
+  EXPECT_EQ(bins[3].min_degree, 4u);
+  EXPECT_EQ(bins[3].max_degree, 7u);
+  EXPECT_EQ(bins[3].node_count, 7u);
+  EXPECT_TRUE(LogBinHistogram({}).empty());
+}
+
 TEST_F(StatsTest, DeadNodesExcluded) {
   store_.RemoveNode(hub_);
   GraphMetrics m = ComputeMetrics(store_);

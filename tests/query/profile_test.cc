@@ -99,8 +99,8 @@ class ProfileTest : public ::testing::Test {
     return out;
   }
 
-  // Strips the " // rows=..." stats suffix PROFILE appends to plan lines,
-  // recovering the bare EXPLAIN rendering.
+  // Strips the " // est_rows=... rows=..." annotation suffix (plus the
+  // column-alignment padding before it), recovering the bare operator tree.
   static std::string StripStats(const std::string& plan) {
     std::string out;
     size_t pos = 0;
@@ -108,8 +108,9 @@ class ProfileTest : public ::testing::Test {
       size_t eol = plan.find('\n', pos);
       if (eol == std::string::npos) eol = plan.size();
       std::string line = plan.substr(pos, eol - pos);
-      size_t cut = line.find(" // ");
+      size_t cut = line.find(" //");
       if (cut != std::string::npos) line.resize(cut);
+      while (!line.empty() && line.back() == ' ') line.pop_back();
       out += line + "\n";
       pos = eol + 1;
     }
@@ -135,9 +136,11 @@ TEST_F(ProfileTest, ProfileReturnsRowsAndAnnotatedPlan) {
   ASSERT_EQ(r.rows.size(), 1u);
   EXPECT_EQ(r.rows[0][0].node, fixture_.cmd_field);
   EXPECT_NE(r.plan.find("NodeByIndexSeek n"), std::string::npos) << r.plan;
-  EXPECT_NE(r.plan.find(" // rows="), std::string::npos) << r.plan;
+  EXPECT_NE(r.plan.find("est_rows="), std::string::npos) << r.plan;
+  EXPECT_NE(r.plan.find(" rows="), std::string::npos) << r.plan;
   EXPECT_NE(r.plan.find("db_hits="), std::string::npos) << r.plan;
   EXPECT_NE(r.plan.find("time="), std::string::npos) << r.plan;
+  EXPECT_NE(r.plan.find(" q="), std::string::npos) << r.plan;
   ASSERT_FALSE(r.stats.operators.empty());
   EXPECT_GT(r.stats.db_hits.Total(), 0u);
 }
@@ -154,7 +157,9 @@ TEST_F(ProfileTest, EveryPaperQueryProfilesOnBothPaths) {
       EXPECT_FALSE(profiled.plan.empty());
       ASSERT_FALSE(profiled.stats.operators.empty());
       EXPECT_GT(profiled.stats.db_hits.Total(), 0u);
-      EXPECT_NE(profiled.plan.find(" // rows="), std::string::npos)
+      EXPECT_NE(profiled.plan.find(" rows="), std::string::npos)
+          << profiled.plan;
+      EXPECT_NE(profiled.plan.find("est_rows="), std::string::npos)
           << profiled.plan;
       // Rows and columns must match the unprofiled run exactly.
       QueryResult plain = Run(query, options);
@@ -196,17 +201,49 @@ TEST_F(ProfileTest, StatsDeterministicAcrossThreadCounts) {
 }
 
 // The PROFILE tree is the EXPLAIN tree: stripping the " // ..." stats
-// columns must recover the EXPLAIN rendering byte for byte.
+// columns must recover the same bare operator tree from both renderings.
 TEST_F(ProfileTest, ProfilePlanMatchesExplainModuloStats) {
   for (const std::string& query : PaperQueries(fixture_)) {
     SCOPED_TRACE(query);
     QueryResult explained = Run("EXPLAIN " + query);
     QueryResult profiled = Run("PROFILE " + query);
     EXPECT_EQ(StripStats(profiled.plan), StripStats(explained.plan));
-    // EXPLAIN plans carry no stats columns to strip in the first place.
-    EXPECT_EQ(StripStats(explained.plan),
-              explained.plan.back() == '\n' ? explained.plan
-                                            : explained.plan + "\n");
+    // Both renderings carry the estimator's est_rows annotation; only
+    // PROFILE adds the actual-row stats columns.
+    EXPECT_NE(explained.plan.find("est_rows="), std::string::npos)
+        << explained.plan;
+    EXPECT_EQ(explained.plan.find(" db_hits="), std::string::npos)
+        << explained.plan;
+  }
+}
+
+// The shared renderer pads every annotated line to one column: on each
+// plan, all " //" annotation markers start at the same offset, for both
+// EXPLAIN and PROFILE (the satellite fix for the mis-aligned renderer).
+TEST_F(ProfileTest, AnnotationsAlignToOneColumn) {
+  for (const std::string& prefix : {std::string("EXPLAIN "),
+                                    std::string("PROFILE ")}) {
+    QueryResult r = Run(
+        prefix +
+        "START n=node:node_auto_index('short_name: sr_media_change') "
+        "MATCH n -[:calls*]-> m RETURN distinct m");
+    SCOPED_TRACE(prefix + "=> " + r.plan);
+    size_t column = std::string::npos;
+    size_t annotated = 0;
+    size_t pos = 0;
+    while (pos < r.plan.size()) {
+      size_t eol = r.plan.find('\n', pos);
+      if (eol == std::string::npos) eol = r.plan.size();
+      std::string line = r.plan.substr(pos, eol - pos);
+      size_t cut = line.find(" //");
+      if (cut != std::string::npos) {
+        if (column == std::string::npos) column = cut;
+        EXPECT_EQ(cut, column) << line;
+        ++annotated;
+      }
+      pos = eol + 1;
+    }
+    EXPECT_GT(annotated, 1u);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "common/string_util.h"
 #include "obs/fingerprint.h"
@@ -26,6 +27,12 @@ Gauge& ActiveGauge() {
 
 Counter& CancelCounter() {
   static Counter& c = Registry::Global().GetCounter("query.cancelled");
+  return c;
+}
+
+Counter& WatchdogCancelCounter() {
+  static Counter& c =
+      Registry::Global().GetCounter("query.watchdog_cancelled");
   return c;
 }
 
@@ -154,15 +161,15 @@ std::string QueryRegistry::DumpJson() const {
   return out;
 }
 
-void QueryRegistry::StartWatchdog(uint64_t threshold_ms,
-                                  uint64_t interval_ms) {
+void QueryRegistry::StartWatchdog(uint64_t threshold_ms, uint64_t interval_ms,
+                                  WatchdogAction action) {
   StopWatchdog();
   if (threshold_ms == 0) return;
   if (interval_ms == 0) interval_ms = 250;
   watchdog_stop_.store(false, std::memory_order_relaxed);
   watchdog_ = std::thread(
-      [this, threshold_ms, interval_ms] {
-        WatchdogLoop(threshold_ms, interval_ms);
+      [this, threshold_ms, interval_ms, action] {
+        WatchdogLoop(threshold_ms, interval_ms, action);
       });
 }
 
@@ -181,14 +188,29 @@ bool QueryRegistry::MaybeStartWatchdogFromEnv() {
             std::string("ignoring FRAPPE_STUCK_QUERY_MS: '") + env + "'");
     return false;
   }
-  StartWatchdog(static_cast<uint64_t>(ms));
-  LogInfo("watchdog", "stuck-query watchdog armed at " + std::to_string(ms) +
-                          "ms");
+  // Parse the action here, on the caller thread, so the watchdog loop
+  // never touches the environment (getenv racing a test's setenv is a
+  // real TSan report).
+  WatchdogAction action = WatchdogAction::kWarn;
+  const char* action_env = std::getenv("FRAPPE_STUCK_QUERY_ACTION");
+  if (action_env != nullptr && *action_env != '\0') {
+    std::string_view v(action_env);
+    if (v == "cancel") {
+      action = WatchdogAction::kCancel;
+    } else if (v != "warn") {
+      LogWarn("watchdog", std::string("ignoring FRAPPE_STUCK_QUERY_ACTION: '") +
+                              action_env + "' (want warn|cancel)");
+    }
+  }
+  StartWatchdog(static_cast<uint64_t>(ms), 250, action);
+  LogInfo("watchdog",
+          "stuck-query watchdog armed at " + std::to_string(ms) + "ms action=" +
+              (action == WatchdogAction::kCancel ? "cancel" : "warn"));
   return true;
 }
 
-void QueryRegistry::WatchdogLoop(uint64_t threshold_ms,
-                                 uint64_t interval_ms) {
+void QueryRegistry::WatchdogLoop(uint64_t threshold_ms, uint64_t interval_ms,
+                                 WatchdogAction action) {
   while (!watchdog_stop_.load(std::memory_order_relaxed)) {
     std::vector<std::shared_ptr<Entry>> live;
     {
@@ -219,6 +241,16 @@ void QueryRegistry::WatchdogLoop(uint64_t threshold_ms,
                       std::memory_order_relaxed)) +
                   " operator=" + (op != nullptr ? op : "?") +
                   " query=" + entry->normalized);
+      if (action == WatchdogAction::kCancel) {
+        // Enforcement: trip the same token /debug/cancel would. The
+        // stuck_warned CAS above already guarantees once-per-query.
+        entry->cancel_requested.store(true, std::memory_order_relaxed);
+        entry->cancel_token->store(true, std::memory_order_relaxed);
+        WatchdogCancelCounter().Add(1);
+        LogWarn("watchdog", "cancelled stuck query id=" +
+                                std::to_string(entry->id) +
+                                " (FRAPPE_STUCK_QUERY_ACTION=cancel)");
+      }
     }
     // Sleep in small slices so StopWatchdog returns promptly.
     uint64_t slept = 0;

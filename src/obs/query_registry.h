@@ -122,10 +122,16 @@ class QueryRegistry {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Stuck-query watchdog: a background thread that scans the table every
-  // `interval_ms` and logs one warning (component=watchdog) per query whose
-  // elapsed time exceeds `threshold_ms`. MaybeStartWatchdogFromEnv reads
-  // FRAPPE_STUCK_QUERY_MS; unset/invalid leaves the watchdog off.
-  void StartWatchdog(uint64_t threshold_ms, uint64_t interval_ms = 250);
+  // `interval_ms` and, per query whose elapsed time exceeds `threshold_ms`,
+  // either logs one warning (kWarn) or additionally trips the query's
+  // cancel token (kCancel — enforcement, counted in
+  // query.watchdog_cancelled). Both act once per query, not once per scan.
+  // MaybeStartWatchdogFromEnv reads FRAPPE_STUCK_QUERY_MS for the
+  // threshold and FRAPPE_STUCK_QUERY_ACTION ("warn" default, "cancel")
+  // for the action; unset/invalid threshold leaves the watchdog off.
+  enum class WatchdogAction { kWarn, kCancel };
+  void StartWatchdog(uint64_t threshold_ms, uint64_t interval_ms = 250,
+                     WatchdogAction action = WatchdogAction::kWarn);
   void StopWatchdog();
   bool MaybeStartWatchdogFromEnv();
   bool watchdog_running() const { return watchdog_.joinable(); }
@@ -134,7 +140,8 @@ class QueryRegistry {
 
  private:
   void Unregister(uint64_t id);
-  void WatchdogLoop(uint64_t threshold_ms, uint64_t interval_ms);
+  void WatchdogLoop(uint64_t threshold_ms, uint64_t interval_ms,
+                    WatchdogAction action);
 
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Entry>> entries_;

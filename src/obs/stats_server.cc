@@ -1,17 +1,10 @@
 #include "obs/stats_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <mutex>
+#include <thread>
 
 #include "common/string_util.h"
 #include "obs/fingerprint.h"
@@ -19,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/query_registry.h"
+#include "obs/readiness.h"
 #include "obs/trace.h"
 
 namespace frappe::obs {
@@ -113,68 +107,13 @@ std::string ResolveBuildSha(std::string_view from_options) {
 #endif
 }
 
-// Reads until the blank line ending the request head (or 4 KB, or 5 s —
-// whichever comes first) and returns the first line.
-std::string ReadRequestLine(int fd) {
-  std::string head;
-  char buf[1024];
-  while (head.size() < 4096 && head.find("\r\n") == std::string::npos &&
-         head.find('\n') == std::string::npos) {
-    struct pollfd pfd = {fd, POLLIN, 0};
-    if (poll(&pfd, 1, 5000) <= 0) break;
-    ssize_t n = recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    head.append(buf, static_cast<size_t>(n));
-  }
-  size_t eol = head.find_first_of("\r\n");
-  return eol == std::string::npos ? head : head.substr(0, eol);
-}
-
-void SendAll(int fd, std::string_view data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    ssize_t n = send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;
-    off += static_cast<size_t>(n);
-  }
-}
-
-std::string HttpResponse(int code, std::string_view reason,
-                         std::string_view content_type,
-                         std::string_view body) {
-  std::string out = "HTTP/1.0 " + std::to_string(code) + " " +
-                    std::string(reason) + "\r\nContent-Type: " +
-                    std::string(content_type) +
-                    "\r\nContent-Length: " + std::to_string(body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
-  out += body;
-  return out;
-}
-
-// Every error leaves the server in the same shape: a JSON body with the
-// status code echoed, and an explicit Content-Type (a bare 404 used to be
-// easy to emit without one).
-std::string ErrorResponse(int code, std::string_view reason,
-                          std::string_view detail) {
-  std::string body = "{\"error\": " + JsonQuote(detail) +
-                     ", \"status\": " + std::to_string(code) + "}\n";
-  return HttpResponse(code, reason, "application/json", body);
-}
-
-// Value of `key` in a query string like "id=3&ms=100"; empty when absent.
-std::string_view QueryParam(std::string_view query, std::string_view key) {
-  size_t pos = 0;
-  while (pos < query.size()) {
-    size_t amp = query.find('&', pos);
-    std::string_view pair = query.substr(
-        pos, amp == std::string_view::npos ? query.size() - pos : amp - pos);
-    pos = amp == std::string_view::npos ? query.size() : amp + 1;
-    size_t eq = pair.find('=');
-    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
-      return pair.substr(eq + 1);
-    }
-  }
-  return {};
+// The shared HTTP response helpers live in obs/http_listener.h; local
+// aliases keep the endpoint code below readable.
+HttpResponse Ok(std::string_view content_type, std::string body) {
+  HttpResponse r;
+  r.content_type = std::string(content_type);
+  r.body = std::move(body);
+  return r;
 }
 
 }  // namespace
@@ -302,44 +241,23 @@ std::string StatsServer::StatsJson(std::string_view build_sha,
 }
 
 Result<std::unique_ptr<StatsServer>> StatsServer::Start(Options options) {
-  int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options.port);
-  if (inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
-    close(fd);
-    return Status::InvalidArgument("bad bind address: " +
-                                   options.bind_address);
-  }
-  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status = Status::Internal("bind " + options.bind_address + ":" +
-                                     std::to_string(options.port) + ": " +
-                                     std::strerror(errno));
-    close(fd);
-    return status;
-  }
-  if (listen(fd, 16) != 0) {
-    Status status =
-        Status::Internal(std::string("listen: ") + std::strerror(errno));
-    close(fd);
-    return status;
-  }
-  socklen_t len = sizeof(addr);
-  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
-
   // `new`: the constructor is private.
   std::unique_ptr<StatsServer> server(new StatsServer());
-  server->listen_fd_ = fd;
-  server->port_ = ntohs(addr.sin_port);
   server->build_sha_ = ResolveBuildSha(options.build_sha);
   server->started_ = std::chrono::steady_clock::now();
-  server->thread_ = std::thread([s = server.get()] { s->Serve(); });
+
+  HttpListener::Options listener_options;
+  listener_options.port = options.port;
+  listener_options.bind_address = options.bind_address;
+  listener_options.socket_timeout_ms = options.socket_timeout_ms;
+  // Served sequentially on the accept thread: responses are small and the
+  // consumer is a scraper, not user traffic.
+  FRAPPE_ASSIGN_OR_RETURN(
+      server->listener_,
+      HttpListener::Start(std::move(listener_options),
+                          [s = server.get()](HttpConnection conn) {
+                            conn.Respond(s->BuildResponse(conn.request()));
+                          }));
   return server;
 }
 
@@ -363,23 +281,16 @@ std::unique_ptr<StatsServer> StatsServer::MaybeStartFromEnv() {
   LogInfo("statsz",
           "stats server on http://127.0.0.1:" +
               std::to_string((*server)->port()) +
-              " (/metrics /stats /healthz /debug/queryz /debug/storagez "
-              "/debug/statz /debug/logz /debug/tracez /debug/cancel)");
+              " (/metrics /stats /healthz /readyz /debug/queryz "
+              "/debug/storagez /debug/statz /debug/logz /debug/tracez "
+              "/debug/cancel)");
   return std::move(*server);
 }
 
 StatsServer::~StatsServer() { Stop(); }
 
 void StatsServer::Stop() {
-  if (stop_.exchange(true)) {
-    if (thread_.joinable()) thread_.join();
-    return;
-  }
-  if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  if (listener_) listener_->Stop();
 }
 
 double StatsServer::UptimeSeconds() const {
@@ -388,84 +299,60 @@ double StatsServer::UptimeSeconds() const {
       .count();
 }
 
-void StatsServer::Serve() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    // Poll with a timeout so Stop() is observed promptly — close()ing a
-    // blocked accept() is not reliably wakeful on all platforms.
-    struct pollfd pfd = {listen_fd_, POLLIN, 0};
-    int ready = poll(&pfd, 1, 200);
-    if (ready <= 0) continue;
-    int client = accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-    std::string request_line = ReadRequestLine(client);
-    std::string response = HandleRequest(request_line);
-    SendAll(client, response);
-    close(client);
-  }
-}
-
-std::string StatsServer::HandleRequest(std::string_view request_line) const {
-  // "GET /metrics HTTP/1.0"
-  size_t sp1 = request_line.find(' ');
-  if (sp1 == std::string_view::npos) {
-    return ErrorResponse(400, "Bad Request", "bad request line");
-  }
-  std::string_view method = request_line.substr(0, sp1);
-  size_t sp2 = request_line.find(' ', sp1 + 1);
-  std::string_view target = sp2 == std::string_view::npos
-                                ? request_line.substr(sp1 + 1)
-                                : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  std::string_view params;
-  if (size_t q = target.find('?'); q != std::string_view::npos) {
-    params = target.substr(q + 1);
-    target = target.substr(0, q);
-  }
+HttpResponse StatsServer::BuildResponse(const HttpRequest& request) const {
+  const std::string& method = request.method;
+  const std::string& target = request.target;
+  const std::string& params = request.params;
   if (method != "GET" && method != "POST") {
-    return ErrorResponse(405, "Method Not Allowed",
-                         "method not allowed; use GET (POST for "
-                         "/debug/cancel)");
+    return HttpError(405, "Method Not Allowed",
+                     "method not allowed; use GET (POST for "
+                     "/debug/cancel)");
   }
   if (target == "/healthz") {
-    return HttpResponse(200, "OK", "text/plain", "ok\n");
+    return Ok("text/plain", "ok\n");
+  }
+  if (target == "/readyz") {
+    // Liveness vs readiness split: /healthz says the process is up,
+    // /readyz says whether it should receive traffic (draining and
+    // overloaded answer 503 so a balancer takes it out of rotation).
+    const Readiness& readiness = Readiness::Global();
+    int code = readiness.HttpCode();
+    return JsonResponse(code, code == 200 ? "OK" : "Service Unavailable",
+                        readiness.Json());
   }
   if (target == "/metrics") {
-    return HttpResponse(200, "OK", "text/plain; version=0.0.4",
-                        MetricsText(build_sha_, UptimeSeconds()));
+    return Ok("text/plain; version=0.0.4",
+              MetricsText(build_sha_, UptimeSeconds()));
   }
   if (target == "/stats") {
-    return HttpResponse(200, "OK", "application/json",
-                        StatsJson(build_sha_, UptimeSeconds()));
+    return Ok("application/json", StatsJson(build_sha_, UptimeSeconds()));
   }
   if (target == "/debug/queryz") {
-    return HttpResponse(200, "OK", "application/json",
-                        QueryRegistry::Global().DumpJson());
+    return Ok("application/json", QueryRegistry::Global().DumpJson());
   }
   if (target == "/debug/cancel") {
     // Cancellation mutates the query's state: POST only, so an accidental
     // crawl or browser prefetch cannot kill a query.
     if (method != "POST") {
-      return ErrorResponse(405, "Method Not Allowed",
-                           "cancel requires POST");
+      return HttpError(405, "Method Not Allowed", "cancel requires POST");
     }
     int64_t id = 0;
-    std::string_view raw = QueryParam(params, "id");
+    std::string_view raw = HttpQueryParam(params, "id");
     if (raw.empty() || !ParseInt64(raw, &id) || id <= 0) {
-      return ErrorResponse(400, "Bad Request",
-                           "missing or bad id parameter");
+      return HttpError(400, "Bad Request", "missing or bad id parameter");
     }
     if (!QueryRegistry::Global().Cancel(static_cast<uint64_t>(id))) {
-      return ErrorResponse(404, "Not Found",
-                           "no in-flight query with id " +
-                               std::to_string(id));
+      return HttpError(404, "Not Found",
+                       "no in-flight query with id " + std::to_string(id));
     }
-    return HttpResponse(200, "OK", "application/json",
-                        "{\"cancelled\": " + std::to_string(id) + "}\n");
+    return Ok("application/json",
+              "{\"cancelled\": " + std::to_string(id) + "}\n");
   }
   if (target == "/debug/tracez") {
     int64_t window_ms = 100;
-    std::string_view raw = QueryParam(params, "ms");
+    std::string_view raw = HttpQueryParam(params, "ms");
     if (!raw.empty() && (!ParseInt64(raw, &window_ms) || window_ms < 0)) {
-      return ErrorResponse(400, "Bad Request", "bad ms parameter");
+      return HttpError(400, "Bad Request", "bad ms parameter");
     }
     window_ms = std::min<int64_t>(window_ms, 10000);  // bound the capture
     // On-demand capture: clear the rings, trace for the window, export.
@@ -477,28 +364,28 @@ std::string StatsServer::HandleRequest(std::string_view request_line) const {
     Trace::Enable();
     std::this_thread::sleep_for(std::chrono::milliseconds(window_ms));
     if (!was_enabled) Trace::Disable();
-    return HttpResponse(200, "OK", "application/json", Trace::ExportJson());
+    return Ok("application/json", Trace::ExportJson());
   }
   if (target == "/debug/storagez") {
     std::string body = StorageJson();
     if (body.empty()) {
-      return ErrorResponse(404, "Not Found",
-                           "no storage stats provider registered");
+      return HttpError(404, "Not Found",
+                       "no storage stats provider registered");
     }
-    return HttpResponse(200, "OK", "application/json", body);
+    return Ok("application/json", std::move(body));
   }
   if (target == "/debug/statz") {
     // Always 200: even without a catalog provider, the misestimate view
     // (worst fingerprints + recent offenders) is worth serving.
-    return HttpResponse(200, "OK", "application/json", StatzJson());
+    return Ok("application/json", StatzJson());
   }
   if (target == "/debug/logz") {
-    return HttpResponse(200, "OK", "application/json", Log::DumpJson());
+    return Ok("application/json", Log::DumpJson());
   }
-  return ErrorResponse(404, "Not Found",
-                       "unknown path; try /metrics /stats /healthz "
-                       "/debug/queryz /debug/storagez /debug/statz "
-                       "/debug/logz /debug/tracez /debug/cancel");
+  return HttpError(404, "Not Found",
+                   "unknown path; try /metrics /stats /healthz /readyz "
+                   "/debug/queryz /debug/storagez /debug/statz "
+                   "/debug/logz /debug/tracez /debug/cancel");
 }
 
 }  // namespace frappe::obs

@@ -1,18 +1,17 @@
 #ifndef FRAPPE_OBS_STATS_SERVER_H_
 #define FRAPPE_OBS_STATS_SERVER_H_
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/http_listener.h"
 
 namespace frappe::obs {
 
@@ -27,6 +26,8 @@ namespace frappe::obs {
 //   /stats    JSON operator view: per-fingerprint query stats (top by
 //             cumulative latency), recent slow queries, build SHA, uptime
 //   /healthz  "ok" liveness probe
+//   /readyz   readiness probe: 200 ready/degraded, 503 overloaded/draining,
+//             JSON state + reason (obs::Readiness)
 //
 // plus the live-diagnostics control plane:
 //
@@ -44,16 +45,21 @@ namespace frappe::obs {
 // only when FRAPPE_STATS_PORT is set. Responses are built per request from
 // registry snapshots; connections are served sequentially (the responses
 // are small and the consumer is a scraper, not user traffic) — note a
-// /debug/tracez capture blocks the serving thread for its window. Errors
-// are uniform JSON bodies {"error": ..., "status": N} with a Content-Type,
-// and only GET/POST are accepted. Binds 127.0.0.1 by default — this is an
-// operator port, not a public one.
+// /debug/tracez capture blocks the serving thread for its window. The
+// shared HttpListener enforces SO_RCVTIMEO/SO_SNDTIMEO plus an overall
+// per-request read deadline, so a stalled client cannot wedge the
+// endpoint. Errors are uniform JSON bodies {"error": ..., "status": N}
+// with a Content-Type, and only GET/POST are accepted. Binds 127.0.0.1 by
+// default — this is an operator port, not a public one.
 class StatsServer {
  public:
   struct Options {
     uint16_t port = 0;  // 0 = kernel-assigned (tests); port() tells which
     std::string bind_address = "127.0.0.1";
     std::string build_sha;  // empty = FRAPPE_GIT_SHA env / compiled default
+    // Socket timeout (SO_RCVTIMEO/SO_SNDTIMEO + overall request-read
+    // deadline) on every accepted connection.
+    int socket_timeout_ms = 5000;
   };
 
   // Binds, listens, and starts the accept thread. Fails with Internal on
@@ -73,7 +79,7 @@ class StatsServer {
   StatsServer& operator=(const StatsServer&) = delete;
 
   // The bound port (the kernel's pick when Options::port was 0).
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return listener_ ? listener_->port() : 0; }
 
   // Stops accepting and joins the thread. Idempotent.
   void Stop();
@@ -105,16 +111,12 @@ class StatsServer {
  private:
   StatsServer() = default;
 
-  void Serve();
-  std::string HandleRequest(std::string_view request_line) const;
+  HttpResponse BuildResponse(const HttpRequest& request) const;
   double UptimeSeconds() const;
 
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
+  std::unique_ptr<HttpListener> listener_;
   std::string build_sha_;
   std::chrono::steady_clock::time_point started_;
-  std::atomic<bool> stop_{false};
-  std::thread thread_;
 };
 
 }  // namespace frappe::obs

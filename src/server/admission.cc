@@ -1,0 +1,96 @@
+#include "server/admission.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace frappe::server {
+
+namespace {
+
+obs::Gauge& DepthGauge() {
+  static obs::Gauge& g =
+      obs::Registry::Global().GetGauge("server.queue_depth");
+  return g;
+}
+
+obs::Gauge& InflightGauge() {
+  static obs::Gauge& g =
+      obs::Registry::Global().GetGauge("server.inflight_bytes");
+  return g;
+}
+
+}  // namespace
+
+AdmissionQueue::Outcome AdmissionQueue::TryPush(obs::HttpConnection& conn) {
+  uint64_t charge = conn.request().body.size() +
+                    config_.per_request_overhead_bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Outcome::kShutdown;
+    if (queue_.size() >= config_.queue_capacity) return Outcome::kQueueFull;
+    if (config_.max_inflight_bytes > 0 &&
+        inflight_bytes_ + charge > config_.max_inflight_bytes) {
+      return Outcome::kOverBudget;
+    }
+    Item item;
+    item.conn = std::move(conn);
+    item.enqueued = std::chrono::steady_clock::now();
+    item.charged_bytes = charge;
+    inflight_bytes_ += charge;
+    queue_.push_back(std::move(item));
+    DepthGauge().Set(static_cast<int64_t>(queue_.size()));
+    InflightGauge().Set(static_cast<int64_t>(inflight_bytes_));
+  }
+  cv_.notify_one();
+  return Outcome::kAdmitted;
+}
+
+std::optional<AdmissionQueue::Item> AdmissionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // shutdown and drained
+  Item item = std::move(queue_.front());
+  queue_.pop_front();
+  DepthGauge().Set(static_cast<int64_t>(queue_.size()));
+  return item;
+}
+
+void AdmissionQueue::Release(uint64_t charged_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_bytes_ -= charged_bytes > inflight_bytes_ ? inflight_bytes_
+                                                     : charged_bytes;
+  InflightGauge().Set(static_cast<int64_t>(inflight_bytes_));
+}
+
+std::vector<AdmissionQueue::Item> AdmissionQueue::Shutdown() {
+  std::vector<Item> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    while (!queue_.empty()) {
+      Item item = std::move(queue_.front());
+      queue_.pop_front();
+      inflight_bytes_ -= item.charged_bytes > inflight_bytes_
+                             ? inflight_bytes_
+                             : item.charged_bytes;
+      leftover.push_back(std::move(item));
+    }
+    DepthGauge().Set(0);
+    InflightGauge().Set(static_cast<int64_t>(inflight_bytes_));
+  }
+  cv_.notify_all();
+  return leftover;
+}
+
+size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t AdmissionQueue::inflight_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_bytes_;
+}
+
+}  // namespace frappe::server

@@ -1,0 +1,95 @@
+#ifndef FRAPPE_SERVER_ADMISSION_H_
+#define FRAPPE_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "obs/http_listener.h"
+
+namespace frappe::server {
+
+// Admission policy knobs for the query front door.
+struct AdmissionConfig {
+  // Accepted-but-not-yet-executing requests the queue will hold. Beyond
+  // this the server sheds (429 + Retry-After) instead of building an
+  // unbounded backlog.
+  size_t queue_capacity = 64;
+  // A request that waits in the queue longer than this is answered 408
+  // instead of executing — its client has likely given up, and running it
+  // anyway is pure goodput loss.
+  int64_t queue_deadline_ms = 2000;
+  // Global in-flight memory budget: every admitted request is charged its
+  // body size plus a fixed per-request overhead, released when its
+  // response is sent. Admissions that would exceed the budget shed (429).
+  // 0 = unlimited.
+  uint64_t max_inflight_bytes = 64ull << 20;
+  // Fixed per-request charge on top of the body bytes (connection, parse
+  // buffers, result rows in flight).
+  uint64_t per_request_overhead_bytes = 4096;
+  // Advisory Retry-After header value on 429 responses.
+  int retry_after_seconds = 1;
+};
+
+// Bounded FIFO between the accept thread and the worker pool, plus the
+// global in-flight byte budget. The accept thread calls TryPush (never
+// blocks — admission is a decision, not a wait); workers call Pop (blocks
+// until work or shutdown); Shutdown wakes everyone and hands back whatever
+// was still queued so the caller can answer those clients 503.
+class AdmissionQueue {
+ public:
+  struct Item {
+    obs::HttpConnection conn;
+    std::chrono::steady_clock::time_point enqueued;
+    uint64_t charged_bytes = 0;
+  };
+
+  enum class Outcome { kAdmitted, kQueueFull, kOverBudget, kShutdown };
+
+  explicit AdmissionQueue(AdmissionConfig config)
+      : config_(config) {}
+
+  // Admits `conn` (moving it out of the caller) or leaves it untouched and
+  // reports why not — the caller still owns the connection on kQueueFull /
+  // kOverBudget / kShutdown and answers it.
+  Outcome TryPush(obs::HttpConnection& conn);
+
+  // Next item, or nullopt after Shutdown. The worker owns the item's
+  // budget charge and must Release(item.charged_bytes) when done with it
+  // (response sent, on every path).
+  std::optional<Item> Pop();
+
+  void Release(uint64_t charged_bytes);
+
+  // Stops admissions, wakes all poppers, and returns the still-queued
+  // items (their budget already released) for the caller to refuse.
+  std::vector<Item> Shutdown();
+
+  // True when the item has waited past queue_deadline_ms.
+  bool Expired(const Item& item,
+               std::chrono::steady_clock::time_point now) const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               now - item.enqueued)
+               .count() > config_.queue_deadline_ms;
+  }
+
+  const AdmissionConfig& config() const { return config_; }
+  size_t depth() const;
+  uint64_t inflight_bytes() const;
+
+ private:
+  AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  uint64_t inflight_bytes_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace frappe::server
+
+#endif  // FRAPPE_SERVER_ADMISSION_H_

@@ -1,0 +1,122 @@
+#include "server/epoch.h"
+
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace frappe::server {
+
+namespace {
+
+obs::Gauge& EpochGauge() {
+  static obs::Gauge& g = obs::Registry::Global().GetGauge("server.epoch");
+  return g;
+}
+
+obs::Counter& PublishCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("server.epochs_published");
+  return c;
+}
+
+}  // namespace
+
+std::shared_ptr<const Epoch> EpochManager::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t EpochManager::current_sequence() const {
+  return sequence_.load(std::memory_order_relaxed);
+}
+
+Result<std::shared_ptr<const Epoch>> EpochManager::Install(
+    std::shared_ptr<Epoch> epoch) {
+  std::shared_ptr<const Epoch> published = std::move(epoch);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = published;
+    sequence_.store(published->sequence, std::memory_order_relaxed);
+  }
+  PublishCounter().Add();
+  EpochGauge().Set(static_cast<int64_t>(published->sequence));
+  obs::LogInfo("server",
+               "published epoch " + std::to_string(published->sequence) +
+                   " (" + published->source + "): " +
+                   std::to_string(published->view().NodeCount()) + " nodes, " +
+                   std::to_string(published->view().EdgeCount()) + " edges");
+  return published;
+}
+
+Result<std::shared_ptr<const Epoch>> EpochManager::Publish(
+    std::unique_ptr<graph::GraphStore> store, std::string source) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  auto epoch = std::make_shared<Epoch>();
+  epoch->sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  epoch->source = std::move(source);
+  // All of this (schema install interns type names, so it must precede the
+  // store becoming const; index builds are the expensive part) happens
+  // outside the manager lock — readers on the previous epoch are
+  // undisturbed for the whole build.
+  epoch->schema = model::Schema::Install(store.get());
+  model::CodeGraph scratch;
+  epoch->name_index = graph::NameIndex::Build(*store, scratch.IndexFields());
+  epoch->label_index = graph::LabelIndex::Build(*store);
+  epoch->store = std::move(store);
+  epoch->db = query::MakeFrappeDatabase(*epoch->store, epoch->schema,
+                                        &epoch->name_index,
+                                        &epoch->label_index);
+  return Install(std::move(epoch));
+}
+
+Result<std::shared_ptr<const Epoch>> EpochManager::Publish(
+    std::unique_ptr<model::CodeGraph> code_graph, std::string source) {
+  if (code_graph == nullptr) return Status::InvalidArgument("null code graph");
+  auto epoch = std::make_shared<Epoch>();
+  epoch->sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  epoch->source = std::move(source);
+  epoch->schema = code_graph->schema();
+  epoch->name_index = code_graph->BuildNameIndex();
+  epoch->label_index = graph::LabelIndex::Build(code_graph->view());
+  epoch->code_graph = std::move(code_graph);
+  epoch->db = query::MakeFrappeDatabase(epoch->code_graph->view(),
+                                        epoch->schema, &epoch->name_index,
+                                        &epoch->label_index);
+  return Install(std::move(epoch));
+}
+
+Result<std::shared_ptr<const Epoch>> EpochManager::PublishSnapshotFile(
+    const std::string& path, std::string* degraded_reason) {
+  FRAPPE_ASSIGN_OR_RETURN(std::unique_ptr<query::SnapshotSession> session,
+                          query::SnapshotSession::Open(path));
+  std::string degraded;
+  if (session->generation() > 0) {
+    degraded = "snapshot loaded from fallback generation " +
+               std::to_string(session->generation()) + " (" +
+               session->loaded_path() + ")";
+  } else if (!session->warnings().empty()) {
+    degraded = "snapshot load warnings: " + session->warnings().front();
+  }
+  if (degraded_reason != nullptr) *degraded_reason = degraded;
+  if (!degraded.empty()) obs::LogWarn("server", degraded);
+
+  auto epoch = std::make_shared<Epoch>();
+  epoch->sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  epoch->source = "snapshot " + session->loaded_path();
+  // The session's database points into the session's own store/indexes;
+  // copying the Database struct keeps those pointers, and the epoch owns
+  // the session, so the pointees live exactly as long as the epoch.
+  epoch->db = session->database();
+  epoch->snapshot = std::move(session);
+  return Install(std::move(epoch));
+}
+
+Result<std::shared_ptr<const Epoch>> EpochManager::PublishVersion(
+    const temporal::VersionStore& versions, temporal::Version version) {
+  FRAPPE_ASSIGN_OR_RETURN(std::unique_ptr<graph::GraphStore> store,
+                          versions.MaterializeVersion(version));
+  return Publish(std::move(store), "version " + std::to_string(version));
+}
+
+}  // namespace frappe::server

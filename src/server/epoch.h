@@ -1,0 +1,106 @@
+#ifndef FRAPPE_SERVER_EPOCH_H_
+#define FRAPPE_SERVER_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_store.h"
+#include "graph/indexes.h"
+#include "model/code_graph.h"
+#include "model/schema.h"
+#include "query/database.h"
+#include "query/session.h"
+#include "temporal/version_store.h"
+
+namespace frappe::server {
+
+// One immutable published generation of the queryable graph: the store (or
+// code graph, or loaded snapshot), the auto name index, the label index,
+// the schema, and a wired query::Database — everything a reader needs,
+// owned together so a single shared_ptr pins all of it.
+//
+// Epochs are the unit of snapshot isolation: a query pins the epoch that
+// was current when it was admitted and runs against it to completion, no
+// matter how many newer epochs a writer publishes meanwhile. When the last
+// pinning reader departs, the shared_ptr count hits zero and the whole
+// generation (store, indexes, CSR cache) is reclaimed.
+struct Epoch {
+  uint64_t sequence = 0;
+  std::string source;  // human-readable provenance ("snapshot foo.fsnap")
+
+  // Exactly one owner is set, depending on how the epoch was built.
+  std::unique_ptr<const model::CodeGraph> code_graph;
+  std::unique_ptr<const graph::GraphStore> store;
+  std::unique_ptr<const query::SnapshotSession> snapshot;
+
+  // Built here for code_graph/store epochs; the snapshot variant uses the
+  // session's own members (db below points into them either way).
+  model::Schema schema;
+  graph::NameIndex name_index;
+  graph::LabelIndex label_index;
+  query::Database db;
+
+  const graph::GraphView& view() const {
+    if (code_graph != nullptr) return code_graph->view();
+    if (snapshot != nullptr) return snapshot->view();
+    return *store;
+  }
+};
+
+// The publication point between one writer and many readers. Readers call
+// Current() and keep the shared_ptr for the duration of their query;
+// writers build the next epoch off to the side (Publish* do the index
+// builds outside the lock) and swap it in atomically. No reader ever
+// blocks a writer or vice versa — the cost of publication is one mutex'd
+// pointer swap.
+class EpochManager {
+ public:
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // The current epoch, or nullptr before the first Publish.
+  std::shared_ptr<const Epoch> Current() const;
+  // Sequence of the current epoch (0 = none yet).
+  uint64_t current_sequence() const;
+
+  // Publish a standalone store (e.g. temporal::VersionStore::
+  // MaterializeVersion output, or an extractor product). Builds the
+  // Frappé schema, name index and label index over it.
+  Result<std::shared_ptr<const Epoch>> Publish(
+      std::unique_ptr<graph::GraphStore> store, std::string source);
+
+  // Publish a built code graph (generator / extractor output).
+  Result<std::shared_ptr<const Epoch>> Publish(
+      std::unique_ptr<model::CodeGraph> code_graph, std::string source);
+
+  // Publish the newest verifying generation of a snapshot family on disk
+  // (graph::SnapshotManager fallback semantics). When the load degraded —
+  // fallback generation or load warnings — `degraded_reason` (if non-null)
+  // receives a description; empty means a clean load.
+  Result<std::shared_ptr<const Epoch>> PublishSnapshotFile(
+      const std::string& path, std::string* degraded_reason = nullptr);
+
+  // Materialize one committed version of a multi-version store and publish
+  // it — the commit seam between temporal ingest and serving: commit,
+  // then PublishVersion, and new queries see the new version while
+  // in-flight queries finish on their pinned epoch.
+  Result<std::shared_ptr<const Epoch>> PublishVersion(
+      const temporal::VersionStore& versions, temporal::Version version);
+
+ private:
+  Result<std::shared_ptr<const Epoch>> Install(std::shared_ptr<Epoch> epoch);
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const Epoch> current_;
+  std::atomic<uint64_t> sequence_{0};
+};
+
+}  // namespace frappe::server
+
+#endif  // FRAPPE_SERVER_EPOCH_H_

@@ -1,0 +1,393 @@
+#include "server/query_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "common/fault_injector.h"
+#include "common/string_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/readiness.h"
+#include "query/executor.h"
+#include "query/session.h"
+
+namespace frappe::server {
+
+namespace {
+
+using obs::HttpConnection;
+using obs::HttpError;
+using obs::HttpQueryParam;
+using obs::HttpRequest;
+using obs::HttpResponse;
+using obs::JsonResponse;
+
+obs::Counter& RequestCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("server.requests");
+  return c;
+}
+obs::Counter& AdmittedCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("server.admitted");
+  return c;
+}
+obs::Counter& ShedQueueCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("server.shed_queue_full");
+  return c;
+}
+obs::Counter& ShedBudgetCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("server.shed_over_budget");
+  return c;
+}
+obs::Counter& QueueExpiredCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("server.queue_deadline_expired");
+  return c;
+}
+obs::Counter& DrainedCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("server.drained_requests");
+  return c;
+}
+obs::Counter& OkCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("server.queries_ok");
+  return c;
+}
+obs::Counter& ErrorCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("server.queries_error");
+  return c;
+}
+obs::Counter& EnqueueFaultCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("server.enqueue_faults");
+  return c;
+}
+
+// HTTP status for a failed query. 499 is the nginx convention for
+// "request aborted" — the closest standard-adjacent code for cooperative
+// cancellation.
+std::pair<int, const char*> HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kUnimplemented:
+      return {400, "Bad Request"};
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return {408, "Request Timeout"};
+    case StatusCode::kCancelled:
+      return {499, "Client Closed Request"};
+    default:
+      return {500, "Internal Server Error"};
+  }
+}
+
+HttpResponse QueryErrorResponse(const Status& status) {
+  auto [code, reason] = HttpStatusFor(status.code());
+  std::string body = "{\"error\": ";
+  body += JsonQuote(status.message());
+  body += ", \"code\": \"";
+  body += StatusCodeName(status.code());
+  body += "\", \"status\": " + std::to_string(code) + "}\n";
+  return JsonResponse(code, reason, std::move(body));
+}
+
+HttpResponse ShedResponse(std::string_view detail, int retry_after_seconds) {
+  HttpResponse response =
+      HttpError(429, "Too Many Requests", detail);
+  response.headers.emplace_back("Retry-After",
+                                std::to_string(retry_after_seconds));
+  return response;
+}
+
+std::string RenderResultJson(const query::QueryResult& result,
+                             const query::Database& db, uint64_t epoch) {
+  std::string out = "{\"columns\": [";
+  for (size_t i = 0; i < result.columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += JsonQuote(result.columns[i]);
+  }
+  out += "], \"rows\": [";
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    out += r > 0 ? ",\n  [" : "\n  [";
+    const auto& row = result.rows[r];
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += JsonQuote(row[c].ToString(db));
+    }
+    out += "]";
+  }
+  out += result.rows.empty() ? "]" : "\n]";
+  if (!result.plan.empty()) {
+    out += ", \"plan\": " + JsonQuote(result.plan);
+  }
+  char elapsed[32];
+  std::snprintf(elapsed, sizeof(elapsed), "%.3f",
+                result.stats.elapsed_ms);
+  out += ", \"stats\": {\"elapsed_ms\": ";
+  out += elapsed;
+  out += ", \"rows\": " + std::to_string(result.rows.size());
+  out += ", \"steps\": " + std::to_string(result.stats.steps);
+  out += ", \"db_hits\": " + std::to_string(result.stats.db_hits.Total());
+  out += ", \"fast_path\": ";
+  out += result.stats.fast_path_taken ? "true" : "false";
+  out += "}, \"epoch\": " + std::to_string(epoch) + "}\n";
+  return out;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(Options options, EpochManager* epochs)
+    : options_(std::move(options)),
+      epochs_(epochs),
+      queue_(options_.admission) {}
+
+Result<std::unique_ptr<QueryServer>> QueryServer::Start(
+    Options options, EpochManager* epochs) {
+  if (epochs == nullptr) {
+    return Status::InvalidArgument("QueryServer needs an EpochManager");
+  }
+  if (options.workers == 0) options.workers = 1;
+  std::unique_ptr<QueryServer> server(
+      new QueryServer(std::move(options), epochs));
+  for (size_t i = 0; i < server->options_.workers; ++i) {
+    server->worker_cancel_.push_back(
+        std::make_unique<std::atomic<bool>>(false));
+  }
+  obs::HttpListener::Options listener_options;
+  listener_options.port = server->options_.port;
+  listener_options.bind_address = server->options_.bind_address;
+  listener_options.socket_timeout_ms = server->options_.socket_timeout_ms;
+  FRAPPE_ASSIGN_OR_RETURN(
+      server->listener_,
+      obs::HttpListener::Start(std::move(listener_options),
+                               [s = server.get()](HttpConnection conn) {
+                                 s->HandleConnection(std::move(conn));
+                               }));
+  for (size_t i = 0; i < server->options_.workers; ++i) {
+    server->workers_.emplace_back(
+        [s = server.get(), i] { s->WorkerLoop(i); });
+  }
+  obs::LogInfo("server",
+               "query server on http://" + server->options_.bind_address +
+                   ":" + std::to_string(server->port()) + " (" +
+                   std::to_string(server->options_.workers) +
+                   " workers, queue " +
+                   std::to_string(server->options_.admission.queue_capacity) +
+                   ")");
+  return server;
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+void QueryServer::HandleConnection(HttpConnection conn) {
+  RequestCounter().Add();
+  const HttpRequest& request = conn.request();
+  if (request.target == "/healthz") {
+    HttpResponse response;
+    response.body = "ok\n";
+    conn.Respond(response);
+    return;
+  }
+  if (request.target == "/readyz") {
+    const obs::Readiness& readiness = obs::Readiness::Global();
+    int code = readiness.HttpCode();
+    conn.Respond(JsonResponse(code,
+                              code == 200 ? "OK" : "Service Unavailable",
+                              readiness.Json()));
+    return;
+  }
+  if (request.target != "/query") {
+    conn.Respond(HttpError(404, "Not Found",
+                           "unknown path; try POST /query, /healthz, "
+                           "/readyz"));
+    return;
+  }
+  if (request.method != "POST") {
+    conn.Respond(HttpError(405, "Method Not Allowed",
+                           "/query requires POST with the FQL text as the "
+                           "request body"));
+    return;
+  }
+  if (draining_.load(std::memory_order_relaxed)) {
+    conn.Respond(HttpError(503, "Service Unavailable", "server draining"));
+    return;
+  }
+  // Fault site: lose the request between accept and admission (the
+  // connection drops without a response, like a crashed proxy hop).
+  common::FaultInjector& faults = common::FaultInjector::Global();
+  if (faults.AnyArmed() && faults.ShouldFail("server.enqueue")) {
+    EnqueueFaultCounter().Add();
+    return;
+  }
+  switch (queue_.TryPush(conn)) {
+    case AdmissionQueue::Outcome::kAdmitted:
+      AdmittedCounter().Add();
+      return;
+    case AdmissionQueue::Outcome::kQueueFull:
+      ShedQueueCounter().Add();
+      obs::Readiness::Global().SetOverloaded(
+          true, "admission queue full (" +
+                    std::to_string(queue_.config().queue_capacity) + ")");
+      conn.Respond(ShedResponse("admission queue full",
+                                queue_.config().retry_after_seconds));
+      return;
+    case AdmissionQueue::Outcome::kOverBudget:
+      ShedBudgetCounter().Add();
+      obs::Readiness::Global().SetOverloaded(
+          true, "in-flight byte budget exceeded");
+      conn.Respond(ShedResponse("in-flight byte budget exceeded",
+                                queue_.config().retry_after_seconds));
+      return;
+    case AdmissionQueue::Outcome::kShutdown:
+      conn.Respond(HttpError(503, "Service Unavailable", "server draining"));
+      return;
+  }
+}
+
+void QueryServer::WorkerLoop(size_t worker_index) {
+  std::atomic<bool>& cancel = *worker_cancel_[worker_index];
+  while (true) {
+    std::optional<AdmissionQueue::Item> item = queue_.Pop();
+    if (!item.has_value()) break;  // shutdown, queue drained
+    // Reset our cancel token BEFORE checking draining_: if Stop() trips
+    // the token between the reset and the check, it also set draining_
+    // first, so this request is refused below instead of running with a
+    // lost cancel.
+    cancel.store(false, std::memory_order_relaxed);
+    if (draining_.load(std::memory_order_relaxed)) {
+      DrainedCounter().Add();
+      item->conn.Respond(
+          HttpError(503, "Service Unavailable", "server draining"));
+      queue_.Release(item->charged_bytes);
+      continue;
+    }
+    if (queue_.Expired(*item, std::chrono::steady_clock::now())) {
+      // The client has been waiting past the queue deadline — executing
+      // now would spend a slot on a request nobody is waiting for.
+      QueueExpiredCounter().Add();
+      item->conn.Respond(HttpError(408, "Request Timeout",
+                                   "queue deadline exceeded before "
+                                   "execution started"));
+      queue_.Release(item->charged_bytes);
+      continue;
+    }
+    // Queue below capacity again and the request was admittable — clear
+    // the overload signal set by a previous shed.
+    obs::Readiness::Global().SetOverloaded(false);
+    HttpResponse response =
+        ExecuteQuery(item->conn.request(), worker_index);
+    if (response.code == 200) {
+      OkCounter().Add();
+    } else {
+      ErrorCounter().Add();
+    }
+    item->conn.Respond(response);
+    queue_.Release(item->charged_bytes);
+  }
+}
+
+HttpResponse QueryServer::ExecuteQuery(const HttpRequest& request,
+                                       size_t worker_index) {
+  if (request.body.empty()) {
+    return HttpError(400, "Bad Request",
+                     "empty body; POST the FQL query text");
+  }
+  // Pin the current epoch for the whole execution: the writer can publish
+  // any number of newer epochs meanwhile, this query still reads the one
+  // it started on.
+  std::shared_ptr<const Epoch> epoch = epochs_->Current();
+  if (epoch == nullptr) {
+    return HttpError(503, "Service Unavailable", "no graph published yet");
+  }
+
+  int64_t deadline_ms = options_.default_deadline_ms;
+  std::string_view raw = HttpQueryParam(request.params, "deadline_ms");
+  if (!raw.empty()) {
+    if (!ParseInt64(raw, &deadline_ms) || deadline_ms < 0) {
+      return HttpError(400, "Bad Request", "bad deadline_ms parameter");
+    }
+  }
+  if (options_.max_deadline_ms > 0) {
+    deadline_ms = deadline_ms == 0
+                      ? options_.max_deadline_ms
+                      : std::min(deadline_ms, options_.max_deadline_ms);
+  }
+  int64_t max_steps =
+      static_cast<int64_t>(options_.default_max_steps);
+  raw = HttpQueryParam(request.params, "max_steps");
+  if (!raw.empty()) {
+    if (!ParseInt64(raw, &max_steps) || max_steps < 0) {
+      return HttpError(400, "Bad Request", "bad max_steps parameter");
+    }
+  }
+  if (options_.max_steps_limit > 0) {
+    max_steps = max_steps == 0
+                    ? static_cast<int64_t>(options_.max_steps_limit)
+                    : std::min(max_steps,
+                               static_cast<int64_t>(
+                                   options_.max_steps_limit));
+  }
+
+  query::ExecOptions exec_options;
+  exec_options.deadline_ms = deadline_ms;
+  exec_options.max_steps = static_cast<uint64_t>(max_steps);
+  // Debug knob: fast_path=0 forces the generic executor (plan comparison,
+  // and the only way tests can make a query reliably slow).
+  if (HttpQueryParam(request.params, "fast_path") == "0") {
+    exec_options.use_csr_fast_path = false;
+  }
+  // The registry aliases this token, so /debug/cancel, the watchdog's
+  // cancel action, and Stop() all trip the same switch the executor polls.
+  exec_options.cancel = worker_cancel_[worker_index].get();
+
+  Result<query::QueryResult> result =
+      query::RunQuery(epoch->db, request.body, exec_options);
+  if (!result.ok()) return QueryErrorResponse(result.status());
+  return JsonResponse(
+      200, "OK", RenderResultJson(*result, epoch->db, epoch->sequence));
+}
+
+void QueryServer::Stop() {
+  if (stopped_.exchange(true)) return;
+  draining_.store(true, std::memory_order_relaxed);
+  obs::Readiness::Global().SetDraining(true, "query server draining");
+  // 1. Stop accepting new connections.
+  if (listener_) listener_->Stop();
+  // 2. Cancel stragglers: trip every worker's token (the query registry
+  //    aliases these, so in-flight queries observe it on the executor's
+  //    poll cadence and return kCancelled).
+  for (auto& token : worker_cancel_) {
+    token->store(true, std::memory_order_relaxed);
+  }
+  // 3. Refuse whatever was admitted but never started.
+  std::vector<AdmissionQueue::Item> leftover = queue_.Shutdown();
+  for (auto& item : leftover) {
+    DrainedCounter().Add();
+    item.conn.Respond(
+        HttpError(503, "Service Unavailable", "server draining"));
+  }
+  // 4. Join the pool — workers exit once the queue reports shutdown.
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // 5. Flush the structured query log so the workload trace survives the
+  //    process.
+  obs::QueryLog::Global().Flush();
+  obs::LogInfo("server", "query server drained");
+}
+
+}  // namespace frappe::server

@@ -117,6 +117,58 @@ Result<graph::SnapshotSizes> VersionStore::SaveVersion(
   return graph::SaveSnapshot(*view, path, /*index=*/nullptr, opts);
 }
 
+Result<std::unique_ptr<graph::GraphStore>> VersionStore::MaterializeVersion(
+    Version version) const {
+  if (version >= committed_) {
+    return Status::OutOfRange("version " + std::to_string(version) +
+                              " not committed (have " +
+                              std::to_string(committed_) + ")");
+  }
+  auto out = std::make_unique<graph::GraphStore>();
+  // Re-intern every vocabulary in id order. NameRegistry and StringPool
+  // assign sequential ids, so in-order re-interning reproduces the exact
+  // id mapping — which is what lets node/edge type ids, property key ids
+  // and string-valued property payloads (StringRefs) copy over raw.
+  const graph::GraphStore& src = store_;
+  for (uint16_t i = 0; i < src.node_types().size(); ++i) {
+    out->InternNodeType(src.node_types().Name(i));
+  }
+  for (uint16_t i = 0; i < src.edge_types().size(); ++i) {
+    out->InternEdgeType(src.edge_types().Name(i));
+  }
+  for (uint16_t i = 0; i < src.keys().size(); ++i) {
+    out->InternKey(src.keys().Name(i));
+  }
+  for (uint32_t i = 0; i < src.strings().size(); ++i) {
+    out->InternString(src.strings().Resolve(graph::StringRef{i}));
+  }
+  // Entities in id order; dead-at-version slots become tombstones so the
+  // id layout (including holes) matches the source exactly.
+  for (NodeId id = 0; id < node_intervals_.size(); ++id) {
+    if (!node_intervals_[id].VisibleAt(version)) {
+      out->AddDeadNode();
+      continue;
+    }
+    out->AddNode(src.NodeType(id));
+    out->SetNodeProperties(id, PropsAt(/*is_edge=*/false, id, version));
+  }
+  for (EdgeId id = 0; id < edge_intervals_.size(); ++id) {
+    if (!edge_intervals_[id].VisibleAt(version)) {
+      out->AddDeadEdge();
+      continue;
+    }
+    graph::Edge e = src.GetEdge(id);
+    if (out->AddEdge(e.src, e.dst, e.type) == graph::kInvalidEdge) {
+      return Status::Internal(
+          "materialize: edge " + std::to_string(id) +
+          " visible at version " + std::to_string(version) +
+          " but an endpoint is not");
+    }
+    out->SetEdgeProperties(id, PropsAt(/*is_edge=*/true, id, version));
+  }
+  return out;
+}
+
 const graph::PropertyMap& VersionStore::PropsAt(bool is_edge, uint32_t id,
                                                 Version version) const {
   const auto& histories = is_edge ? edge_prop_history_ : node_prop_history_;

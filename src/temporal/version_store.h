@@ -79,6 +79,16 @@ class VersionStore {
       Version version, const std::string& path,
       const graph::SnapshotOptions& options = {}) const;
 
+  // Materializes one committed version as a standalone GraphStore that
+  // shares nothing with this store — the commit seam for epoch-based
+  // snapshot publication: a server thread can hand the result to readers
+  // and keep mutating this store freely. Id layout is preserved exactly
+  // (entities dead at `version` become tombstones), and the schema
+  // vocabularies + string pool are re-interned in id order, so ids, type
+  // ids and property StringRefs all carry over verbatim.
+  Result<std::unique_ptr<graph::GraphStore>> MaterializeVersion(
+      Version version) const;
+
   // --- change analysis ---
 
   struct Diff {

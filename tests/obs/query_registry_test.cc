@@ -9,6 +9,7 @@
 #include "gtest/gtest.h"
 #include "obs/fingerprint.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace frappe::obs {
 namespace {
@@ -188,6 +189,60 @@ TEST_F(QueryRegistryTest, WatchdogIgnoresFastQueries) {
   Log::SetSinkForTesting(nullptr);
   std::lock_guard<std::mutex> lock(mu);
   EXPECT_TRUE(warnings.empty());
+}
+
+TEST_F(QueryRegistryTest, WatchdogCancelActionTripsTheToken) {
+  Log::SetThreshold(LogLevel::kWarn);
+  std::vector<LogEntry> warnings;
+  std::mutex mu;
+  Log::SetSinkForTesting([&](const LogEntry& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (e.component == "watchdog") warnings.push_back(e);
+  });
+  uint64_t cancelled_before =
+      Registry::Global().GetCounter("query.watchdog_cancelled").Value();
+
+  QueryRegistry::Handle handle =
+      registry().Register(9, "stuck query", "stuck query", nullptr);
+  ASSERT_NE(handle.entry(), nullptr);
+  registry().StartWatchdog(/*threshold_ms=*/1, /*interval_ms=*/5,
+                           QueryRegistry::WatchdogAction::kCancel);
+  // Give the watchdog several scan intervals: it must cancel exactly once.
+  for (int i = 0; i < 100 && !handle.entry()->cancel_token->load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  registry().StopWatchdog();
+  Log::SetSinkForTesting(nullptr);
+
+  // The stuck query's cancel token is tripped — the executor's next poll
+  // ends it with kCancelled, same as /debug/cancel.
+  EXPECT_TRUE(handle.entry()->cancel_token->load());
+  EXPECT_TRUE(handle.entry()->cancel_requested.load());
+  EXPECT_EQ(
+      Registry::Global().GetCounter("query.watchdog_cancelled").Value(),
+      cancelled_before + 1);
+
+  std::lock_guard<std::mutex> lock(mu);
+  // One warn + one cancelled line, both exactly once despite many scans.
+  ASSERT_EQ(warnings.size(), 2u);
+  EXPECT_NE(warnings[0].message.find("stuck query"), std::string::npos);
+  EXPECT_NE(warnings[1].message.find("cancelled"), std::string::npos);
+}
+
+TEST_F(QueryRegistryTest, WatchdogActionFromEnv) {
+  ::setenv("FRAPPE_STUCK_QUERY_MS", "30000", 1);
+  ::setenv("FRAPPE_STUCK_QUERY_ACTION", "cancel", 1);
+  EXPECT_TRUE(registry().MaybeStartWatchdogFromEnv());
+  EXPECT_TRUE(registry().watchdog_running());
+  registry().StopWatchdog();
+
+  // Unknown action values warn and fall back to warn-only.
+  ::setenv("FRAPPE_STUCK_QUERY_ACTION", "explode", 1);
+  EXPECT_TRUE(registry().MaybeStartWatchdogFromEnv());
+  registry().StopWatchdog();
+  ::unsetenv("FRAPPE_STUCK_QUERY_ACTION");
+  ::unsetenv("FRAPPE_STUCK_QUERY_MS");
 }
 
 TEST_F(QueryRegistryTest, WatchdogFromEnv) {

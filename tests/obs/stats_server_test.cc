@@ -11,6 +11,7 @@
 
 #include "gtest/gtest.h"
 #include "obs/fingerprint.h"
+#include "obs/readiness.h"
 #include "query/session.h"
 #include "tests/query/fixture.h"
 
@@ -205,6 +206,87 @@ TEST_F(StatsServerTest, StopIsIdempotentAndPromptlyFreesThePort) {
   auto again = StatsServer::Start(options);
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_EQ((*again)->port(), port);
+}
+
+TEST_F(StatsServerTest, ReadyzReflectsReadinessState) {
+  Readiness::Global().ResetForTesting();
+  std::string response = HttpGet(server_->port(), "/readyz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(Body(response).find("\"state\": \"ready\""), std::string::npos)
+      << response;
+
+  // Degraded still serves (200) but carries the reason for operators.
+  Readiness::Global().SetDegraded("snapshot loaded from fallback");
+  response = HttpGet(server_->port(), "/readyz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(Body(response).find("\"state\": \"degraded\""), std::string::npos)
+      << response;
+  EXPECT_NE(Body(response).find("snapshot loaded from fallback"),
+            std::string::npos)
+      << response;
+
+  // Overloaded and draining flip readiness to 503; draining wins when both
+  // are set (a draining process must leave the load balancer even if the
+  // overload clears).
+  Readiness::Global().SetOverloaded(true);
+  response = HttpGet(server_->port(), "/readyz");
+  EXPECT_NE(response.find("503"), std::string::npos) << response;
+  EXPECT_NE(Body(response).find("\"state\": \"overloaded\""),
+            std::string::npos)
+      << response;
+  Readiness::Global().SetDraining(true);
+  response = HttpGet(server_->port(), "/readyz");
+  EXPECT_NE(response.find("503"), std::string::npos) << response;
+  EXPECT_NE(Body(response).find("\"state\": \"draining\""), std::string::npos)
+      << response;
+
+  // /healthz stays 200 throughout: liveness is "the process can answer",
+  // readiness is "send it traffic" — a draining server is alive.
+  EXPECT_EQ(Body(HttpGet(server_->port(), "/healthz")), "ok\n");
+  Readiness::Global().ResetForTesting();
+}
+
+TEST(StatsServerTimeoutTest, StallingClientCannotWedgeTheServer) {
+  // A client that connects and then trickles (or stops sending entirely)
+  // must be cut off by the read deadline, and the accept thread must keep
+  // serving everyone else afterwards.
+  StatsServer::Options options;
+  options.socket_timeout_ms = 200;
+  auto server = StatsServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  uint16_t port = (*server)->port();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Half a request line, then silence.
+  const char partial[] = "GET /metr";
+  ::send(fd, partial, sizeof(partial) - 1, 0);
+
+  auto start = std::chrono::steady_clock::now();
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  double waited_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  // The server timed the stall out (408 for the partial request) well
+  // before the default 5s budget — and within a few timeout periods.
+  EXPECT_NE(response.find("408"), std::string::npos) << response;
+  EXPECT_LT(waited_ms, 3000.0);
+
+  // The listener is not wedged: a normal client is served immediately.
+  std::string healthz = HttpGet(port, "/healthz");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos) << healthz;
 }
 
 TEST(StatsServerEnvTest, MaybeStartFromEnvIsOffByDefault) {

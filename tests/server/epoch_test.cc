@@ -1,0 +1,157 @@
+// Epoch-based snapshot isolation at the publish seam: readers pin an
+// immutable epoch; a writer publishes a complete replacement atomically;
+// the old epoch (store, indexes, Database) is reclaimed exactly when the
+// last pinned reader departs — never under a running query.
+
+#include "server/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "graph/graph_store.h"
+#include "graph/snapshot.h"
+#include "query/session.h"
+#include "temporal/version_store.h"
+
+namespace frappe::server {
+namespace {
+
+std::unique_ptr<graph::GraphStore> SmallStore(int functions) {
+  auto store = std::make_unique<graph::GraphStore>();
+  graph::NodeId prev = graph::kInvalidNode;
+  for (int i = 0; i < functions; ++i) {
+    graph::NodeId n = store->AddNode("function");
+    store->SetNodeProperty(n, "short_name",
+                           store->StringValue("fn_" + std::to_string(i)));
+    if (prev != graph::kInvalidNode) store->AddEdge(prev, n, "calls");
+    prev = n;
+  }
+  return store;
+}
+
+TEST(EpochTest, PublishMakesAQueryableEpoch) {
+  EpochManager epochs;
+  EXPECT_EQ(epochs.Current(), nullptr);
+  EXPECT_EQ(epochs.current_sequence(), 0u);
+
+  auto published = epochs.Publish(SmallStore(4), "test store");
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  std::shared_ptr<const Epoch> epoch = *published;
+  EXPECT_EQ(epoch->sequence, 1u);
+  EXPECT_EQ(epochs.current_sequence(), 1u);
+  EXPECT_EQ(epochs.Current(), epoch);
+  EXPECT_EQ(epoch->view().NodeCount(), 4u);
+
+  // The epoch's Database answers real queries (schema + indexes built).
+  auto result =
+      query::RunQuery(epoch->db, "MATCH (f:function) RETURN count(*)", {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+}
+
+TEST(EpochTest, PinnedReaderKeepsOldEpochAliveUntilItDeparts) {
+  EpochManager epochs;
+  ASSERT_TRUE(epochs.Publish(SmallStore(3), "v1").ok());
+
+  // Reader pins epoch 1; the weak_ptr observes reclamation.
+  std::shared_ptr<const Epoch> reader = epochs.Current();
+  std::weak_ptr<const Epoch> watch = reader;
+  ASSERT_EQ(reader->sequence, 1u);
+
+  // Writer publishes epoch 2 while the reader is mid-"query".
+  ASSERT_TRUE(epochs.Publish(SmallStore(5), "v2").ok());
+  EXPECT_EQ(epochs.Current()->sequence, 2u);
+
+  // The reader's world is unchanged: still 3 nodes, still valid.
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(reader->view().NodeCount(), 3u);
+  auto result =
+      query::RunQuery(reader->db, "MATCH (f:function) RETURN f", {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);
+
+  // Last reader departs -> epoch 1 (store, indexes, Database) reclaimed.
+  reader.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EpochTest, UnpinnedOldEpochIsReclaimedOnPublish) {
+  EpochManager epochs;
+  ASSERT_TRUE(epochs.Publish(SmallStore(2), "v1").ok());
+  std::weak_ptr<const Epoch> watch = epochs.Current();
+  ASSERT_FALSE(watch.expired());
+  ASSERT_TRUE(epochs.Publish(SmallStore(2), "v2").ok());
+  // Nobody pinned epoch 1: the publish swap was its last reference.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EpochTest, PublishVersionMaterializesEachCommit) {
+  temporal::VersionStore store;
+  graph::KeyId short_name = store.raw_store().InternKey("short_name");
+  graph::NodeId a = store.AddNode("function");
+  store.SetNodeProperty(a, short_name,
+                        store.raw_store().StringValue("alpha"));
+  graph::NodeId b = store.AddNode("function");
+  store.SetNodeProperty(b, short_name,
+                        store.raw_store().StringValue("beta"));
+  graph::EdgeId e = store.AddEdge(a, b, "calls");
+  store.CommitVersion();  // v0: {a, b, e}
+  store.RemoveNode(b);    // cascades to e
+  graph::NodeId c = store.AddNode("struct");
+  store.CommitVersion();  // v1: {a, c}
+
+  EpochManager epochs;
+  auto v0 = epochs.PublishVersion(store, 0);
+  ASSERT_TRUE(v0.ok()) << v0.status().ToString();
+  EXPECT_EQ((*v0)->view().NodeCount(), 2u);
+  EXPECT_EQ((*v0)->view().EdgeCount(), 1u);
+  EXPECT_TRUE((*v0)->view().NodeExists(a));
+  EXPECT_TRUE((*v0)->view().NodeExists(b));
+  EXPECT_TRUE((*v0)->view().EdgeExists(e));
+  EXPECT_FALSE((*v0)->view().NodeExists(c));
+
+  auto v1 = epochs.PublishVersion(store, 1);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  // Tombstones keep the id layout: a and c keep their VersionStore ids,
+  // the removed b and e exist as dead slots.
+  EXPECT_EQ((*v1)->view().NodeCount(), 2u);
+  EXPECT_EQ((*v1)->view().EdgeCount(), 0u);
+  EXPECT_TRUE((*v1)->view().NodeExists(a));
+  EXPECT_FALSE((*v1)->view().NodeExists(b));
+  EXPECT_FALSE((*v1)->view().EdgeExists(e));
+  EXPECT_TRUE((*v1)->view().NodeExists(c));
+
+  // Properties survive materialization, queryable by name.
+  auto result = query::RunQuery(
+      (*v1)->db,
+      "START n=node:node_auto_index('short_name: alpha') RETURN n", {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 1u);
+
+  EXPECT_FALSE(epochs.PublishVersion(store, 7).ok());  // uncommitted
+}
+
+TEST(EpochTest, PublishSnapshotFileOwnsTheSession) {
+  auto store = SmallStore(3);
+  std::string path = ::testing::TempDir() + "/epoch_test.fsnap";
+  ASSERT_TRUE(graph::SaveSnapshot(*store, path).ok());
+
+  EpochManager epochs;
+  std::string degraded;
+  auto published = epochs.PublishSnapshotFile(path, &degraded);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_TRUE(degraded.empty()) << degraded;
+  EXPECT_EQ((*published)->view().NodeCount(), 3u);
+  auto result = query::RunQuery(
+      (*published)->db, "MATCH (f:function) RETURN count(*)", {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(epochs.PublishSnapshotFile("/nonexistent/x.fsnap").ok());
+}
+
+}  // namespace
+}  // namespace frappe::server

@@ -1,0 +1,237 @@
+// The query front door end to end over real HTTP: response schema, error
+// mapping, per-request deadlines, admission-control shedding with
+// Retry-After, and the liveness/readiness split. Exports capture files
+// (server_query.json, server_overload.http, server_readyz_*.json) that
+// tools/server_check.py validates from ctest.
+
+#include "server/query_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "extractor/synthetic.h"
+#include "model/code_graph.h"
+#include "obs/http_listener.h"
+#include "obs/metrics.h"
+#include "obs/readiness.h"
+#include "server/epoch.h"
+
+namespace frappe::server {
+namespace {
+
+using obs::HttpBodyOf;
+using obs::HttpFetch;
+using obs::HttpStatusOf;
+
+// One shared epoch manager with a generated kernel-shaped graph: big
+// enough that a slow-path closure query outlasts any short deadline.
+EpochManager& Epochs() {
+  static EpochManager* epochs = [] {
+    auto* e = new EpochManager();
+    auto graph = std::make_unique<model::CodeGraph>();
+    extractor::GraphScale scale;
+    scale.factor = 0.02;
+    extractor::GenerateKernelGraph(scale, graph.get());
+    auto published = e->Publish(std::move(graph), "test kernel");
+    if (!published.ok()) std::abort();
+    return e;
+  }();
+  return *epochs;
+}
+
+// A function with outgoing calls: `-[:calls*]->` from it does real work.
+std::string ClosureSeedName() {
+  std::shared_ptr<const Epoch> epoch = Epochs().Current();
+  const graph::GraphView& view = epoch->view();
+  const model::Schema& schema = epoch->code_graph->schema();
+  graph::TypeId calls = schema.edge_type(model::EdgeKind::kCalls);
+  graph::KeyId short_name = schema.key(model::PropKey::kShortName);
+  for (graph::EdgeId e = 0; e < view.EdgeIdUpperBound(); ++e) {
+    if (!view.EdgeExists(e) || view.GetEdge(e).type != calls) continue;
+    std::string_view name =
+        view.GetNodeString(view.GetEdge(e).src, short_name);
+    if (!name.empty()) return std::string(name);
+  }
+  return "";
+}
+
+std::string SlowClosureQuery() {
+  return "START n=node:node_auto_index('short_name: " + ClosureSeedName() +
+         "') MATCH n -[:calls*]-> m RETURN distinct m";
+}
+
+void WriteCapture(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr) << path;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+class QueryServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Readiness::Global().ResetForTesting();
+    auto server = QueryServer::Start({}, &Epochs());
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
+    port_ = server_->port();
+    ASSERT_GT(port_, 0);
+  }
+  void TearDown() override {
+    server_->Stop();
+    obs::Readiness::Global().ResetForTesting();
+  }
+
+  std::unique_ptr<QueryServer> server_;
+  uint16_t port_ = 0;
+};
+
+TEST_F(QueryServerTest, QueryAnswersJsonRowsWithStatsAndEpoch) {
+  std::string response = HttpFetch(port_, "POST", "/query",
+                                   "MATCH (f:function) RETURN count(*)");
+  ASSERT_EQ(HttpStatusOf(response), 200) << response;
+  std::string body(HttpBodyOf(response));
+  EXPECT_NE(body.find("\"columns\": ["), std::string::npos) << body;
+  EXPECT_NE(body.find("\"rows\": ["), std::string::npos) << body;
+  EXPECT_NE(body.find("\"stats\": {"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"elapsed_ms\": "), std::string::npos) << body;
+  EXPECT_NE(body.find("\"db_hits\": "), std::string::npos) << body;
+  EXPECT_NE(body.find("\"epoch\": "), std::string::npos) << body;
+  WriteCapture("server_query.json", body);
+}
+
+TEST_F(QueryServerTest, HealthzAndReadyz) {
+  std::string health = HttpFetch(port_, "GET", "/healthz");
+  EXPECT_EQ(HttpStatusOf(health), 200);
+  EXPECT_EQ(HttpBodyOf(health), "ok\n");
+
+  std::string ready = HttpFetch(port_, "GET", "/readyz");
+  EXPECT_EQ(HttpStatusOf(ready), 200) << ready;
+  EXPECT_NE(HttpBodyOf(ready).find("\"state\": \"ready\""),
+            std::string::npos)
+      << ready;
+  WriteCapture("server_readyz_ready.json", HttpBodyOf(ready));
+}
+
+TEST_F(QueryServerTest, ErrorMapping) {
+  // Parse error -> 400 with the status-code name in the JSON body.
+  std::string response =
+      HttpFetch(port_, "POST", "/query", "MATCH (broken");
+  EXPECT_EQ(HttpStatusOf(response), 400) << response;
+  EXPECT_NE(HttpBodyOf(response).find("\"code\": "), std::string::npos)
+      << response;
+
+  // Empty body -> 400.
+  EXPECT_EQ(HttpStatusOf(HttpFetch(port_, "POST", "/query", "")), 400);
+
+  // Unknown path -> 404; /query with GET -> 405.
+  EXPECT_EQ(HttpStatusOf(HttpFetch(port_, "GET", "/nope")), 404);
+  EXPECT_EQ(HttpStatusOf(HttpFetch(port_, "GET", "/query")), 405);
+
+  // Bad parameter -> 400.
+  EXPECT_EQ(HttpStatusOf(HttpFetch(port_, "POST",
+                                   "/query?deadline_ms=banana",
+                                   "MATCH (f:function) RETURN f")),
+            400);
+}
+
+TEST_F(QueryServerTest, DeadlinePropagatesIntoExecution) {
+  // A 30ms budget on a slow-path closure query: the executor's deadline
+  // poll must end it, mapped to 408 Request Timeout.
+  std::string response =
+      HttpFetch(port_, "POST", "/query?deadline_ms=30&fast_path=0",
+                SlowClosureQuery(), /*timeout_ms=*/15000);
+  EXPECT_EQ(HttpStatusOf(response), 408) << response;
+  EXPECT_NE(HttpBodyOf(response).find("DeadlineExceeded"),
+            std::string::npos)
+      << response;
+}
+
+TEST(QueryServerShedTest, OverBudgetSheds429WithRetryAfter) {
+  obs::Readiness::Global().ResetForTesting();
+  QueryServer::Options options;
+  options.admission.max_inflight_bytes = 1;  // every request over budget
+  auto server = QueryServer::Start(options, &Epochs());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::string response = HttpFetch((*server)->port(), "POST", "/query",
+                                   "MATCH (f:function) RETURN f");
+  EXPECT_EQ(HttpStatusOf(response), 429) << response;
+  EXPECT_NE(response.find("Retry-After: "), std::string::npos) << response;
+  WriteCapture("server_overload.http", response);
+
+  // Shedding flips readiness to overloaded (503 on /readyz) until a
+  // request gets through again.
+  std::string ready = HttpFetch((*server)->port(), "GET", "/readyz");
+  EXPECT_EQ(HttpStatusOf(ready), 503) << ready;
+  EXPECT_NE(HttpBodyOf(ready).find("\"state\": \"overloaded\""),
+            std::string::npos)
+      << ready;
+  WriteCapture("server_readyz_overloaded.json", HttpBodyOf(ready));
+
+  (*server)->Stop();
+  obs::Readiness::Global().ResetForTesting();
+}
+
+TEST(QueryServerShedTest, FullQueueSheds429) {
+  obs::Readiness::Global().ResetForTesting();
+  QueryServer::Options options;
+  options.workers = 1;
+  options.admission.queue_capacity = 1;
+  auto server = QueryServer::Start(options, &Epochs());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  uint16_t port = (*server)->port();
+  uint64_t shed_before = obs::Registry::Global()
+                             .GetCounter("server.shed_queue_full")
+                             .Value();
+
+  // Occupy the single worker with a slow query (bounded by its deadline),
+  // then fill the one queue slot with a second; the third must shed.
+  std::string slow = SlowClosureQuery();
+  std::thread worker_hog([&] {
+    HttpFetch(port, "POST", "/query?deadline_ms=3000&fast_path=0", slow,
+              15000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  std::thread queue_filler([&] {
+    HttpFetch(port, "POST", "/query?deadline_ms=3000&fast_path=0", slow,
+              15000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  std::string response = HttpFetch(port, "POST", "/query",
+                                   "MATCH (f:function) RETURN count(*)");
+  EXPECT_EQ(HttpStatusOf(response), 429) << response;
+  EXPECT_GT(obs::Registry::Global()
+                .GetCounter("server.shed_queue_full")
+                .Value(),
+            shed_before);
+
+  worker_hog.join();
+  queue_filler.join();
+  (*server)->Stop();
+  obs::Readiness::Global().ResetForTesting();
+}
+
+TEST(QueryServerLifecycleTest, StoppedServerRefusesConnections) {
+  obs::Readiness::Global().ResetForTesting();
+  auto server = QueryServer::Start({}, &Epochs());
+  ASSERT_TRUE(server.ok());
+  uint16_t port = (*server)->port();
+  EXPECT_FALSE((*server)->draining());
+  (*server)->Stop();
+  EXPECT_TRUE((*server)->draining());
+  (*server)->Stop();  // idempotent
+  // The listen socket is closed: connects fail, HttpFetch returns empty.
+  EXPECT_EQ(HttpFetch(port, "GET", "/healthz"), "");
+  obs::Readiness::Global().ResetForTesting();
+}
+
+}  // namespace
+}  // namespace frappe::server

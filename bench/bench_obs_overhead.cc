@@ -17,6 +17,9 @@
 //      off, then enabled (ring push + background writer), and require the
 //      enabled path to stay under the same 5% bar — Record() must never
 //      block the query path.
+//   6. Request-tracing lane: the same mix run bare vs under a per-request
+//      TraceScope + SpanCollector (what the query server installs for
+//      every admitted request), also held to the 5% bar.
 //
 // Emits BENCH_obs_overhead.json through the shared bench_json.h path (git
 // SHA + timestamp stamped). Exits non-zero when the derived disabled-path
@@ -28,6 +31,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -280,11 +284,58 @@ int main() {
   report.Add("mix_registry_on")
       .Samples(reg_on_ms)
       .Extra("registry_overhead_pct", registry_pct);
+
+  // --- 6. request-tracing lane: what the query server adds per request —
+  // a TraceScope with a fresh per-request SpanCollector, so every session/
+  // executor/kernel span is allocated an id, parented, and appended to the
+  // sink. Compared against the same mix with no scope (spans disabled).
+  // Same interleaved-median protocol as the other lanes.
+  auto run_mix_traced = [&]() {
+    for (const std::string& q : mix) {
+      obs::TraceContext ctx = obs::GenerateTraceContext();
+      auto sink = std::make_shared<obs::SpanCollector>();
+      obs::TraceScope scope(ctx, sink.get(), /*queue_wait_us=*/0);
+      auto result = session.Run(q);
+      if (!result.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+  };
+  std::vector<double> trace_off_ms, trace_on_ms;
+  run_mix_traced();  // warm
+  for (int i = 0; i < iters; ++i) {
+    Clock::time_point start = Clock::now();
+    run_mix();
+    trace_off_ms.push_back(MsSince(start));
+
+    start = Clock::now();
+    run_mix_traced();
+    trace_on_ms.push_back(MsSince(start));
+  }
+  double trace_off_med = median(trace_off_ms);
+  double trace_on_med = median(trace_on_ms);
+  double tracing_pct = 100.0 * (trace_on_med - trace_off_med) / trace_off_med;
+  bool tracing_pass = tracing_pct < 5.0;
+
+  std::printf("query mix (no trace scope):  %.3f ms median over %d iters\n",
+              trace_off_med, iters);
+  std::printf("query mix (request traced):  %.3f ms median (%+.2f%%) -> %s"
+              " (< 5%% required)\n",
+              trace_on_med, tracing_pct, tracing_pass ? "PASS" : "FAIL");
+
+  report.Add("mix_trace_off").Samples(trace_off_ms);
+  report.Add("mix_trace_on")
+      .Samples(trace_on_ms)
+      .Extra("request_tracing_overhead_pct", tracing_pct);
   report.Add("overhead")
       .Extra("derived_disabled_overhead_pct", derived_pct)
       .Extra("qlog_overhead_pct", qlog_pct)
       .Extra("registry_overhead_pct", registry_pct)
-      .Extra("pass", pass && qlog_pass && registry_pass ? 1 : 0);
+      .Extra("request_tracing_overhead_pct", tracing_pct)
+      .Extra("pass",
+             pass && qlog_pass && registry_pass && tracing_pass ? 1 : 0);
   report.Write();
-  return pass && qlog_pass && registry_pass ? 0 : 1;
+  return pass && qlog_pass && registry_pass && tracing_pass ? 0 : 1;
 }

@@ -134,21 +134,29 @@ void PrintTopQueries() {
     std::printf("no queries recorded yet\n");
     return;
   }
-  std::printf("%-16s %8s %6s %10s %10s %10s %8s  query\n", "fingerprint",
-              "calls", "errors", "total_ms", "avg_ms", "p99_ms", "worst_q");
+  std::printf("%-16s %8s %6s %10s %10s %10s %8s %8s %8s %8s  query\n",
+              "fingerprint", "calls", "errors", "total_ms", "avg_ms",
+              "p99_ms", "worst_q", "parse_us", "plan_us", "exec_us");
   for (const auto& s : top) {
     double avg_ms =
         s.calls > 0
             ? static_cast<double>(s.total_latency_us) / s.calls / 1000.0
             : 0.0;
-    std::printf("%-16s %8llu %6llu %10.1f %10.2f %10.2f %8.2f  %s\n",
-                obs::FingerprintHex(s.fingerprint).c_str(),
-                static_cast<unsigned long long>(s.calls),
-                static_cast<unsigned long long>(s.errors),
-                static_cast<double>(s.total_latency_us) / 1000.0, avg_ms,
-                s.latency.Quantile(0.99) / 1000.0,
-                static_cast<double>(s.worst_qerror_x100) / 100.0,
-                s.normalized.c_str());
+    // Per-call latency attribution averages: the same timeline the server
+    // returns per response, aggregated per fingerprint.
+    double calls = s.calls > 0 ? static_cast<double>(s.calls) : 1.0;
+    std::printf(
+        "%-16s %8llu %6llu %10.1f %10.2f %10.2f %8.2f %8.0f %8.0f %8.0f"
+        "  %s\n",
+        obs::FingerprintHex(s.fingerprint).c_str(),
+        static_cast<unsigned long long>(s.calls),
+        static_cast<unsigned long long>(s.errors),
+        static_cast<double>(s.total_latency_us) / 1000.0, avg_ms,
+        s.latency.Quantile(0.99) / 1000.0,
+        static_cast<double>(s.worst_qerror_x100) / 100.0,
+        static_cast<double>(s.parse_us_total) / calls,
+        static_cast<double>(s.plan_us_total) / calls,
+        static_cast<double>(s.exec_us_total) / calls, s.normalized.c_str());
   }
 }
 

@@ -208,6 +208,11 @@ Status FrontierEngine::Run(const CsrView& csr,
   size_t depth = 0;
   while (frontier_count > 0 && depth < options.max_depth &&
          !shared.cancelled.load(std::memory_order_relaxed)) {
+    // One span per BFS level, parented under the executor's span on this
+    // (worker) thread: the per-level breakdown a retained trace shows.
+    // Pool-lane work inside the level stays un-parented — lanes run on
+    // their own threads without the request context.
+    FRAPPE_TRACE_SPAN("analytics.level");
     // Poll the external token once per level as well: small frontiers may
     // run many levels between step-counter flushes.
     if (options.cancel != nullptr &&

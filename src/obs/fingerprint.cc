@@ -186,6 +186,14 @@ void QueryStats::Entry::Record(bool ok, uint64_t latency, uint64_t row_count,
   }
 }
 
+void QueryStats::Entry::RecordTimeline(uint64_t queue_us, uint64_t parse_us,
+                                       uint64_t plan_us, uint64_t exec_us) {
+  queue_us_total.fetch_add(queue_us, std::memory_order_relaxed);
+  parse_us_total.fetch_add(parse_us, std::memory_order_relaxed);
+  plan_us_total.fetch_add(plan_us, std::memory_order_relaxed);
+  exec_us_total.fetch_add(exec_us, std::memory_order_relaxed);
+}
+
 void QueryStats::Entry::RecordQError(uint64_t qerror_x100) {
   uint64_t seen = worst_qerror_x100.load(std::memory_order_relaxed);
   while (qerror_x100 > seen &&
@@ -225,6 +233,10 @@ std::vector<QueryStats::Snapshot> QueryStats::SnapshotAll() const {
       s.db_hits = entry->db_hits.load(std::memory_order_relaxed);
       s.worst_qerror_x100 =
           entry->worst_qerror_x100.load(std::memory_order_relaxed);
+      s.queue_us_total = entry->queue_us_total.load(std::memory_order_relaxed);
+      s.parse_us_total = entry->parse_us_total.load(std::memory_order_relaxed);
+      s.plan_us_total = entry->plan_us_total.load(std::memory_order_relaxed);
+      s.exec_us_total = entry->exec_us_total.load(std::memory_order_relaxed);
       s.latency = entry->latency_us.Snap();
       out.push_back(std::move(s));
     }
@@ -274,7 +286,16 @@ std::string QueryStats::DumpJson(size_t top_n, Order order) const {
                static_cast<uint64_t>(s.latency.Quantile(0.99))) +
            ", \"rows\": " + std::to_string(s.rows) +
            ", \"db_hits\": " + std::to_string(s.db_hits) +
-           ", \"worst_qerror\": " + qbuf + "}";
+           ", \"worst_qerror\": " + qbuf +
+           ", \"timeline\": {\"queue_us\": " +
+           std::to_string(s.calls == 0 ? 0 : s.queue_us_total / s.calls) +
+           ", \"parse_us\": " +
+           std::to_string(s.calls == 0 ? 0 : s.parse_us_total / s.calls) +
+           ", \"plan_us\": " +
+           std::to_string(s.calls == 0 ? 0 : s.plan_us_total / s.calls) +
+           ", \"exec_us\": " +
+           std::to_string(s.calls == 0 ? 0 : s.exec_us_total / s.calls) +
+           "}}";
   }
   out += top.empty() ? "]" : "\n  ]";
   return out;
@@ -343,6 +364,7 @@ std::string SlowQueryRing::DumpJson() const {
     out += std::string(i == 0 ? "" : ",") + "\n    {\"ts_us\": " +
            std::to_string(r.ts_us) +
            ", \"fp\": " + JsonQuote(FingerprintHex(r.fingerprint)) +
+           ", \"trace_id\": " + JsonQuote(r.trace_id) +
            ", \"query\": " + JsonQuote(r.normalized) +
            ", \"latency_ms\": " + num +
            ", \"threshold_ms\": " + std::to_string(r.threshold_ms) +

@@ -75,10 +75,19 @@ class QueryStats {
     // Worst plan q-error seen for this shape, in hundredths (q x 100 —
     // atomics are integral; 250 means q = 2.50). 0 = never estimated.
     std::atomic<uint64_t> worst_qerror_x100{0};
+    // Cumulative latency attribution (the per-query Timeline, summed):
+    // where this shape's total_latency_us actually went.
+    std::atomic<uint64_t> queue_us_total{0};
+    std::atomic<uint64_t> parse_us_total{0};
+    std::atomic<uint64_t> plan_us_total{0};
+    std::atomic<uint64_t> exec_us_total{0};
     Histogram latency_us;  // pow2-bucket latency distribution
 
     void Record(bool ok, uint64_t latency, uint64_t row_count,
                 uint64_t hit_count);
+    // Accumulates one query's timeline breakdown.
+    void RecordTimeline(uint64_t queue_us, uint64_t parse_us,
+                        uint64_t plan_us, uint64_t exec_us);
     // CAS-max update from the per-query estimate-vs-actual comparison.
     void RecordQError(uint64_t qerror_x100);
   };
@@ -98,6 +107,10 @@ class QueryStats {
     uint64_t rows = 0;
     uint64_t db_hits = 0;
     uint64_t worst_qerror_x100 = 0;
+    uint64_t queue_us_total = 0;
+    uint64_t parse_us_total = 0;
+    uint64_t plan_us_total = 0;
+    uint64_t exec_us_total = 0;
     Histogram::Snapshot latency;
   };
 
@@ -146,6 +159,7 @@ class SlowQueryRing {
   struct Record {
     int64_t ts_us = 0;  // unix epoch microseconds
     uint64_t fingerprint = 0;
+    std::string trace_id;  // 32-hex trace id, links to /debug/tracez
     std::string normalized;
     double latency_ms = 0.0;
     int64_t threshold_ms = 0;

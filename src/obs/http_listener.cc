@@ -57,9 +57,10 @@ int RemainingMs(Clock::time_point deadline) {
   return left > 0 ? static_cast<int>(left) : 0;
 }
 
-// Case-insensitive "Content-Length" scan over the raw header block.
-// Returns -1 when absent or malformed.
-int64_t ParseContentLength(std::string_view head) {
+// Case-insensitive scan of the raw header block for `header_name`
+// (lowercase). Returns the trimmed value, or empty when absent.
+std::string_view FindHeaderValue(std::string_view head,
+                                 std::string_view header_name) {
   size_t pos = 0;
   while (pos < head.size()) {
     size_t eol = head.find('\n', pos);
@@ -69,7 +70,7 @@ int64_t ParseContentLength(std::string_view head) {
     size_t colon = line.find(':');
     if (colon == std::string_view::npos) continue;
     std::string name = ToLower(line.substr(0, colon));
-    if (name != "content-length") continue;
+    if (name != header_name) continue;
     std::string_view value = line.substr(colon + 1);
     while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
       value.remove_prefix(1);
@@ -78,11 +79,19 @@ int64_t ParseContentLength(std::string_view head) {
            (value.back() == '\r' || value.back() == ' ')) {
       value.remove_suffix(1);
     }
-    int64_t n = 0;
-    if (!ParseInt64(value, &n) || n < 0) return -1;
-    return n;
+    return value;
   }
-  return -1;
+  return {};
+}
+
+// Case-insensitive "Content-Length" scan over the raw header block.
+// Returns -1 when absent or malformed.
+int64_t ParseContentLength(std::string_view head) {
+  std::string_view value = FindHeaderValue(head, "content-length");
+  if (value.empty()) return -1;
+  int64_t n = 0;
+  if (!ParseInt64(value, &n) || n < 0) return -1;
+  return n;
 }
 
 // Outcome of reading one request off a socket.
@@ -156,10 +165,13 @@ ReadResult ReadRequest(int fd, const HttpListener::Options& options,
   }
   out->target = std::string(target);
 
+  std::string_view header_block =
+      head.substr(eol == std::string_view::npos ? head.size() : eol);
+  out->traceparent = std::string(FindHeaderValue(header_block, "traceparent"));
+
   // Phase 2: the body. HTTP/1.0 POSTs carry Content-Length; without one,
   // whatever arrived with the head is the body (no further reads).
-  int64_t content_length = ParseContentLength(head.substr(
-      eol == std::string_view::npos ? head.size() : eol));
+  int64_t content_length = ParseContentLength(header_block);
   out->body = data.substr(head_end + head_end_len);
   if (content_length >= 0) {
     if (static_cast<size_t>(content_length) > options.max_body_bytes) {
@@ -256,7 +268,7 @@ std::string_view HttpQueryParam(std::string_view params,
 
 std::string HttpFetch(uint16_t port, std::string_view method,
                       std::string_view target, std::string_view body,
-                      int timeout_ms) {
+                      int timeout_ms, std::string_view extra_headers) {
   int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return {};
   SetSocketTimeouts(fd, timeout_ms);
@@ -270,7 +282,8 @@ std::string HttpFetch(uint16_t port, std::string_view method,
   }
   std::string request = std::string(method) + " " + std::string(target) +
                         " HTTP/1.0\r\nContent-Length: " +
-                        std::to_string(body.size()) + "\r\n\r\n" +
+                        std::to_string(body.size()) + "\r\n" +
+                        std::string(extra_headers) + "\r\n" +
                         std::string(body);
   SendAll(fd, request);
   std::string response;
@@ -298,6 +311,21 @@ int HttpStatusOf(std::string_view raw_response) {
   if (end == std::string_view::npos) return 0;
   if (!ParseInt64(raw_response.substr(sp + 1, end - sp - 1), &code)) return 0;
   return static_cast<int>(code);
+}
+
+std::string_view HttpHeaderOf(std::string_view raw_response,
+                              std::string_view name) {
+  size_t head_end = raw_response.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    head_end = raw_response.find("\n\n");
+  }
+  std::string_view head = head_end == std::string_view::npos
+                              ? raw_response
+                              : raw_response.substr(0, head_end);
+  // Skip the status line.
+  size_t eol = head.find('\n');
+  if (eol == std::string_view::npos) return {};
+  return FindHeaderValue(head.substr(eol + 1), ToLower(name));
 }
 
 std::string_view HttpBodyOf(std::string_view raw_response) {

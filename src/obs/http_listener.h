@@ -31,11 +31,14 @@ namespace frappe::obs {
 //     will (the disarmed fast path is one relaxed atomic load).
 
 // One parsed request. `target` is the path with the query string split off
-// into `params` ("id=3&ms=100").
+// into `params` ("id=3&ms=100"). Of the request headers only `traceparent`
+// is captured (the W3C trace-context header the query front door
+// propagates); everything else is dropped after Content-Length is read.
 struct HttpRequest {
   std::string method;
   std::string target;
   std::string params;
+  std::string traceparent;  // raw header value; empty when absent
   std::string body;
 };
 
@@ -67,9 +70,17 @@ std::string_view HttpQueryParam(std::string_view params, std::string_view key);
 // one request per connection against 127.0.0.1:`port`. Returns the raw
 // response (status line + headers + body); empty string means connect,
 // send or read failure (including a server-side connection drop).
+// `extra_headers` is a raw header block appended verbatim to the request
+// head — each entry must be "Name: value\r\n" (e.g. a traceparent).
 std::string HttpFetch(uint16_t port, std::string_view method,
                       std::string_view target, std::string_view body = {},
-                      int timeout_ms = 5000);
+                      int timeout_ms = 5000,
+                      std::string_view extra_headers = {});
+
+// Value of response header `name` (case-insensitive) in a raw HttpFetch
+// response; empty when absent.
+std::string_view HttpHeaderOf(std::string_view raw_response,
+                              std::string_view name);
 
 // Status code of a raw HttpFetch response, or 0 when unparsable/empty.
 int HttpStatusOf(std::string_view raw_response);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdio>
 #include <limits>
 #include <vector>
@@ -29,6 +30,28 @@ uint64_t Histogram::BucketUpperBound(size_t b) {
   if (b == 0) return 0;
   if (b >= 63) return std::numeric_limits<uint64_t>::max();
   return (uint64_t{1} << b) - 1;
+}
+
+void Histogram::RecordWithExemplar(uint64_t value, uint64_t trace_hi,
+                                   uint64_t trace_lo) {
+  Record(value);
+  if ((trace_hi | trace_lo) == 0) return;
+  uint64_t now_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  Exemplar& slot = exemplars_[BucketOf(value)];
+  slot.value = value;
+  slot.trace_hi = trace_hi;
+  slot.trace_lo = trace_lo;
+  slot.ts_us = now_us;
+  has_exemplars_.store(true, std::memory_order_relaxed);
+}
+
+std::vector<Histogram::Exemplar> Histogram::SnapshotExemplars() const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return std::vector<Exemplar>(exemplars_, exemplars_ + kBuckets);
 }
 
 Histogram::Snapshot Histogram::Snap() const {
@@ -212,7 +235,11 @@ Registry::SnapshotHistograms() const {
   std::vector<std::pair<std::string, Histogram::Snapshot>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
-    out.emplace_back(name, histogram->Snap());
+    Histogram::Snapshot snap = histogram->Snap();
+    if (histogram->has_exemplars()) {
+      snap.exemplars = histogram->SnapshotExemplars();
+    }
+    out.emplace_back(name, std::move(snap));
   }
   return out;
 }

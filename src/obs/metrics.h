@@ -86,10 +86,37 @@ class Histogram {
     s.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
   }
 
+  // OpenMetrics exemplar: the most recent traced sample to land in a
+  // bucket, so a /metrics p99 spike links to a concrete trace id.
+  struct Exemplar {
+    uint64_t value = 0;
+    uint64_t trace_hi = 0;
+    uint64_t trace_lo = 0;
+    uint64_t ts_us = 0;  // unix wall-clock micros; 0 = slot empty
+  };
+
+  // Records `value` and pins it as its bucket's exemplar. This is the
+  // *cold* per-request path (one mutex); hot loops keep using Record,
+  // which stays lock-free.
+  void RecordWithExemplar(uint64_t value, uint64_t trace_hi,
+                          uint64_t trace_lo);
+
+  // True once any exemplar has been pinned — the exposition switches this
+  // histogram from summary to bucketed-histogram-with-exemplars form.
+  bool has_exemplars() const {
+    return has_exemplars_.load(std::memory_order_relaxed);
+  }
+
+  // Latest exemplar per bucket (kBuckets entries; ts_us == 0 means empty).
+  std::vector<Exemplar> SnapshotExemplars() const;
+
   struct Snapshot {
     uint64_t count = 0;
     uint64_t sum = 0;
     uint64_t buckets[kBuckets] = {};
+    // Filled by Registry::SnapshotHistograms when the histogram has
+    // exemplars; empty otherwise.
+    std::vector<Exemplar> exemplars;
 
     double Mean() const {
       return count == 0 ? 0.0
@@ -125,6 +152,10 @@ class Histogram {
     std::atomic<uint64_t> buckets[kBuckets] = {};
   };
   Shard shards_[kMetricShards];
+
+  mutable std::mutex exemplar_mu_;
+  Exemplar exemplars_[kBuckets];
+  std::atomic<bool> has_exemplars_{false};
 };
 
 // Named instrument store. Get* interns the instrument on first use and

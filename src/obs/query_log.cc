@@ -19,14 +19,19 @@ namespace frappe::obs {
 std::string ToJsonLine(const QueryLogRecord& record) {
   std::string out = "{\"ts_us\":" + std::to_string(record.ts_us) +
                     ",\"fp\":\"" + FingerprintHex(record.fingerprint) +
-                    "\",\"query\":" + JsonQuote(record.query) +
+                    "\",\"trace_id\":" + JsonQuote(record.trace_id) +
+                    ",\"query\":" + JsonQuote(record.query) +
                     ",\"raw\":" + JsonQuote(record.raw) +
                     ",\"status\":" + JsonQuote(record.status) +
                     ",\"latency_us\":" + std::to_string(record.latency_us) +
                     ",\"rows\":" + std::to_string(record.rows) +
                     ",\"db_hits\":" + std::to_string(record.db_hits) +
                     ",\"fast_path\":" +
-                    (record.fast_path ? "true" : "false") + "}\n";
+                    (record.fast_path ? "true" : "false") +
+                    ",\"queue_us\":" + std::to_string(record.queue_us) +
+                    ",\"parse_us\":" + std::to_string(record.parse_us) +
+                    ",\"plan_us\":" + std::to_string(record.plan_us) +
+                    ",\"exec_us\":" + std::to_string(record.exec_us) + "}\n";
   return out;
 }
 
@@ -150,6 +155,8 @@ Result<QueryLogRecord> ParseJsonLine(std::string_view line) {
           return p.Fail("fp is not a hex string");
         }
         saw_fp = true;
+      } else if (key == "trace_id") {
+        FRAPPE_ASSIGN_OR_RETURN(record.trace_id, p.ParseString());
       } else if (key == "query") {
         FRAPPE_ASSIGN_OR_RETURN(record.query, p.ParseString());
         saw_query = true;
@@ -168,6 +175,18 @@ Result<QueryLogRecord> ParseJsonLine(std::string_view line) {
       } else if (key == "db_hits") {
         FRAPPE_ASSIGN_OR_RETURN(int64_t v, p.ParseInt());
         record.db_hits = static_cast<uint64_t>(v);
+      } else if (key == "queue_us") {
+        FRAPPE_ASSIGN_OR_RETURN(int64_t v, p.ParseInt());
+        record.queue_us = static_cast<uint64_t>(v);
+      } else if (key == "parse_us") {
+        FRAPPE_ASSIGN_OR_RETURN(int64_t v, p.ParseInt());
+        record.parse_us = static_cast<uint64_t>(v);
+      } else if (key == "plan_us") {
+        FRAPPE_ASSIGN_OR_RETURN(int64_t v, p.ParseInt());
+        record.plan_us = static_cast<uint64_t>(v);
+      } else if (key == "exec_us") {
+        FRAPPE_ASSIGN_OR_RETURN(int64_t v, p.ParseInt());
+        record.exec_us = static_cast<uint64_t>(v);
       } else if (key == "fast_path") {
         if (p.Peek('t')) {
           p.pos += 4;

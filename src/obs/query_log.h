@@ -35,6 +35,7 @@ namespace frappe::obs {
 struct QueryLogRecord {
   int64_t ts_us = 0;        // unix epoch microseconds at completion
   uint64_t fingerprint = 0; // obs::Fingerprint64 of `query`
+  std::string trace_id;     // 32-hex 128-bit trace id (always present)
   std::string query;        // normalized text (literals stripped)
   std::string raw;          // the executed text verbatim — what replay runs
   std::string status = "ok";  // "ok" or a StatusCode name
@@ -42,10 +43,19 @@ struct QueryLogRecord {
   uint64_t rows = 0;
   uint64_t db_hits = 0;
   bool fast_path = false;
+  // Latency attribution (the per-query Timeline): where latency_us went.
+  // queue_us is 0 for queries that never crossed the server's admission
+  // queue (shell, replay, tests).
+  uint64_t queue_us = 0;
+  uint64_t parse_us = 0;
+  uint64_t plan_us = 0;
+  uint64_t exec_us = 0;
 };
 
-// `{"ts_us":...,"fp":"0011aabb...","query":"...","raw":"...","status":"ok",
-//   "latency_us":...,"rows":...,"db_hits":...,"fast_path":false}\n`
+// `{"ts_us":...,"fp":"0011aabb...","trace_id":"<32 hex>","query":"...",
+//   "raw":"...","status":"ok","latency_us":...,"rows":...,"db_hits":...,
+//   "fast_path":false,"queue_us":...,"parse_us":...,"plan_us":...,
+//   "exec_us":...}\n`
 std::string ToJsonLine(const QueryLogRecord& record);
 
 // Parses one line written by ToJsonLine (tolerates unknown keys, enforces

@@ -9,6 +9,7 @@
 #include "obs/fingerprint.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace frappe::obs {
 namespace {
@@ -53,7 +54,8 @@ void QueryRegistry::Handle::Release() {
 
 QueryRegistry::Handle QueryRegistry::Register(
     uint64_t fingerprint, std::string normalized, std::string raw,
-    std::atomic<bool>* external_token) {
+    std::atomic<bool>* external_token, uint64_t trace_hi, uint64_t trace_lo,
+    uint64_t queue_wait_us) {
   if (!enabled()) return Handle();
   auto entry = std::make_shared<Entry>();
   entry->id = next_id_.fetch_add(1, std::memory_order_relaxed);
@@ -62,6 +64,9 @@ QueryRegistry::Handle QueryRegistry::Register(
   entry->raw = std::move(raw);
   entry->start_unix_us = NowUnixMicros();
   entry->start_steady = std::chrono::steady_clock::now();
+  entry->trace_hi = trace_hi;
+  entry->trace_lo = trace_lo;
+  entry->queue_wait_us = queue_wait_us;
   entry->cancel_token =
       external_token != nullptr ? external_token : &entry->own_cancel;
   {
@@ -119,6 +124,9 @@ std::vector<QueryRegistry::Snapshot> QueryRegistry::SnapshotAll() const {
     s.op = entry->progress.op.load(std::memory_order_relaxed);
     s.cancel_requested =
         entry->cancel_requested.load(std::memory_order_relaxed);
+    s.trace_hi = entry->trace_hi;
+    s.trace_lo = entry->trace_lo;
+    s.queue_wait_us = entry->queue_wait_us;
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),
@@ -155,6 +163,8 @@ std::string QueryRegistry::DumpJson() const {
     out += s.op != nullptr ? JsonQuote(s.op) : "null";
     out += ", \"cancel_requested\": ";
     out += s.cancel_requested ? "true" : "false";
+    out += ", \"trace_id\": \"" + TraceIdHex(s.trace_hi, s.trace_lo) + "\"";
+    out += ", \"queue_wait_us\": " + std::to_string(s.queue_wait_us);
     out += "}";
   }
   out += first ? "]\n}\n" : "\n  ]\n}\n";

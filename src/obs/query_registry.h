@@ -39,6 +39,11 @@ class QueryRegistry {
     std::string raw;         // query as typed
     uint64_t start_unix_us = 0;
     std::chrono::steady_clock::time_point start_steady;
+    // Request identity, set at registration (immutable after): the 128-bit
+    // trace id and how long the query waited in the admission queue.
+    uint64_t trace_hi = 0;
+    uint64_t trace_lo = 0;
+    uint64_t queue_wait_us = 0;
     QueryProgress progress;
     // Cancellation: `cancel_token` points at the caller-supplied token when
     // one was passed through ExecOptions, else at `own_cancel`. Cancel(id)
@@ -62,6 +67,9 @@ class QueryRegistry {
     uint64_t rows = 0;
     const char* op = nullptr;
     bool cancel_requested = false;
+    uint64_t trace_hi = 0;
+    uint64_t trace_lo = 0;
+    uint64_t queue_wait_us = 0;
   };
 
   // RAII registration: unregisters on destruction. A default-constructed /
@@ -102,9 +110,13 @@ class QueryRegistry {
 
   // Registers an in-flight query. `external_token` is the caller's cancel
   // token from ExecOptions (may be null — the entry then owns its token).
-  // Returns an empty Handle when the registry is disabled.
+  // The trailing trace identity (trace id + admission queue wait) is
+  // snapshotted into the entry for /debug/queryz. Returns an empty Handle
+  // when the registry is disabled.
   Handle Register(uint64_t fingerprint, std::string normalized,
-                  std::string raw, std::atomic<bool>* external_token);
+                  std::string raw, std::atomic<bool>* external_token,
+                  uint64_t trace_hi = 0, uint64_t trace_lo = 0,
+                  uint64_t queue_wait_us = 0);
 
   // Trips the cancel token of query `id`. Returns false if no such
   // in-flight query exists.

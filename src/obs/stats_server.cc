@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
-#include <thread>
 
 #include "common/string_util.h"
 #include "obs/fingerprint.h"
@@ -14,6 +13,7 @@
 #include "obs/query_registry.h"
 #include "obs/readiness.h"
 #include "obs/trace.h"
+#include "obs/trace_store.h"
 
 namespace frappe::obs {
 
@@ -116,6 +116,32 @@ HttpResponse Ok(std::string_view content_type, std::string body) {
   return r;
 }
 
+// /debug/queryz body: the active-query registry dump plus the front-door
+// pressure section — queue depth and in-flight bytes (the admission
+// gauges) and the queue-wait histogram, so "why is my query slow" and
+// "is the server backed up" are answerable from one endpoint.
+std::string QueryzJson() {
+  std::string out = QueryRegistry::Global().DumpJson();
+  // DumpJson ends with "}\n"; splice the server section in before the
+  // closing brace.
+  if (out.size() >= 2 && out[out.size() - 2] == '}') {
+    out.resize(out.size() - 2);
+  }
+  Registry& registry = Registry::Global();
+  Histogram::Snapshot wait =
+      registry.GetHistogram("server.queue_wait_us").Snap();
+  out += ",\n  \"server\": {\"queue_depth\": " +
+         std::to_string(registry.GetGauge("server.queue_depth").Value());
+  out += ", \"inflight_bytes\": " +
+         std::to_string(registry.GetGauge("server.inflight_bytes").Value());
+  out += ", \"queue_wait_us\": {\"count\": " + std::to_string(wait.count);
+  out += ", \"mean\": " + Num(wait.Mean());
+  out += ", \"p50\": " + Num(wait.Quantile(0.5));
+  out += ", \"p99\": " + Num(wait.Quantile(0.99));
+  out += "}}\n}\n";
+  return out;
+}
+
 }  // namespace
 
 std::string StatsServer::MetricsText(std::string_view build_sha,
@@ -139,14 +165,41 @@ std::string StatsServer::MetricsText(std::string_view build_sha,
     out += "# TYPE " + prom + " gauge\n" + prom + " " +
            std::to_string(value) + "\n";
   }
-  // Histograms as summaries: quantiles interpolated from the pow2 buckets.
+  // Histograms: plain ones export as summaries (quantiles interpolated
+  // from the pow2 buckets); histograms that have pinned exemplars (the
+  // per-request latency family) export in bucketed form so each bucket can
+  // carry its OpenMetrics exemplar — `# {trace_id="..."} value ts` — the
+  // link from a p99 spike on a dashboard to a retained trace.
   for (const auto& [name, snap] : registry.SnapshotHistograms()) {
     std::string prom = PromName(name);
-    out += "# TYPE " + prom + " summary\n";
-    for (double q : {0.5, 0.9, 0.95, 0.99}) {
-      out += prom + "{quantile=\"" + Num(q) + "\"} " +
-             Num(snap.Quantile(q)) + "\n";
+    if (snap.exemplars.empty()) {
+      out += "# TYPE " + prom + " summary\n";
+      for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        out += prom + "{quantile=\"" + Num(q) + "\"} " +
+               Num(snap.Quantile(q)) + "\n";
+      }
+      out += prom + "_sum " + std::to_string(snap.sum) + "\n";
+      out += prom + "_count " + std::to_string(snap.count) + "\n";
+      continue;
     }
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (snap.buckets[b] == 0) continue;
+      cumulative += snap.buckets[b];
+      out += prom + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketUpperBound(b)) + "\"} " +
+             std::to_string(cumulative);
+      const Histogram::Exemplar& ex = snap.exemplars[b];
+      if (ex.ts_us != 0) {
+        out += " # {trace_id=\"" + TraceIdHex(ex.trace_hi, ex.trace_lo) +
+               "\"} " + std::to_string(ex.value) + " " +
+               Num(static_cast<double>(ex.ts_us) / 1e6);
+      }
+      out += "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) +
+           "\n";
     out += prom + "_sum " + std::to_string(snap.sum) + "\n";
     out += prom + "_count " + std::to_string(snap.count) + "\n";
   }
@@ -328,7 +381,7 @@ HttpResponse StatsServer::BuildResponse(const HttpRequest& request) const {
     return Ok("application/json", StatsJson(build_sha_, UptimeSeconds()));
   }
   if (target == "/debug/queryz") {
-    return Ok("application/json", QueryRegistry::Global().DumpJson());
+    return Ok("application/json", QueryzJson());
   }
   if (target == "/debug/cancel") {
     // Cancellation mutates the query's state: POST only, so an accidental
@@ -349,22 +402,41 @@ HttpResponse StatsServer::BuildResponse(const HttpRequest& request) const {
               "{\"cancelled\": " + std::to_string(id) + "}\n");
   }
   if (target == "/debug/tracez") {
-    int64_t window_ms = 100;
-    std::string_view raw = HttpQueryParam(params, "ms");
-    if (!raw.empty() && (!ParseInt64(raw, &window_ms) || window_ms < 0)) {
-      return HttpError(400, "Bad Request", "bad ms parameter");
+    // Every form answers immediately — this endpoint never sleeps on the
+    // serving thread (it used to hold it for the whole ?ms capture window,
+    // starving every other scrape).
+    std::string_view id_raw = HttpQueryParam(params, "trace_id");
+    if (!id_raw.empty()) {
+      // One retained span tree by trace id (tail-sampled: slow, errored,
+      // cancelled, shed, or explicitly traced via a traceparent header).
+      uint64_t hi = 0;
+      uint64_t lo = 0;
+      if (!ParseTraceIdHex(id_raw, &hi, &lo)) {
+        return HttpError(400, "Bad Request",
+                         "bad trace_id (want 32 hex chars)");
+      }
+      StoredTrace trace;
+      if (!TraceStore::Global().Lookup(hi, lo, &trace)) {
+        return HttpError(404, "Not Found",
+                         "no retained trace with that id (retention "
+                         "covers slow, errored, cancelled, shed and "
+                         "explicitly-traced requests)");
+      }
+      return Ok("application/json", TraceStore::TraceJson(trace));
     }
-    window_ms = std::min<int64_t>(window_ms, 10000);  // bound the capture
-    // On-demand capture: clear the rings, trace for the window, export.
-    // Restores the previous enable state, so a process running with
-    // tracing permanently on keeps it on (its buffered spans are gone —
-    // the rings are shared; documented in DESIGN.md).
-    bool was_enabled = Trace::enabled();
-    Trace::Clear();
-    Trace::Enable();
-    std::this_thread::sleep_for(std::chrono::milliseconds(window_ms));
-    if (!was_enabled) Trace::Disable();
-    return Ok("application/json", Trace::ExportJson());
+    std::string_view raw = HttpQueryParam(params, "ms");
+    if (!raw.empty()) {
+      // Legacy whole-process ring view: the parameter is validated for
+      // compatibility, but the export is of whatever the rings already
+      // hold — enable tracing (Trace::Enable / FRAPPE_TRACE) and scrape.
+      int64_t window_ms = 0;
+      if (!ParseInt64(raw, &window_ms) || window_ms < 0) {
+        return HttpError(400, "Bad Request", "bad ms parameter");
+      }
+      return Ok("application/json", Trace::ExportJson());
+    }
+    // No parameters: the retained-trace index.
+    return Ok("application/json", TraceStore::Global().IndexJson());
   }
   if (target == "/debug/storagez") {
     std::string body = StorageJson();

@@ -32,10 +32,18 @@ namespace frappe::obs {
 // plus the live-diagnostics control plane:
 //
 //   /debug/queryz        in-flight queries: id, fingerprint, elapsed time,
-//                        live progress (steps, db-hits, rows, operator)
+//                        live progress (steps, db-hits, rows, operator,
+//                        trace id, queue wait) plus the front-door
+//                        pressure section (queue depth, in-flight bytes,
+//                        queue-wait histogram)
 //   /debug/cancel?id=N   POST: trips query N's cancel token
-//   /debug/tracez?ms=N   on-demand capture window over the span rings,
-//                        returned as Chrome trace-event JSON
+//   /debug/tracez        retained-trace index (tail-sampled span trees of
+//                        slow/errored/cancelled/shed/explicitly-traced
+//                        requests); ?trace_id=<32 hex> serves one tree as
+//                        Chrome trace-event JSON; ?ms=N exports the global
+//                        span rings as-is (enable tracing first). All
+//                        forms answer immediately — no capture window ever
+//                        blocks the serving thread
 //   /debug/storagez      per-section storage byte breakdown (Table 4)
 //   /debug/statz         cardinality stats catalog (ANALYZE output) + the
 //                        worst-misestimated query fingerprints
@@ -44,8 +52,8 @@ namespace frappe::obs {
 // Opt-in: production binaries call MaybeStartFromEnv() and get a server
 // only when FRAPPE_STATS_PORT is set. Responses are built per request from
 // registry snapshots; connections are served sequentially (the responses
-// are small and the consumer is a scraper, not user traffic) — note a
-// /debug/tracez capture blocks the serving thread for its window. The
+// are small, the consumer is a scraper, and every endpoint — including
+// /debug/tracez — answers without blocking the serving thread). The
 // shared HttpListener enforces SO_RCVTIMEO/SO_SNDTIMEO plus an overall
 // per-request read deadline, so a stalled client cannot wedge the
 // endpoint. Errors are uniform JSON bodies {"error": ..., "status": N}

@@ -68,7 +68,130 @@ std::chrono::steady_clock::time_point TraceEpoch() {
   return epoch;
 }
 
+// Per-thread request-trace state installed by TraceScope plus the span
+// nesting cursor shared with plain (no-scope) global tracing.
+struct ThreadTraceState {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t current_parent = 0;  // span id new spans parent under
+  SpanCollector* sink = nullptr;
+  uint64_t queue_wait_us = 0;
+  uint64_t span_counter = 0;  // feeds NextSpanId
+};
+
+thread_local ThreadTraceState tls_trace;
+
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+// Parses exactly `width` lowercase hex chars; false on any other byte.
+bool ParseHexFixed(std::string_view s, size_t width, uint64_t* out) {
+  if (s.size() < width) return false;
+  uint64_t v = 0;
+  for (size_t i = 0; i < width; ++i) {
+    int n = HexNibble(s[i]);
+    if (n < 0) return false;
+    v = (v << 4) | static_cast<uint64_t>(n);
+  }
+  *out = v;
+  return true;
+}
+
+void AppendHex(std::string* out, uint64_t v, size_t width) {
+  static const char kHex[] = "0123456789abcdef";
+  for (size_t i = 0; i < width; ++i) {
+    out->push_back(kHex[(v >> ((width - 1 - i) * 4)) & 0xf]);
+  }
+}
+
 }  // namespace
+
+std::optional<TraceContext> ParseTraceparent(std::string_view header) {
+  // "00-<32 hex>-<16 hex>-<2 hex>": 55 chars exactly.
+  if (header.size() != 55) return std::nullopt;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') {
+    return std::nullopt;
+  }
+  uint64_t version = 0;
+  if (!ParseHexFixed(header.substr(0, 2), 2, &version)) return std::nullopt;
+  if (version == 0xff) return std::nullopt;
+  TraceContext ctx;
+  if (!ParseHexFixed(header.substr(3, 16), 16, &ctx.trace_hi)) {
+    return std::nullopt;
+  }
+  if (!ParseHexFixed(header.substr(19, 16), 16, &ctx.trace_lo)) {
+    return std::nullopt;
+  }
+  if (!ParseHexFixed(header.substr(36, 16), 16, &ctx.span_id)) {
+    return std::nullopt;
+  }
+  uint64_t flags = 0;
+  if (!ParseHexFixed(header.substr(53, 2), 2, &flags)) return std::nullopt;
+  if (!ctx.valid() || ctx.span_id == 0) return std::nullopt;
+  return ctx;
+}
+
+std::string FormatTraceparent(const TraceContext& ctx) {
+  std::string out = "00-";
+  AppendHex(&out, ctx.trace_hi, 16);
+  AppendHex(&out, ctx.trace_lo, 16);
+  out.push_back('-');
+  AppendHex(&out, ctx.span_id, 16);
+  out += "-01";
+  return out;
+}
+
+std::string TraceIdHex(uint64_t trace_hi, uint64_t trace_lo) {
+  std::string out;
+  out.reserve(32);
+  AppendHex(&out, trace_hi, 16);
+  AppendHex(&out, trace_lo, 16);
+  return out;
+}
+
+std::string SpanIdHex(uint64_t span_id) {
+  std::string out;
+  out.reserve(16);
+  AppendHex(&out, span_id, 16);
+  return out;
+}
+
+bool ParseTraceIdHex(std::string_view hex, uint64_t* hi, uint64_t* lo) {
+  if (hex.size() != 32) return false;
+  std::string lower(hex);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'F') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return ParseHexFixed(std::string_view(lower).substr(0, 16), 16, hi) &&
+         ParseHexFixed(std::string_view(lower).substr(16, 16), 16, lo);
+}
+
+TraceContext GenerateTraceContext() {
+  static std::atomic<uint64_t> counter{[] {
+    auto nanos = std::chrono::steady_clock::now().time_since_epoch().count();
+    static int anchor = 0;
+    return static_cast<uint64_t>(nanos) ^
+           Mix64(reinterpret_cast<uintptr_t>(&anchor));
+  }()};
+  uint64_t base = counter.fetch_add(0x9e3779b97f4a7c15ULL,
+                                    std::memory_order_relaxed);
+  TraceContext ctx;
+  ctx.trace_hi = Mix64(base);
+  ctx.trace_lo = Mix64(base + 0x9e3779b97f4a7c15ULL);
+  if (ctx.trace_hi == 0) ctx.trace_hi = 1;
+  if (ctx.trace_lo == 0) ctx.trace_lo = 1;
+  ctx.span_id = 0;
+  return ctx;
+}
 
 uint64_t Trace::NowMicros() {
   return static_cast<uint64_t>(
@@ -77,14 +200,86 @@ uint64_t Trace::NowMicros() {
           .count());
 }
 
-void Trace::Record(const char* name, uint64_t start_us, uint64_t dur_us) {
+bool Trace::HasRequestContext() { return tls_trace.sink != nullptr; }
+
+TraceContext Trace::CurrentContext() {
+  TraceContext ctx;
+  ctx.trace_hi = tls_trace.trace_hi;
+  ctx.trace_lo = tls_trace.trace_lo;
+  ctx.span_id = tls_trace.current_parent;
+  return ctx;
+}
+
+uint64_t Trace::CurrentQueueWaitUs() { return tls_trace.queue_wait_us; }
+
+SpanCollector* Trace::CurrentSink() { return tls_trace.sink; }
+
+uint64_t Trace::NextSpanId() {
+  // Thread tag in the top 24 bits, local counter below: unique and nonzero
+  // (tids start at 1) without any shared-state contention.
+  uint32_t tid = LocalRing().tid;
+  uint64_t counter = ++tls_trace.span_counter;
+  return (static_cast<uint64_t>(tid) << 40) | (counter & 0xffffffffffULL);
+}
+
+uint64_t Trace::PushSpan(uint64_t span_id) {
+  uint64_t prev = tls_trace.current_parent;
+  tls_trace.current_parent = span_id;
+  return prev;
+}
+
+void Trace::PopSpan(uint64_t previous_span_id) {
+  tls_trace.current_parent = previous_span_id;
+}
+
+void Trace::RecordSpan(const char* name, uint64_t span_id,
+                       uint64_t parent_id, uint64_t start_us,
+                       uint64_t dur_us) {
   ThreadRing& ring = LocalRing();
-  TraceEvent event;
-  event.name = name;
-  event.tid = ring.tid;
-  event.start_us = start_us;
-  event.dur_us = dur_us;
-  ring.Append(event);
+  if (enabled_.load(std::memory_order_relaxed)) {
+    TraceEvent event;
+    event.name = name;
+    event.tid = ring.tid;
+    event.start_us = start_us;
+    event.dur_us = dur_us;
+    event.trace_hi = tls_trace.trace_hi;
+    event.trace_lo = tls_trace.trace_lo;
+    event.span_id = span_id;
+    event.parent_id = parent_id;
+    ring.Append(event);
+  }
+  if (tls_trace.sink != nullptr) {
+    CollectedSpan span;
+    span.name = name;
+    span.tid = ring.tid;
+    span.span_id = span_id;
+    span.parent_id = parent_id;
+    span.start_us = start_us;
+    span.dur_us = dur_us;
+    tls_trace.sink->Add(span);
+  }
+}
+
+TraceScope::TraceScope(const TraceContext& ctx, SpanCollector* sink,
+                       uint64_t queue_wait_us) {
+  saved_ctx_.trace_hi = tls_trace.trace_hi;
+  saved_ctx_.trace_lo = tls_trace.trace_lo;
+  saved_ctx_.span_id = tls_trace.current_parent;
+  saved_sink_ = tls_trace.sink;
+  saved_queue_wait_us_ = tls_trace.queue_wait_us;
+  tls_trace.trace_hi = ctx.trace_hi;
+  tls_trace.trace_lo = ctx.trace_lo;
+  tls_trace.current_parent = ctx.span_id;
+  tls_trace.sink = sink;
+  tls_trace.queue_wait_us = queue_wait_us;
+}
+
+TraceScope::~TraceScope() {
+  tls_trace.trace_hi = saved_ctx_.trace_hi;
+  tls_trace.trace_lo = saved_ctx_.trace_lo;
+  tls_trace.current_parent = saved_ctx_.span_id;
+  tls_trace.sink = saved_sink_;
+  tls_trace.queue_wait_us = saved_queue_wait_us_;
 }
 
 void Trace::Clear() {
@@ -151,15 +346,25 @@ std::string Trace::ExportJson() {
   std::string out = "{\"traceEvents\": [";
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
-    char buf[256];
+    char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "%s\n  {\"name\": \"%s\", \"cat\": \"frappe\", "
                   "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
-                  "\"ts\": %llu, \"dur\": %llu}",
+                  "\"ts\": %llu, \"dur\": %llu",
                   i == 0 ? "" : ",", e.name, e.tid,
                   static_cast<unsigned long long>(e.start_us),
                   static_cast<unsigned long long>(e.dur_us));
     out += buf;
+    if (e.span_id != 0) {
+      out += ", \"args\": {";
+      if ((e.trace_hi | e.trace_lo) != 0) {
+        out += "\"trace_id\": \"" + TraceIdHex(e.trace_hi, e.trace_lo) +
+               "\", ";
+      }
+      out += "\"span_id\": \"" + SpanIdHex(e.span_id) +
+             "\", \"parent_id\": \"" + SpanIdHex(e.parent_id) + "\"}";
+    }
+    out += "}";
   }
   out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
          "{\"dropped_events\": \"" +

@@ -84,6 +84,19 @@ struct OperatorStats {
   size_t lanes = 0;
 };
 
+// Per-query latency attribution: microseconds spent in each stage of the
+// request. parse/plan/exec are filled by Session::Run; queue_us (admission
+// queue wait), serialize_us and total_us are filled by the query server —
+// zero for queries that never crossed it (shell, replay, tests).
+struct Timeline {
+  uint64_t queue_us = 0;
+  uint64_t parse_us = 0;
+  uint64_t plan_us = 0;
+  uint64_t exec_us = 0;
+  uint64_t serialize_us = 0;
+  uint64_t total_us = 0;
+};
+
 // Always-on execution summary: populated for every query (two clock reads
 // plus counters the executor maintains anyway), independent of PROFILE.
 struct ExecStats {
@@ -91,6 +104,7 @@ struct ExecStats {
   uint64_t steps = 0;
   DbHits db_hits;
   bool fast_path_taken = false;
+  Timeline timeline;  // latency attribution (see Timeline)
   std::vector<OperatorStats> operators;  // non-empty only under PROFILE
 };
 

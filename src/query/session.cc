@@ -72,22 +72,33 @@ int64_t NowUnixMicros() {
 
 // Workload telemetry for one finished (or parse-failed) execution: the
 // per-fingerprint stats table always, the structured query log when
-// enabled. Both are fire-and-forget — neither blocks the query path.
+// enabled. Both are fire-and-forget — neither blocks the query path. The
+// trace id ties all three views (stats, qlog, retained traces) together;
+// the timeline says where the latency went.
 void RecordWorkloadTelemetry(const obs::NormalizedQuery& normalized,
                              std::string_view raw_text, bool ok,
                              std::string_view status_name, double elapsed_ms,
-                             uint64_t rows, uint64_t db_hits,
-                             bool fast_path) {
+                             uint64_t rows, uint64_t db_hits, bool fast_path,
+                             const obs::TraceContext& trace,
+                             const Timeline& timeline) {
   uint64_t latency_us =
       elapsed_ms > 0 ? static_cast<uint64_t>(elapsed_ms * 1000.0) : 0;
-  obs::QueryStats::Global()
-      .GetOrCreate(normalized.fingerprint, normalized.text)
-      .Record(ok, latency_us, rows, db_hits);
+  obs::QueryStats::Entry& entry = obs::QueryStats::Global().GetOrCreate(
+      normalized.fingerprint, normalized.text);
+  entry.Record(ok, latency_us, rows, db_hits);
+  entry.RecordTimeline(timeline.queue_us, timeline.parse_us,
+                       timeline.plan_us, timeline.exec_us);
+  // Process-wide latency histogram with the trace id pinned per bucket, so
+  // a /metrics p99 spike links straight to a retained trace.
+  static obs::Histogram& latency_hist =
+      obs::Registry::Global().GetHistogram("query.latency_us");
+  latency_hist.RecordWithExemplar(latency_us, trace.trace_hi, trace.trace_lo);
   obs::QueryLog& qlog = obs::QueryLog::Global();
   if (qlog.enabled()) {
     obs::QueryLogRecord record;
     record.ts_us = NowUnixMicros();
     record.fingerprint = normalized.fingerprint;
+    record.trace_id = obs::TraceIdHex(trace);
     record.query = normalized.text;
     record.raw = std::string(raw_text);
     record.status = std::string(status_name);
@@ -95,6 +106,10 @@ void RecordWorkloadTelemetry(const obs::NormalizedQuery& normalized,
     record.rows = rows;
     record.db_hits = db_hits;
     record.fast_path = fast_path;
+    record.queue_us = timeline.queue_us;
+    record.parse_us = timeline.parse_us;
+    record.plan_us = timeline.plan_us;
+    record.exec_us = timeline.exec_us;
     qlog.Record(std::move(record));
   }
 }
@@ -210,22 +225,34 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
   // hashed. Computed up front so parse failures aggregate by shape too.
   const obs::NormalizedQuery normalized = obs::NormalizeQuery(query_text);
 
+  // Trace identity: adopt the request context the query server installed
+  // via TraceScope, or mint a fresh id for direct callers (shell, replay,
+  // tests) so the query log, /stats and the slow-query ring still carry a
+  // joinable trace id. Minting does NOT activate span collection — the
+  // disabled-span fast path stays one atomic + one TLS load.
+  obs::TraceContext trace = obs::Trace::CurrentContext();
+  if (!trace.valid()) trace = obs::GenerateTraceContext();
+  Timeline timeline;
+  timeline.queue_us = obs::Trace::CurrentQueueWaitUs();
+
   // Active-query registry: this query is visible on /debug/queryz (and
   // cancellable) for the whole call; the RAII handle removes the entry on
   // every exit path — parse failure, EXPLAIN, success, or abort.
   obs::QueryRegistry::Handle active = obs::QueryRegistry::Global().Register(
       normalized.fingerprint, normalized.text, std::string(query_text),
-      options.cancel);
+      options.cancel, trace.trace_hi, trace.trace_lo, timeline.queue_us);
 
   Query query;
   {
     FRAPPE_TRACE_SPAN("session.parse");
+    const uint64_t parse_start = obs::Trace::NowMicros();
     Result<Query> parsed = Parse(query_text);
+    timeline.parse_us = obs::Trace::NowMicros() - parse_start;
     if (!parsed.ok()) {
       RecordWorkloadTelemetry(normalized, query_text, /*ok=*/false,
                               StatusCodeName(parsed.status().code()),
                               /*elapsed_ms=*/0.0, /*rows=*/0, /*db_hits=*/0,
-                              /*fast_path=*/false);
+                              /*fast_path=*/false, trace, timeline);
       return parsed.status();
     }
     query = std::move(*parsed);
@@ -233,8 +260,11 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
 
   if (query.mode == QueryMode::kExplain) {
     FRAPPE_TRACE_SPAN("session.plan");
+    const uint64_t plan_start = obs::Trace::NowMicros();
     QueryResult result;
     FRAPPE_ASSIGN_OR_RETURN(result.plan, Explain(db, query));
+    timeline.plan_us = obs::Trace::NowMicros() - plan_start;
+    result.stats.timeline = timeline;
     return result;
   }
 
@@ -286,9 +316,11 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
          ResultValue::Scalar(graph::Value::Int(
              static_cast<int64_t>(catalog.ByteSize())))});
     db.stats->Set(std::move(catalog));
+    timeline.exec_us = static_cast<uint64_t>(analyze_ms * 1000.0);
+    result.stats.timeline = timeline;
     RecordWorkloadTelemetry(normalized, query_text, /*ok=*/true, "ok",
                             analyze_ms, /*rows=*/1, /*db_hits=*/0,
-                            /*fast_path=*/false);
+                            /*fast_path=*/false, trace, timeline);
     return result;
   }
 
@@ -304,10 +336,12 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
   }
 
   const auto exec_start = std::chrono::steady_clock::now();
+  const uint64_t exec_start_us = obs::Trace::NowMicros();
   Result<QueryResult> result = [&] {
     FRAPPE_TRACE_SPAN("session.execute");
     return Execute(db, query, exec_options);
   }();
+  timeline.exec_us = obs::Trace::NowMicros() - exec_start_us;
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - exec_start)
@@ -315,9 +349,13 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
 
   if (result.ok() && query.mode == QueryMode::kProfile) {
     FRAPPE_TRACE_SPAN("session.plan");
+    const uint64_t plan_start = obs::Trace::NowMicros();
     FRAPPE_ASSIGN_OR_RETURN(result->plan,
                             ProfilePlan(db, query, result->stats));
+    timeline.plan_us = obs::Trace::NowMicros() - plan_start;
   }
+
+  if (result.ok()) result->stats.timeline = timeline;
 
   const char* status_name =
       result.ok() ? "ok" : StatusCodeName(result.status().code());
@@ -325,7 +363,7 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
       normalized, query_text, result.ok(), status_name, elapsed_ms,
       result.ok() ? result->rows.size() : 0,
       result.ok() ? result->stats.db_hits.Total() : 0,
-      result.ok() && result->stats.fast_path_taken);
+      result.ok() && result->stats.fast_path_taken, trace, timeline);
 
   // Estimate-vs-actual instrumentation: compare the planner's final-row
   // estimate against what the execution produced, feed the q-error
@@ -376,7 +414,8 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
     std::string message = "[frappe] slow query (" +
                           std::to_string(elapsed_ms) + " ms >= " +
                           std::to_string(threshold_ms) + " ms) fp=" +
-                          obs::FingerprintHex(normalized.fingerprint) + ": " +
+                          obs::FingerprintHex(normalized.fingerprint) +
+                          " trace=" + obs::TraceIdHex(trace) + ": " +
                           normalized.text + "\n";
     if (result.ok() && !result->plan.empty()) {
       message += result->plan;
@@ -390,6 +429,7 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
     obs::SlowQueryRing::Record slow;
     slow.ts_us = NowUnixMicros();
     slow.fingerprint = normalized.fingerprint;
+    slow.trace_id = obs::TraceIdHex(trace);
     slow.normalized = normalized.text;
     slow.latency_ms = elapsed_ms;
     slow.threshold_ms = threshold_ms;

@@ -22,8 +22,8 @@ obs::Gauge& InflightGauge() {
 
 }  // namespace
 
-AdmissionQueue::Outcome AdmissionQueue::TryPush(obs::HttpConnection& conn) {
-  uint64_t charge = conn.request().body.size() +
+AdmissionQueue::Outcome AdmissionQueue::TryPush(Item& item) {
+  uint64_t charge = item.conn.request().body.size() +
                     config_.per_request_overhead_bytes;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -33,9 +33,8 @@ AdmissionQueue::Outcome AdmissionQueue::TryPush(obs::HttpConnection& conn) {
         inflight_bytes_ + charge > config_.max_inflight_bytes) {
       return Outcome::kOverBudget;
     }
-    Item item;
-    item.conn = std::move(conn);
     item.enqueued = std::chrono::steady_clock::now();
+    item.enqueue_trace_us = obs::Trace::NowMicros();
     item.charged_bytes = charge;
     inflight_bytes_ += charge;
     queue_.push_back(std::move(item));

@@ -5,11 +5,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "obs/http_listener.h"
+#include "obs/trace.h"
 
 namespace frappe::server {
 
@@ -46,6 +48,18 @@ class AdmissionQueue {
     obs::HttpConnection conn;
     std::chrono::steady_clock::time_point enqueued;
     uint64_t charged_bytes = 0;
+    // Request trace identity, assigned by the accept thread before TryPush:
+    // `trace.span_id` is the pre-allocated root ("server.request") span id;
+    // `root_parent_id` is the client's span id from its traceparent header
+    // (0 when the server minted the trace). The per-request span sink rides
+    // along so the queue-wait span and every worker-side span land in one
+    // tree. `enqueue_trace_us` is Trace::NowMicros at admission — the
+    // queue-wait span's start and the request timeline's origin.
+    obs::TraceContext trace;
+    uint64_t root_parent_id = 0;
+    bool trace_requested = false;  // client sent a traceparent header
+    uint64_t enqueue_trace_us = 0;
+    std::shared_ptr<obs::SpanCollector> sink;
   };
 
   enum class Outcome { kAdmitted, kQueueFull, kOverBudget, kShutdown };
@@ -53,10 +67,11 @@ class AdmissionQueue {
   explicit AdmissionQueue(AdmissionConfig config)
       : config_(config) {}
 
-  // Admits `conn` (moving it out of the caller) or leaves it untouched and
-  // reports why not — the caller still owns the connection on kQueueFull /
-  // kOverBudget / kShutdown and answers it.
-  Outcome TryPush(obs::HttpConnection& conn);
+  // Admits `item` (moving it out of the caller; the caller pre-fills the
+  // connection and trace fields, TryPush stamps enqueued/charged_bytes) or
+  // leaves it untouched and reports why not — the caller still owns the
+  // connection on kQueueFull / kOverBudget / kShutdown and answers it.
+  Outcome TryPush(Item& item);
 
   // Next item, or nullopt after Shutdown. The worker owns the item's
   // budget charge and must Release(item.charged_bytes) when done with it

@@ -3,15 +3,19 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <utility>
 
 #include "common/fault_injector.h"
 #include "common/string_util.h"
+#include "obs/fingerprint.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/readiness.h"
+#include "obs/trace.h"
+#include "obs/trace_store.h"
 #include "query/executor.h"
 #include "query/session.h"
 
@@ -71,6 +75,30 @@ obs::Counter& EnqueueFaultCounter() {
       obs::Registry::Global().GetCounter("server.enqueue_faults");
   return c;
 }
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("server.queue_wait_us");
+  return h;
+}
+
+uint64_t NowUnixMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// Slow-query threshold in ms (-1 = unset) — the same knob the session's
+// slow-query log reads, reused here as the trace-retention bar so "it was
+// logged slow" and "its trace was retained" agree.
+int64_t SlowTraceThresholdMs() {
+  const char* env = std::getenv("FRAPPE_SLOW_QUERY_MS");
+  if (env == nullptr || *env == '\0') return -1;
+  char* end = nullptr;
+  long long value = std::strtoll(env, &end, 10);
+  if (end == env || value < 0) return -1;
+  return static_cast<int64_t>(value);
+}
 
 // HTTP status for a failed query. 499 is the nginx convention for
 // "request aborted" — the closest standard-adjacent code for cooperative
@@ -113,8 +141,11 @@ HttpResponse ShedResponse(std::string_view detail, int retry_after_seconds) {
   return response;
 }
 
-std::string RenderResultJson(const query::QueryResult& result,
-                             const query::Database& db, uint64_t epoch) {
+// Renders everything except the closing brace: the caller measures this
+// call as serialize time, then appends the trace id and the timeline (which
+// must include that very measurement) before closing the object.
+std::string RenderResultJsonOpen(const query::QueryResult& result,
+                                 const query::Database& db, uint64_t epoch) {
   std::string out = "{\"columns\": [";
   for (size_t i = 0; i < result.columns.size(); ++i) {
     if (i > 0) out += ", ";
@@ -144,8 +175,39 @@ std::string RenderResultJson(const query::QueryResult& result,
   out += ", \"db_hits\": " + std::to_string(result.stats.db_hits.Total());
   out += ", \"fast_path\": ";
   out += result.stats.fast_path_taken ? "true" : "false";
-  out += "}, \"epoch\": " + std::to_string(epoch) + "}\n";
+  out += "}, \"epoch\": " + std::to_string(epoch);
   return out;
+}
+
+std::string RenderTimelineJson(const query::Timeline& t) {
+  std::string out = "{\"queue_us\": " + std::to_string(t.queue_us);
+  out += ", \"parse_us\": " + std::to_string(t.parse_us);
+  out += ", \"plan_us\": " + std::to_string(t.plan_us);
+  out += ", \"exec_us\": " + std::to_string(t.exec_us);
+  out += ", \"serialize_us\": " + std::to_string(t.serialize_us);
+  out += ", \"total_us\": " + std::to_string(t.total_us) + "}";
+  return out;
+}
+
+// A shed request never reaches a worker, but its trace id is exactly what
+// an operator chasing 429s has in hand: retain a one-span tree tagged
+// "shed" so /debug/tracez?trace_id= explains the refusal.
+void RetainShedTrace(const AdmissionQueue::Item& item) {
+  obs::StoredTrace trace;
+  trace.trace_hi = item.trace.trace_hi;
+  trace.trace_lo = item.trace.trace_lo;
+  trace.reason = "shed";
+  trace.status = "ResourceExhausted";
+  trace.fingerprint = obs::FingerprintHex(
+      obs::NormalizeQuery(item.conn.request().body).fingerprint);
+  trace.ts_us = NowUnixMicros();
+  obs::CollectedSpan span;
+  span.name = "server.shed";
+  span.span_id = item.trace.span_id;
+  span.parent_id = item.root_parent_id;
+  span.start_us = obs::Trace::NowMicros();
+  trace.spans.push_back(span);
+  obs::TraceStore::Global().Retain(std::move(trace));
 }
 
 }  // namespace
@@ -233,7 +295,21 @@ void QueryServer::HandleConnection(HttpConnection conn) {
     EnqueueFaultCounter().Add();
     return;
   }
-  switch (queue_.TryPush(conn)) {
+  // Trace identity: adopt the client's traceparent when well-formed (its
+  // span id becomes the root span's parent), mint a fresh trace otherwise —
+  // a malformed header is never a 4xx. The root "server.request" span id is
+  // allocated now so the queue-wait span (recorded by whichever worker pops
+  // the item) parents correctly.
+  AdmissionQueue::Item item;
+  std::optional<obs::TraceContext> remote =
+      obs::ParseTraceparent(request.traceparent);
+  item.trace = remote.has_value() ? *remote : obs::GenerateTraceContext();
+  item.root_parent_id = remote.has_value() ? remote->span_id : 0;
+  item.trace_requested = remote.has_value();
+  item.trace.span_id = obs::Trace::NextSpanId();
+  item.sink = std::make_shared<obs::SpanCollector>();
+  item.conn = std::move(conn);
+  switch (queue_.TryPush(item)) {
     case AdmissionQueue::Outcome::kAdmitted:
       AdmittedCounter().Add();
       return;
@@ -242,18 +318,21 @@ void QueryServer::HandleConnection(HttpConnection conn) {
       obs::Readiness::Global().SetOverloaded(
           true, "admission queue full (" +
                     std::to_string(queue_.config().queue_capacity) + ")");
-      conn.Respond(ShedResponse("admission queue full",
-                                queue_.config().retry_after_seconds));
+      RetainShedTrace(item);
+      item.conn.Respond(ShedResponse("admission queue full",
+                                     queue_.config().retry_after_seconds));
       return;
     case AdmissionQueue::Outcome::kOverBudget:
       ShedBudgetCounter().Add();
       obs::Readiness::Global().SetOverloaded(
           true, "in-flight byte budget exceeded");
-      conn.Respond(ShedResponse("in-flight byte budget exceeded",
-                                queue_.config().retry_after_seconds));
+      RetainShedTrace(item);
+      item.conn.Respond(ShedResponse("in-flight byte budget exceeded",
+                                     queue_.config().retry_after_seconds));
       return;
     case AdmissionQueue::Outcome::kShutdown:
-      conn.Respond(HttpError(503, "Service Unavailable", "server draining"));
+      item.conn.Respond(
+          HttpError(503, "Service Unavailable", "server draining"));
       return;
   }
 }
@@ -263,6 +342,22 @@ void QueryServer::WorkerLoop(size_t worker_index) {
   while (true) {
     std::optional<AdmissionQueue::Item> item = queue_.Pop();
     if (!item.has_value()) break;  // shutdown, queue drained
+    // Queue wait ends now, whatever happens to the request next: record
+    // the histogram (with the trace id as exemplar) and append the
+    // explicit queue-wait span under the pre-allocated root span.
+    const uint64_t queue_wait_us =
+        obs::Trace::NowMicros() - item->enqueue_trace_us;
+    QueueWaitHistogram().RecordWithExemplar(
+        queue_wait_us, item->trace.trace_hi, item->trace.trace_lo);
+    if (item->sink != nullptr) {
+      obs::CollectedSpan wait_span;
+      wait_span.name = "server.queue_wait";
+      wait_span.span_id = obs::Trace::NextSpanId();
+      wait_span.parent_id = item->trace.span_id;
+      wait_span.start_us = item->enqueue_trace_us;
+      wait_span.dur_us = queue_wait_us;
+      item->sink->Add(wait_span);
+    }
     // Reset our cancel token BEFORE checking draining_: if Stop() trips
     // the token between the reset and the check, it also set draining_
     // first, so this request is refused below instead of running with a
@@ -279,29 +374,37 @@ void QueryServer::WorkerLoop(size_t worker_index) {
       // The client has been waiting past the queue deadline — executing
       // now would spend a slot on a request nobody is waiting for.
       QueueExpiredCounter().Add();
-      item->conn.Respond(HttpError(408, "Request Timeout",
-                                   "queue deadline exceeded before "
-                                   "execution started"));
+      HttpResponse expired = HttpError(408, "Request Timeout",
+                                       "queue deadline exceeded before "
+                                       "execution started");
+      expired.headers.emplace_back("traceparent",
+                                   obs::FormatTraceparent(item->trace));
+      item->conn.Respond(expired);
       queue_.Release(item->charged_bytes);
       continue;
     }
     // Queue below capacity again and the request was admittable — clear
     // the overload signal set by a previous shed.
     obs::Readiness::Global().SetOverloaded(false);
-    HttpResponse response =
-        ExecuteQuery(item->conn.request(), worker_index);
+    HttpResponse response = ExecuteQuery(*item, queue_wait_us, worker_index);
     if (response.code == 200) {
       OkCounter().Add();
     } else {
       ErrorCounter().Add();
     }
+    // Echo the trace identity on every /query response — the value a
+    // client needs to fetch its retained tree from /debug/tracez.
+    response.headers.emplace_back("traceparent",
+                                  obs::FormatTraceparent(item->trace));
     item->conn.Respond(response);
     queue_.Release(item->charged_bytes);
   }
 }
 
-HttpResponse QueryServer::ExecuteQuery(const HttpRequest& request,
+HttpResponse QueryServer::ExecuteQuery(const AdmissionQueue::Item& item,
+                                       uint64_t queue_wait_us,
                                        size_t worker_index) {
+  const HttpRequest& request = item.conn.request();
   if (request.body.empty()) {
     return HttpError(400, "Bad Request",
                      "empty body; POST the FQL query text");
@@ -354,11 +457,77 @@ HttpResponse QueryServer::ExecuteQuery(const HttpRequest& request,
   // cancel action, and Stop() all trip the same switch the executor polls.
   exec_options.cancel = worker_cancel_[worker_index].get();
 
-  Result<query::QueryResult> result =
-      query::RunQuery(epoch->db, request.body, exec_options);
-  if (!result.ok()) return QueryErrorResponse(result.status());
-  return JsonResponse(
-      200, "OK", RenderResultJson(*result, epoch->db, epoch->sequence));
+  // Everything from here to serialization runs under the request's trace
+  // scope: session/executor/kernel spans parent under the root span and
+  // land in the per-request sink, and the session reads the trace id and
+  // queue wait for its own telemetry (query log, /stats, slow-query ring).
+  query::Timeline timeline;
+  Result<query::QueryResult> result = [&] {
+    obs::TraceScope scope(item.trace, item.sink.get(), queue_wait_us);
+    return query::RunQuery(epoch->db, request.body, exec_options);
+  }();
+  if (result.ok()) {
+    timeline = result->stats.timeline;
+  }
+  timeline.queue_us = queue_wait_us;
+
+  HttpResponse response;
+  if (result.ok()) {
+    const uint64_t serialize_start = obs::Trace::NowMicros();
+    std::string body =
+        RenderResultJsonOpen(*result, epoch->db, epoch->sequence);
+    timeline.serialize_us = obs::Trace::NowMicros() - serialize_start;
+    timeline.total_us = obs::Trace::NowMicros() - item.enqueue_trace_us;
+    result->stats.timeline = timeline;
+    body += ", \"trace_id\": \"" + obs::TraceIdHex(item.trace) + "\"";
+    body += ", \"timeline\": " + RenderTimelineJson(timeline) + "}\n";
+    response = JsonResponse(200, "OK", std::move(body));
+  } else {
+    timeline.total_us = obs::Trace::NowMicros() - item.enqueue_trace_us;
+    response = QueryErrorResponse(result.status());
+  }
+
+  // Tail-sampling decision: keep the span tree for anything that went
+  // wrong, anything slow, and anything the client explicitly traced.
+  const double latency_ms =
+      static_cast<double>(timeline.total_us) / 1000.0;
+  std::string reason;
+  if (!result.ok()) {
+    reason = result.status().code() == StatusCode::kCancelled ? "cancelled"
+                                                              : "error";
+  } else {
+    int64_t slow_ms = SlowTraceThresholdMs();
+    if (slow_ms >= 0 && latency_ms >= static_cast<double>(slow_ms)) {
+      reason = "slow";
+    } else if (item.trace_requested) {
+      reason = "requested";
+    }
+  }
+  if (!reason.empty() && item.sink != nullptr) {
+    obs::StoredTrace stored;
+    stored.trace_hi = item.trace.trace_hi;
+    stored.trace_lo = item.trace.trace_lo;
+    stored.reason = std::move(reason);
+    stored.status =
+        result.ok() ? "ok" : StatusCodeName(result.status().code());
+    stored.fingerprint = obs::FingerprintHex(
+        obs::NormalizeQuery(request.body).fingerprint);
+    stored.ts_us = NowUnixMicros();
+    stored.latency_ms = latency_ms;
+    stored.dropped_spans = item.sink->dropped();
+    stored.spans = item.sink->TakeSpans();
+    // The root span covers enqueue through serialization; its parent is
+    // the client's span id when one arrived via traceparent.
+    obs::CollectedSpan root;
+    root.name = "server.request";
+    root.span_id = item.trace.span_id;
+    root.parent_id = item.root_parent_id;
+    root.start_us = item.enqueue_trace_us;
+    root.dur_us = timeline.total_us;
+    stored.spans.push_back(root);
+    obs::TraceStore::Global().Retain(std::move(stored));
+  }
+  return response;
 }
 
 void QueryServer::Stop() {

@@ -23,9 +23,20 @@ namespace frappe::server {
 //                   (&fast_path=0 forces the generic executor — a debug
 //                   knob for plan comparison and slow-query tests).
 //                   200 -> {"columns": [...], "rows": [[...]], "stats":
-//                   {...}, "epoch": N}. Errors map: parse/bad request 400,
-//                   deadline or step budget 408, shed 429 (+ Retry-After),
-//                   cancelled 499, draining/no-epoch 503, internal 500.
+//                   {...}, "epoch": N, "trace_id": "<32 hex>",
+//                   "timeline": {queue_us, parse_us, plan_us, exec_us,
+//                   serialize_us, total_us}}. Errors map: parse/bad
+//                   request 400, deadline or step budget 408, shed 429
+//                   (+ Retry-After), cancelled 499, draining/no-epoch 503,
+//                   internal 500.
+//
+// Request tracing: a W3C `traceparent` request header is adopted (the
+// response echoes the same trace id; the client's span id becomes the
+// server root span's parent) or a fresh trace id is minted — malformed
+// headers fall back to minting, never 4xx. Every worker-side response
+// carries a `traceparent` response header. Span trees for slow / errored /
+// cancelled / shed / explicitly-traced requests are retained in the
+// obs::TraceStore, served by /debug/tracez?trace_id=<id>.
 //   GET  /healthz   liveness ("ok")
 //   GET  /readyz    readiness (obs::Readiness: draining/overloaded 503)
 //
@@ -87,7 +98,8 @@ class QueryServer {
 
   void HandleConnection(obs::HttpConnection conn);
   void WorkerLoop(size_t worker_index);
-  obs::HttpResponse ExecuteQuery(const obs::HttpRequest& request,
+  obs::HttpResponse ExecuteQuery(const AdmissionQueue::Item& item,
+                                 uint64_t queue_wait_us,
                                  size_t worker_index);
 
   Options options_;

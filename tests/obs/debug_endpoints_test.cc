@@ -29,6 +29,7 @@
 #include "obs/log.h"
 #include "obs/query_registry.h"
 #include "obs/trace.h"
+#include "obs/trace_store.h"
 #include "query/session.h"
 #include "tests/query/fixture.h"
 
@@ -207,21 +208,24 @@ TEST_F(DebugEndpointsTest, LogzServesTheRecentRing) {
   ExportFixtureFile("debugz_logz.json", body);
 }
 
-TEST_F(DebugEndpointsTest, TracezCapturesAWindowOfSpans) {
-  // Keep queries flowing while the capture window is open so the exported
-  // trace has real spans in it.
+TEST_F(DebugEndpointsTest, TracezServesTheRingWithoutBlocking) {
+  // Capture spans in-process first: the endpoint answers from whatever the
+  // ring already holds. (The old semantics — enable, sleep the requested
+  // window, export — wedged the single serving thread for the duration.)
+  Trace::Clear();
+  Trace::Enable();
   query::testing::PaperFixture fixture;
   query::Session session(fixture.graph);
-  std::atomic<bool> stop{false};
-  std::thread load([&] {
-    while (!stop.load()) {
-      session.Run("MATCH (f:function) RETURN f");
-    }
-  });
-  std::string response = HttpGet(port(), "/debug/tracez?ms=150");
-  stop.store(true);
-  load.join();
+  ASSERT_TRUE(session.Run("MATCH (f:function) RETURN f").ok());
+  Trace::Disable();
 
+  auto start = std::chrono::steady_clock::now();
+  std::string response = HttpGet(port(), "/debug/tracez?ms=5000");
+  double waited_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  // Far under the requested window: the serving thread never slept.
+  EXPECT_LT(waited_ms, 2000.0) << "tracez blocked the serving thread";
   EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
   EXPECT_NE(response.find("application/json"), std::string::npos);
   std::string body = Body(response);
@@ -230,10 +234,71 @@ TEST_F(DebugEndpointsTest, TracezCapturesAWindowOfSpans) {
   // Chrome-trace validity is checked by tools/trace_check.py from ctest.
   ExportFixtureFile("tracez_export.json", body);
 
-  // A bad window is rejected, and the capture did not leave tracing on.
+  // A bad window is rejected, and tracez never toggles tracing itself.
   std::string bad = HttpGet(port(), "/debug/tracez?ms=banana");
   EXPECT_NE(bad.find("400"), std::string::npos) << bad;
   EXPECT_FALSE(Trace::enabled());
+  Trace::Clear();
+}
+
+TEST_F(DebugEndpointsTest, TracezServesRetainedTracesById) {
+  TraceStore& store = TraceStore::Global();
+  store.Clear();
+  StoredTrace retained;
+  retained.trace_hi = 0x0123456789abcdefull;
+  retained.trace_lo = 0xfedcba9876543210ull;
+  retained.reason = "slow";
+  retained.status = "ok";
+  retained.fingerprint = "00000000deadbeef";
+  retained.ts_us = 1;
+  retained.latency_ms = 12.5;
+  CollectedSpan root;
+  root.name = "server.request";
+  root.span_id = 0x10;
+  root.parent_id = 0;
+  root.start_us = 100;
+  root.dur_us = 500;
+  CollectedSpan child;
+  child.name = "server.queue_wait";
+  child.span_id = 0x11;
+  child.parent_id = 0x10;
+  child.start_us = 100;
+  child.dur_us = 40;
+  retained.spans = {root, child};
+  store.Retain(retained);
+
+  // The index lists the retained tail, newest first.
+  std::string index = HttpGet(port(), "/debug/tracez");
+  EXPECT_NE(index.find("200 OK"), std::string::npos) << index;
+  std::string index_body = Body(index);
+  EXPECT_NE(index_body.find("\"retained\": 1"), std::string::npos)
+      << index_body;
+  EXPECT_NE(index_body.find("0123456789abcdeffedcba9876543210"),
+            std::string::npos)
+      << index_body;
+  EXPECT_NE(index_body.find("\"reason\": \"slow\""), std::string::npos)
+      << index_body;
+
+  // Lookup by trace id serves the span tree as Chrome trace events.
+  std::string by_id = HttpGet(
+      port(), "/debug/tracez?trace_id=0123456789abcdeffedcba9876543210");
+  EXPECT_NE(by_id.find("200 OK"), std::string::npos) << by_id;
+  std::string tree = Body(by_id);
+  EXPECT_NE(tree.find("\"traceEvents\""), std::string::npos) << tree;
+  EXPECT_NE(tree.find("server.request"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("server.queue_wait"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("0123456789abcdeffedcba9876543210"), std::string::npos)
+      << tree;
+
+  // Malformed ids are 400, unknown-but-well-formed ids are 404 — both JSON.
+  std::string bad = HttpGet(port(), "/debug/tracez?trace_id=xyz");
+  EXPECT_NE(bad.find("400"), std::string::npos) << bad;
+  EXPECT_NE(bad.find("application/json"), std::string::npos) << bad;
+  std::string unknown = HttpGet(
+      port(), "/debug/tracez?trace_id=00000000000000000000000000000001");
+  EXPECT_NE(unknown.find("404"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("application/json"), std::string::npos) << unknown;
+  store.Clear();
 }
 
 TEST_F(DebugEndpointsTest, ErrorResponsesAreNormalizedJson) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/trace.h"
 
 namespace frappe::obs {
 namespace {
@@ -15,6 +16,7 @@ QueryLogRecord MakeRecord(int i) {
   QueryLogRecord record;
   record.ts_us = 1700000000000000 + i;
   record.fingerprint = 0xDEADBEEF00000000ull + static_cast<uint64_t>(i);
+  record.trace_id = TraceIdHex(0x1000 + static_cast<uint64_t>(i), 0x2000);
   record.query = "match(f:function{name:?})return f";
   record.raw = "MATCH (f:function {name: 'fn_" + std::to_string(i) +
                "'}) RETURN f";

@@ -147,12 +147,19 @@ TEST_F(StatsServerTest, MetricsServesPrometheusExposition) {
   // count depends on what ran before this test.
   EXPECT_NE(body.find("frappe_session_queries_total "), std::string::npos)
       << body;
-  EXPECT_NE(body.find("# TYPE frappe_query_latency_us summary"),
+  // The latency histogram carries exemplars (every query records one with
+  // its trace id), so it exports as a bucketed OpenMetrics-style histogram
+  // rather than a quantile summary.
+  EXPECT_NE(body.find("# TYPE frappe_query_latency_us histogram"),
             std::string::npos)
       << body;
-  EXPECT_NE(body.find("frappe_query_latency_us{quantile=\"0.99\"}"),
+  EXPECT_NE(body.find("frappe_query_latency_us_bucket{le=\""),
             std::string::npos)
       << body;
+  EXPECT_NE(body.find("frappe_query_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find(" # {trace_id=\""), std::string::npos) << body;
   EXPECT_NE(body.find("frappe_query_latency_us_count "), std::string::npos)
       << body;
   EXPECT_NE(body.find("frappe_query_latency_us_sum "), std::string::npos)

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <set>
 #include <string>
@@ -90,8 +91,25 @@ TEST(ChaosTest, ConcurrentClientsFaultsCancellationAndPublishes) {
         } else if (pick == 2) {
           response = HttpFetch(port, "GET", "/weird/path");
         } else {
+          // Propagate a distinct trace id per request: under faults and
+          // shedding the server must still echo exactly the id it was
+          // handed — cross-request mixups would corrupt every dashboard
+          // that joins on trace id.
+          char trace_id[33];
+          std::snprintf(trace_id, sizeof(trace_id), "%016llx%016llx",
+                        static_cast<unsigned long long>(c + 1),
+                        static_cast<unsigned long long>(i + 1));
+          std::string header = "traceparent: 00-" + std::string(trace_id) +
+                               "-00f067aa0ba902b7-01\r\n";
           response = HttpFetch(port, "POST", "/query", kQueries[i % 4],
-                               8000);
+                               8000, header);
+          if (HttpStatusOf(response) == 200 &&
+              std::string(obs::HttpHeaderOf(response, "traceparent"))
+                      .find(trace_id) == std::string::npos) {
+            dirty.fetch_add(1);
+            ADD_FAILURE() << "trace id " << trace_id
+                          << " not echoed:\n" << response.substr(0, 300);
+          }
         }
         outcomes_seen.fetch_add(1);
         if (response.empty()) continue;  // dropped: clean under faults

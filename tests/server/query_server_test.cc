@@ -1,8 +1,10 @@
 // The query front door end to end over real HTTP: response schema, error
 // mapping, per-request deadlines, admission-control shedding with
-// Retry-After, and the liveness/readiness split. Exports capture files
-// (server_query.json, server_overload.http, server_readyz_*.json) that
-// tools/server_check.py validates from ctest.
+// Retry-After, the liveness/readiness split, and request tracing
+// (traceparent adoption/echo, per-query timeline, tail-sampled trace
+// retention). Exports capture files (server_query.json,
+// server_overload.http, server_readyz_*.json, server_trace.json) that
+// tools/server_check.py and tools/trace_check.py validate from ctest.
 
 #include "server/query_server.h"
 
@@ -11,8 +13,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "extractor/synthetic.h"
@@ -20,6 +24,9 @@
 #include "obs/http_listener.h"
 #include "obs/metrics.h"
 #include "obs/readiness.h"
+#include "obs/stats_server.h"
+#include "obs/trace.h"
+#include "obs/trace_store.h"
 #include "server/epoch.h"
 
 namespace frappe::server {
@@ -27,7 +34,17 @@ namespace {
 
 using obs::HttpBodyOf;
 using obs::HttpFetch;
+using obs::HttpHeaderOf;
 using obs::HttpStatusOf;
+
+// Pulls the integer after `"key": ` out of a JSON body; -1 when absent.
+// Enough JSON parsing for the flat timeline object the server emits.
+int64_t JsonInt(std::string_view body, const std::string& key) {
+  std::string needle = "\"" + key + "\": ";
+  size_t at = body.find(needle);
+  if (at == std::string_view::npos) return -1;
+  return std::strtoll(body.data() + at + needle.size(), nullptr, 10);
+}
 
 // One shared epoch manager with a generated kernel-shaped graph: big
 // enough that a slow-path closure query outlasts any short deadline.
@@ -103,7 +120,155 @@ TEST_F(QueryServerTest, QueryAnswersJsonRowsWithStatsAndEpoch) {
   EXPECT_NE(body.find("\"elapsed_ms\": "), std::string::npos) << body;
   EXPECT_NE(body.find("\"db_hits\": "), std::string::npos) << body;
   EXPECT_NE(body.find("\"epoch\": "), std::string::npos) << body;
+  EXPECT_NE(body.find("\"trace_id\": \""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"timeline\": {"), std::string::npos) << body;
   WriteCapture("server_query.json", body);
+}
+
+TEST_F(QueryServerTest, TraceparentIsAdoptedAndEchoed) {
+  // A W3C traceparent on the request: the response must carry the same
+  // trace id — in the echoed traceparent header and the body's trace_id —
+  // with the server's own root span id (not the client's) in the header.
+  std::string response = HttpFetch(
+      port_, "POST", "/query", "MATCH (f:function) RETURN count(*)", 5000,
+      "traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+      "\r\n");
+  ASSERT_EQ(HttpStatusOf(response), 200) << response;
+  std::string echoed(HttpHeaderOf(response, "traceparent"));
+  ASSERT_EQ(echoed.size(), 55u) << echoed;
+  EXPECT_EQ(echoed.substr(0, 3), "00-");
+  EXPECT_EQ(echoed.substr(3, 32), "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_NE(echoed.substr(36, 16), "00f067aa0ba902b7");
+  EXPECT_NE(HttpBodyOf(response).find(
+                "\"trace_id\": \"4bf92f3577b34da6a3ce929d0e0e4736\""),
+            std::string::npos)
+      << response;
+}
+
+TEST_F(QueryServerTest, MalformedTraceparentMintsAFreshIdNever4xx) {
+  // Bad telemetry headers must never fail the query: each of these gets a
+  // 200 with a server-minted trace id, echoed back well-formed.
+  const char* kMalformed[] = {
+      "traceparent: garbage\r\n",
+      "traceparent: 00-zzzz2f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+      "\r\n",
+      // All-zero trace id and version 0xff are invalid per the W3C spec.
+      "traceparent: 00-00000000000000000000000000000000-00f067aa0ba902b7-01"
+      "\r\n",
+      "traceparent: ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+      "\r\n",
+      "traceparent: 00-4bf92f3577b34da6\r\n",
+  };
+  for (const char* header : kMalformed) {
+    std::string response =
+        HttpFetch(port_, "POST", "/query",
+                  "MATCH (f:function) RETURN count(*)", 5000, header);
+    ASSERT_EQ(HttpStatusOf(response), 200) << header << "\n" << response;
+    std::string echoed(HttpHeaderOf(response, "traceparent"));
+    ASSERT_EQ(echoed.size(), 55u) << header << " -> " << echoed;
+    std::string trace_id = echoed.substr(3, 32);
+    EXPECT_NE(trace_id, "00000000000000000000000000000000") << header;
+    EXPECT_NE(trace_id, "4bf92f3577b34da6a3ce929d0e0e4736") << header;
+    // Body and header agree on the minted id.
+    EXPECT_NE(
+        HttpBodyOf(response).find("\"trace_id\": \"" + trace_id + "\""),
+        std::string::npos)
+        << header << "\n" << response;
+  }
+}
+
+TEST_F(QueryServerTest, TimelineComponentsAccountForTheTotal) {
+  // A query with real execution and serialization work: the attributed
+  // components must account for the wall latency — the whole point of the
+  // timeline is that nothing material hides between the phases.
+  std::string response = HttpFetch(port_, "POST", "/query",
+                                   "MATCH (f:function) RETURN f", 15000);
+  ASSERT_EQ(HttpStatusOf(response), 200) << response;
+  std::string_view body = HttpBodyOf(response);
+  int64_t queue_us = JsonInt(body, "queue_us");
+  int64_t parse_us = JsonInt(body, "parse_us");
+  int64_t plan_us = JsonInt(body, "plan_us");
+  int64_t exec_us = JsonInt(body, "exec_us");
+  int64_t serialize_us = JsonInt(body, "serialize_us");
+  int64_t total_us = JsonInt(body, "total_us");
+  ASSERT_GE(queue_us, 0) << body;
+  ASSERT_GE(parse_us, 0) << body;
+  ASSERT_GE(plan_us, 0) << body;
+  ASSERT_GE(exec_us, 0) << body;
+  ASSERT_GE(serialize_us, 0) << body;
+  ASSERT_GT(total_us, 0) << body;
+  int64_t sum = queue_us + parse_us + plan_us + exec_us + serialize_us;
+  EXPECT_LE(sum, total_us) << body;
+  EXPECT_GE(sum, total_us - total_us / 10)
+      << "phases sum to " << sum << "us but the request took " << total_us
+      << "us — more than 10% unattributed: " << body;
+}
+
+TEST_F(QueryServerTest, RequestedTraceIsRetainedWithParentedSpans) {
+  obs::TraceStore::Global().Clear();
+  // A client-traced closure query: the CSR fast path dispatches the
+  // frontier engine, so the retained tree holds queue-wait, session,
+  // executor and per-level analytics spans.
+  std::string response = HttpFetch(
+      port_, "POST", "/query", SlowClosureQuery(), 15000,
+      "traceparent: 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+      "\r\n");
+  ASSERT_EQ(HttpStatusOf(response), 200) << response;
+
+  uint64_t hi = 0, lo = 0;
+  ASSERT_TRUE(obs::ParseTraceIdHex("0af7651916cd43dd8448eb211c80319c", &hi,
+                                   &lo));
+  obs::StoredTrace stored;
+  ASSERT_TRUE(obs::TraceStore::Global().Lookup(hi, lo, &stored))
+      << "client-traced query was not retained";
+  EXPECT_EQ(stored.reason, "requested");
+  EXPECT_EQ(stored.status, "ok");
+
+  const obs::CollectedSpan* root = nullptr;
+  for (const obs::CollectedSpan& span : stored.spans) {
+    if (std::string_view(span.name) == "server.request") root = &span;
+  }
+  ASSERT_NE(root, nullptr) << "no server.request root span";
+  // The root parents under the client's span from the traceparent.
+  EXPECT_EQ(root->parent_id, 0xb7ad6b7169203331ull);
+  bool queue_wait = false, exec = false;
+  int analytics_levels = 0;
+  for (const obs::CollectedSpan& span : stored.spans) {
+    std::string_view name(span.name);
+    if (name == "server.queue_wait") {
+      queue_wait = true;
+      EXPECT_EQ(span.parent_id, root->span_id);
+    }
+    if (name == "session.run") {
+      EXPECT_EQ(span.parent_id, root->span_id);
+    }
+    if (name == "session.execute") exec = true;
+    if (name == "analytics.level") {
+      ++analytics_levels;
+      EXPECT_NE(span.parent_id, 0u);
+    }
+  }
+  EXPECT_TRUE(queue_wait) << "no server.queue_wait span";
+  EXPECT_TRUE(exec) << "no session.execute span";
+  EXPECT_GE(analytics_levels, 1) << "no analytics.level spans";
+
+  // End to end: the stats server serves the same tree by trace id, and
+  // the export feeds tools/trace_check.py --parentage from ctest.
+  auto stats = obs::StatsServer::Start();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  std::string tree = HttpFetch(
+      (*stats)->port(), "GET",
+      "/debug/tracez?trace_id=0af7651916cd43dd8448eb211c80319c");
+  EXPECT_EQ(HttpStatusOf(tree), 200) << tree;
+  std::string tree_body(HttpBodyOf(tree));
+  EXPECT_NE(tree_body.find("server.request"), std::string::npos)
+      << tree_body;
+  EXPECT_NE(tree_body.find("server.queue_wait"), std::string::npos)
+      << tree_body;
+  EXPECT_NE(tree_body.find("analytics.level"), std::string::npos)
+      << tree_body;
+  WriteCapture("server_trace.json", tree_body);
+  (*stats)->Stop();
 }
 
 TEST_F(QueryServerTest, HealthzAndReadyz) {

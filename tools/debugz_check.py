@@ -4,12 +4,15 @@
 Three checks, any subset per invocation:
 
   debugz_check.py --queryz <queryz.json>
-      The active-query registry dump (/debug/queryz): now_us (int >= 0)
-      plus a queries array whose entries carry id (int > 0), fp (16
-      lower-case hex chars), query / raw (strings), start_unix_us (int),
-      elapsed_ms (number >= 0), steps / db_hits / rows (ints >= 0),
-      operator (string or null) and cancel_requested (bool). Unknown keys
-      fail: operators' dashboards parse against this schema.
+      The active-query registry dump (/debug/queryz): now_us (int >= 0),
+      a queries array whose entries carry id (int > 0), fp (16 lower-case
+      hex chars), query / raw (strings), start_unix_us (int), elapsed_ms
+      (number >= 0), steps / db_hits / rows (ints >= 0), operator (string
+      or null), cancel_requested (bool), trace_id (32 lower-case hex
+      chars) and queue_wait_us (int >= 0), plus a server section with the
+      front-door pressure gauges (queue_depth, inflight_bytes) and the
+      queue-wait histogram summary. Unknown keys fail: operators'
+      dashboards parse against this schema.
 
   debugz_check.py --storagez <storagez.json>
       The Table 4 byte breakdown (/debug/storagez): a sections object
@@ -32,6 +35,7 @@ import re
 import sys
 
 FP_RE = re.compile(r"^[0-9a-f]{16}$")
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
 LOG_LEVELS = {"debug", "info", "warn", "error"}
 
 QUERY_SCHEMA = {
@@ -46,6 +50,21 @@ QUERY_SCHEMA = {
     "rows": int,
     "operator": (str, type(None)),
     "cancel_requested": bool,
+    "trace_id": str,
+    "queue_wait_us": int,
+}
+
+SERVER_SCHEMA = {
+    "queue_depth": int,
+    "inflight_bytes": int,
+    "queue_wait_us": dict,
+}
+
+QUEUE_WAIT_SCHEMA = {
+    "count": int,
+    "mean": (int, float),
+    "p50": (int, float),
+    "p99": (int, float),
 }
 
 LOG_ENTRY_SCHEMA = {
@@ -95,9 +114,9 @@ def check_queryz(path):
         return fail(f"cannot load {path}: {e}")
     if not isinstance(doc, dict):
         return fail(f"{path}: top level is not a JSON object")
-    if set(doc.keys()) != {"now_us", "queries"}:
+    if set(doc.keys()) != {"now_us", "queries", "server"}:
         return fail(f"{path}: top-level keys {sorted(doc.keys())},"
-                    " expected ['now_us', 'queries']")
+                    " expected ['now_us', 'queries', 'server']")
     if not isinstance(doc["now_us"], int) or isinstance(doc["now_us"], bool) \
             or doc["now_us"] < 0:
         return fail(f"{path}: now_us={doc['now_us']!r} is not a"
@@ -121,8 +140,27 @@ def check_queryz(path):
                             " negative")
         if not entry["query"]:
             return fail(f"{path}: {where}.query is empty")
-    print(f"debugz_check: OK: {len(doc['queries'])} active queries"
-          f" in {path}")
+        if not TRACE_ID_RE.match(entry["trace_id"]):
+            return fail(f"{path}: {where}.trace_id={entry['trace_id']!r}"
+                        " is not 32 lower-case hex chars")
+        if entry["queue_wait_us"] < 0:
+            return fail(f"{path}: {where}.queue_wait_us is negative")
+    server = doc["server"]
+    rc = check_object(path, server, SERVER_SCHEMA, "server")
+    if rc:
+        return rc
+    for key in ("queue_depth", "inflight_bytes"):
+        if server[key] < 0:
+            return fail(f"{path}: server.{key}={server[key]} is negative")
+    rc = check_object(path, server["queue_wait_us"], QUEUE_WAIT_SCHEMA,
+                      "server.queue_wait_us")
+    if rc:
+        return rc
+    for key in QUEUE_WAIT_SCHEMA:
+        if server["queue_wait_us"][key] < 0:
+            return fail(f"{path}: server.queue_wait_us.{key} is negative")
+    print(f"debugz_check: OK: {len(doc['queries'])} active queries,"
+          f" queue depth {server['queue_depth']} in {path}")
     return 0
 
 

@@ -6,15 +6,19 @@ Two checks, either or both per invocation:
   qlog_check.py <qlog.jsonl> [--min-records N]
       The structured query log: one JSON object per line with the schema
       ToJsonLine writes — ts_us (int >= 0), fp (16 lower-case hex chars),
-      query / raw / status (strings), latency_us / rows / db_hits
-      (ints >= 0), fast_path (bool). Unknown keys fail: the schema is the
-      contract replay and downstream pipelines parse against.
+      trace_id (32 lower-case hex chars), query / raw / status (strings),
+      latency_us / rows / db_hits (ints >= 0), fast_path (bool), and the
+      latency timeline queue_us / parse_us / plan_us / exec_us
+      (ints >= 0). Unknown keys fail: the schema is the contract replay
+      and downstream pipelines parse against.
 
   qlog_check.py --metrics <metrics.txt> [qlog.jsonl]
       A Prometheus text exposition (what GET /metrics on the stats server
       returns): every sample names a metric declared by a preceding
       # TYPE line, metric names match the Prometheus grammar, values
-      parse as floats, and summaries carry quantile labels.
+      parse as floats, summaries carry quantile labels, and OpenMetrics
+      exemplars (`# {trace_id="..."} value ts`) are syntactically valid
+      and only appear on histogram bucket samples.
 
 Exit code 0 when valid, 1 with a diagnostic otherwise.
 
@@ -30,6 +34,7 @@ import sys
 QLOG_SCHEMA = {
     "ts_us": int,
     "fp": str,
+    "trace_id": str,
     "query": str,
     "raw": str,
     "status": str,
@@ -37,14 +42,23 @@ QLOG_SCHEMA = {
     "rows": int,
     "db_hits": int,
     "fast_path": bool,
+    "queue_us": int,
+    "parse_us": int,
+    "plan_us": int,
+    "exec_us": int,
 }
 FP_RE = re.compile(r"^[0-9a-f]{16}$")
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
 
 METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 TYPE_LINE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$")
 SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$")
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)"
+    r"(?P<exemplar> # \{[^}]*\} \S+(?: \S+)?)?$")
+EXEMPLAR_RE = re.compile(
+    r"^ # \{trace_id=\"(?P<trace_id>[0-9a-f]{32})\"\}"
+    r" (?P<value>\S+)(?: (?P<ts>\S+))?$")
 
 
 def fail(message):
@@ -89,6 +103,9 @@ def check_qlog(path, min_records):
         if not FP_RE.match(record["fp"]):
             return fail(f"{path}:{lineno}: fp={record['fp']!r} is not 16"
                         " lower-case hex chars")
+        if not TRACE_ID_RE.match(record["trace_id"]):
+            return fail(f"{path}:{lineno}: trace_id={record['trace_id']!r}"
+                        " is not 32 lower-case hex chars")
         if not record["query"]:
             return fail(f"{path}:{lineno}: empty query")
         if not record["status"]:
@@ -148,6 +165,25 @@ def check_metrics(path):
         except ValueError:
             return fail(f"{path}:{lineno}: non-numeric value"
                         f" {m.group('value')!r}")
+        exemplar = m.group("exemplar")
+        if exemplar:
+            # OpenMetrics exemplar: only on histogram buckets, labelled
+            # with a well-formed trace id, numeric value and timestamp.
+            if declared[family] != "histogram" or \
+                    not name.endswith("_bucket"):
+                return fail(f"{path}:{lineno}: exemplar on non-bucket"
+                            f" sample {name!r}")
+            ex = EXEMPLAR_RE.match(exemplar)
+            if not ex:
+                return fail(f"{path}:{lineno}: malformed exemplar"
+                            f" {exemplar!r}")
+            try:
+                float(ex.group("value"))
+                if ex.group("ts") is not None:
+                    float(ex.group("ts"))
+            except ValueError:
+                return fail(f"{path}:{lineno}: non-numeric exemplar"
+                            f" value/timestamp in {exemplar!r}")
         labels = m.group("labels")
         if labels and 'quantile="' in labels and declared[family] == "summary":
             summaries_with_quantiles.add(family)

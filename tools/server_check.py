@@ -7,8 +7,10 @@ Three checks, any subset per invocation:
       A successful POST /query response body: columns (array of strings),
       rows (array of arrays of strings, each row as wide as columns),
       stats {elapsed_ms, rows, steps, db_hits, fast_path} with rows equal
-      to len(rows), epoch (int >= 1), and optionally plan (string).
-      Unknown keys fail: clients parse against this schema.
+      to len(rows), epoch (int >= 1), trace_id (32 lower-case hex chars),
+      timeline {queue_us, parse_us, plan_us, exec_us, serialize_us,
+      total_us} (ints >= 0), and optionally plan (string). Unknown keys
+      fail: clients parse against this schema.
 
   server_check.py --overload <server_overload.http>
       A raw 429 shed exchange: status line "HTTP/1.0 429 Too Many
@@ -28,6 +30,7 @@ files the query_server_test fixture exports.
 
 import argparse
 import json
+import re
 import sys
 
 READYZ_STATES = {"ready", "degraded", "overloaded", "draining"}
@@ -39,6 +42,11 @@ STATS_SCHEMA = {
     "db_hits": int,
     "fast_path": bool,
 }
+
+TIMELINE_KEYS = {"queue_us", "parse_us", "plan_us", "exec_us",
+                 "serialize_us", "total_us"}
+
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
 
 
 def fail(message):
@@ -58,8 +66,9 @@ def check_query(path):
         return fail(f"cannot load {path}: {e}")
     if not isinstance(doc, dict):
         return fail(f"{path}: top level is not a JSON object")
-    allowed = {"columns", "rows", "stats", "epoch", "plan"}
-    required = {"columns", "rows", "stats", "epoch"}
+    allowed = {"columns", "rows", "stats", "epoch", "plan", "trace_id",
+               "timeline"}
+    required = {"columns", "rows", "stats", "epoch", "trace_id", "timeline"}
     missing = required - doc.keys()
     if missing:
         return fail(f"{path}: missing keys: {sorted(missing)}")
@@ -105,6 +114,26 @@ def check_query(path):
         return fail(f"{path}: epoch={epoch!r} is not a positive int")
     if "plan" in doc and not isinstance(doc["plan"], str):
         return fail(f"{path}: plan is not a string")
+
+    trace_id = doc["trace_id"]
+    if not isinstance(trace_id, str) or not TRACE_ID_RE.match(trace_id):
+        return fail(f"{path}: trace_id={trace_id!r} is not 32 lower-case"
+                    " hex chars")
+    timeline = doc["timeline"]
+    if not isinstance(timeline, dict):
+        return fail(f"{path}: timeline is not an object")
+    if set(timeline.keys()) != TIMELINE_KEYS:
+        return fail(f"{path}: timeline keys {sorted(timeline.keys())},"
+                    f" expected {sorted(TIMELINE_KEYS)}")
+    for key in TIMELINE_KEYS:
+        value = timeline[key]
+        if not isinstance(value, int) or isinstance(value, bool) or \
+                value < 0:
+            return fail(f"{path}: timeline.{key}={value!r} is not a"
+                        " non-negative int")
+    components = sum(timeline[k] for k in TIMELINE_KEYS - {"total_us"})
+    if components > 0 and timeline["total_us"] == 0:
+        return fail(f"{path}: timeline.total_us=0 with nonzero components")
     print(f"server_check: OK: {len(rows)} rows x {len(columns)} columns,"
           f" epoch {epoch} in {path}")
     return 0

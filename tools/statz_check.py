@@ -76,6 +76,14 @@ FINGERPRINT_SCHEMA = {
     "rows": int,
     "db_hits": int,
     "worst_qerror": (int, float),
+    "timeline": dict,
+}
+
+TIMELINE_SCHEMA = {
+    "queue_us": int,
+    "parse_us": int,
+    "plan_us": int,
+    "exec_us": int,
 }
 
 MISESTIMATE_SCHEMA = {
@@ -221,6 +229,13 @@ def check_statz(path):
         if not FP_RE.match(entry["fp"]):
             return fail(f"{path}: {where}.fp={entry['fp']!r} is not 16"
                         " lower-case hex chars")
+        rc = check_object(path, entry["timeline"], TIMELINE_SCHEMA,
+                          f"{where}.timeline")
+        if rc:
+            return rc
+        for key in TIMELINE_SCHEMA:
+            if entry["timeline"][key] < 0:
+                return fail(f"{path}: {where}.timeline.{key} is negative")
         if entry["worst_qerror"] < 0:
             return fail(f"{path}: {where}.worst_qerror is negative")
         if previous_q is not None and entry["worst_qerror"] > previous_q:

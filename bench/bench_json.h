@@ -10,6 +10,8 @@
 // Output location: $FRAPPE_BENCH_JSON_DIR (default: current directory).
 // Files are overwritten on every run.
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -87,11 +89,23 @@ class JsonReport {
     }
     // Provenance stamp: which commit produced the numbers, and when — so
     // BENCH_*.json files from different PRs are comparable as a trajectory.
+    // The rusage block records what the run cost the machine: peak RSS and
+    // user/system CPU seconds of the whole bench process (getrusage), so a
+    // memory regression shows up in the artifact even when latency holds.
+    struct rusage usage {};
+    getrusage(RUSAGE_SELF, &usage);
+    double user_s = static_cast<double>(usage.ru_utime.tv_sec) +
+                    static_cast<double>(usage.ru_utime.tv_usec) / 1e6;
+    double sys_s = static_cast<double>(usage.ru_stime.tv_sec) +
+                   static_cast<double>(usage.ru_stime.tv_usec) / 1e6;
     std::fprintf(f,
                  "{\n  \"bench\": %s,\n  \"git_sha\": %s,\n"
-                 "  \"timestamp\": %s,\n  \"entries\": [",
+                 "  \"timestamp\": %s,\n  \"rusage\": {\"max_rss_kb\": %lld,"
+                 " \"user_s\": %s, \"sys_s\": %s},\n  \"entries\": [",
                  Quoted(name_).c_str(), Quoted(GitSha()).c_str(),
-                 Quoted(TimestampUtc()).c_str());
+                 Quoted(TimestampUtc()).c_str(),
+                 static_cast<long long>(usage.ru_maxrss),
+                 Num(user_s).c_str(), Num(sys_s).c_str());
     for (size_t i = 0; i < entries_.size(); ++i) {
       const JsonEntry& e = entries_[i];
       std::fprintf(f, "%s\n    {\"label\": %s", i == 0 ? "" : ",",

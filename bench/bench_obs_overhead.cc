@@ -20,6 +20,12 @@
 //   6. Request-tracing lane: the same mix run bare vs under a per-request
 //      TraceScope + SpanCollector (what the query server installs for
 //      every admitted request), also held to the 5% bar.
+//   7. Resource-accounting lane: the mix with the ResourceTracker kill
+//      switch off vs each query run under an installed tracker (CPU +
+//      allocation + budget accounting, what RunQuery does), same 5% bar.
+//   8. Profiler-armed reference lane: the mix under a live SIGPROF
+//      sampler at the default rate — informational (profiling is a
+//      bounded operator action, not an always-on path).
 //
 // Emits BENCH_obs_overhead.json through the shared bench_json.h path (git
 // SHA + timestamp stamped). Exits non-zero when the derived disabled-path
@@ -38,8 +44,10 @@
 #include "bench/bench_json.h"
 #include "bench/kernel_common.h"
 #include "model/code_graph.h"
+#include "obs/profiler.h"
 #include "obs/query_log.h"
 #include "obs/query_registry.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "query/session.h"
 
@@ -329,13 +337,99 @@ int main() {
   report.Add("mix_trace_on")
       .Samples(trace_on_ms)
       .Extra("request_tracing_overhead_pct", tracing_pct);
+
+  // --- 7. resource-accounting lane: the per-query ResourceTracker — a
+  // thread-local install, the operator new/delete byte charges, the
+  // CLOCK_THREAD_CPUTIME_ID reads at scope edges, and the per-flush budget
+  // polls in the kernels. Disabled flips the global kill switch (the
+  // allocation hook then costs one thread-local load + null check, the
+  // shipped default when no query is in scope); enabled runs each query
+  // under a tracker the way RunQuery installs one. Same interleaved-median
+  // protocol, same 5% bar.
+  auto run_mix_tracked = [&]() {
+    for (const std::string& q : mix) {
+      obs::ResourceTracker tracker;
+      obs::ResourceScope scope(&tracker);
+      auto result = session.Run(q);
+      if (!result.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+  };
+  std::vector<double> acct_off_ms, acct_on_ms;
+  run_mix_tracked();  // warm
+  for (int i = 0; i < iters; ++i) {
+    obs::ResourceTracker::SetEnabled(false);
+    run_mix();  // warm this mode
+    Clock::time_point start = Clock::now();
+    run_mix();
+    acct_off_ms.push_back(MsSince(start));
+
+    obs::ResourceTracker::SetEnabled(true);
+    run_mix_tracked();
+    start = Clock::now();
+    run_mix_tracked();
+    acct_on_ms.push_back(MsSince(start));
+  }
+  obs::ResourceTracker::SetEnabled(true);  // leave the default behind
+  double acct_off_med = median(acct_off_ms);
+  double acct_on_med = median(acct_on_ms);
+  double acct_pct = 100.0 * (acct_on_med - acct_off_med) / acct_off_med;
+  bool acct_pass = acct_pct < 5.0;
+
+  std::printf("query mix (accounting off): %.3f ms median over %d iters\n",
+              acct_off_med, iters);
+  std::printf("query mix (accounting on):  %.3f ms median (%+.2f%%) -> %s"
+              " (< 5%% required)\n",
+              acct_on_med, acct_pct, acct_pass ? "PASS" : "FAIL");
+
+  report.Add("mix_accounting_off").Samples(acct_off_ms);
+  report.Add("mix_accounting_on")
+      .Samples(acct_on_ms)
+      .Extra("accounting_overhead_pct", acct_pct);
+
+  // --- 8. profiler-armed reference lane: the mix under a live SIGPROF
+  // sampler at the default rate — what /debug/profilez costs while its
+  // window is open. Informational, not gated: an armed profiler is an
+  // explicit operator action with a bounded window, not an always-on
+  // path (the always-on cost is the accounting lane above).
+  double profiler_pct = 0.0;
+  uint64_t profiler_samples = 0;
+  if (Status armed = obs::Profiler::Global().Start(); armed.ok()) {
+    std::vector<double> prof_ms;
+    run_mix();  // warm with the timer armed
+    for (int i = 0; i < iters; ++i) {
+      Clock::time_point start = Clock::now();
+      run_mix();
+      prof_ms.push_back(MsSince(start));
+    }
+    profiler_samples = obs::Profiler::Global().sample_count();
+    std::string folded = obs::Profiler::Global().Stop();
+    (void)folded;
+    double prof_med = median(prof_ms);
+    profiler_pct = 100.0 * (prof_med - mix_off_med) / mix_off_med;
+    std::printf("query mix (profiler armed): %.3f ms median (%+.2f%% vs"
+                " qlog-off baseline), %" PRIu64 " samples [informational]\n",
+                prof_med, profiler_pct, profiler_samples);
+    report.Add("mix_profiler_armed")
+        .Samples(prof_ms)
+        .Extra("profiler_overhead_pct", profiler_pct)
+        .Extra("profiler_samples", static_cast<double>(profiler_samples));
+  } else {
+    std::printf("profiler lane skipped: %s\n", armed.ToString().c_str());
+  }
+
+  bool all_pass =
+      pass && qlog_pass && registry_pass && tracing_pass && acct_pass;
   report.Add("overhead")
       .Extra("derived_disabled_overhead_pct", derived_pct)
       .Extra("qlog_overhead_pct", qlog_pct)
       .Extra("registry_overhead_pct", registry_pct)
       .Extra("request_tracing_overhead_pct", tracing_pct)
-      .Extra("pass",
-             pass && qlog_pass && registry_pass && tracing_pass ? 1 : 0);
+      .Extra("accounting_overhead_pct", acct_pct)
+      .Extra("pass", all_pass ? 1 : 0);
   report.Write();
-  return pass && qlog_pass && registry_pass && tracing_pass ? 0 : 1;
+  return all_pass ? 0 : 1;
 }

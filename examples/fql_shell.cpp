@@ -23,12 +23,15 @@
 //                            on /debug/statz and the structured log
 //   FRAPPE_ESTIMATOR=off     disable the cardinality estimator entirely
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "extractor/synthetic.h"
 #include "graph/csr_view.h"
@@ -36,6 +39,7 @@
 #include "graph/stats.h"
 #include "model/code_graph.h"
 #include "obs/fingerprint.h"
+#include "obs/profiler.h"
 #include "obs/query_log.h"
 #include "obs/query_registry.h"
 #include "obs/stats_server.h"
@@ -134,20 +138,24 @@ void PrintTopQueries() {
     std::printf("no queries recorded yet\n");
     return;
   }
-  std::printf("%-16s %8s %6s %10s %10s %10s %8s %8s %8s %8s  query\n",
+  std::printf("%-16s %8s %6s %10s %10s %10s %8s %8s %8s %8s %8s %9s %9s"
+              "  query\n",
               "fingerprint", "calls", "errors", "total_ms", "avg_ms",
-              "p99_ms", "worst_q", "parse_us", "plan_us", "exec_us");
+              "p99_ms", "worst_q", "parse_us", "plan_us", "exec_us",
+              "cpu_us", "alloc_kb", "peak_kb");
   for (const auto& s : top) {
     double avg_ms =
         s.calls > 0
             ? static_cast<double>(s.total_latency_us) / s.calls / 1000.0
             : 0.0;
     // Per-call latency attribution averages: the same timeline the server
-    // returns per response, aggregated per fingerprint.
+    // returns per response, aggregated per fingerprint. cpu_us/alloc_kb
+    // are per-call averages of the resource accounting; peak_kb is the
+    // worst single call.
     double calls = s.calls > 0 ? static_cast<double>(s.calls) : 1.0;
     std::printf(
         "%-16s %8llu %6llu %10.1f %10.2f %10.2f %8.2f %8.0f %8.0f %8.0f"
-        "  %s\n",
+        " %8.0f %9.1f %9.1f  %s\n",
         obs::FingerprintHex(s.fingerprint).c_str(),
         static_cast<unsigned long long>(s.calls),
         static_cast<unsigned long long>(s.errors),
@@ -156,7 +164,11 @@ void PrintTopQueries() {
         static_cast<double>(s.worst_qerror_x100) / 100.0,
         static_cast<double>(s.parse_us_total) / calls,
         static_cast<double>(s.plan_us_total) / calls,
-        static_cast<double>(s.exec_us_total) / calls, s.normalized.c_str());
+        static_cast<double>(s.exec_us_total) / calls,
+        static_cast<double>(s.cpu_us_total) / calls,
+        static_cast<double>(s.alloc_bytes_total) / calls / 1024.0,
+        static_cast<double>(s.peak_bytes_max) / 1024.0,
+        s.normalized.c_str());
   }
 }
 
@@ -193,6 +205,66 @@ void CancelQuery(const std::string& arg) {
     std::printf("cancel requested for query %llu\n", id);
   } else {
     std::printf("no in-flight query with id %llu\n", id);
+  }
+}
+
+// PROFILE CPU <query>: arm the sampling profiler around one execution and
+// print the hottest folded stacks (the shell-side sibling of
+// /debug/profilez — same SIGPROF sampler, same folded format).
+void RunProfiledQuery(const Shell& shell, const std::string& fql) {
+  Status started = obs::Profiler::Global().Start();
+  if (!started.ok()) {
+    std::printf("profiler unavailable: %s\n", started.ToString().c_str());
+    return;
+  }
+  query::ExecOptions options;
+  options.max_steps = 50'000'000;
+  options.deadline_ms = 30'000;
+  auto result = query::RunQuery(shell.database(), fql, options);
+  std::string folded = obs::Profiler::Global().Stop();
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+  } else {
+    std::printf("%zu row(s); cpu %llu us, alloc %llu bytes, peak %llu"
+                " bytes\n",
+                result->rows.size(),
+                static_cast<unsigned long long>(result->stats.cpu_us),
+                static_cast<unsigned long long>(result->stats.alloc_bytes),
+                static_cast<unsigned long long>(result->stats.peak_bytes));
+  }
+  // Folded lines are "frame;frame;... count"; show the hottest first.
+  std::vector<std::pair<unsigned long long, std::string>> stacks;
+  size_t pos = 0;
+  while (pos < folded.size()) {
+    size_t eol = folded.find('\n', pos);
+    if (eol == std::string::npos) eol = folded.size();
+    std::string lineStr = folded.substr(pos, eol - pos);
+    pos = eol + 1;
+    size_t space = lineStr.rfind(' ');
+    if (space == std::string::npos) continue;
+    unsigned long long count =
+        std::strtoull(lineStr.c_str() + space + 1, nullptr, 10);
+    stacks.emplace_back(count, lineStr.substr(0, space));
+  }
+  if (stacks.empty()) {
+    std::printf("no profile samples (query too fast for the %d Hz"
+                " sampler?)\n",
+                obs::Profiler::Options().hz);
+    return;
+  }
+  std::sort(stacks.begin(), stacks.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  unsigned long long total = 0;
+  for (const auto& [count, stack] : stacks) total += count;
+  std::printf("%llu samples across %zu stacks; top stacks:\n", total,
+              stacks.size());
+  size_t shown = 0;
+  for (const auto& [count, stack] : stacks) {
+    if (++shown > 10) break;
+    std::printf("%6llu (%4.1f%%)  %s\n", count,
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(total),
+                stack.c_str());
   }
 }
 
@@ -276,7 +348,8 @@ int main(int argc, char** argv) {
   if (stats_server != nullptr) {
     std::printf("stats server on http://127.0.0.1:%u  (/metrics /stats"
                 " /healthz /debug/queryz /debug/cancel /debug/tracez"
-                " /debug/storagez /debug/statz /debug/logz)\n",
+                " /debug/storagez /debug/statz /debug/logz /debug/memz"
+                " /debug/profilez)\n",
                 stats_server->port());
   }
   if (auto enabled = obs::QueryLog::Global().EnableFromEnv();
@@ -287,7 +360,8 @@ int main(int argc, char** argv) {
                  enabled.status().ToString().c_str());
   }
 
-  std::printf("type FQL queries (prefix EXPLAIN or PROFILE for plans), or"
+  std::printf("type FQL queries (prefix EXPLAIN or PROFILE for plans,"
+              " PROFILE CPU for a sampled flame profile), or"
               " \\stats \\hubs \\schema \\top \\queries \\cancel <id>"
               " \\explain <query> \\analyze \\statz \\save <path> \\quit\n"
               "  \\queries      list in-flight queries (id, elapsed,"
@@ -335,6 +409,13 @@ int main(int argc, char** argv) {
     }
     if (line.rfind("\\cancel ", 0) == 0) {
       CancelQuery(line.substr(8));
+      continue;
+    }
+    if (line.rfind("PROFILE CPU ", 0) == 0) {
+      // Distinct from plain PROFILE (per-operator plan annotation): this
+      // arms the SIGPROF sampler around the execution and prints where
+      // the CPU time went, as folded stacks.
+      RunProfiledQuery(shell, line.substr(12));
       continue;
     }
     if (line.rfind("\\explain ", 0) == 0) {

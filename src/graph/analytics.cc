@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace frappe::graph::analytics {
@@ -54,7 +55,7 @@ using Clock = std::chrono::steady_clock;
 constexpr uint64_t kFlushInterval = 4096;
 
 enum CancelReason : int { kNone = 0, kSteps = 1, kDeadline = 2,
-                          kExternal = 3 };
+                          kExternal = 3, kMemory = 4 };
 
 struct SharedState {
   std::atomic<uint64_t> steps{0};
@@ -67,7 +68,8 @@ struct SharedState {
   }
 };
 
-Status StatusFor(int reason, const Options& options) {
+Status StatusFor(int reason, const Options& options,
+                 const obs::ResourceTracker* tracker) {
   switch (reason) {
     case kSteps:
       return Status::ResourceExhausted(
@@ -79,6 +81,13 @@ Status StatusFor(int reason, const Options& options) {
                                       "ms");
     case kExternal:
       return Status::Cancelled("traversal cancelled");
+    case kMemory:
+      // "memory" in the message keeps the executor from re-phrasing this
+      // as a step-budget failure (see TryCsrClosure).
+      return Status::ResourceExhausted(
+          "traversal exceeded memory budget of " +
+          std::to_string(tracker != nullptr ? tracker->budget_bytes() : 0) +
+          " bytes");
     default:
       return Status::OK();
   }
@@ -90,7 +99,8 @@ Status StatusFor(int reason, const Options& options) {
 struct LaneBudget {
   SharedState* shared;
   const Options* options;
-  const Clock::time_point* deadline;  // null when no deadline
+  const Clock::time_point* deadline;           // null when no deadline
+  const obs::ResourceTracker* tracker = nullptr;  // null when untracked
   uint64_t local_steps = 0;
 
   void Flush() {
@@ -105,6 +115,8 @@ struct LaneBudget {
       shared->Cancel(kSteps);
     } else if (deadline != nullptr && Clock::now() > *deadline) {
       shared->Cancel(kDeadline);
+    } else if (tracker != nullptr && tracker->OverBudget()) {
+      shared->Cancel(kMemory);
     }
   }
   // Returns true when the traversal was cancelled and the lane must stop.
@@ -125,6 +137,10 @@ Status FrontierEngine::Run(const CsrView& csr,
                            bool track_member, std::vector<uint32_t>* depths,
                            Metrics* metrics) {
   FRAPPE_TRACE_SPAN("analytics.run");
+  // The coordinating thread's tracker (if a query installed one): pool
+  // lanes attach to it below so their CPU time and allocations land on the
+  // query that dispatched them, and every lane polls its memory budget.
+  obs::ResourceTracker* tracker = obs::ResourceTracker::Current();
   size_t upper = csr.NodeIdUpperBound();
   size_t threads = ThreadPool::ResolveThreads(options.threads);
   ThreadPool& pool =
@@ -308,10 +324,11 @@ Status FrontierEngine::Run(const CsrView& csr,
       const bool seq = lanes <= 1;
 
       auto expand_lane = [&](size_t lane) {
+        obs::ResourceLaneScope lane_scope(tracker);
         std::vector<NodeId>& next = lane_next_[lane];
         next.clear();
         uint64_t deg = 0;
-        LaneBudget budget{&shared, &options, deadline_ptr};
+        LaneBudget budget{&shared, &options, deadline_ptr, tracker};
         size_t begin = lane * chunk;
         size_t end = std::min(begin + chunk, frontier_count);
         for (size_t i = begin; i < end; ++i) {
@@ -385,9 +402,10 @@ Status FrontierEngine::Run(const CsrView& csr,
           (uint64_t{1} << VisitedBitmap::kBitsPerWord) - 1;
 
       auto pull_lane = [&](size_t lane) {
+        obs::ResourceLaneScope lane_scope(tracker);
         uint64_t found = 0;
         uint64_t deg = 0;
-        LaneBudget budget{&shared, &options, deadline_ptr};
+        LaneBudget budget{&shared, &options, deadline_ptr, tracker};
         NodeId begin = static_cast<NodeId>(lane * chunk);
         NodeId end = static_cast<NodeId>(
             std::min<size_t>(begin + chunk, upper));
@@ -480,6 +498,7 @@ Status FrontierEngine::Run(const CsrView& csr,
 
   if (metrics != nullptr) {
     metrics->steps = shared.steps.load(std::memory_order_relaxed);
+    metrics->scanned_bytes = metrics->steps * CsrView::kBytesPerEdgeScan;
   }
   static obs::Counter& runs_counter =
       obs::Registry::Global().GetCounter("analytics.runs");
@@ -490,7 +509,8 @@ Status FrontierEngine::Run(const CsrView& csr,
   runs_counter.Add();
   steps_counter.Add(shared.steps.load(std::memory_order_relaxed));
   levels_hist.Record(depth);
-  return StatusFor(shared.reason.load(std::memory_order_relaxed), options);
+  return StatusFor(shared.reason.load(std::memory_order_relaxed), options,
+                   tracker);
 }
 
 Result<std::vector<NodeId>> FrontierEngine::Closure(

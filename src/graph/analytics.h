@@ -177,6 +177,10 @@ struct Metrics {
   // Number of push<->pull transitions across the run.
   size_t direction_switches = 0;
   size_t lanes_used = 0;
+  // Bytes of packed CSR adjacency the run read: steps (edge scans) times
+  // the per-edge scan width (CsrView::kBytesPerEdgeScan). Feeds the
+  // per-query scanned_bytes attribution in ExecStats.
+  uint64_t scanned_bytes = 0;
 };
 
 inline constexpr uint32_t kUnreachedDepth =

@@ -99,6 +99,12 @@ class CsrView final : public GraphView {
     const TypeId* begin_types;
     size_t count;
   };
+
+  // Packed bytes one edge scan touches (target id + type id): the unit the
+  // analytics kernels use to convert step counts into scanned_bytes for
+  // per-query resource attribution.
+  static constexpr uint64_t kBytesPerEdgeScan =
+      sizeof(NodeId) + sizeof(TypeId);
   Neighbors Out(NodeId id) const {
     size_t begin = out_offsets_[id];
     return {out_edges_.data() + begin, out_targets_.data() + begin,

@@ -202,6 +202,18 @@ void QueryStats::Entry::RecordQError(uint64_t qerror_x100) {
   }
 }
 
+void QueryStats::Entry::RecordResources(uint64_t cpu_us,
+                                        uint64_t alloc_bytes,
+                                        uint64_t peak_bytes) {
+  cpu_us_total.fetch_add(cpu_us, std::memory_order_relaxed);
+  alloc_bytes_total.fetch_add(alloc_bytes, std::memory_order_relaxed);
+  uint64_t seen = peak_bytes_max.load(std::memory_order_relaxed);
+  while (peak_bytes > seen &&
+         !peak_bytes_max.compare_exchange_weak(seen, peak_bytes,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
 QueryStats::Entry& QueryStats::GetOrCreate(uint64_t fingerprint,
                                            std::string_view normalized) {
   Shard& shard = shards_[fingerprint % kTableShards];
@@ -237,6 +249,10 @@ std::vector<QueryStats::Snapshot> QueryStats::SnapshotAll() const {
       s.parse_us_total = entry->parse_us_total.load(std::memory_order_relaxed);
       s.plan_us_total = entry->plan_us_total.load(std::memory_order_relaxed);
       s.exec_us_total = entry->exec_us_total.load(std::memory_order_relaxed);
+      s.cpu_us_total = entry->cpu_us_total.load(std::memory_order_relaxed);
+      s.alloc_bytes_total =
+          entry->alloc_bytes_total.load(std::memory_order_relaxed);
+      s.peak_bytes_max = entry->peak_bytes_max.load(std::memory_order_relaxed);
       s.latency = entry->latency_us.Snap();
       out.push_back(std::move(s));
     }
@@ -287,6 +303,10 @@ std::string QueryStats::DumpJson(size_t top_n, Order order) const {
            ", \"rows\": " + std::to_string(s.rows) +
            ", \"db_hits\": " + std::to_string(s.db_hits) +
            ", \"worst_qerror\": " + qbuf +
+           ", \"cpu_us_total\": " + std::to_string(s.cpu_us_total) +
+           ", \"alloc_bytes_total\": " +
+           std::to_string(s.alloc_bytes_total) +
+           ", \"peak_bytes\": " + std::to_string(s.peak_bytes_max) +
            ", \"timeline\": {\"queue_us\": " +
            std::to_string(s.calls == 0 ? 0 : s.queue_us_total / s.calls) +
            ", \"parse_us\": " +
@@ -306,6 +326,17 @@ size_t QueryStats::size() const {
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     total += shard.entries.size();
+  }
+  return total;
+}
+
+uint64_t QueryStats::ApproxBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [fp, entry] : shard.entries) {
+      total += sizeof(Entry) + entry->normalized.capacity();
+    }
   }
   return total;
 }

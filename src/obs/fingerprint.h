@@ -81,6 +81,12 @@ class QueryStats {
     std::atomic<uint64_t> parse_us_total{0};
     std::atomic<uint64_t> plan_us_total{0};
     std::atomic<uint64_t> exec_us_total{0};
+    // Resource attribution (obs/resource.h): cumulative thread-CPU and
+    // allocated bytes, plus the worst single-query live-heap high-water
+    // mark this shape ever hit.
+    std::atomic<uint64_t> cpu_us_total{0};
+    std::atomic<uint64_t> alloc_bytes_total{0};
+    std::atomic<uint64_t> peak_bytes_max{0};
     Histogram latency_us;  // pow2-bucket latency distribution
 
     void Record(bool ok, uint64_t latency, uint64_t row_count,
@@ -90,6 +96,9 @@ class QueryStats {
                         uint64_t plan_us, uint64_t exec_us);
     // CAS-max update from the per-query estimate-vs-actual comparison.
     void RecordQError(uint64_t qerror_x100);
+    // Accumulates one query's resource totals (CAS-max for peak bytes).
+    void RecordResources(uint64_t cpu_us, uint64_t alloc_bytes,
+                         uint64_t peak_bytes);
   };
 
   // Interns (on first use) and returns the process-lifetime entry for
@@ -111,6 +120,9 @@ class QueryStats {
     uint64_t parse_us_total = 0;
     uint64_t plan_us_total = 0;
     uint64_t exec_us_total = 0;
+    uint64_t cpu_us_total = 0;
+    uint64_t alloc_bytes_total = 0;
+    uint64_t peak_bytes_max = 0;
     Histogram::Snapshot latency;
   };
 
@@ -127,11 +139,16 @@ class QueryStats {
   // JSON array of the top-N (0 = all), ordered by `order`: [{"fp": "..",
   // "query": "..", "calls": .., "errors": .., "total_latency_us": ..,
   // "max_latency_us": .., "avg_latency_us": .., "p99_latency_us": ..,
-  // "rows": .., "db_hits": .., "worst_qerror": ..}, ...].
+  // "rows": .., "db_hits": .., "worst_qerror": .., "cpu_us_total": ..,
+  // "alloc_bytes_total": .., "peak_bytes": ..}, ...].
   std::string DumpJson(size_t top_n = 0,
                        Order order = Order::kTotalLatency) const;
 
   size_t size() const;
+
+  // Approximate heap bytes the stats table holds (entries plus interned
+  // normalized text), reported by /debug/memz.
+  uint64_t ApproxBytes() const;
 
   // Forgets all fingerprints (entries are parked, not freed, so
   // references handed out earlier stay valid — the Registry idiom).

@@ -1,0 +1,239 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace frappe {
+namespace obs {
+namespace {
+
+constexpr int kMaxFrames = 48;
+
+struct Sample {
+  int depth = 0;
+  void* frames[kMaxFrames];
+};
+
+// The handler claims slots with one relaxed fetch_add; indices past the
+// capacity count as drops. The ring is heap-allocated at Start and read at
+// Stop, strictly after the timer is disarmed and in-flight handlers have
+// drained.
+struct SampleRing {
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> dropped{0};
+  size_t capacity = 0;
+  std::unique_ptr<Sample[]> samples;
+};
+
+std::atomic<bool> g_armed{false};
+SampleRing* g_ring = nullptr;  // written only while the timer is disarmed
+
+void SigprofHandler(int /*signo*/) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  SampleRing* ring = g_ring;
+  if (ring == nullptr) return;
+  uint64_t index = ring->next.fetch_add(1, std::memory_order_relaxed);
+  if (index >= ring->capacity) {
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Sample& sample = ring->samples[index];
+  sample.depth = backtrace(sample.frames, kMaxFrames);
+}
+
+struct sigaction g_prev_action;
+struct itimerval g_prev_timer;
+bool g_running = false;
+
+std::string SymbolFor(void* pc,
+                      std::unordered_map<void*, std::string>* cache) {
+  auto it = cache->find(pc);
+  if (it != cache->end()) return it->second;
+  std::string name;
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int demangle_status = 0;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr,
+                                          &demangle_status);
+    if (demangle_status == 0 && demangled != nullptr) {
+      name = demangled;
+    } else {
+      name = info.dli_sname;
+    }
+    std::free(demangled);
+    // flamegraph.pl separators: ';' splits frames, ' ' splits the count.
+    for (char& c : name) {
+      if (c == ';' || c == ' ' || c == '\n') c = '_';
+    }
+  } else {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "0x%zx",
+                  reinterpret_cast<size_t>(pc));
+    name = buffer;
+  }
+  cache->emplace(pc, name);
+  return name;
+}
+
+bool IsProfilerFrame(const std::string& name) {
+  return name.find("SigprofHandler") != std::string::npos ||
+         name.find("restore_rt") != std::string::npos ||
+         name.find("sigaction") != std::string::npos ||
+         name.find("killpg") != std::string::npos;
+}
+
+std::string FoldRing(const SampleRing& ring) {
+  size_t count = ring.next.load(std::memory_order_relaxed);
+  if (count > ring.capacity) count = ring.capacity;
+  std::unordered_map<void*, std::string> symbol_cache;
+  std::map<std::string, uint64_t> folded;
+  for (size_t i = 0; i < count; ++i) {
+    const Sample& sample = ring.samples[i];
+    if (sample.depth <= 0) continue;
+    // backtrace() reports innermost first, with the handler and the signal
+    // trampoline as the first frames; trim those, then emit root-first.
+    int begin = 0;
+    while (begin < sample.depth && begin < 4 &&
+           IsProfilerFrame(SymbolFor(sample.frames[begin], &symbol_cache))) {
+      ++begin;
+    }
+    std::string stack;
+    for (int f = sample.depth - 1; f >= begin; --f) {
+      if (!stack.empty()) stack += ';';
+      stack += SymbolFor(sample.frames[f], &symbol_cache);
+    }
+    if (!stack.empty()) ++folded[stack];
+  }
+  std::string out;
+  for (const auto& [stack, n] : folded) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(n);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+Status Profiler::Start(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (g_running) {
+    return Status::FailedPrecondition("profiler already running");
+  }
+  if (options.hz < 1 || options.hz > 10'000) {
+    return Status::InvalidArgument("profiler hz out of range [1, 10000]");
+  }
+  if (options.max_samples == 0) {
+    return Status::InvalidArgument("profiler max_samples must be > 0");
+  }
+
+  auto ring = std::make_unique<SampleRing>();
+  ring->capacity = options.max_samples;
+  ring->samples = std::make_unique<Sample[]>(options.max_samples);
+
+  // backtrace() lazily loads libgcc on first use, which allocates — do that
+  // here, not in the handler.
+  void* warmup[4];
+  backtrace(warmup, 4);
+
+  g_ring = ring.release();
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = SigprofHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SIGPROF, &action, &g_prev_action) != 0) {
+    delete g_ring;
+    g_ring = nullptr;
+    return Status::Internal("sigaction(SIGPROF) failed");
+  }
+  g_armed.store(true, std::memory_order_release);
+
+  struct itimerval timer;
+  long period_us = 1'000'000l / options.hz;
+  if (period_us < 1) period_us = 1;
+  timer.it_interval.tv_sec = period_us / 1'000'000l;
+  timer.it_interval.tv_usec = period_us % 1'000'000l;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, &g_prev_timer) != 0) {
+    g_armed.store(false, std::memory_order_release);
+    sigaction(SIGPROF, &g_prev_action, nullptr);
+    delete g_ring;
+    g_ring = nullptr;
+    return Status::Internal("setitimer(ITIMER_PROF) failed");
+  }
+  g_running = true;
+  return Status::OK();
+}
+
+std::string Profiler::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!g_running) return std::string();
+
+  setitimer(ITIMER_PROF, &g_prev_timer, nullptr);
+  g_armed.store(false, std::memory_order_release);
+  // Give any handler already delivered to another thread time to finish
+  // before the ring is read and freed.
+  usleep(10'000);
+  sigaction(SIGPROF, &g_prev_action, nullptr);
+
+  std::unique_ptr<SampleRing> ring(g_ring);
+  g_ring = nullptr;
+  g_running = false;
+  if (ring == nullptr) return std::string();
+  return FoldRing(*ring);
+}
+
+Result<std::string> Profiler::CaptureFor(double seconds,
+                                         const Options& options) {
+  if (seconds <= 0 || seconds > 60) {
+    return Status::InvalidArgument("capture seconds out of range (0, 60]");
+  }
+  if (Status started = Start(options); !started.ok()) return started;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6)));
+  return Stop();
+}
+
+bool Profiler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return g_running;
+}
+
+uint64_t Profiler::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (g_ring == nullptr) return 0;
+  uint64_t n = g_ring->next.load(std::memory_order_relaxed);
+  return n > g_ring->capacity ? g_ring->capacity : n;
+}
+
+uint64_t Profiler::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (g_ring == nullptr) return 0;
+  return g_ring->dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace frappe

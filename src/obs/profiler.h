@@ -1,0 +1,71 @@
+// In-process sampling CPU profiler with flame-graph export.
+//
+// A SIGPROF timer (setitimer(ITIMER_PROF)) fires against the process's
+// consumed CPU time; the signal handler captures a backtrace() into a
+// pre-allocated lock-free sample ring — one fetch_add to claim a slot, no
+// allocation, no locks, nothing async-signal-unsafe after the first
+// (pre-warmed) backtrace call. Symbolization (dladdr + demangle) happens at
+// Stop(), off the signal path, and the result is emitted as folded stacks —
+// one "frame;frame;frame count" line per unique stack, root first — the
+// format flamegraph.pl and speedscope consume directly.
+//
+// Served at /debug/profilez (stats_server.cc): ?seconds=N does a blocking
+// capture; ?action=start/status/stop is the non-blocking model (mirrors
+// tracez). The shell's `PROFILE CPU <query>` wraps one query in a capture.
+
+#ifndef FRAPPE_OBS_PROFILER_H_
+#define FRAPPE_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace frappe {
+namespace obs {
+
+class Profiler {
+ public:
+  struct Options {
+    int hz = 250;                  // sample frequency (of consumed CPU time)
+    size_t max_samples = 1 << 15;  // ring capacity; samples beyond are dropped
+  };
+
+  // Process-wide singleton: SIGPROF and ITIMER_PROF are process-global, so
+  // only one capture can be active at a time.
+  static Profiler& Global();
+
+  // Arms the timer and starts sampling. FailedPrecondition if already
+  // running. (Overloads, not a default argument: an in-class
+  // `= Options()` default needs the member initializers before the
+  // enclosing class is complete, which gcc rejects.)
+  Status Start() { return Start(Options()); }
+  Status Start(const Options& options);
+
+  // Disarms the timer, symbolizes the ring, and returns folded stacks.
+  // Returns an empty string when not running.
+  std::string Stop();
+
+  // Blocking convenience: Start, sleep `seconds` of wall time, Stop.
+  // FailedPrecondition if a capture is already running.
+  Result<std::string> CaptureFor(double seconds) {
+    return CaptureFor(seconds, Options());
+  }
+  Result<std::string> CaptureFor(double seconds, const Options& options);
+
+  bool running() const;
+  // Samples captured so far (live during a capture), and samples dropped
+  // because the ring filled.
+  uint64_t sample_count() const;
+  uint64_t dropped() const;
+
+ private:
+  Profiler() = default;
+  mutable std::mutex mu_;  // serializes Start/Stop/CaptureFor
+};
+
+}  // namespace obs
+}  // namespace frappe
+
+#endif  // FRAPPE_OBS_PROFILER_H_

@@ -31,7 +31,11 @@ std::string ToJsonLine(const QueryLogRecord& record) {
                     ",\"queue_us\":" + std::to_string(record.queue_us) +
                     ",\"parse_us\":" + std::to_string(record.parse_us) +
                     ",\"plan_us\":" + std::to_string(record.plan_us) +
-                    ",\"exec_us\":" + std::to_string(record.exec_us) + "}\n";
+                    ",\"exec_us\":" + std::to_string(record.exec_us) +
+                    ",\"cpu_us\":" + std::to_string(record.cpu_us) +
+                    ",\"alloc_bytes\":" + std::to_string(record.alloc_bytes) +
+                    ",\"peak_bytes\":" + std::to_string(record.peak_bytes) +
+                    "}\n";
   return out;
 }
 
@@ -187,6 +191,15 @@ Result<QueryLogRecord> ParseJsonLine(std::string_view line) {
       } else if (key == "exec_us") {
         FRAPPE_ASSIGN_OR_RETURN(int64_t v, p.ParseInt());
         record.exec_us = static_cast<uint64_t>(v);
+      } else if (key == "cpu_us") {
+        FRAPPE_ASSIGN_OR_RETURN(int64_t v, p.ParseInt());
+        record.cpu_us = static_cast<uint64_t>(v);
+      } else if (key == "alloc_bytes") {
+        FRAPPE_ASSIGN_OR_RETURN(int64_t v, p.ParseInt());
+        record.alloc_bytes = static_cast<uint64_t>(v);
+      } else if (key == "peak_bytes") {
+        FRAPPE_ASSIGN_OR_RETURN(int64_t v, p.ParseInt());
+        record.peak_bytes = static_cast<uint64_t>(v);
       } else if (key == "fast_path") {
         if (p.Peek('t')) {
           p.pos += 4;
@@ -448,6 +461,11 @@ Status QueryLog::Flush() {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return Status::DeadlineExceeded("query log flush timed out");
+}
+
+uint64_t QueryLog::ApproxRingBytes() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return slots_.size() * (sizeof(Slot) + sizeof(void*));
 }
 
 void QueryLog::PauseWriterForTesting(bool paused) {

@@ -50,12 +50,17 @@ struct QueryLogRecord {
   uint64_t parse_us = 0;
   uint64_t plan_us = 0;
   uint64_t exec_us = 0;
+  // Resource attribution (obs/resource.h): thread-CPU across all threads
+  // the query touched, bytes allocated, and the live-heap high-water mark.
+  uint64_t cpu_us = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t peak_bytes = 0;
 };
 
 // `{"ts_us":...,"fp":"0011aabb...","trace_id":"<32 hex>","query":"...",
 //   "raw":"...","status":"ok","latency_us":...,"rows":...,"db_hits":...,
 //   "fast_path":false,"queue_us":...,"parse_us":...,"plan_us":...,
-//   "exec_us":...}\n`
+//   "exec_us":...,"cpu_us":...,"alloc_bytes":...,"peak_bytes":...}\n`
 std::string ToJsonLine(const QueryLogRecord& record);
 
 // Parses one line written by ToJsonLine (tolerates unknown keys, enforces
@@ -103,6 +108,11 @@ class QueryLog {
   uint64_t rotations() const {
     return rotations_.load(std::memory_order_relaxed);
   }
+
+  // Approximate heap bytes held by the in-memory ring (slot structs; the
+  // variable-length strings inside records are not walked), reported by
+  // /debug/memz.
+  uint64_t ApproxRingBytes();
 
   // Stalls the writer thread so tests can fill the ring deterministically.
   // Pausing blocks until the writer has parked (so nothing pushed after

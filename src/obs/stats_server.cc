@@ -1,5 +1,8 @@
 #include "obs/stats_server.h"
 
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +12,7 @@
 #include "obs/fingerprint.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/query_log.h"
 #include "obs/query_registry.h"
 #include "obs/readiness.h"
@@ -134,12 +138,46 @@ std::string QueryzJson() {
          std::to_string(registry.GetGauge("server.queue_depth").Value());
   out += ", \"inflight_bytes\": " +
          std::to_string(registry.GetGauge("server.inflight_bytes").Value());
+  out += ", \"inflight_bytes_hw\": " +
+         std::to_string(
+             registry.GetGauge("server.inflight_bytes_hw").Value());
   out += ", \"queue_wait_us\": {\"count\": " + std::to_string(wait.count);
   out += ", \"mean\": " + Num(wait.Mean());
   out += ", \"p50\": " + Num(wait.Quantile(0.5));
   out += ", \"p99\": " + Num(wait.Quantile(0.99));
   out += "}}\n}\n";
   return out;
+}
+
+// Current resident set from /proc/self/statm (field 2, pages). Linux
+// only; 0 when the file is unreadable.
+uint64_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long resident_pages = 0;
+  int fields = std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  return resident_pages * static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+// Lifetime peak RSS (getrusage reports kilobytes on Linux).
+uint64_t PeakRssBytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+// The per-query memory budget in force (FRAPPE_QUERY_MEM_BYTES, read per
+// call like every other env knob; 0 = unlimited). The query layer reads
+// the same variable when installing a query's ResourceTracker.
+uint64_t QueryMemBudgetBytes() {
+  const char* env = std::getenv("FRAPPE_QUERY_MEM_BYTES");
+  if (env == nullptr || *env == '\0') return 0;
+  int64_t v = 0;
+  if (!ParseInt64(env, &v) || v < 0) return 0;
+  return static_cast<uint64_t>(v);
 }
 
 }  // namespace
@@ -250,6 +288,39 @@ std::string StatsServer::StorageJson() {
   return out;
 }
 
+std::string StatsServer::MemzJson() {
+  // Subsystem sections: the storage provider's breakdown (its own "total"
+  // dropped — /debug/memz computes one sum over everything) plus the
+  // obs-side rings that grow with traffic rather than with the graph.
+  bool have_storage = false;
+  StorageSections sections = QueryStorageSections(&have_storage);
+  std::string out = "{\n  \"rss_bytes\": " + std::to_string(CurrentRssBytes());
+  out += ",\n  \"peak_rss_bytes\": " + std::to_string(PeakRssBytes());
+  out += ",\n  \"query_mem_budget_bytes\": " +
+         std::to_string(QueryMemBudgetBytes());
+  out += ",\n  \"sections\": {";
+  uint64_t total = 0;
+  bool first = true;
+  auto emit = [&](const std::string& name, uint64_t bytes) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonQuote(name) + ": " + std::to_string(bytes);
+    total += bytes;
+  };
+  if (have_storage) {
+    for (const auto& [section, bytes] : sections) {
+      if (section == "total") continue;
+      emit(section, bytes);
+    }
+  }
+  emit("trace_store", TraceStore::Global().ApproxBytes());
+  emit("query_log_ring", QueryLog::Global().ApproxRingBytes());
+  emit("query_stats", QueryStats::Global().ApproxBytes());
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"total\": " + std::to_string(total) + "\n}\n";
+  return out;
+}
+
 void StatsServer::SetStorageStatsProvider(
     std::function<StorageSections()> fn) {
   std::lock_guard<std::mutex> lock(StorageProviderMutex());
@@ -336,7 +407,7 @@ std::unique_ptr<StatsServer> StatsServer::MaybeStartFromEnv() {
               std::to_string((*server)->port()) +
               " (/metrics /stats /healthz /readyz /debug/queryz "
               "/debug/storagez /debug/statz /debug/logz /debug/tracez "
-              "/debug/cancel)");
+              "/debug/cancel /debug/memz /debug/profilez)");
   return std::move(*server);
 }
 
@@ -454,10 +525,70 @@ HttpResponse StatsServer::BuildResponse(const HttpRequest& request) const {
   if (target == "/debug/logz") {
     return Ok("application/json", Log::DumpJson());
   }
+  if (target == "/debug/memz") {
+    return Ok("application/json", MemzJson());
+  }
+  if (target == "/debug/profilez") {
+    Profiler& profiler = Profiler::Global();
+    std::string_view action = HttpQueryParam(params, "action");
+    if (!action.empty()) {
+      // Non-blocking control surface: start arms the timer and returns
+      // immediately, status reports progress, stop disarms and returns
+      // whatever was collected.
+      if (action == "start") {
+        Status started = profiler.Start();
+        if (!started.ok()) {
+          return HttpError(409, "Conflict", started.message());
+        }
+        return Ok("application/json", "{\"profiling\": true}\n");
+      }
+      if (action == "status") {
+        return Ok("application/json",
+                  std::string("{\"running\": ") +
+                      (profiler.running() ? "true" : "false") +
+                      ", \"samples\": " +
+                      std::to_string(profiler.sample_count()) +
+                      ", \"dropped\": " +
+                      std::to_string(profiler.dropped()) + "}\n");
+      }
+      if (action == "stop") {
+        if (!profiler.running()) {
+          return HttpError(409, "Conflict", "no capture running");
+        }
+        return Ok("text/plain", profiler.Stop());
+      }
+      return HttpError(400, "Bad Request",
+                       "bad action (want start, status or stop)");
+    }
+    // Blocking form: capture for ?seconds=N (default 1) and answer with
+    // the folded stacks. This is the one endpoint that intentionally
+    // holds the serving thread — the operator asked for a timed window.
+    double seconds = 1.0;
+    std::string_view raw = HttpQueryParam(params, "seconds");
+    if (!raw.empty()) {
+      char* end = nullptr;
+      std::string owned(raw);
+      seconds = std::strtod(owned.c_str(), &end);
+      if (end == owned.c_str() || seconds <= 0 || seconds > 60) {
+        return HttpError(400, "Bad Request",
+                         "bad seconds parameter (want 0 < s <= 60)");
+      }
+    }
+    Result<std::string> folded = Profiler::Global().CaptureFor(seconds);
+    if (!folded.ok()) {
+      int code =
+          folded.status().code() == StatusCode::kFailedPrecondition ? 409
+                                                                    : 400;
+      return HttpError(code, code == 409 ? "Conflict" : "Bad Request",
+                       folded.status().message());
+    }
+    return Ok("text/plain", std::move(*folded));
+  }
   return HttpError(404, "Not Found",
                    "unknown path; try /metrics /stats /healthz /readyz "
                    "/debug/queryz /debug/storagez /debug/statz "
-                   "/debug/logz /debug/tracez /debug/cancel");
+                   "/debug/logz /debug/tracez /debug/cancel /debug/memz "
+                   "/debug/profilez");
 }
 
 }  // namespace frappe::obs

@@ -48,6 +48,17 @@ namespace frappe::obs {
 //   /debug/statz         cardinality stats catalog (ANALYZE output) + the
 //                        worst-misestimated query fingerprints
 //   /debug/logz          recent structured-log entries (the in-memory ring)
+//   /debug/memz          process memory attribution: RSS and peak RSS plus
+//                        per-subsystem byte sections (the storage provider's
+//                        sections, the retained-trace store, the query-log
+//                        ring, the fingerprint stats table) and the
+//                        per-query memory budget in force
+//   /debug/profilez      on-demand CPU profile: ?seconds=N (default 1)
+//                        blocks for the window and returns folded stacks
+//                        ("frame;frame;... count" lines, flamegraph.pl
+//                        input); ?action=start|status|stop drives a
+//                        non-blocking capture. 409 while a capture is
+//                        already running
 //
 // Opt-in: production binaries call MaybeStartFromEnv() and get a server
 // only when FRAPPE_STATS_PORT is set. Responses are built per request from
@@ -100,6 +111,11 @@ class StatsServer {
                                double uptime_seconds);
   static std::string StorageJson();
   static std::string StatzJson();
+  // /debug/memz body: {"rss_bytes", "peak_rss_bytes",
+  // "query_mem_budget_bytes", "sections": {name: bytes, ...}, "total"}.
+  // Sections merge the storage provider's breakdown (minus its own
+  // "total") with the obs-side rings; total is the sum of the sections.
+  static std::string MemzJson();
 
   // Storage byte breakdown served by /debug/storagez and exported as
   // frappe_storage_bytes{section=...} gauges: ordered (section, bytes)

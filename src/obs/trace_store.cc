@@ -132,4 +132,16 @@ void TraceStore::Clear() {
   evicted_ = 0;
 }
 
+uint64_t TraceStore::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes = 0;
+  for (const StoredTrace& trace : ring_) {
+    bytes += sizeof(StoredTrace);
+    bytes += trace.reason.capacity() + trace.status.capacity() +
+             trace.fingerprint.capacity();
+    bytes += trace.spans.capacity() * sizeof(CollectedSpan);
+  }
+  return bytes;
+}
+
 }  // namespace frappe::obs

@@ -61,6 +61,10 @@ class TraceStore {
   uint64_t evicted() const;
   void Clear();
 
+  // Approximate heap footprint of the retained traces (ring metadata,
+  // per-trace strings, span vectors) for /debug/memz.
+  uint64_t ApproxBytes() const;
+
  private:
   size_t capacity_;
   mutable std::mutex mu_;

@@ -12,6 +12,7 @@
 #include "graph/traversal.h"
 #include "obs/metrics.h"
 #include "obs/query_registry.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "query/fast_path.h"
 
@@ -205,7 +206,10 @@ struct MatchStep {
 class Engine {
  public:
   Engine(const Database& db, const Query& query, const ExecOptions& options)
-      : db_(db), query_(query), options_(options) {
+      : db_(db),
+        query_(query),
+        options_(options),
+        tracker_(obs::ResourceTracker::Current()) {
     if (options_.deadline_ms > 0) {
       deadline_ = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(options_.deadline_ms);
@@ -301,6 +305,19 @@ class Engine {
     out.stats.steps = steps_;
     out.stats.db_hits = hits_;
     out.stats.fast_path_taken = fast_path_taken_;
+    // Bytes read from graph storage: the CSR kernels report exact packed
+    // bytes; the enumerating path is approximated from db-hit counts times
+    // the packed record widths each hit touches.
+    constexpr uint64_t kNodeScanBytes = 8;
+    constexpr uint64_t kEdgeScanBytes = 16;
+    constexpr uint64_t kPropScanBytes = 16;
+    out.stats.scanned_bytes =
+        csr_scanned_bytes_ + hits_.nodes * kNodeScanBytes +
+        (hits_.edges - csr_edge_hits_) * kEdgeScanBytes +
+        hits_.properties * kPropScanBytes;
+    if (tracker_ != nullptr) {
+      tracker_->AddScannedBytes(out.stats.scanned_bytes);
+    }
     out.stats.elapsed_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - run_start)
                                .count();
@@ -336,6 +353,11 @@ class Engine {
         return Status::DeadlineExceeded(
             "query exceeded deadline of " +
             std::to_string(options_.deadline_ms) + "ms");
+      }
+      if (tracker_ != nullptr && tracker_->OverBudget()) {
+        return Status::ResourceExhausted(
+            "query exceeded memory budget of " +
+            std::to_string(tracker_->budget_bytes()) + " bytes");
       }
     }
     return Status::OK();
@@ -519,6 +541,8 @@ class Engine {
     }();
     steps_ += metrics.steps;
     hits_.edges += metrics.steps;  // each kernel step scans one edge
+    csr_edge_hits_ += metrics.steps;
+    csr_scanned_bytes_ += metrics.scanned_bytes;
     fast_path_taken_ = true;
     fast_path_op_ = true;
     // Frontier trajectory of the widest run this clause dispatched (one
@@ -534,7 +558,13 @@ class Engine {
     fp_lanes_ = std::max(fp_lanes_, metrics.lanes_used);
     if (!members.ok()) {
       // Re-phrase kernel budget errors in the executor's vocabulary.
+      // Memory-budget breaches pass through untouched: their message
+      // already names the cap, and rewriting them as a step-budget error
+      // would misattribute the failure.
       if (members.status().code() == StatusCode::kResourceExhausted) {
+        if (members.status().message().find("memory") != std::string::npos) {
+          return members.status();
+        }
         return Status::ResourceExhausted(
             "query exceeded step budget of " +
             std::to_string(options_.max_steps));
@@ -1540,6 +1570,13 @@ class Engine {
   uint64_t steps_ = 0;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_;
+
+  // The query's resource tracker (installed by the session's ResourceScope),
+  // captured once at construction: Tick() polls its memory budget on the
+  // deadline cadence, and Run() credits it with bytes scanned.
+  obs::ResourceTracker* tracker_ = nullptr;
+  uint64_t csr_edge_hits_ = 0;
+  uint64_t csr_scanned_bytes_ = 0;
 
   // Db-hit accounting. Mutable: NodeSatisfies/EdgeSatisfies/GetPropertyOf
   // are logically const reads whose cost we still want on the books.

@@ -106,6 +106,15 @@ struct ExecStats {
   bool fast_path_taken = false;
   Timeline timeline;  // latency attribution (see Timeline)
   std::vector<OperatorStats> operators;  // non-empty only under PROFILE
+  // Resource attribution (obs/resource.h): thread-CPU time summed across
+  // every thread the query touched, heap allocation totals and the live-byte
+  // high-water mark, and approximate bytes read from graph storage. The
+  // executor fills scanned_bytes; the session fills the rest from the
+  // query's ResourceTracker.
+  uint64_t cpu_us = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t scanned_bytes = 0;
 };
 
 // A value in a result row: a node, an edge, a scalar, or the edge list a

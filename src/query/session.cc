@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/query_registry.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "query/estimator.h"
 #include "query/explain.h"
@@ -64,6 +65,17 @@ double MisestimateQErrorThreshold() {
   return value;
 }
 
+// Per-query memory budget in bytes, or 0 (unlimited) when unset/invalid.
+// Read per call so operators and tests can flip it at runtime via setenv.
+uint64_t QueryMemBudgetBytes() {
+  const char* env = std::getenv("FRAPPE_QUERY_MEM_BYTES");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  long long value = std::strtoll(env, &end, 10);
+  if (end == env || value <= 0) return 0;
+  return static_cast<uint64_t>(value);
+}
+
 int64_t NowUnixMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::system_clock::now().time_since_epoch())
@@ -80,7 +92,8 @@ void RecordWorkloadTelemetry(const obs::NormalizedQuery& normalized,
                              std::string_view status_name, double elapsed_ms,
                              uint64_t rows, uint64_t db_hits, bool fast_path,
                              const obs::TraceContext& trace,
-                             const Timeline& timeline) {
+                             const Timeline& timeline,
+                             const obs::ResourceTracker& resources) {
   uint64_t latency_us =
       elapsed_ms > 0 ? static_cast<uint64_t>(elapsed_ms * 1000.0) : 0;
   obs::QueryStats::Entry& entry = obs::QueryStats::Global().GetOrCreate(
@@ -88,11 +101,27 @@ void RecordWorkloadTelemetry(const obs::NormalizedQuery& normalized,
   entry.Record(ok, latency_us, rows, db_hits);
   entry.RecordTimeline(timeline.queue_us, timeline.parse_us,
                        timeline.plan_us, timeline.exec_us);
+  entry.RecordResources(resources.cpu_us(), resources.alloc_bytes(),
+                        resources.peak_bytes());
   // Process-wide latency histogram with the trace id pinned per bucket, so
   // a /metrics p99 spike links straight to a retained trace.
   static obs::Histogram& latency_hist =
       obs::Registry::Global().GetHistogram("query.latency_us");
   latency_hist.RecordWithExemplar(latency_us, trace.trace_hi, trace.trace_lo);
+  // Resource attribution histograms, exemplar-linked the same way: a CPU or
+  // allocation outlier on /metrics names the trace that caused it.
+  static obs::Histogram& cpu_hist =
+      obs::Registry::Global().GetHistogram("query.cpu_us");
+  static obs::Histogram& alloc_hist =
+      obs::Registry::Global().GetHistogram("query.alloc_bytes");
+  static obs::Histogram& peak_hist =
+      obs::Registry::Global().GetHistogram("query.peak_bytes");
+  cpu_hist.RecordWithExemplar(resources.cpu_us(), trace.trace_hi,
+                              trace.trace_lo);
+  alloc_hist.RecordWithExemplar(resources.alloc_bytes(), trace.trace_hi,
+                                trace.trace_lo);
+  peak_hist.RecordWithExemplar(resources.peak_bytes(), trace.trace_hi,
+                               trace.trace_lo);
   obs::QueryLog& qlog = obs::QueryLog::Global();
   if (qlog.enabled()) {
     obs::QueryLogRecord record;
@@ -110,6 +139,9 @@ void RecordWorkloadTelemetry(const obs::NormalizedQuery& normalized,
     record.parse_us = timeline.parse_us;
     record.plan_us = timeline.plan_us;
     record.exec_us = timeline.exec_us;
+    record.cpu_us = resources.cpu_us();
+    record.alloc_bytes = resources.alloc_bytes();
+    record.peak_bytes = resources.peak_bytes();
     qlog.Record(std::move(record));
   }
 }
@@ -221,6 +253,14 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
       obs::Registry::Global().GetCounter("session.slow_queries");
   queries.Add();
 
+  // Resource attribution for the whole call: the scope publishes the
+  // tracker through TLS, so the allocation seam, the executor's budget
+  // poll, and the analytics lanes all charge this query. The budget itself
+  // comes from FRAPPE_QUERY_MEM_BYTES (0 = unlimited).
+  obs::ResourceTracker resources;
+  resources.set_budget_bytes(QueryMemBudgetBytes());
+  obs::ResourceScope resource_scope(&resources);
+
   // The workload identity of this query: literals stripped, case folded,
   // hashed. Computed up front so parse failures aggregate by shape too.
   const obs::NormalizedQuery normalized = obs::NormalizeQuery(query_text);
@@ -249,10 +289,12 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
     Result<Query> parsed = Parse(query_text);
     timeline.parse_us = obs::Trace::NowMicros() - parse_start;
     if (!parsed.ok()) {
+      resource_scope.SyncCpu();
       RecordWorkloadTelemetry(normalized, query_text, /*ok=*/false,
                               StatusCodeName(parsed.status().code()),
                               /*elapsed_ms=*/0.0, /*rows=*/0, /*db_hits=*/0,
-                              /*fast_path=*/false, trace, timeline);
+                              /*fast_path=*/false, trace, timeline,
+                              resources);
       return parsed.status();
     }
     query = std::move(*parsed);
@@ -318,9 +360,13 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
     db.stats->Set(std::move(catalog));
     timeline.exec_us = static_cast<uint64_t>(analyze_ms * 1000.0);
     result.stats.timeline = timeline;
+    resource_scope.SyncCpu();
+    result.stats.cpu_us = resources.cpu_us();
+    result.stats.alloc_bytes = resources.alloc_bytes();
+    result.stats.peak_bytes = resources.peak_bytes();
     RecordWorkloadTelemetry(normalized, query_text, /*ok=*/true, "ok",
                             analyze_ms, /*rows=*/1, /*db_hits=*/0,
-                            /*fast_path=*/false, trace, timeline);
+                            /*fast_path=*/false, trace, timeline, resources);
     return result;
   }
 
@@ -357,13 +403,25 @@ Result<QueryResult> RunQuery(const Database& db, std::string_view query_text,
 
   if (result.ok()) result->stats.timeline = timeline;
 
+  // Flush this thread's CPU delta so the totals below include the parse,
+  // plan, and execute work just done (lane CPU already landed via
+  // ResourceLaneScope).
+  resource_scope.SyncCpu();
+  if (result.ok()) {
+    result->stats.cpu_us = resources.cpu_us();
+    result->stats.alloc_bytes = resources.alloc_bytes();
+    result->stats.peak_bytes = resources.peak_bytes();
+    // scanned_bytes was filled by the executor.
+  }
+
   const char* status_name =
       result.ok() ? "ok" : StatusCodeName(result.status().code());
   RecordWorkloadTelemetry(
       normalized, query_text, result.ok(), status_name, elapsed_ms,
       result.ok() ? result->rows.size() : 0,
       result.ok() ? result->stats.db_hits.Total() : 0,
-      result.ok() && result->stats.fast_path_taken, trace, timeline);
+      result.ok() && result->stats.fast_path_taken, trace, timeline,
+      resources);
 
   // Estimate-vs-actual instrumentation: compare the planner's final-row
   // estimate against what the execution produced, feed the q-error

@@ -20,6 +20,12 @@ obs::Gauge& InflightGauge() {
   return g;
 }
 
+obs::Gauge& InflightHwGauge() {
+  static obs::Gauge& g =
+      obs::Registry::Global().GetGauge("server.inflight_bytes_hw");
+  return g;
+}
+
 }  // namespace
 
 AdmissionQueue::Outcome AdmissionQueue::TryPush(Item& item) {
@@ -37,6 +43,10 @@ AdmissionQueue::Outcome AdmissionQueue::TryPush(Item& item) {
     item.enqueue_trace_us = obs::Trace::NowMicros();
     item.charged_bytes = charge;
     inflight_bytes_ += charge;
+    if (inflight_bytes_ > inflight_bytes_hw_) {
+      inflight_bytes_hw_ = inflight_bytes_;
+      InflightHwGauge().Set(static_cast<int64_t>(inflight_bytes_hw_));
+    }
     queue_.push_back(std::move(item));
     DepthGauge().Set(static_cast<int64_t>(queue_.size()));
     InflightGauge().Set(static_cast<int64_t>(inflight_bytes_));
@@ -53,6 +63,16 @@ std::optional<AdmissionQueue::Item> AdmissionQueue::Pop() {
   queue_.pop_front();
   DepthGauge().Set(static_cast<int64_t>(queue_.size()));
   return item;
+}
+
+void AdmissionQueue::Charge(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_bytes_ += bytes;
+  if (inflight_bytes_ > inflight_bytes_hw_) {
+    inflight_bytes_hw_ = inflight_bytes_;
+    InflightHwGauge().Set(static_cast<int64_t>(inflight_bytes_hw_));
+  }
+  InflightGauge().Set(static_cast<int64_t>(inflight_bytes_));
 }
 
 void AdmissionQueue::Release(uint64_t charged_bytes) {
@@ -90,6 +110,11 @@ size_t AdmissionQueue::depth() const {
 uint64_t AdmissionQueue::inflight_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return inflight_bytes_;
+}
+
+uint64_t AdmissionQueue::inflight_bytes_hw() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_bytes_hw_;
 }
 
 }  // namespace frappe::server

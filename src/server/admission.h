@@ -80,6 +80,12 @@ class AdmissionQueue {
 
   void Release(uint64_t charged_bytes);
 
+  // Adds `bytes` to the in-flight total without an admission decision —
+  // used by workers to charge the serialized response body before the
+  // socket write (the request-side TryPush charge only covered request
+  // bytes). The caller must fold the extra into its Release.
+  void Charge(uint64_t bytes);
+
   // Stops admissions, wakes all poppers, and returns the still-queued
   // items (their budget already released) for the caller to refuse.
   std::vector<Item> Shutdown();
@@ -95,6 +101,9 @@ class AdmissionQueue {
   const AdmissionConfig& config() const { return config_; }
   size_t depth() const;
   uint64_t inflight_bytes() const;
+  // Highest in-flight byte total ever observed (request + response
+  // charges), exposed on /debug/queryz as server.inflight_bytes_hw.
+  uint64_t inflight_bytes_hw() const;
 
  private:
   AdmissionConfig config_;
@@ -102,6 +111,7 @@ class AdmissionQueue {
   std::condition_variable cv_;
   std::deque<Item> queue_;
   uint64_t inflight_bytes_ = 0;
+  uint64_t inflight_bytes_hw_ = 0;
   bool shutdown_ = false;
 };
 

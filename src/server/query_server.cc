@@ -114,8 +114,12 @@ std::pair<int, const char*> HttpStatusFor(StatusCode code) {
     case StatusCode::kUnimplemented:
       return {400, "Bad Request"};
     case StatusCode::kDeadlineExceeded:
-    case StatusCode::kResourceExhausted:
       return {408, "Request Timeout"};
+    case StatusCode::kResourceExhausted:
+      // Step or memory budget exceeded: the request asked for more
+      // resources than the server allows (mirrors the 413 the listener
+      // returns for oversized request bodies).
+      return {413, "Payload Too Large"};
     case StatusCode::kCancelled:
       return {499, "Client Closed Request"};
     default:
@@ -175,6 +179,10 @@ std::string RenderResultJsonOpen(const query::QueryResult& result,
   out += ", \"db_hits\": " + std::to_string(result.stats.db_hits.Total());
   out += ", \"fast_path\": ";
   out += result.stats.fast_path_taken ? "true" : "false";
+  out += ", \"cpu_us\": " + std::to_string(result.stats.cpu_us);
+  out += ", \"alloc_bytes\": " + std::to_string(result.stats.alloc_bytes);
+  out += ", \"peak_bytes\": " + std::to_string(result.stats.peak_bytes);
+  out += ", \"scanned_bytes\": " + std::to_string(result.stats.scanned_bytes);
   out += "}, \"epoch\": " + std::to_string(epoch);
   return out;
 }
@@ -396,8 +404,14 @@ void QueryServer::WorkerLoop(size_t worker_index) {
     // client needs to fetch its retained tree from /debug/tracez.
     response.headers.emplace_back("traceparent",
                                   obs::FormatTraceparent(item->trace));
+    // The serialized response occupies server memory until the socket
+    // write completes: charge it against the same in-flight byte budget
+    // the request body was admitted under, so /debug/queryz's
+    // inflight_bytes (and its high-water mark) reflect both directions.
+    const uint64_t response_bytes = response.body.size();
+    queue_.Charge(response_bytes);
     item->conn.Respond(response);
-    queue_.Release(item->charged_bytes);
+    queue_.Release(item->charged_bytes + response_bytes);
   }
 }
 

@@ -26,9 +26,9 @@ namespace frappe::server {
 //                   {...}, "epoch": N, "trace_id": "<32 hex>",
 //                   "timeline": {queue_us, parse_us, plan_us, exec_us,
 //                   serialize_us, total_us}}. Errors map: parse/bad
-//                   request 400, deadline or step budget 408, shed 429
-//                   (+ Retry-After), cancelled 499, draining/no-epoch 503,
-//                   internal 500.
+//                   request 400, deadline 408, step or memory budget 413,
+//                   shed 429 (+ Retry-After), cancelled 499,
+//                   draining/no-epoch 503, internal 500.
 //
 // Request tracing: a W3C `traceparent` request header is adopted (the
 // response echoes the same trace id; the client's span id becomes the

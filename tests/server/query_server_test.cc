@@ -122,6 +122,12 @@ TEST_F(QueryServerTest, QueryAnswersJsonRowsWithStatsAndEpoch) {
   EXPECT_NE(body.find("\"epoch\": "), std::string::npos) << body;
   EXPECT_NE(body.find("\"trace_id\": \""), std::string::npos) << body;
   EXPECT_NE(body.find("\"timeline\": {"), std::string::npos) << body;
+  // Resource attribution rides on every response (schema checked in depth
+  // by tools/server_check.py against this capture).
+  EXPECT_NE(body.find("\"cpu_us\": "), std::string::npos) << body;
+  EXPECT_NE(body.find("\"alloc_bytes\": "), std::string::npos) << body;
+  EXPECT_NE(body.find("\"peak_bytes\": "), std::string::npos) << body;
+  EXPECT_NE(body.find("\"scanned_bytes\": "), std::string::npos) << body;
   WriteCapture("server_query.json", body);
 }
 
@@ -314,6 +320,22 @@ TEST_F(QueryServerTest, DeadlinePropagatesIntoExecution) {
                 SlowClosureQuery(), /*timeout_ms=*/15000);
   EXPECT_EQ(HttpStatusOf(response), 408) << response;
   EXPECT_NE(HttpBodyOf(response).find("DeadlineExceeded"),
+            std::string::npos)
+      << response;
+}
+
+TEST_F(QueryServerTest, MemoryBudgetMapsTo413) {
+  // A tight FRAPPE_QUERY_MEM_BYTES cap on a slow-path closure query: the
+  // executor's budget poll trips kResourceExhausted, mapped to 413
+  // Payload Too Large at the front door. The deadline is a backstop so a
+  // broken budget fails, not hangs.
+  ::setenv("FRAPPE_QUERY_MEM_BYTES", "262144", 1);
+  std::string response =
+      HttpFetch(port_, "POST", "/query?deadline_ms=60000&fast_path=0",
+                SlowClosureQuery(), /*timeout_ms=*/90000);
+  ::unsetenv("FRAPPE_QUERY_MEM_BYTES");
+  EXPECT_EQ(HttpStatusOf(response), 413) << response;
+  EXPECT_NE(HttpBodyOf(response).find("ResourceExhausted"),
             std::string::npos)
       << response;
 }

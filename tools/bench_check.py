@@ -75,6 +75,17 @@ def check(path, min_closure_speedup):
     entries = doc.get("entries")
     if not isinstance(entries, list) or not entries:
         return fail(f"{path}: entries is not a non-empty array")
+    # The process-cost stamp (peak RSS + CPU seconds via getrusage) rides
+    # on every BENCH_*.json so memory regressions show up in artifacts.
+    rusage = doc.get("rusage")
+    if not isinstance(rusage, dict):
+        return fail(f"{path}: rusage is not an object")
+    if not is_int(rusage.get("max_rss_kb")) or rusage["max_rss_kb"] <= 0:
+        return fail(f"{path}: rusage.max_rss_kb is not an int > 0")
+    for key in ("user_s", "sys_s"):
+        if not is_num(rusage.get(key)) or rusage[key] < 0:
+            return fail(f"{path}: rusage.{key} is not a non-negative"
+                        " number")
 
     meta = None
     kernel_entries = 0

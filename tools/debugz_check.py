@@ -10,7 +10,8 @@ Three checks, any subset per invocation:
       (number >= 0), steps / db_hits / rows (ints >= 0), operator (string
       or null), cancel_requested (bool), trace_id (32 lower-case hex
       chars) and queue_wait_us (int >= 0), plus a server section with the
-      front-door pressure gauges (queue_depth, inflight_bytes) and the
+      front-door pressure gauges (queue_depth, inflight_bytes,
+      inflight_bytes_hw) and the
       queue-wait histogram summary. Unknown keys fail: operators'
       dashboards parse against this schema.
 
@@ -57,6 +58,7 @@ QUERY_SCHEMA = {
 SERVER_SCHEMA = {
     "queue_depth": int,
     "inflight_bytes": int,
+    "inflight_bytes_hw": int,
     "queue_wait_us": dict,
 }
 
@@ -149,7 +151,7 @@ def check_queryz(path):
     rc = check_object(path, server, SERVER_SCHEMA, "server")
     if rc:
         return rc
-    for key in ("queue_depth", "inflight_bytes"):
+    for key in ("queue_depth", "inflight_bytes", "inflight_bytes_hw"):
         if server[key] < 0:
             return fail(f"{path}: server.{key}={server[key]} is negative")
     rc = check_object(path, server["queue_wait_us"], QUEUE_WAIT_SCHEMA,

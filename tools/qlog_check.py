@@ -46,6 +46,9 @@ QLOG_SCHEMA = {
     "parse_us": int,
     "plan_us": int,
     "exec_us": int,
+    "cpu_us": int,
+    "alloc_bytes": int,
+    "peak_bytes": int,
 }
 FP_RE = re.compile(r"^[0-9a-f]{16}$")
 TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")

@@ -6,7 +6,8 @@ Three checks, any subset per invocation:
   server_check.py --query <server_query.json>
       A successful POST /query response body: columns (array of strings),
       rows (array of arrays of strings, each row as wide as columns),
-      stats {elapsed_ms, rows, steps, db_hits, fast_path} with rows equal
+      stats {elapsed_ms, rows, steps, db_hits, fast_path, cpu_us,
+      alloc_bytes, peak_bytes, scanned_bytes} with rows equal
       to len(rows), epoch (int >= 1), trace_id (32 lower-case hex chars),
       timeline {queue_us, parse_us, plan_us, exec_us, serialize_us,
       total_us} (ints >= 0), and optionally plan (string). Unknown keys
@@ -41,6 +42,10 @@ STATS_SCHEMA = {
     "steps": int,
     "db_hits": int,
     "fast_path": bool,
+    "cpu_us": int,
+    "alloc_bytes": int,
+    "peak_bytes": int,
+    "scanned_bytes": int,
 }
 
 TIMELINE_KEYS = {"queue_us", "parse_us", "plan_us", "exec_us",

@@ -76,6 +76,9 @@ FINGERPRINT_SCHEMA = {
     "rows": int,
     "db_hits": int,
     "worst_qerror": (int, float),
+    "cpu_us_total": int,
+    "alloc_bytes_total": int,
+    "peak_bytes": int,
     "timeline": dict,
 }
 
